@@ -1,0 +1,63 @@
+//===- bench/AblationRules.cpp - Ablation of the analysis components ------===//
+///
+/// \file
+/// Quantifies what each piece of the analysis contributes to fault
+/// injection pruning (the design choices DESIGN.md calls out):
+///
+///   full       -- the complete BEC analysis;
+///   -eval      -- without the slt/branch eval() rule family;
+///   -bitwise   -- without the mv/xor/and/or/shift rule family;
+///   -inter     -- without inter-instruction coalescing (Algorithm 2
+///                 line 12): only liveness masking remains;
+///   -global    -- bit values restricted to Top (no global KnownBits),
+///                 isolating the value of the dataflow analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+#include "sim/Interpreter.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace bec;
+
+static double prunedWith(const Program &Prog, const Trace &Golden,
+                         const BECOptions &Opts) {
+  BECAnalysis A = BECAnalysis::run(Prog, Opts);
+  return countFaultInjectionRuns(A, Golden.Executed).prunedFraction();
+}
+
+int main() {
+  std::printf("Ablation: FI runs pruned under disabled analysis "
+              "components\n\n");
+  Table T({"benchmark", "full", "-eval", "-bitwise", "-inter", "-global"});
+  for (const Workload &W : allWorkloads()) {
+    Program Prog = loadWorkload(W);
+    Trace Golden = simulate(Prog);
+
+    BECOptions Full;
+    BECOptions NoEval;
+    NoEval.Fates.EvalRules = false;
+    BECOptions NoBitwise;
+    NoBitwise.Fates.BitwiseRules = false;
+    BECOptions NoInter;
+    NoInter.InterInstruction = false;
+    BECOptions NoGlobal;
+    NoGlobal.GlobalBitValues = false;
+
+    T.row()
+        .cell(W.Name)
+        .cell(Table::percent(prunedWith(Prog, Golden, Full)))
+        .cell(Table::percent(prunedWith(Prog, Golden, NoEval)))
+        .cell(Table::percent(prunedWith(Prog, Golden, NoBitwise)))
+        .cell(Table::percent(prunedWith(Prog, Golden, NoInter)))
+        .cell(Table::percent(prunedWith(Prog, Golden, NoGlobal)));
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("expected shape: AES keeps most pruning without global bit "
+              "values (xor rules are value-oblivious);\nadpcm collapses "
+              "without them (its pruning rides on constant bit patterns)\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+//===- bench/Fig2Motivating.cpp - Reproduces paper Figs. 1 and 2 ----------===//
+///
+/// \file
+/// Prints the motivating example's abstract bit values and fault-site
+/// classification (the content of Fig. 2), and the headline numbers of
+/// Section III: 288 vs 225 fault-injection runs (21.8 % saved) and
+/// 681 vs 576 live fault sites after rescheduling (15.4 % reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+#include "ir/AsmParser.h"
+#include "sched/ListScheduler.h"
+#include "sim/Interpreter.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace bec;
+
+static const char *MotivatingAsm = R"(
+.width 4
+main:
+  li   a0, 0
+  li   a1, 7
+loop:
+  andi a2, a1, 1
+  andi a3, a1, 3
+  addi a1, a1, -1
+  seqz a2, a2
+  snez a3, a3
+  and  a2, a2, a3
+  add  a0, a0, a2
+  bnez a1, loop
+  ret
+)";
+
+int main() {
+  Program Prog = parseAsmOrDie(MotivatingAsm, "motivating");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+
+  std::printf("Fig. 2: motivating example (4-bit architecture)\n\n");
+  std::printf("abstract bit values k(p,v) and probed fault sites per "
+              "access point:\n\n");
+  Table T({"p", "instruction", "reg", "k(p,v)", "live after", "masked bits",
+           "probes (bit-level)"});
+  const FaultSpace &FS = A.space();
+  for (uint32_t P = 0; P < Prog.size(); ++P) {
+    auto [Begin, End] = FS.pointsOfInstr(P);
+    for (uint32_t Ap = Begin; Ap < End; ++Ap) {
+      Reg V = FS.point(Ap).R;
+      const auto &S = A.summary(Ap);
+      T.row()
+          .cell("p" + std::to_string(P))
+          .cell(Prog.instr(P).toString())
+          .cell(std::string(regName(V)))
+          .cell(A.bitValues().after(P, V).toString())
+          .cell(S.LiveAfter ? "yes" : "no")
+          .cell(static_cast<uint64_t>(popCount(S.MaskedMask, Prog.Width)))
+          .cell(static_cast<uint64_t>(S.NumProbes));
+    }
+  }
+  std::printf("%s\n", T.render().c_str());
+
+  FaultInjectionCounts C = countFaultInjectionRuns(A, Golden.Executed);
+  uint64_t Vuln = computeVulnerability(A, Golden.Executed);
+  std::printf("fault-injection runs, value-level analysis: %llu (paper: "
+              "288)\n",
+              static_cast<unsigned long long>(C.ValueLevelRuns));
+  std::printf("fault-injection runs, BEC bit-level:        %llu (paper: "
+              "225)\n",
+              static_cast<unsigned long long>(C.BitLevelRuns));
+  std::printf("runs saved: %s (paper: 21.8%%)\n",
+              Table::percent(C.prunedFraction()).c_str());
+  std::printf("live fault sites (original schedule): %llu (paper: 681)\n",
+              static_cast<unsigned long long>(Vuln));
+
+  Program Best = scheduleProgram(A, SchedulePolicy::BestReliability);
+  BECAnalysis AB = BECAnalysis::run(Best);
+  Trace TB = simulate(Best);
+  uint64_t VulnBest = computeVulnerability(AB, TB.Executed);
+  std::printf("live fault sites (vulnerability-aware schedule): %llu "
+              "(paper's hand schedule: 576)\n",
+              static_cast<unsigned long long>(VulnBest));
+  std::printf("reduction: %s (paper: 15.4%%)\n",
+              Table::percent(1.0 - static_cast<double>(VulnBest) /
+                                       static_cast<double>(Vuln))
+                  .c_str());
+  return 0;
+}

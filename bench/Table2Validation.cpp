@@ -1,0 +1,58 @@
+//===- bench/Table2Validation.cpp - Reproduces paper Table II + Section V -===//
+///
+/// \file
+/// Empirical validation of the analysis against fault-injection ground
+/// truth: every register bit of every dynamic segment in a window of each
+/// benchmark's trace is injected, and trace equality is compared with the
+/// static equivalence classes. The paper's soundness claim is "no unsound
+/// case was observed"; this harness fails loudly if one appears.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fi/Validation.h"
+#include "sim/Interpreter.h"
+#include "support/Debug.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace bec;
+
+int main() {
+  // Window sizes keep each campaign around a second; validation coverage
+  // still spans every instruction of every benchmark's steady state.
+  constexpr uint64_t WindowCycles = 260;
+
+  std::printf("Table II: classification of trace comparisons\n");
+  std::printf("(sound+precise / sound+imprecise / unsound; the analysis "
+              "must produce zero unsound pairs)\n\n");
+  Table T({"benchmark", "runs", "segments", "sound precise",
+           "sound imprecise", "unsound", "masked ok", "masked bad",
+           "cross ok", "cross bad"});
+  bool AllSound = true;
+  for (const Workload &W : allWorkloads()) {
+    Program Prog = loadWorkload(W);
+    BECAnalysis A = BECAnalysis::run(Prog);
+    Trace Golden = simulate(Prog);
+    ValidationResult R = validateAnalysis(A, Golden, WindowCycles);
+    T.row()
+        .cell(W.Name)
+        .cell(R.RunsExecuted)
+        .cell(R.SegmentsChecked)
+        .cell(R.SoundPrecisePairs)
+        .cell(R.SoundImprecisePairs)
+        .cell(R.UnsoundPairs)
+        .cell(R.MaskedChecked - R.MaskedViolations)
+        .cell(R.MaskedViolations)
+        .cell(R.CrossChecked - R.CrossViolations)
+        .cell(R.CrossViolations);
+    AllSound = AllSound && R.sound();
+  }
+  std::printf("%s\n", T.render().c_str());
+  if (!AllSound)
+    reportFatalError("validation found an unsound classification");
+  std::printf("verdict: no unsound classification observed (matches the "
+              "paper's Section V)\n");
+  return 0;
+}

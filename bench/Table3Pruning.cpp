@@ -1,0 +1,45 @@
+//===- bench/Table3Pruning.cpp - Reproduces paper Table III ---------------===//
+///
+/// \file
+/// "Results of fault injection pruning by the proposed static analysis":
+/// for each benchmark, the number of fault sites that need injection under
+/// value-level analysis (inject-on-read) and under BEC, with the
+/// masked/inferrable breakdown and the total pruning rate.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+#include "sim/Interpreter.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace bec;
+
+int main() {
+  std::printf("Table III: fault injection pruning by the BEC analysis\n");
+  std::printf("(paper: up to 30.04%% pruned, 13.71%% on average; AES prunes "
+              "most, RSA least)\n\n");
+  Table T({"benchmark", "Live in values", "Live in bits", "Masked bits",
+           "Inferrable bits", "FI runs pruned"});
+  double Sum = 0;
+  for (const Workload &W : allWorkloads()) {
+    Program Prog = loadWorkload(W);
+    BECAnalysis A = BECAnalysis::run(Prog);
+    Trace Golden = simulate(Prog);
+    FaultInjectionCounts C = countFaultInjectionRuns(A, Golden.Executed);
+    T.row()
+        .cell(W.Name)
+        .cell(C.ValueLevelRuns)
+        .cell(C.BitLevelRuns)
+        .cell(C.MaskedBits)
+        .cell(C.InferrableBits)
+        .cell(Table::percent(C.prunedFraction()));
+    Sum += C.prunedFraction();
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("average FI runs pruned: %s\n",
+              Table::percent(Sum / allWorkloads().size()).c_str());
+  return 0;
+}

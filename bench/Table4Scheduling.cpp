@@ -1,0 +1,64 @@
+//===- bench/Table4Scheduling.cpp - Reproduces paper Table IV -------------===//
+///
+/// \file
+/// "Changes in the reliability against soft errors from bit-level
+/// vulnerability-aware instruction scheduling": for each benchmark the
+/// total fault space and the vulnerability (live fault sites over the
+/// trace) under the best- and worst-reliability scheduling policies.
+/// Output equivalence with the original program is asserted for both.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+#include "sched/ListScheduler.h"
+#include "sim/Interpreter.h"
+#include "support/Debug.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace bec;
+
+static uint64_t vulnerabilityOf(const Program &Prog, const Trace &Golden) {
+  BECAnalysis A = BECAnalysis::run(Prog);
+  return computeVulnerability(A, Golden.Executed);
+}
+
+int main() {
+  std::printf("Table IV: bit-level vulnerability-aware instruction "
+              "scheduling\n");
+  std::printf("(paper: up to 13.11%% improvement, 4.94%% on average; CRC32 "
+              "and bitcount improve most)\n\n");
+  Table T({"benchmark", "Total fault space", "Best reliability",
+           "Worst reliability", "Worst/Best"});
+  double Sum = 0;
+  for (const Workload &W : allWorkloads()) {
+    Program Prog = loadWorkload(W);
+    BECAnalysis A = BECAnalysis::run(Prog);
+    Trace Golden = simulate(Prog);
+
+    Program Best = scheduleProgram(A, SchedulePolicy::BestReliability);
+    Program Worst = scheduleProgram(A, SchedulePolicy::WorstReliability);
+    Trace TB = simulate(Best), TW = simulate(Worst);
+    if (TB.ObservableHash != Golden.ObservableHash ||
+        TW.ObservableHash != Golden.ObservableHash)
+      reportFatalError("scheduling changed observable behaviour");
+
+    uint64_t VB = vulnerabilityOf(Best, TB);
+    uint64_t VW = vulnerabilityOf(Worst, TW);
+    uint64_t Space = TB.Cycles * NumRegs * Prog.Width;
+    double Ratio = static_cast<double>(VW) / static_cast<double>(VB);
+    T.row()
+        .cell(W.Name)
+        .cell(Space)
+        .cell(VB)
+        .cell(VW)
+        .cell(Table::percent(Ratio));
+    Sum += Ratio - 1.0;
+  }
+  std::printf("%s\n", T.render().c_str());
+  std::printf("average worst-to-best reliability headroom: +%s\n",
+              Table::percent(Sum / allWorkloads().size()).c_str());
+  return 0;
+}

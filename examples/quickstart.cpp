@@ -1,0 +1,82 @@
+//===- examples/quickstart.cpp - Five-minute tour of the BEC library ------===//
+///
+/// \file
+/// Assembles a small RISC-V program, runs the BEC analysis, and walks the
+/// results: abstract bit values, masked fault sites, equivalence classes,
+/// and the fault-injection pruning the classes buy on a concrete run.
+///
+/// Build and run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BECAnalysis.h"
+#include "core/Metrics.h"
+#include "ir/AsmParser.h"
+#include "sim/Interpreter.h"
+
+#include <cstdio>
+
+using namespace bec;
+
+int main() {
+  // A toy checksum kernel: mixes a secret with a counter and reports one
+  // parity-ish bit per iteration. Plenty of known bits for BEC to chew on.
+  const char *Source = R"(
+main:
+  li   s0, 0xC0FFEE      # secret
+  li   s1, 8             # iterations
+  li   s2, 0             # checksum
+loop:
+  xor  t0, s0, s1        # mix
+  andi t0, t0, 1         # keep the parity bit
+  seqz t0, t0
+  add  s2, s2, t0
+  srli s0, s0, 1
+  addi s1, s1, -1
+  bnez s1, loop
+  out  s2
+  mv   a0, s2
+  ret
+)";
+
+  // 1. Assemble. Diagnostics carry line numbers; parseAsm returns them
+  //    instead of dying, parseAsmOrDie is the known-good-input shortcut.
+  Program Prog = parseAsmOrDie(Source, "quickstart");
+  std::printf("assembled %u instructions, %zu basic blocks\n\n", Prog.size(),
+              Prog.blocks().size());
+
+  // 2. Run the analysis: global abstract bit values + fault-index
+  //    coalescing (the two phases of the paper's Section IV).
+  BECAnalysis A = BECAnalysis::run(Prog);
+  std::printf("coalescing reached its fixed point after %u rounds, "
+              "%u merges\n\n",
+              A.iterations(), A.mergeCount());
+
+  // 3. Inspect a few results. k(p,v) is the abstract value of v after p.
+  std::printf("abstract bits of t0 after `andi t0, t0, 1` (instr 4): %s\n",
+              A.bitValues().after(4, 5).toString().c_str());
+  const FaultSpace &FS = A.space();
+  int32_t Ap = FS.pointId(4, 5); // (p=andi, v=t0)
+  std::printf("masked bits of that fault site: %u of %u\n",
+              popCount(A.summary(Ap).MaskedMask, Prog.Width), Prog.Width);
+  std::printf("fault-injection probes it needs: %u\n\n",
+              A.summary(Ap).NumProbes);
+
+  // 4. Execute and count what the classes save on this very trace.
+  Trace Golden = simulate(Prog);
+  std::printf("golden run: %llu cycles, checksum output = %llu\n",
+              static_cast<unsigned long long>(Golden.Cycles),
+              static_cast<unsigned long long>(Golden.outputValues()[0]));
+  FaultInjectionCounts C = countFaultInjectionRuns(A, Golden.Executed);
+  std::printf("inject-on-read (value level) would need %llu runs\n",
+              static_cast<unsigned long long>(C.ValueLevelRuns));
+  std::printf("BEC needs %llu runs (%.2f%% pruned: %llu masked, %llu "
+              "inferrable)\n",
+              static_cast<unsigned long long>(C.BitLevelRuns),
+              C.prunedFraction() * 100.0,
+              static_cast<unsigned long long>(C.MaskedBits),
+              static_cast<unsigned long long>(C.InferrableBits));
+  return 0;
+}

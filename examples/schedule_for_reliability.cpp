@@ -1,0 +1,78 @@
+//===- examples/schedule_for_reliability.cpp - Use case 2 on a benchmark --===//
+///
+/// \file
+/// Vulnerability-aware instruction scheduling (the paper's Algorithm 4)
+/// applied to a chosen workload: reorders independent instructions within
+/// every basic block to retire live fault bits as early as possible,
+/// verifies observational equivalence, and reports the change in the
+/// program's fault surface.
+///
+/// Usage: schedule_for_reliability [workload]     (default: SHA)
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+#include "sched/ListScheduler.h"
+#include "sim/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace bec;
+
+static uint64_t vulnerability(const Program &Prog) {
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace T = simulate(Prog);
+  return computeVulnerability(A, T.Executed);
+}
+
+int main(int Argc, char **Argv) {
+  const char *Name = Argc > 1 ? Argv[1] : "SHA";
+  const Workload *W = findWorkload(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload '%s'\n", Name);
+    return 1;
+  }
+
+  Program Prog = loadWorkload(*W);
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+
+  Program Best = scheduleProgram(A, SchedulePolicy::BestReliability);
+  Program Worst = scheduleProgram(A, SchedulePolicy::WorstReliability);
+  Trace TB = simulate(Best);
+  Trace TW = simulate(Worst);
+  if (TB.ObservableHash != Golden.ObservableHash ||
+      TW.ObservableHash != Golden.ObservableHash) {
+    std::fprintf(stderr, "scheduling changed program behaviour -- bug\n");
+    return 1;
+  }
+  std::printf("%s: outputs unchanged under both schedules; %llu cycles "
+              "either way\n\n",
+              W->Name.c_str(), static_cast<unsigned long long>(TB.Cycles));
+
+  uint64_t VOrig = vulnerability(Prog);
+  uint64_t VBest = vulnerability(Best);
+  uint64_t VWorst = vulnerability(Worst);
+  std::printf("live fault sites over the run (lower = more reliable):\n");
+  std::printf("  original order:        %llu\n",
+              static_cast<unsigned long long>(VOrig));
+  std::printf("  best-reliability:      %llu  (%.2f%% fewer than worst)\n",
+              static_cast<unsigned long long>(VBest),
+              100.0 * (1.0 - static_cast<double>(VBest) /
+                                 static_cast<double>(VWorst)));
+  std::printf("  worst-reliability:     %llu\n\n",
+              static_cast<unsigned long long>(VWorst));
+
+  // Show what the scheduler did to the hottest block (the largest one).
+  const BasicBlock *Biggest = &Prog.blocks()[0];
+  for (const BasicBlock &B : Prog.blocks())
+    if (B.size() > Biggest->size())
+      Biggest = &B;
+  std::printf("largest block before/after (first 8 instructions):\n");
+  for (uint32_t K = 0; K < Biggest->size() && K < 8; ++K)
+    std::printf("  %-28s | %s\n",
+                Prog.instr(Biggest->First + K).toString().c_str(),
+                Best.instr(Biggest->First + K).toString().c_str());
+  return 0;
+}

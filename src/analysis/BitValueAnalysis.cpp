@@ -1,0 +1,239 @@
+//===- analysis/BitValueAnalysis.cpp - Global bit-value analysis ----------===//
+
+#include "analysis/BitValueAnalysis.h"
+
+#include "support/Debug.h"
+
+#include <deque>
+
+using namespace bec;
+
+/// Reads the abstract value of operand register \p V (x0 is constant 0).
+static KnownBits readOperand(const RegState &S, Reg V, unsigned Width) {
+  if (V == RegZero)
+    return KnownBits::constant(0, Width);
+  return S[V];
+}
+
+KnownBits BitValueAnalysis::evalResult(const Instruction &I, const RegState &S,
+                                       unsigned Width) {
+  auto Src1 = [&] { return readOperand(S, I.Rs1, Width); };
+  auto Src2 = [&] { return readOperand(S, I.Rs2, Width); };
+  auto Imm = [&] {
+    return KnownBits::constant(static_cast<uint64_t>(I.Imm), Width);
+  };
+  using KB = KnownBits;
+  switch (I.Op) {
+  case Opcode::LI:
+    return Imm();
+  case Opcode::LUI:
+    return KB::constant(static_cast<uint64_t>(I.Imm) << 12, Width);
+  case Opcode::MV:
+    return Src1();
+  case Opcode::ADD:
+    return KB::add(Src1(), Src2());
+  case Opcode::SUB:
+    return KB::sub(Src1(), Src2());
+  case Opcode::AND:
+    return KB::and_(Src1(), Src2());
+  case Opcode::OR:
+    return KB::or_(Src1(), Src2());
+  case Opcode::XOR:
+    return KB::xor_(Src1(), Src2());
+  case Opcode::SLL:
+    return KB::shl(Src1(), Src2());
+  case Opcode::SRL:
+    return KB::lshr(Src1(), Src2());
+  case Opcode::SRA:
+    return KB::ashr(Src1(), Src2());
+  case Opcode::SLT:
+    return KB::fromBool(KB::cmpSlt(Src1(), Src2()), Width);
+  case Opcode::SLTU:
+    return KB::fromBool(KB::cmpUlt(Src1(), Src2()), Width);
+  case Opcode::ADDI:
+    return KB::add(Src1(), Imm());
+  case Opcode::ANDI:
+    return KB::and_(Src1(), Imm());
+  case Opcode::ORI:
+    return KB::or_(Src1(), Imm());
+  case Opcode::XORI:
+    return KB::xor_(Src1(), Imm());
+  case Opcode::SLLI:
+    return KB::shlConst(Src1(), static_cast<unsigned>(I.Imm));
+  case Opcode::SRLI:
+    return KB::lshrConst(Src1(), static_cast<unsigned>(I.Imm));
+  case Opcode::SRAI:
+    return KB::ashrConst(Src1(), static_cast<unsigned>(I.Imm));
+  case Opcode::SLTI:
+    return KB::fromBool(KB::cmpSlt(Src1(), Imm()), Width);
+  case Opcode::SLTIU:
+    return KB::fromBool(KB::cmpUlt(Src1(), Imm()), Width);
+  case Opcode::MUL:
+    return KB::mul(Src1(), Src2());
+  case Opcode::MULHU:
+    return KB::mulhu(Src1(), Src2());
+  case Opcode::DIV:
+    return KB::div(Src1(), Src2());
+  case Opcode::DIVU:
+    return KB::divu(Src1(), Src2());
+  case Opcode::REM:
+    return KB::rem(Src1(), Src2());
+  case Opcode::REMU:
+    return KB::remu(Src1(), Src2());
+  case Opcode::LW:
+  case Opcode::LH:
+  case Opcode::LHU:
+  case Opcode::LB:
+  case Opcode::LBU:
+    // Memory is not modeled as a data point; loads produce Top. (LB/LH
+    // could refine sign/zero-extension bits; kept Top for symmetry with
+    // the paper's register-file scope.)
+    return KB::top(Width);
+  default:
+    bec_unreachable("evalResult on an instruction with no destination");
+  }
+}
+
+BitValue BitValueAnalysis::evalBranch(const Instruction &I, const RegState &S,
+                                      unsigned Width) {
+  KnownBits A = readOperand(S, I.Rs1, Width);
+  KnownBits B = readOperand(S, I.Rs2, Width);
+  switch (I.Op) {
+  case Opcode::BEQ:
+    return KnownBits::cmpEq(A, B);
+  case Opcode::BNE: {
+    BitValue Eq = KnownBits::cmpEq(A, B);
+    if (Eq == BitValue::Zero)
+      return BitValue::One;
+    if (Eq == BitValue::One)
+      return BitValue::Zero;
+    return Eq;
+  }
+  case Opcode::BLT:
+    return KnownBits::cmpSlt(A, B);
+  case Opcode::BGE: {
+    BitValue Lt = KnownBits::cmpSlt(A, B);
+    if (Lt == BitValue::Zero)
+      return BitValue::One;
+    if (Lt == BitValue::One)
+      return BitValue::Zero;
+    return Lt;
+  }
+  case Opcode::BLTU:
+    return KnownBits::cmpUlt(A, B);
+  case Opcode::BGEU: {
+    BitValue Lt = KnownBits::cmpUlt(A, B);
+    if (Lt == BitValue::Zero)
+      return BitValue::One;
+    if (Lt == BitValue::One)
+      return BitValue::Zero;
+    return Lt;
+  }
+  default:
+    bec_unreachable("evalBranch on a non-branch");
+  }
+}
+
+BitValueAnalysis BitValueAnalysis::run(const Program &Prog) {
+  uint32_t N = Prog.size();
+  unsigned Width = Prog.Width;
+  BitValueAnalysis Result;
+  RegState BottomState;
+  for (auto &KB : BottomState)
+    KB = KnownBits::bottom(Width);
+  Result.In.assign(N, BottomState);
+  Result.Out.assign(N, BottomState);
+  Result.Executable.assign(N, false);
+
+  // Entry state: x0 is zero, everything else unknown (machine-initialized
+  // contents are not assumed).
+  RegState EntryState;
+  EntryState[RegZero] = KnownBits::constant(0, Width);
+  for (Reg V = 1; V < NumRegs; ++V)
+    EntryState[V] = KnownBits::top(Width);
+
+  // Executable-edge tracking, Wegman-Zadeck style. Edges are identified by
+  // (pred, succ-slot) pairs; feasible target slots are recomputed from the
+  // abstract branch condition each time the predecessor is processed.
+  std::vector<std::vector<bool>> EdgeExec(N);
+  for (uint32_t P = 0; P < N; ++P)
+    EdgeExec[P].assign(Prog.succs(P).size(), false);
+
+  std::deque<uint32_t> Worklist;
+  std::vector<bool> OnWorklist(N, false);
+  auto Enqueue = [&](uint32_t P) {
+    if (!OnWorklist[P]) {
+      OnWorklist[P] = true;
+      Worklist.push_back(P);
+    }
+  };
+
+  Result.Executable[Prog.Entry] = true;
+  Enqueue(Prog.Entry);
+
+  while (!Worklist.empty()) {
+    uint32_t P = Worklist.front();
+    Worklist.pop_front();
+    OnWorklist[P] = false;
+
+    // Meet over executable incoming edges; the entry additionally meets
+    // the entry state.
+    RegState NewIn = BottomState;
+    bool AnyIn = false;
+    if (P == Prog.Entry) {
+      NewIn = EntryState;
+      AnyIn = true;
+    }
+    for (uint32_t Pred : Prog.preds(P)) {
+      const auto &Succs = Prog.succs(Pred);
+      for (uint32_t Slot = 0; Slot < Succs.size(); ++Slot) {
+        if (Succs[Slot] != P || !EdgeExec[Pred][Slot])
+          continue;
+        if (!AnyIn) {
+          NewIn = Result.Out[Pred];
+          AnyIn = true;
+        } else {
+          for (Reg V = 0; V < NumRegs; ++V)
+            NewIn[V] = KnownBits::meet(NewIn[V], Result.Out[Pred][V]);
+        }
+      }
+    }
+    Result.In[P] = NewIn;
+
+    // Transfer.
+    const Instruction &I = Prog.instr(P);
+    RegState NewOut = NewIn;
+    if (I.writesReg())
+      NewOut[I.Rd] = evalResult(I, NewIn, Width);
+    bool OutChanged = NewOut != Result.Out[P];
+    Result.Out[P] = NewOut;
+
+    // Mark feasible outgoing edges.
+    const auto &Succs = Prog.succs(P);
+    bool TakenFeasible = true, FallFeasible = true;
+    if (isConditionalBranch(I.Op)) {
+      BitValue Cond = evalBranch(I, NewIn, Width);
+      TakenFeasible = Cond != BitValue::Zero;
+      FallFeasible = Cond != BitValue::One;
+    }
+    for (uint32_t Slot = 0; Slot < Succs.size(); ++Slot) {
+      bool Feasible = true;
+      if (isConditionalBranch(I.Op)) {
+        // Slot 0 is the fallthrough, slot 1 the taken edge (unless the
+        // target *is* the fallthrough, in which case there is one slot).
+        Feasible = Succs.size() == 1 ||
+                   (Slot == 0 ? FallFeasible : TakenFeasible);
+      }
+      if (!Feasible)
+        continue;
+      bool NewEdge = !EdgeExec[P][Slot];
+      EdgeExec[P][Slot] = true;
+      uint32_t S = Succs[Slot];
+      if (NewEdge || OutChanged) {
+        Result.Executable[S] = true;
+        Enqueue(S);
+      }
+    }
+  }
+  return Result;
+}

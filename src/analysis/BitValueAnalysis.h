@@ -1,0 +1,61 @@
+//===- analysis/BitValueAnalysis.h - Global abstract bit-value analysis ---===//
+///
+/// \file
+/// The paper's Section IV-A: a forward data-flow analysis that computes
+/// k(p, v) — the abstract bit values of every register after every program
+/// point — across the entire CFG (the global extension of LLVM KnownBits).
+/// Following Wegman-Zadeck SC, the solver is optimistic: it starts from
+/// Bottom, tracks executable edges, and only propagates along branch edges
+/// that are feasible under the current abstract state. The result is the
+/// maximal fixed point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_ANALYSIS_BITVALUEANALYSIS_H
+#define BEC_ANALYSIS_BITVALUEANALYSIS_H
+
+#include "analysis/KnownBits.h"
+#include "ir/Program.h"
+
+#include <array>
+#include <vector>
+
+namespace bec {
+
+/// Abstract machine state: one KnownBits per architectural register.
+using RegState = std::array<KnownBits, NumRegs>;
+
+/// Result of the global bit-value analysis.
+class BitValueAnalysis {
+public:
+  /// Runs the analysis; the program's CFG must be built.
+  static BitValueAnalysis run(const Program &Prog);
+
+  /// k before p: the abstract value of \p V as read by \p P.
+  const KnownBits &before(uint32_t P, Reg V) const { return In[P][V]; }
+  /// k(p, v): the abstract value of \p V after \p P executes.
+  const KnownBits &after(uint32_t P, Reg V) const { return Out[P][V]; }
+
+  /// True if the solver found \p P executable (unreachable code under the
+  /// abstract semantics is never executed concretely either).
+  bool isExecutable(uint32_t P) const { return Executable[P]; }
+
+  /// Computes the abstract result that \p P writes to its destination
+  /// given input state \p S (exposed for the coalescing eval() rule and
+  /// for tests).
+  static KnownBits evalResult(const Instruction &I, const RegState &S,
+                              unsigned Width);
+
+  /// Abstract branch condition of conditional-branch \p I under \p S.
+  static BitValue evalBranch(const Instruction &I, const RegState &S,
+                             unsigned Width);
+
+private:
+  std::vector<RegState> In;
+  std::vector<RegState> Out;
+  std::vector<bool> Executable;
+};
+
+} // namespace bec
+
+#endif // BEC_ANALYSIS_BITVALUEANALYSIS_H

@@ -1,0 +1,43 @@
+//===- analysis/Liveness.cpp - Value-level register liveness --------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace bec;
+
+Liveness Liveness::run(const Program &Prog) {
+  uint32_t N = Prog.size();
+  Liveness Result;
+  Result.LiveIn.assign(N, 0);
+  Result.LiveOut.assign(N, 0);
+
+  auto ReadMask = [&](uint32_t P) {
+    Reg Regs[2];
+    unsigned Count = Prog.instr(P).readRegs(Regs);
+    uint32_t Mask = 0;
+    for (unsigned I = 0; I < Count; ++I)
+      Mask |= uint32_t(1) << Regs[I];
+    return Mask;
+  };
+  auto WriteMask = [&](uint32_t P) {
+    const Instruction &I = Prog.instr(P);
+    return I.writesReg() ? uint32_t(1) << I.Rd : 0;
+  };
+
+  // Backward chaotic iteration in reverse program order until stable.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t P = N; P-- > 0;) {
+      uint32_t Out = 0;
+      for (uint32_t S : Prog.succs(P))
+        Out |= Result.LiveIn[S];
+      uint32_t In = ReadMask(P) | (Out & ~WriteMask(P));
+      if (Out != Result.LiveOut[P] || In != Result.LiveIn[P]) {
+        Result.LiveOut[P] = Out;
+        Result.LiveIn[P] = In;
+        Changed = true;
+      }
+    }
+  }
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- analysis/Liveness.h - Value-level register liveness ----------------===//
+///
+/// \file
+/// Classic backward may-liveness at instruction granularity. This is the
+/// value-level baseline the paper compares against (inject-on-read):
+/// a register is live after p if some CFG path reaches a read before a
+/// redefinition. The `ret` halt reads a0 (the observable return value).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_ANALYSIS_LIVENESS_H
+#define BEC_ANALYSIS_LIVENESS_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bec {
+
+/// Result of the liveness analysis: a 32-bit register mask per instruction.
+class Liveness {
+public:
+  /// Runs the analysis; the program's CFG must be built.
+  static Liveness run(const Program &Prog);
+
+  /// Registers live after \p P executes (bit v set = v live).
+  uint32_t liveOutMask(uint32_t P) const { return LiveOut[P]; }
+  /// Registers live before \p P executes.
+  uint32_t liveInMask(uint32_t P) const { return LiveIn[P]; }
+
+  bool isLiveAfter(uint32_t P, Reg V) const {
+    return (LiveOut[P] >> V) & 1;
+  }
+  bool isLiveBefore(uint32_t P, Reg V) const { return (LiveIn[P] >> V) & 1; }
+
+private:
+  std::vector<uint32_t> LiveIn;
+  std::vector<uint32_t> LiveOut;
+};
+
+} // namespace bec
+
+#endif // BEC_ANALYSIS_LIVENESS_H

@@ -1,0 +1,84 @@
+//===- analysis/UseDef.cpp - use(p,v) next-reader sets ---------------------===//
+
+#include "analysis/UseDef.h"
+
+#include <algorithm>
+
+using namespace bec;
+
+UseDef UseDef::run(const Program &Prog) {
+  uint32_t N = Prog.size();
+  UseDef Result;
+  Result.NumInstrs = N;
+  Result.Slices.assign(static_cast<size_t>(N) * NumRegs, {});
+
+  // Per register: a backward reachability problem over bitsets indexed by
+  // that register's reader instructions.
+  for (Reg V = 1; V < NumRegs; ++V) {
+    // Enumerate readers of V.
+    std::vector<uint32_t> Readers;
+    for (uint32_t P = 0; P < N; ++P)
+      if (Prog.instr(P).reads(V))
+        Readers.push_back(P);
+    if (Readers.empty())
+      continue;
+    std::vector<int32_t> ReaderId(N, -1);
+    for (uint32_t I = 0; I < Readers.size(); ++I)
+      ReaderId[Readers[I]] = static_cast<int32_t>(I);
+
+    size_t Words = (Readers.size() + 63) / 64;
+    // In[p] = readers visible at entry of p; Out[p] = after p.
+    std::vector<uint64_t> In(N * Words, 0), Out(N * Words, 0);
+
+    auto Or = [&](std::vector<uint64_t> &Dst, size_t D,
+                  const std::vector<uint64_t> &Src, size_t S) {
+      bool Changed = false;
+      for (size_t W = 0; W < Words; ++W) {
+        uint64_t New = Dst[D * Words + W] | Src[S * Words + W];
+        if (New != Dst[D * Words + W]) {
+          Dst[D * Words + W] = New;
+          Changed = true;
+        }
+      }
+      return Changed;
+    };
+
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (uint32_t P = N; P-- > 0;) {
+        // Out = union of successors' In.
+        for (uint32_t S : Prog.succs(P))
+          Changed |= Or(Out, P, In, S);
+        // In = {P if P reads V} + (Out unless P writes V).
+        const Instruction &I = Prog.instr(P);
+        bool Writes = I.writesReg() && I.Rd == V;
+        if (ReaderId[P] >= 0) {
+          size_t W = static_cast<size_t>(ReaderId[P]) / 64;
+          uint64_t Bit = uint64_t(1) << (ReaderId[P] % 64);
+          if (!(In[P * Words + W] & Bit)) {
+            In[P * Words + W] |= Bit;
+            Changed = true;
+          }
+        }
+        if (!Writes)
+          Changed |= Or(In, P, Out, P);
+      }
+    }
+
+    // Materialize Out[p] for every instruction that accesses V.
+    for (uint32_t P = 0; P < N; ++P) {
+      const Instruction &I = Prog.instr(P);
+      bool Accesses = I.reads(V) || (I.writesReg() && I.Rd == V);
+      if (!Accesses)
+        continue;
+      Slice &S = Result.Slices[Index(P, V, N)];
+      S.Offset = static_cast<uint32_t>(Result.Storage.size());
+      for (uint32_t R = 0; R < Readers.size(); ++R)
+        if (Out[P * Words + R / 64] & (uint64_t(1) << (R % 64)))
+          Result.Storage.push_back(Readers[R]);
+      S.Count = static_cast<uint32_t>(Result.Storage.size()) - S.Offset;
+    }
+  }
+  return Result;
+}

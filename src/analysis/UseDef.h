@@ -1,0 +1,51 @@
+//===- analysis/UseDef.h - use(p,v) next-reader sets -----------------------===//
+///
+/// \file
+/// Computes the paper's use(p,v): the set of program points that read data
+/// point v and are reachable from p without an intervening redefinition
+/// (reads do not kill; a point that reads and writes v reads first). This
+/// drives the inter-instruction coalescing step of Algorithm 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_ANALYSIS_USEDEF_H
+#define BEC_ANALYSIS_USEDEF_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace bec {
+
+/// use(p,v) sets for every (instruction, register) pair of interest.
+class UseDef {
+public:
+  /// Runs the analysis; the program's CFG must be built.
+  static UseDef run(const Program &Prog);
+
+  /// The set of instructions that read \p V, reachable from after \p P
+  /// with no intervening write to \p V. Sorted ascending.
+  std::span<const uint32_t> uses(uint32_t P, Reg V) const {
+    const Slice &S = Slices[Index(P, V, NumInstrs)];
+    return {Storage.data() + S.Offset, S.Count};
+  }
+
+private:
+  static size_t Index(uint32_t P, Reg V, uint32_t N) {
+    return static_cast<size_t>(V) * N + P;
+  }
+
+  struct Slice {
+    uint32_t Offset = 0;
+    uint32_t Count = 0;
+  };
+  uint32_t NumInstrs = 0;
+  std::vector<Slice> Slices;
+  std::vector<uint32_t> Storage;
+};
+
+} // namespace bec
+
+#endif // BEC_ANALYSIS_USEDEF_H

@@ -1,0 +1,181 @@
+//===- core/BECAnalysis.cpp - Iterative fault-index coalescing ------------===//
+
+#include "core/BECAnalysis.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace bec;
+
+BECAnalysis BECAnalysis::run(const Program &Prog, const BECOptions &Opts) {
+  BECAnalysis A;
+  A.Prog = &Prog;
+  A.Space = std::make_unique<FaultSpace>(Prog);
+  A.Live = std::make_unique<Liveness>(Liveness::run(Prog));
+  A.Uses = std::make_unique<UseDef>(UseDef::run(Prog));
+  A.BitValues = std::make_unique<BitValueAnalysis>(BitValueAnalysis::run(Prog));
+
+  const FaultSpace &FS = *A.Space;
+  unsigned W = Prog.Width;
+  A.Classes.reset(FS.numFaultIndices());
+
+  // Precompute per-instruction fates. The abstract bit values are a fixed
+  // point already, so fates do not change across coalescing rounds.
+  A.Fates.resize(Prog.size());
+  RegState AllTop;
+  for (auto &KB : AllTop)
+    KB = KnownBits::top(W);
+  for (uint32_t P = 0; P < Prog.size(); ++P) {
+    // Instructions the solver proved unreachable are never executed, so no
+    // dynamic fault flows through them; empty fates (None) are sound.
+    if (!A.BitValues->isExecutable(P))
+      continue;
+    RegState InState = AllTop;
+    if (Opts.GlobalBitValues)
+      for (Reg V = 0; V < NumRegs; ++V)
+        InState[V] = A.BitValues->before(P, V);
+    A.Fates[P] = computeFates(Prog.instr(P), InState, W, Opts.Fates);
+  }
+
+  // --- Initialization (Algorithm 2 lines 1-7) ---------------------------
+  // Access points whose register is dead afterwards join s0.
+  for (uint32_t Ap = 0; Ap < FS.numAccessPoints(); ++Ap) {
+    const AccessPoint &Pt = FS.point(Ap);
+    if (!A.Live->isLiveAfter(Pt.Instr, Pt.R))
+      for (unsigned B = 0; B < W; ++B)
+        A.Classes.unite(0, FS.faultIndex(Ap, B));
+  }
+
+  // --- Iterative coalescing (Algorithm 2 lines 8-12) --------------------
+  // Per round, merges are collected against the frozen relation and
+  // applied together (the paper's deferred temporary relation R').
+  bool Changed = Opts.InterInstruction;
+  while (Changed) {
+    Changed = false;
+    ++A.Iterations;
+    std::vector<std::pair<uint32_t, uint32_t>> Pending;
+    // Bridge groups for the eval rule: all fault sites whose flip forces
+    // the same outcome of the same operand of the same instruction are
+    // mutually equivalent. Key: (instr, operand reg, outcome).
+    std::map<std::tuple<uint32_t, Reg, uint8_t>, uint32_t> Bridges;
+
+    for (uint32_t Ap = 0; Ap < FS.numAccessPoints(); ++Ap) {
+      const AccessPoint &Pt = FS.point(Ap);
+      if (!A.Live->isLiveAfter(Pt.Instr, Pt.R))
+        continue;
+      std::span<const uint32_t> UseSites = A.Uses->uses(Pt.Instr, Pt.R);
+      if (UseSites.empty())
+        continue;
+
+      for (unsigned B = 0; B < W; ++B) {
+        uint32_t Idx = FS.faultIndex(Ap, B);
+        if (A.Classes.find(Idx) == 0)
+          continue;
+
+        if (UseSites.size() == 1) {
+          uint32_t Q = UseSites[0];
+          const Instruction &QI = Prog.instr(Q);
+          Fate F = A.Fates[Q].fate(Pt.R, B);
+          // "Killed at Q": the corrupted register does not survive the
+          // use, so the fault's entire effect flows through Q.
+          bool Killed = (QI.writesReg() && QI.Rd == Pt.R) ||
+                        !A.Live->isLiveAfter(Q, Pt.R);
+          switch (F.Kind) {
+          case FateKind::None:
+            break;
+          case FateKind::Masked: {
+            if (Killed) {
+              Pending.push_back({Idx, 0});
+              break;
+            }
+            // The register survives: also require the post-Q segment to
+            // be masked (monotone; resolved over rounds).
+            int32_t QAp = FS.pointId(Q, Pt.R);
+            assert(QAp >= 0 && "use site must access the register");
+            if (A.Classes.find(
+                    FS.faultIndex(static_cast<uint32_t>(QAp), B)) == 0)
+              Pending.push_back({Idx, 0});
+            break;
+          }
+          case FateKind::ToOutput: {
+            if (!Killed)
+              break;
+            assert(QI.writesReg() && "ToOutput fate without a destination");
+            int32_t OutAp = FS.pointId(Q, QI.Rd);
+            assert(OutAp >= 0 && "destination access point missing");
+            Pending.push_back(
+                {Idx, FS.faultIndex(static_cast<uint32_t>(OutAp), F.Arg)});
+            break;
+          }
+          case FateKind::EvalClass: {
+            if (!Killed)
+              break;
+            auto Key = std::make_tuple(Q, Pt.R, F.Arg);
+            auto [It, Inserted] = Bridges.emplace(Key, Idx);
+            if (!Inserted)
+              Pending.push_back({Idx, It->second});
+            break;
+          }
+          }
+          continue;
+        }
+
+        // Multiple use sites: Algorithm 2 line 12 merges only if every
+        // use agrees; with the soundness guards the only agreeing target
+        // is s0 (fault masked through every use and in every surviving
+        // segment).
+        bool AllMasked = true;
+        for (uint32_t Q : UseSites) {
+          Fate F = A.Fates[Q].fate(Pt.R, B);
+          if (F.Kind != FateKind::Masked) {
+            AllMasked = false;
+            break;
+          }
+          const Instruction &QI = Prog.instr(Q);
+          bool Killed = (QI.writesReg() && QI.Rd == Pt.R) ||
+                        !A.Live->isLiveAfter(Q, Pt.R);
+          if (Killed)
+            continue;
+          int32_t QAp = FS.pointId(Q, Pt.R);
+          assert(QAp >= 0 && "use site must access the register");
+          if (A.Classes.find(FS.faultIndex(static_cast<uint32_t>(QAp), B)) !=
+              0) {
+            AllMasked = false;
+            break;
+          }
+        }
+        if (AllMasked)
+          Pending.push_back({Idx, 0});
+      }
+    }
+
+    for (auto [X, Y] : Pending)
+      if (A.Classes.unite(X, Y)) {
+        Changed = true;
+        ++A.Merges;
+      }
+  }
+
+  // --- Summaries ---------------------------------------------------------
+  A.Summaries.resize(FS.numAccessPoints());
+  std::vector<uint32_t> Reps;
+  for (uint32_t Ap = 0; Ap < FS.numAccessPoints(); ++Ap) {
+    const AccessPoint &Pt = FS.point(Ap);
+    PointSummary &S = A.Summaries[Ap];
+    S.LiveAfter = A.Live->isLiveAfter(Pt.Instr, Pt.R);
+    Reps.clear();
+    for (unsigned B = 0; B < W; ++B) {
+      uint32_t Rep = A.Classes.find(FS.faultIndex(Ap, B));
+      if (Rep == 0)
+        S.MaskedMask |= uint64_t(1) << B;
+      else
+        Reps.push_back(Rep);
+    }
+    std::sort(Reps.begin(), Reps.end());
+    Reps.erase(std::unique(Reps.begin(), Reps.end()), Reps.end());
+    S.NumProbes = static_cast<uint16_t>(Reps.size());
+  }
+  return A;
+}

@@ -1,0 +1,100 @@
+//===- core/BECAnalysis.h - Bit-level error coalescing (the paper's core) -===//
+///
+/// \file
+/// The full BEC analysis of Section IV: (1) the global abstract bit-value
+/// analysis, then (2) the iterative fault-index coalescing (Algorithm 2)
+/// that partitions all fault indices into equivalence classes of identical
+/// soft-error effect. Class 0 (s0) is the intact semantics: fault sites in
+/// [s0] are masked.
+///
+/// Two refinements over the paper's pseudocode keep the relation sound
+/// under reconvergent dataflow and loop-carried re-reads (see DESIGN.md):
+/// non-s0 merges require a unique use site that consumes (kills) the
+/// register, and masked merges additionally require the surviving segment
+/// to be masked as well. Both are no-ops on all examples in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_CORE_BECANALYSIS_H
+#define BEC_CORE_BECANALYSIS_H
+
+#include "analysis/BitValueAnalysis.h"
+#include "analysis/Liveness.h"
+#include "analysis/UseDef.h"
+#include "core/FaultSpace.h"
+#include "core/Fates.h"
+#include "support/UnionFind.h"
+
+#include <memory>
+
+namespace bec {
+
+/// Options for ablation studies; defaults reproduce the full analysis.
+struct BECOptions {
+  /// Intra-instruction rule families (Algorithm 3).
+  FateOptions Fates;
+  /// Inter-instruction coalescing (Algorithm 2 line 12). When off, only
+  /// liveness-based masking (inject-on-read at bit width) remains.
+  bool InterInstruction = true;
+  /// Use the global bit-value analysis. When off, all register bits are
+  /// treated as unknown (the "local KnownBits only" baseline).
+  bool GlobalBitValues = true;
+};
+
+/// Result of the BEC analysis over one program.
+class BECAnalysis {
+public:
+  /// Runs the analysis. The program must be verified with a built CFG, and
+  /// must outlive this object.
+  static BECAnalysis run(const Program &Prog, const BECOptions &Opts = {});
+
+  const Program &program() const { return *Prog; }
+  const FaultSpace &space() const { return *Space; }
+  const Liveness &liveness() const { return *Live; }
+  const UseDef &useDef() const { return *Uses; }
+  const BitValueAnalysis &bitValues() const { return *BitValues; }
+
+  /// Representative of the equivalence class of fault index \p Idx.
+  uint32_t classOf(uint32_t Idx) const { return Classes.find(Idx); }
+  /// Representative of the class of s((P, V^Bit)); V must be accessed at P.
+  uint32_t classOf(uint32_t P, Reg V, unsigned Bit) const {
+    int32_t Ap = Space->pointId(P, V);
+    assert(Ap >= 0 && "register not accessed at this program point");
+    return Classes.find(Space->faultIndex(static_cast<uint32_t>(Ap), Bit));
+  }
+  /// True if the fault site is masked (class of s0).
+  bool isMasked(uint32_t Idx) const { return Classes.find(Idx) == 0; }
+
+  /// Per-access-point summary used by the campaign planner and metrics.
+  struct PointSummary {
+    bool LiveAfter = false;  ///< Register live after the access point.
+    uint64_t MaskedMask = 0; ///< Bits whose class is [s0].
+    uint16_t NumProbes = 0;  ///< Distinct non-masked classes.
+  };
+  const PointSummary &summary(uint32_t Ap) const { return Summaries[Ap]; }
+
+  /// Fates of instruction \p P (empty for instructions the bit-value
+  /// analysis proved unreachable).
+  const InstrFates &fates(uint32_t P) const { return Fates[P]; }
+
+  /// Number of coalescing rounds until the fixed point.
+  uint32_t iterations() const { return Iterations; }
+  /// Total merges applied.
+  uint32_t mergeCount() const { return Merges; }
+
+private:
+  const Program *Prog = nullptr;
+  std::unique_ptr<FaultSpace> Space;
+  std::unique_ptr<Liveness> Live;
+  std::unique_ptr<UseDef> Uses;
+  std::unique_ptr<BitValueAnalysis> BitValues;
+  std::vector<InstrFates> Fates;
+  UnionFind Classes;
+  std::vector<PointSummary> Summaries;
+  uint32_t Iterations = 0;
+  uint32_t Merges = 0;
+};
+
+} // namespace bec
+
+#endif // BEC_CORE_BECANALYSIS_H

@@ -1,0 +1,20 @@
+//===- core/FaultSpace.cpp - Fault sites and fault indices -----------------===//
+
+#include "core/FaultSpace.h"
+
+using namespace bec;
+
+FaultSpace::FaultSpace(const Program &Prog) : Width(Prog.Width) {
+  FirstOfInstr.reserve(Prog.size() + 1);
+  for (uint32_t P = 0; P < Prog.size(); ++P) {
+    FirstOfInstr.push_back(static_cast<uint32_t>(Points.size()));
+    const Instruction &I = Prog.instr(P);
+    Reg Reads[2];
+    unsigned NumReads = I.readRegs(Reads);
+    for (unsigned R = 0; R < NumReads; ++R)
+      Points.push_back({P, Reads[R]});
+    if (I.writesReg() && !I.reads(I.Rd))
+      Points.push_back({P, I.Rd});
+  }
+  FirstOfInstr.push_back(static_cast<uint32_t>(Points.size()));
+}

@@ -1,0 +1,73 @@
+//===- core/FaultSpace.h - Fault sites and fault indices -------------------===//
+///
+/// \file
+/// The fault space F = P x V of the paper, discretized at *access points*:
+/// fault index s((p, v^i)) exists for every instruction p that reads or
+/// writes register v, and labels a corruption of bit i of v in the segment
+/// between p and the next access of v ("the effect of any faults that
+/// occurred at a data point are the same until the program reaches the
+/// program point that reads the data point", Section IV-B). Fault index 0
+/// is the distinguished s0: the intact execution / masked faults.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_CORE_FAULTSPACE_H
+#define BEC_CORE_FAULTSPACE_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace bec {
+
+/// An access point: instruction \c Instr reads and/or writes register \c R.
+struct AccessPoint {
+  uint32_t Instr;
+  Reg R;
+};
+
+/// Enumerates access points and maps (access point, bit) to fault indices.
+class FaultSpace {
+public:
+  explicit FaultSpace(const Program &Prog);
+
+  uint32_t numAccessPoints() const {
+    return static_cast<uint32_t>(Points.size());
+  }
+  const AccessPoint &point(uint32_t Ap) const { return Points[Ap]; }
+
+  /// Access-point id for (P, V), or -1 if V is not accessed at P.
+  int32_t pointId(uint32_t P, Reg V) const {
+    for (uint32_t Ap = FirstOfInstr[P]; Ap < FirstOfInstr[P + 1]; ++Ap)
+      if (Points[Ap].R == V)
+        return static_cast<int32_t>(Ap);
+    return -1;
+  }
+
+  /// Access points of instruction \p P as an [begin, end) id range.
+  std::pair<uint32_t, uint32_t> pointsOfInstr(uint32_t P) const {
+    return {FirstOfInstr[P], FirstOfInstr[P + 1]};
+  }
+
+  /// Fault index of bit \p Bit at access point \p Ap (never 0).
+  uint32_t faultIndex(uint32_t Ap, unsigned Bit) const {
+    return 1 + Ap * Width + Bit;
+  }
+  /// Total number of fault indices including s0.
+  uint32_t numFaultIndices() const {
+    return 1 + numAccessPoints() * Width;
+  }
+
+  unsigned width() const { return Width; }
+
+private:
+  unsigned Width;
+  std::vector<AccessPoint> Points;
+  /// Points of instruction P occupy ids [FirstOfInstr[P], FirstOfInstr[P+1]).
+  std::vector<uint32_t> FirstOfInstr;
+};
+
+} // namespace bec
+
+#endif // BEC_CORE_FAULTSPACE_H

@@ -1,0 +1,155 @@
+//===- fi/Campaign.cpp - Fault-injection campaign engine -------------------===//
+
+#include "fi/Campaign.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+
+using namespace bec;
+
+const char *bec::faultEffectName(FaultEffect E) {
+  switch (E) {
+  case FaultEffect::Masked:
+    return "masked";
+  case FaultEffect::Benign:
+    return "benign";
+  case FaultEffect::SDC:
+    return "sdc";
+  case FaultEffect::Trap:
+    return "trap";
+  case FaultEffect::Hang:
+    return "hang";
+  }
+  bec_unreachable("invalid fault effect");
+}
+
+std::vector<PlannedRun> bec::planCampaign(const BECAnalysis &A,
+                                          const Trace &Golden, PlanKind Kind,
+                                          uint64_t MaxCycles) {
+  const Program &Prog = A.program();
+  const FaultSpace &FS = A.space();
+  unsigned W = Prog.Width;
+  uint64_t Limit = MaxCycles ? std::min<uint64_t>(MaxCycles, Golden.Cycles)
+                             : Golden.Cycles;
+  std::vector<PlannedRun> Plan;
+
+  if (Kind == PlanKind::Exhaustive) {
+    // Every bit of the register file before every executed instruction.
+    for (uint64_t C = 0; C < Limit; ++C)
+      for (Reg R = 0; R < NumRegs; ++R)
+        for (unsigned B = 0; B < W; ++B)
+          Plan.push_back({C, R, static_cast<uint8_t>(B), 0, -1});
+    return Plan;
+  }
+
+  // Segment-based plans: walk the golden trace; a segment of register V
+  // opens after the cycle that accesses V.
+  int64_t SegmentId = 0;
+  for (uint64_t C = 0; C < Limit; ++C) {
+    uint32_t P = Golden.Executed[C];
+    const Instruction &I = Prog.instr(P);
+    if (isHalt(I.Op))
+      break;
+    auto [ApBegin, ApEnd] = FS.pointsOfInstr(P);
+    for (uint32_t Ap = ApBegin; Ap < ApEnd; ++Ap) {
+      const auto &Summary = A.summary(Ap);
+      Reg V = FS.point(Ap).R;
+      ++SegmentId;
+      if (!Summary.LiveAfter)
+        continue;
+      if (Kind == PlanKind::ValueLevel) {
+        for (unsigned B = 0; B < W; ++B)
+          Plan.push_back({C + 1, V, static_cast<uint8_t>(B),
+                          A.classOf(FS.faultIndex(Ap, B)), SegmentId});
+        continue;
+      }
+      // BitLevel: one representative bit per non-masked class.
+      uint64_t Seen = 0; // bit mask of already-planned bits via class
+      for (unsigned B = 0; B < W; ++B) {
+        if (Summary.MaskedMask & (uint64_t(1) << B))
+          continue;
+        uint32_t Rep = A.classOf(FS.faultIndex(Ap, B));
+        bool Dup = false;
+        for (unsigned B2 = 0; B2 < B; ++B2)
+          if ((Seen >> B2) & 1) {
+            if (A.classOf(FS.faultIndex(Ap, B2)) == Rep) {
+              Dup = true;
+              break;
+            }
+          }
+        if (Dup)
+          continue;
+        Seen |= uint64_t(1) << B;
+        Plan.push_back({C + 1, V, static_cast<uint8_t>(B), Rep, SegmentId});
+      }
+    }
+  }
+  return Plan;
+}
+
+CampaignResult bec::runCampaign(const Program &Prog, const Trace &Golden,
+                                std::vector<PlannedRun> Plan) {
+  auto Start = std::chrono::steady_clock::now();
+  CampaignResult Result;
+  Result.Runs = Plan.size();
+  Result.TraceHashes.resize(Plan.size());
+  Result.Effects.resize(Plan.size());
+
+  // Sort run order by injection cycle but keep result slots stable.
+  std::vector<uint32_t> Order(Plan.size());
+  for (uint32_t I = 0; I < Plan.size(); ++I)
+    Order[I] = I;
+  std::stable_sort(Order.begin(), Order.end(), [&](uint32_t X, uint32_t Y) {
+    return Plan[X].AfterCycle < Plan[Y].AfterCycle;
+  });
+
+  RunOptions Opts;
+  Opts.Record = false;
+  Opts.MaxCycles = Golden.Cycles * 16 + 4096;
+
+  std::unordered_map<uint64_t, uint64_t> Archive; // hash -> byte size
+  Archive.emplace(Golden.TraceHash, Golden.approxByteSize());
+
+  Interpreter Walker(Prog, Opts);
+  for (size_t K = 0; K < Order.size();) {
+    uint64_t Cycle = Plan[Order[K]].AfterCycle;
+    Walker.runToCycle(Cycle);
+    // All runs injecting at this cycle share the snapshot.
+    while (K < Order.size() && Plan[Order[K]].AfterCycle == Cycle) {
+      const PlannedRun &Run = Plan[Order[K]];
+      Interpreter Forked = Walker;
+      Forked.machine().flipRegBit(Run.R, Run.Bit);
+      Forked.run();
+      Trace T = Forked.takeTrace();
+
+      FaultEffect Effect;
+      if (T.TraceHash == Golden.TraceHash)
+        Effect = FaultEffect::Masked;
+      else if (T.End == Outcome::Trap)
+        Effect = FaultEffect::Trap;
+      else if (T.End == Outcome::Hang)
+        Effect = FaultEffect::Hang;
+      else if (T.ObservableHash == Golden.ObservableHash)
+        Effect = FaultEffect::Benign;
+      else
+        Effect = FaultEffect::SDC;
+
+      Result.TraceHashes[Order[K]] = T.TraceHash;
+      Result.Effects[Order[K]] = Effect;
+      ++Result.EffectCounts[static_cast<unsigned>(Effect)];
+      Archive.emplace(T.TraceHash, T.approxByteSize());
+      ++K;
+    }
+  }
+
+  Result.DistinctTraces = Archive.size();
+  for (const auto &[Hash, Bytes] : Archive)
+    Result.ArchiveBytes += Bytes;
+  Result.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Result;
+}

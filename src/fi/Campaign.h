@@ -1,0 +1,88 @@
+//===- fi/Campaign.h - Fault-injection campaign engine ---------------------===//
+///
+/// \file
+/// Plans and executes fault-injection campaigns against the simulator,
+/// reproducing the paper's methodology: each run re-executes the program
+/// with a single-event upset at one (cycle, register, bit) fault site and
+/// classifies the corrupted trace against the golden run. Three plans are
+/// supported:
+///
+///   * Exhaustive  -- every bit of the register file at every cycle
+///                    (the Table I baseline);
+///   * ValueLevel  -- inject-on-read: width runs at every access of a
+///                    live register (the "Live in values" baseline);
+///   * BitLevel    -- the BEC-pruned plan: one run per non-masked
+///                    equivalence class per dynamic segment ("Live in
+///                    bits").
+///
+/// Runs are executed with per-cycle machine snapshots so each run costs
+/// only the suffix of the program after its injection point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_FI_CAMPAIGN_H
+#define BEC_FI_CAMPAIGN_H
+
+#include "core/BECAnalysis.h"
+#include "sim/Interpreter.h"
+
+#include <vector>
+
+namespace bec {
+
+/// One planned fault-injection run.
+struct PlannedRun {
+  uint64_t AfterCycle; ///< Inject after this many executed instructions.
+  Reg R;
+  uint8_t Bit;
+  /// Equivalence-class representative of the targeted fault site under
+  /// the BEC analysis (0 = masked), for validation bookkeeping.
+  uint32_t ClassRep;
+  /// Dynamic segment id (index of the segment in trace order), or -1 for
+  /// exhaustive runs between access points.
+  int64_t Segment;
+};
+
+enum class PlanKind { Exhaustive, ValueLevel, BitLevel };
+
+/// Builds the run list of \p Kind for \p Golden (the fault-free trace of
+/// the analyzed program). \p MaxCycles limits exhaustive plans to a window
+/// of the trace (0 = no limit).
+std::vector<PlannedRun> planCampaign(const BECAnalysis &A, const Trace &Golden,
+                                     PlanKind Kind, uint64_t MaxCycles = 0);
+
+/// Outcome classification of one fault-injection run vs. the golden run.
+enum class FaultEffect : uint8_t {
+  Masked,  ///< Architectural trace identical to the golden run.
+  Benign,  ///< Trace differs but observable output is identical.
+  SDC,     ///< Silent data corruption: wrong output, normal termination.
+  Trap,    ///< Memory trap.
+  Hang,    ///< Cycle budget exceeded.
+};
+inline constexpr unsigned NumFaultEffects = 5;
+
+const char *faultEffectName(FaultEffect E);
+
+/// Aggregate result of an executed campaign.
+struct CampaignResult {
+  uint64_t Runs = 0;
+  std::array<uint64_t, NumFaultEffects> EffectCounts{};
+  /// Number of distinguishable traces (distinct hashes) and the bytes an
+  /// archive of them would occupy (Table I's disk-space column).
+  uint64_t DistinctTraces = 0;
+  uint64_t ArchiveBytes = 0;
+  /// Wall-clock seconds spent executing runs.
+  double Seconds = 0;
+  /// Per-run trace hashes, parallel to the plan (for validation).
+  std::vector<uint64_t> TraceHashes;
+  /// Per-run effects, parallel to the plan.
+  std::vector<FaultEffect> Effects;
+};
+
+/// Executes \p Plan (sorted or unsorted) and classifies every run.
+CampaignResult runCampaign(const Program &Prog, const Trace &Golden,
+                           std::vector<PlannedRun> Plan);
+
+} // namespace bec
+
+#endif // BEC_FI_CAMPAIGN_H

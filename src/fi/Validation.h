@@ -1,0 +1,54 @@
+//===- fi/Validation.h - Empirical soundness validation (Table II) --------===//
+///
+/// \file
+/// The paper's Section V: every prediction of the static analysis is
+/// checked against fault-injection ground truth on the simulator.
+/// For each dynamic segment of the golden trace, every register bit is
+/// injected once and the resulting traces t((p,v^i)) are compared:
+///
+///   same class + same trace      -> sound and precise
+///   different class + same trace -> sound but imprecise
+///   same class + different trace -> UNSOUND (must never happen)
+///
+/// Masked sites (class s0) must reproduce the golden trace exactly, and
+/// cross-segment merges (ToOutput chains) are checked between the linked
+/// dynamic segments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_FI_VALIDATION_H
+#define BEC_FI_VALIDATION_H
+
+#include "fi/Campaign.h"
+
+namespace bec {
+
+/// Aggregate validation verdict over one program/trace.
+struct ValidationResult {
+  /// Pair classification within dynamic segments (Table II).
+  uint64_t SoundPrecisePairs = 0;
+  uint64_t SoundImprecisePairs = 0;
+  uint64_t UnsoundPairs = 0;
+  /// Masked-site checks: runs whose site is in [s0].
+  uint64_t MaskedChecked = 0;
+  uint64_t MaskedViolations = 0;
+  /// Cross-segment (ToOutput chain) checks.
+  uint64_t CrossChecked = 0;
+  uint64_t CrossViolations = 0;
+  /// Totals.
+  uint64_t SegmentsChecked = 0;
+  uint64_t RunsExecuted = 0;
+
+  bool sound() const {
+    return UnsoundPairs == 0 && MaskedViolations == 0 && CrossViolations == 0;
+  }
+};
+
+/// Runs the validation campaign. \p MaxCycles truncates the validated
+/// window of the golden trace (0 = validate the whole run).
+ValidationResult validateAnalysis(const BECAnalysis &A, const Trace &Golden,
+                                  uint64_t MaxCycles = 0);
+
+} // namespace bec
+
+#endif // BEC_FI_VALIDATION_H

@@ -1,0 +1,508 @@
+//===- ir/AsmParser.cpp - RISC-V subset assembler --------------------------===//
+
+#include "ir/AsmParser.h"
+
+#include "ir/Verifier.h"
+#include "support/Debug.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <map>
+
+using namespace bec;
+
+namespace {
+
+/// Cursor over one line of assembly.
+class LineLexer {
+public:
+  LineLexer(std::string_view Text) : Text(Text) {}
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Text.size() || Text[Pos] == '#' || Text[Pos] == ';';
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skipSpace();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+
+  /// Reads an identifier-like token: [A-Za-z_.][A-Za-z0-9_.]*
+  std::string_view ident() {
+    skipSpace();
+    size_t Start = Pos;
+    auto IsIdent = [](char C) {
+      return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+             C == '.';
+    };
+    while (Pos < Text.size() && IsIdent(Text[Pos]))
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+  /// Parses a (possibly negative, possibly hex) integer literal.
+  bool number(int64_t &Out) {
+    skipSpace();
+    size_t Start = Pos;
+    bool Negative = false;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+')) {
+      Negative = Text[Pos] == '-';
+      ++Pos;
+    }
+    uint64_t Value = 0;
+    bool Any = false;
+    if (Pos + 1 < Text.size() && Text[Pos] == '0' &&
+        (Text[Pos + 1] == 'x' || Text[Pos + 1] == 'X')) {
+      Pos += 2;
+      while (Pos < Text.size() &&
+             std::isxdigit(static_cast<unsigned char>(Text[Pos]))) {
+        char C = Text[Pos];
+        unsigned Digit = C <= '9' ? unsigned(C - '0')
+                                  : unsigned(std::tolower(C) - 'a') + 10;
+        Value = Value * 16 + Digit;
+        Any = true;
+        ++Pos;
+      }
+    } else {
+      while (Pos < Text.size() &&
+             std::isdigit(static_cast<unsigned char>(Text[Pos]))) {
+        Value = Value * 10 + static_cast<unsigned>(Text[Pos] - '0');
+        Any = true;
+        ++Pos;
+      }
+    }
+    if (!Any) {
+      Pos = Start;
+      return false;
+    }
+    Out = Negative ? -static_cast<int64_t>(Value) : static_cast<int64_t>(Value);
+    return true;
+  }
+
+private:
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+/// Assembler state over the whole translation unit.
+class Assembler {
+public:
+  AsmParseResult run(std::string_view Source, std::string_view Name);
+
+private:
+  enum class Section { Text, Data };
+
+  void parseLine(std::string_view LineText);
+  void parseDirective(LineLexer &Lex, std::string_view Directive);
+  void parseInstruction(LineLexer &Lex, std::string_view Mnemonic);
+  void emit(Instruction I, std::string_view TargetLabel = {});
+
+  bool expectReg(LineLexer &Lex, Reg &Out);
+  bool expectImm(LineLexer &Lex, int64_t &Out);
+  bool expectComma(LineLexer &Lex);
+  std::string_view expectLabel(LineLexer &Lex);
+
+  void error(std::string Message) {
+    Diags.push_back({CurLine, std::move(Message)});
+  }
+
+  Program Prog;
+  std::vector<AsmDiag> Diags;
+  Section CurSection = Section::Text;
+  uint32_t CurLine = 0;
+  std::map<std::string, uint32_t, std::less<>> TextLabels;
+  std::map<std::string, uint64_t, std::less<>> DataLabels;
+  /// (instruction index, label, line) fixups resolved after the last line.
+  struct Fixup {
+    uint32_t Instr;
+    std::string Label;
+    uint32_t Line;
+    bool IsDataRef; ///< la/li referencing a data symbol via Imm.
+  };
+  std::vector<Fixup> Fixups;
+};
+
+} // namespace
+
+bool Assembler::expectReg(LineLexer &Lex, Reg &Out) {
+  std::string_view Tok = Lex.ident();
+  if (auto R = parseRegName(Tok)) {
+    Out = *R;
+    return true;
+  }
+  error("expected register, found '" + std::string(Tok) + "'");
+  return false;
+}
+
+bool Assembler::expectImm(LineLexer &Lex, int64_t &Out) {
+  if (Lex.number(Out))
+    return true;
+  error("expected immediate");
+  return false;
+}
+
+bool Assembler::expectComma(LineLexer &Lex) {
+  if (Lex.consume(','))
+    return true;
+  error("expected ','");
+  return false;
+}
+
+std::string_view Assembler::expectLabel(LineLexer &Lex) {
+  std::string_view Tok = Lex.ident();
+  if (Tok.empty())
+    error("expected label");
+  return Tok;
+}
+
+void Assembler::emit(Instruction I, std::string_view TargetLabel) {
+  I.Line = CurLine;
+  if (!TargetLabel.empty())
+    Fixups.push_back(
+        {Prog.size(), std::string(TargetLabel), CurLine, false});
+  Prog.Instrs.push_back(I);
+}
+
+void Assembler::parseDirective(LineLexer &Lex, std::string_view Directive) {
+  if (Directive == ".text") {
+    CurSection = Section::Text;
+    return;
+  }
+  if (Directive == ".data") {
+    CurSection = Section::Data;
+    return;
+  }
+  if (Directive == ".width") {
+    int64_t W;
+    if (expectImm(Lex, W)) {
+      if (W < 2 || W > 64)
+        error(".width must be between 2 and 64");
+      else
+        Prog.Width = static_cast<unsigned>(W);
+    }
+    return;
+  }
+  if (Directive == ".memsize") {
+    int64_t S;
+    if (expectImm(Lex, S)) {
+      if (S < 16 || S > (1 << 26))
+        error(".memsize out of supported range");
+      else
+        Prog.MemSize = static_cast<uint64_t>(S);
+    }
+    return;
+  }
+  if (Directive == ".align") {
+    int64_t A;
+    if (!expectImm(Lex, A))
+      return;
+    if (A <= 0 || (A & (A - 1)) != 0) {
+      error(".align requires a power of two");
+      return;
+    }
+    while (Prog.Data.size() % static_cast<size_t>(A) != 0)
+      Prog.Data.push_back(0);
+    return;
+  }
+  if (Directive == ".zero") {
+    int64_t N;
+    if (expectImm(Lex, N)) {
+      if (N < 0 || N > (1 << 24)) {
+        error(".zero size out of range");
+        return;
+      }
+      Prog.Data.insert(Prog.Data.end(), static_cast<size_t>(N), 0);
+    }
+    return;
+  }
+  if (Directive == ".word" || Directive == ".half" || Directive == ".byte") {
+    if (CurSection != Section::Data) {
+      error("data directive outside .data section");
+      return;
+    }
+    unsigned Bytes = Directive == ".word" ? 4 : Directive == ".half" ? 2 : 1;
+    do {
+      int64_t Value;
+      if (!expectImm(Lex, Value))
+        return;
+      for (unsigned B = 0; B < Bytes; ++B)
+        Prog.Data.push_back(
+            static_cast<uint8_t>((static_cast<uint64_t>(Value) >> (8 * B))));
+    } while (Lex.consume(','));
+    return;
+  }
+  error("unknown directive '" + std::string(Directive) + "'");
+}
+
+void Assembler::parseInstruction(LineLexer &Lex, std::string_view Mnemonic) {
+  if (CurSection != Section::Text) {
+    error("instruction outside .text section");
+    return;
+  }
+  Instruction I;
+  Reg Rd, Rs1, Rs2;
+  int64_t Imm;
+
+  // Assembler pseudos, lowered to base opcodes.
+  if (Mnemonic == "seqz") {
+    if (expectReg(Lex, Rd) && expectComma(Lex) && expectReg(Lex, Rs1))
+      emit({Opcode::SLTIU, Rd, Rs1, 0, 1, NoTarget, 0});
+    return;
+  }
+  if (Mnemonic == "snez") {
+    if (expectReg(Lex, Rd) && expectComma(Lex) && expectReg(Lex, Rs1))
+      emit({Opcode::SLTU, Rd, RegZero, Rs1, 0, NoTarget, 0});
+    return;
+  }
+  if (Mnemonic == "not") {
+    if (expectReg(Lex, Rd) && expectComma(Lex) && expectReg(Lex, Rs1))
+      emit({Opcode::XORI, Rd, Rs1, 0, -1, NoTarget, 0});
+    return;
+  }
+  if (Mnemonic == "neg") {
+    if (expectReg(Lex, Rd) && expectComma(Lex) && expectReg(Lex, Rs1))
+      emit({Opcode::SUB, Rd, RegZero, Rs1, 0, NoTarget, 0});
+    return;
+  }
+  if (Mnemonic == "beqz" || Mnemonic == "bnez" || Mnemonic == "bltz" ||
+      Mnemonic == "bgez" || Mnemonic == "blez" || Mnemonic == "bgtz") {
+    if (!expectReg(Lex, Rs1) || !expectComma(Lex))
+      return;
+    std::string_view Label = expectLabel(Lex);
+    if (Label.empty())
+      return;
+    Opcode Op;
+    Reg A = Rs1, B = RegZero;
+    if (Mnemonic == "beqz")
+      Op = Opcode::BEQ;
+    else if (Mnemonic == "bnez")
+      Op = Opcode::BNE;
+    else if (Mnemonic == "bltz")
+      Op = Opcode::BLT;
+    else if (Mnemonic == "bgez")
+      Op = Opcode::BGE;
+    else if (Mnemonic == "blez") { // rs1 <= 0  <=>  0 >= rs1
+      Op = Opcode::BGE;
+      A = RegZero;
+      B = Rs1;
+    } else { // bgtz: rs1 > 0  <=>  0 < rs1
+      Op = Opcode::BLT;
+      A = RegZero;
+      B = Rs1;
+    }
+    emit({Op, 0, A, B, 0, NoTarget, 0}, Label);
+    return;
+  }
+  if (Mnemonic == "ble" || Mnemonic == "bgt" || Mnemonic == "bleu" ||
+      Mnemonic == "bgtu") {
+    if (!expectReg(Lex, Rs1) || !expectComma(Lex) || !expectReg(Lex, Rs2) ||
+        !expectComma(Lex))
+      return;
+    std::string_view Label = expectLabel(Lex);
+    if (Label.empty())
+      return;
+    // ble a,b  <=>  bge b,a   /  bgt a,b  <=>  blt b,a
+    Opcode Op = (Mnemonic == "ble")    ? Opcode::BGE
+                : (Mnemonic == "bgt")  ? Opcode::BLT
+                : (Mnemonic == "bleu") ? Opcode::BGEU
+                                       : Opcode::BLTU;
+    emit({Op, 0, Rs2, Rs1, 0, NoTarget, 0}, Label);
+    return;
+  }
+  if (Mnemonic == "la") {
+    if (!expectReg(Lex, Rd) || !expectComma(Lex))
+      return;
+    std::string_view Label = expectLabel(Lex);
+    if (Label.empty())
+      return;
+    emit({Opcode::LI, Rd, 0, 0, 0, NoTarget, 0});
+    Fixups.push_back({Prog.size() - 1, std::string(Label), CurLine, true});
+    return;
+  }
+
+  auto Op = parseOpcodeName(Mnemonic);
+  if (!Op) {
+    error("unknown mnemonic '" + std::string(Mnemonic) + "'");
+    return;
+  }
+  I.Op = *Op;
+  switch (opcodeFormat(*Op)) {
+  case OpFormat::RegImm:
+    if (expectReg(Lex, Rd) && expectComma(Lex) && expectImm(Lex, Imm))
+      emit({*Op, Rd, 0, 0, Imm, NoTarget, 0});
+    return;
+  case OpFormat::RegReg:
+    if (expectReg(Lex, Rd) && expectComma(Lex) && expectReg(Lex, Rs1))
+      emit({*Op, Rd, Rs1, 0, 0, NoTarget, 0});
+    return;
+  case OpFormat::RegRegReg:
+    if (expectReg(Lex, Rd) && expectComma(Lex) && expectReg(Lex, Rs1) &&
+        expectComma(Lex) && expectReg(Lex, Rs2))
+      emit({*Op, Rd, Rs1, Rs2, 0, NoTarget, 0});
+    return;
+  case OpFormat::RegRegImm:
+    if (expectReg(Lex, Rd) && expectComma(Lex) && expectReg(Lex, Rs1) &&
+        expectComma(Lex) && expectImm(Lex, Imm))
+      emit({*Op, Rd, Rs1, 0, Imm, NoTarget, 0});
+    return;
+  case OpFormat::Branch: {
+    if (!expectReg(Lex, Rs1) || !expectComma(Lex) || !expectReg(Lex, Rs2) ||
+        !expectComma(Lex))
+      return;
+    std::string_view Label = expectLabel(Lex);
+    if (!Label.empty())
+      emit({*Op, 0, Rs1, Rs2, 0, NoTarget, 0}, Label);
+    return;
+  }
+  case OpFormat::Jump: {
+    std::string_view Label = expectLabel(Lex);
+    if (!Label.empty())
+      emit({*Op, 0, 0, 0, 0, NoTarget, 0}, Label);
+    return;
+  }
+  case OpFormat::Load:
+    if (expectReg(Lex, Rd) && expectComma(Lex) && expectImm(Lex, Imm) &&
+        Lex.consume('(') && expectReg(Lex, Rs1) && Lex.consume(')'))
+      emit({*Op, Rd, Rs1, 0, Imm, NoTarget, 0});
+    return;
+  case OpFormat::Store:
+    if (expectReg(Lex, Rs2) && expectComma(Lex) && expectImm(Lex, Imm) &&
+        Lex.consume('(') && expectReg(Lex, Rs1) && Lex.consume(')'))
+      emit({*Op, 0, Rs1, Rs2, Imm, NoTarget, 0});
+    return;
+  case OpFormat::UnaryIn:
+    if (expectReg(Lex, Rs1))
+      emit({*Op, 0, Rs1, 0, 0, NoTarget, 0});
+    return;
+  case OpFormat::None:
+    emit({*Op, 0, 0, 0, 0, NoTarget, 0});
+    return;
+  }
+  bec_unreachable("unhandled opcode format");
+}
+
+void Assembler::parseLine(std::string_view LineText) {
+  LineLexer Lex(LineText);
+  while (true) {
+    if (Lex.atEnd())
+      return;
+    std::string_view Tok = Lex.ident();
+    if (Tok.empty()) {
+      error("syntax error");
+      return;
+    }
+    // A leading '.' means a directive -- unless it is a label like ".L2:".
+    if (Tok[0] == '.' && Lex.peek() != ':') {
+      parseDirective(Lex, Tok);
+      if (!Lex.atEnd())
+        error("trailing characters after directive");
+      return;
+    }
+    if (Lex.consume(':')) {
+      // A label; there may be another label or an instruction after it.
+      if (CurSection == Section::Text) {
+        if (!TextLabels.emplace(std::string(Tok), Prog.size()).second)
+          error("redefinition of label '" + std::string(Tok) + "'");
+      } else {
+        if (!DataLabels
+                 .emplace(std::string(Tok), Prog.DataBase + Prog.Data.size())
+                 .second)
+          error("redefinition of label '" + std::string(Tok) + "'");
+      }
+      continue;
+    }
+    parseInstruction(Lex, Tok);
+    if (!Lex.atEnd())
+      error("trailing characters after instruction");
+    return;
+  }
+}
+
+AsmParseResult Assembler::run(std::string_view Source, std::string_view Name) {
+  Prog.Name = std::string(Name);
+  size_t Pos = 0;
+  CurLine = 0;
+  while (Pos <= Source.size()) {
+    size_t End = Source.find('\n', Pos);
+    if (End == std::string_view::npos)
+      End = Source.size();
+    ++CurLine;
+    parseLine(Source.substr(Pos, End - Pos));
+    Pos = End + 1;
+    if (End == Source.size())
+      break;
+  }
+
+  // Resolve fixups.
+  for (const Fixup &F : Fixups) {
+    if (F.IsDataRef) {
+      auto It = DataLabels.find(F.Label);
+      if (It == DataLabels.end()) {
+        Diags.push_back({F.Line, "unknown data label '" + F.Label + "'"});
+        continue;
+      }
+      Prog.Instrs[F.Instr].Imm = static_cast<int64_t>(It->second);
+      continue;
+    }
+    auto It = TextLabels.find(F.Label);
+    if (It == TextLabels.end()) {
+      Diags.push_back({F.Line, "unknown label '" + F.Label + "'"});
+      continue;
+    }
+    if (It->second >= Prog.size()) {
+      Diags.push_back({F.Line, "label '" + F.Label + "' points past the end"});
+      continue;
+    }
+    Prog.Instrs[F.Instr].Target = static_cast<int32_t>(It->second);
+  }
+
+  if (auto It = TextLabels.find("main"); It != TextLabels.end())
+    Prog.Entry = It->second;
+
+  if (Prog.empty())
+    Diags.push_back({CurLine, "program has no instructions"});
+
+  if (!Diags.empty())
+    return {std::nullopt, std::move(Diags)};
+
+  std::vector<std::string> VerifyErrors = verifyProgram(Prog);
+  for (std::string &E : VerifyErrors)
+    Diags.push_back({0, std::move(E)});
+  if (!Diags.empty())
+    return {std::nullopt, std::move(Diags)};
+  Prog.buildCFG();
+  return {std::move(Prog), {}};
+}
+
+AsmParseResult bec::parseAsm(std::string_view Source, std::string_view Name) {
+  Assembler A;
+  return A.run(Source, Name);
+}
+
+Program bec::parseAsmOrDie(std::string_view Source, std::string_view Name) {
+  AsmParseResult Result = parseAsm(Source, Name);
+  if (!Result.succeeded()) {
+    std::fprintf(stderr, "assembly of '%.*s' failed:\n%s",
+                 static_cast<int>(Name.size()), Name.data(),
+                 Result.diagText().c_str());
+    reportFatalError("parseAsmOrDie on invalid input");
+  }
+  return std::move(*Result.Prog);
+}

@@ -1,0 +1,64 @@
+//===- ir/AsmParser.h - RISC-V subset assembler ---------------------------===//
+///
+/// \file
+/// Parses the project's RISC-V assembly dialect into a Program. The dialect
+/// covers the opcodes in ir/Opcode.h plus the usual assembler pseudos
+/// (seqz, snez, beqz, bnez, blez, bgez, bltz, bgtz, ble, bgt, bleu, bgtu,
+/// not, neg, la), `.data` directives (.word/.half/.byte/.zero/.align), and
+/// the harness directives `.width`/`.memsize`.
+///
+/// Errors are recoverable and reported as diagnostics with line numbers;
+/// parsing continues after an error so multiple problems surface at once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_IR_ASMPARSER_H
+#define BEC_IR_ASMPARSER_H
+
+#include "ir/Program.h"
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bec {
+
+/// One assembler diagnostic.
+struct AsmDiag {
+  uint32_t Line = 0;
+  std::string Message;
+
+  std::string toString() const {
+    return "line " + std::to_string(Line) + ": " + Message;
+  }
+};
+
+/// Result of assembling a translation unit. On success \c Prog is engaged,
+/// the CFG is built, and the verifier has accepted the program.
+struct AsmParseResult {
+  std::optional<Program> Prog;
+  std::vector<AsmDiag> Diags;
+
+  bool succeeded() const { return Prog.has_value(); }
+  /// All diagnostics joined by newlines (for test assertions and tools).
+  std::string diagText() const {
+    std::string Out;
+    for (const AsmDiag &D : Diags)
+      Out += D.toString() + "\n";
+    return Out;
+  }
+};
+
+/// Assembles \p Source. \p Name is used for diagnostics and Program::Name.
+AsmParseResult parseAsm(std::string_view Source,
+                        std::string_view Name = "program");
+
+/// Assembles \p Source and aborts with the diagnostics on failure. For
+/// tests and the built-in workloads, whose sources are known-good.
+Program parseAsmOrDie(std::string_view Source,
+                      std::string_view Name = "program");
+
+} // namespace bec
+
+#endif // BEC_IR_ASMPARSER_H

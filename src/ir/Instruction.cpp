@@ -1,0 +1,49 @@
+//===- ir/Instruction.cpp - Instruction printing ---------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "support/Debug.h"
+
+#include <string>
+
+using namespace bec;
+
+std::string Instruction::toString(const char *TargetLabel) const {
+  std::string Out(opcodeName(Op));
+  auto R = [](Reg X) { return std::string(regName(X)); };
+  std::string Label = TargetLabel
+                          ? std::string(TargetLabel)
+                          : (".L" + std::to_string(Target));
+  switch (opcodeFormat(Op)) {
+  case OpFormat::RegImm:
+    Out += " " + R(Rd) + ", " + std::to_string(Imm);
+    break;
+  case OpFormat::RegReg:
+    Out += " " + R(Rd) + ", " + R(Rs1);
+    break;
+  case OpFormat::RegRegReg:
+    Out += " " + R(Rd) + ", " + R(Rs1) + ", " + R(Rs2);
+    break;
+  case OpFormat::RegRegImm:
+    Out += " " + R(Rd) + ", " + R(Rs1) + ", " + std::to_string(Imm);
+    break;
+  case OpFormat::Branch:
+    Out += " " + R(Rs1) + ", " + R(Rs2) + ", " + Label;
+    break;
+  case OpFormat::Jump:
+    Out += " " + Label;
+    break;
+  case OpFormat::Load:
+    Out += " " + R(Rd) + ", " + std::to_string(Imm) + "(" + R(Rs1) + ")";
+    break;
+  case OpFormat::Store:
+    Out += " " + R(Rs2) + ", " + std::to_string(Imm) + "(" + R(Rs1) + ")";
+    break;
+  case OpFormat::UnaryIn:
+    Out += " " + R(Rs1);
+    break;
+  case OpFormat::None:
+    break;
+  }
+  return Out;
+}

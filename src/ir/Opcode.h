@@ -1,0 +1,86 @@
+//===- ir/Opcode.h - Machine opcode definitions ---------------------------===//
+///
+/// \file
+/// Opcodes of the machine-level IR: the RV32I base integer ISA plus the M
+/// extension's multiply/divide, and three pseudo-instructions that matter to
+/// the analysis or the harness (`li`, `mv`, `out`). Assembler-level pseudos
+/// (seqz/snez/beqz/not/neg/...) are lowered to these opcodes at parse time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_IR_OPCODE_H
+#define BEC_IR_OPCODE_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace bec {
+
+enum class Opcode : uint8_t {
+  // Constants and moves.
+  LI,   ///< rd = imm (pseudo; full-width immediate)
+  LUI,  ///< rd = imm << 12
+  MV,   ///< rd = rs1 (kept first-class: Algorithm 3 has a dedicated rule)
+  // Register-register ALU.
+  ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+  // Register-immediate ALU.
+  ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI, SLTIU,
+  // M extension.
+  MUL, MULHU, DIV, DIVU, REM, REMU,
+  // Control flow.
+  BEQ, BNE, BLT, BGE, BLTU, BGEU, J,
+  // Memory.
+  LW, LH, LHU, LB, LBU, SW, SH, SB,
+  // Harness.
+  OUT,  ///< Emit rs1 to the observable output stream.
+  RET,  ///< Halt; a0 is the observable return value.
+  HALT, ///< Halt with no observable register.
+  NOP,
+};
+
+inline constexpr unsigned NumOpcodes = static_cast<unsigned>(Opcode::NOP) + 1;
+
+/// Mnemonic of \p Op as printed/parsed.
+std::string_view opcodeName(Opcode Op);
+
+/// Parses a base (non-pseudo) mnemonic. Pseudo mnemonics are handled by the
+/// assembler; this only recognizes the opcodes above.
+std::optional<Opcode> parseOpcodeName(std::string_view Name);
+
+/// Operand shape of an opcode, used by the parser, printer and verifier.
+enum class OpFormat : uint8_t {
+  RegImm,       ///< op rd, imm            (li, lui)
+  RegReg,       ///< op rd, rs1            (mv)
+  RegRegReg,    ///< op rd, rs1, rs2
+  RegRegImm,    ///< op rd, rs1, imm
+  Branch,       ///< op rs1, rs2, label
+  Jump,         ///< op label
+  Load,         ///< op rd, imm(rs1)
+  Store,        ///< op rs2, imm(rs1)
+  UnaryIn,      ///< op rs1                (out)
+  None,         ///< op                    (ret, halt, nop)
+};
+
+OpFormat opcodeFormat(Opcode Op);
+
+/// True for beq/bne/blt/bge/bltu/bgeu.
+bool isConditionalBranch(Opcode Op);
+/// True for instructions that end a basic block (branches, j, ret, halt).
+bool isTerminator(Opcode Op);
+/// True for ret/halt.
+bool isHalt(Opcode Op);
+/// True for loads.
+bool isLoad(Opcode Op);
+/// True for stores.
+bool isStore(Opcode Op);
+/// True for instructions with externally observable side effects
+/// (stores, out, ret): the scheduler must preserve their relative order.
+bool hasSideEffects(Opcode Op);
+/// True for slt/slti/sltu/sltiu: comparison writes handled by the
+/// eval-based coalescing rule.
+bool isSetCompare(Opcode Op);
+
+} // namespace bec
+
+#endif // BEC_IR_OPCODE_H

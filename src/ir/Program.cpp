@@ -1,0 +1,112 @@
+//===- ir/Program.cpp - CFG construction and printing ---------------------===//
+
+#include "ir/Program.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace bec;
+
+void Program::buildCFG() {
+  uint32_t N = size();
+  InstrSuccs.assign(N, {});
+  InstrPreds.assign(N, {});
+  BlockOf.assign(N, 0);
+  Reachable.assign(N, false);
+  BlockList.clear();
+  if (N == 0)
+    return;
+
+  // Instruction-level edges.
+  for (uint32_t P = 0; P < N; ++P) {
+    const Instruction &I = Instrs[P];
+    auto AddEdge = [&](uint32_t Succ) {
+      assert(Succ < N && "branch target out of range");
+      InstrSuccs[P].push_back(Succ);
+      InstrPreds[Succ].push_back(P);
+    };
+    if (isHalt(I.Op))
+      continue;
+    if (I.Op == Opcode::J) {
+      AddEdge(static_cast<uint32_t>(I.Target));
+      continue;
+    }
+    if (isConditionalBranch(I.Op)) {
+      // Fallthrough first, then the taken target (deterministic order).
+      assert(P + 1 < N && "conditional branch falls off the program");
+      AddEdge(P + 1);
+      if (static_cast<uint32_t>(I.Target) != P + 1)
+        AddEdge(static_cast<uint32_t>(I.Target));
+      continue;
+    }
+    assert(P + 1 < N && "non-terminator falls off the program");
+    AddEdge(P + 1);
+  }
+
+  // Reachability from the entry.
+  std::vector<uint32_t> Worklist = {Entry};
+  Reachable[Entry] = true;
+  while (!Worklist.empty()) {
+    uint32_t P = Worklist.back();
+    Worklist.pop_back();
+    for (uint32_t S : InstrSuccs[P])
+      if (!Reachable[S]) {
+        Reachable[S] = true;
+        Worklist.push_back(S);
+      }
+  }
+
+  // Leaders: entry, branch targets, and fallthroughs of terminators.
+  std::vector<bool> Leader(N, false);
+  Leader[0] = true;
+  Leader[Entry] = true;
+  for (uint32_t P = 0; P < N; ++P) {
+    const Instruction &I = Instrs[P];
+    if (I.Target != NoTarget)
+      Leader[static_cast<uint32_t>(I.Target)] = true;
+    if (isTerminator(I.Op) && P + 1 < N)
+      Leader[P + 1] = true;
+  }
+
+  // Blocks and block edges.
+  for (uint32_t P = 0; P < N; ++P) {
+    if (Leader[P]) {
+      BasicBlock BB;
+      BB.First = P;
+      BlockList.push_back(BB);
+    }
+    BlockOf[P] = static_cast<uint32_t>(BlockList.size()) - 1;
+    BlockList.back().Last = P;
+  }
+  for (uint32_t B = 0; B < BlockList.size(); ++B) {
+    for (uint32_t S : InstrSuccs[BlockList[B].Last]) {
+      uint32_t SB = BlockOf[S];
+      BlockList[B].Succs.push_back(SB);
+      BlockList[SB].Preds.push_back(B);
+    }
+  }
+}
+
+std::string Program::toString() const {
+  std::string Out;
+  Out += "# program: " + Name + "\n";
+  Out += ".width " + std::to_string(Width) + "\n";
+  std::vector<bool> NeedsLabel(size(), false);
+  if (Entry < size())
+    NeedsLabel[Entry] = true;
+  for (const Instruction &I : Instrs)
+    if (I.Target != NoTarget)
+      NeedsLabel[static_cast<uint32_t>(I.Target)] = true;
+  for (uint32_t P = 0; P < size(); ++P) {
+    if (NeedsLabel[P])
+      Out += ".L" + std::to_string(P) + ":\n";
+    std::string Label;
+    if (Instrs[P].Target != NoTarget)
+      Label = ".L" + std::to_string(Instrs[P].Target);
+    Out += "  " + Instrs[P].toString(Label.empty() ? nullptr : Label.c_str()) +
+           "\n";
+  }
+  return Out;
+}

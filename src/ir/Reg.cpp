@@ -1,0 +1,38 @@
+//===- ir/Reg.cpp - RISC-V register names ---------------------------------===//
+
+#include "ir/Reg.h"
+
+#include <cassert>
+
+using namespace bec;
+
+static constexpr std::string_view AbiNames[NumRegs] = {
+    "zero", "ra", "sp", "gp", "tp",  "t0",  "t1", "t2", "s0", "s1", "a0",
+    "a1",   "a2", "a3", "a4", "a5",  "a6",  "a7", "s2", "s3", "s4", "s5",
+    "s6",   "s7", "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"};
+
+std::string_view bec::regName(Reg R) {
+  assert(R < NumRegs && "invalid register");
+  return AbiNames[R];
+}
+
+std::optional<Reg> bec::parseRegName(std::string_view Name) {
+  for (unsigned I = 0; I < NumRegs; ++I)
+    if (Name == AbiNames[I])
+      return static_cast<Reg>(I);
+  if (Name == "fp")
+    return static_cast<Reg>(8);
+  if (Name.size() >= 2 && Name.size() <= 3 && Name[0] == 'x') {
+    unsigned Value = 0;
+    for (char C : Name.substr(1)) {
+      if (C < '0' || C > '9')
+        return std::nullopt;
+      Value = Value * 10 + static_cast<unsigned>(C - '0');
+    }
+    if (Name.size() == 3 && Name[1] == '0')
+      return std::nullopt; // Reject "x01" style spellings.
+    if (Value < NumRegs)
+      return static_cast<Reg>(Value);
+  }
+  return std::nullopt;
+}

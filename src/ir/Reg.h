@@ -1,0 +1,42 @@
+//===- ir/Reg.h - RISC-V register file model ------------------------------===//
+///
+/// \file
+/// Registers of the RV32I register file. The BEC analysis and the fault
+/// space are defined over these 32 architectural registers (the paper's set
+/// V of data points); x0 is hardwired to zero, so faults on x0 are
+/// impossible and its fault sites are permanently masked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_IR_REG_H
+#define BEC_IR_REG_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bec {
+
+/// Architectural register number, 0..31.
+using Reg = uint8_t;
+
+/// Number of architectural registers (the spatial extent of the fault
+/// space, |V| in the paper).
+inline constexpr unsigned NumRegs = 32;
+
+/// The hardwired zero register.
+inline constexpr Reg RegZero = 0;
+/// Return-value / first-argument register (read by `ret`).
+inline constexpr Reg RegA0 = 10;
+
+/// Returns the ABI name of \p R ("zero", "ra", "sp", "t0", "a0", ...).
+std::string_view regName(Reg R);
+
+/// Parses a register name: ABI names, "x0".."x31", and "fp".
+/// Returns std::nullopt if \p Name is not a register.
+std::optional<Reg> parseRegName(std::string_view Name);
+
+} // namespace bec
+
+#endif // BEC_IR_REG_H

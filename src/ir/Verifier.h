@@ -1,0 +1,28 @@
+//===- ir/Verifier.h - Structural well-formedness checks ------------------===//
+///
+/// \file
+/// Validates a Program before it is analyzed or executed: control flow must
+/// not fall off the end, branch targets must be in range, shift immediates
+/// must be in [0, Width), and memory instructions require the full 32-bit
+/// register width (narrow-width programs, e.g. the paper's 4-bit motivating
+/// example, are register-only).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_IR_VERIFIER_H
+#define BEC_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace bec {
+
+class Program;
+
+/// Returns a (possibly empty) list of human-readable errors. Does not
+/// require the CFG to be built.
+std::vector<std::string> verifyProgram(const Program &Prog);
+
+} // namespace bec
+
+#endif // BEC_IR_VERIFIER_H

@@ -1,0 +1,234 @@
+//===- sched/ListScheduler.cpp - Vulnerability-aware list scheduling ------===//
+
+#include "sched/ListScheduler.h"
+
+#include "support/Debug.h"
+
+#include <algorithm>
+
+using namespace bec;
+
+BlockDAG bec::buildBlockDAG(const Program &Prog, const BasicBlock &B) {
+  uint32_t N = B.size();
+  BlockDAG DAG;
+  DAG.First = B.First;
+  DAG.Succs.assign(N, {});
+  DAG.NumPreds.assign(N, 0);
+
+  auto AddEdge = [&](uint32_t From, uint32_t To) {
+    assert(From < To && "dependence edges go forward in source order");
+    auto &S = DAG.Succs[From];
+    if (std::find(S.begin(), S.end(), To) == S.end()) {
+      S.push_back(To);
+      ++DAG.NumPreds[To];
+    }
+  };
+
+  // Register dependences: for each register track the last writer and all
+  // readers since that write.
+  std::array<int32_t, NumRegs> LastWriter;
+  LastWriter.fill(-1);
+  std::array<std::vector<uint32_t>, NumRegs> ReadersSinceWrite;
+
+  int32_t LastSideEffect = -1; // stores/out: keep their relative order
+  std::vector<uint32_t> LoadsSinceStore;
+  int32_t LastStore = -1;
+
+  for (uint32_t K = 0; K < N; ++K) {
+    uint32_t P = B.First + K;
+    const Instruction &I = Prog.instr(P);
+
+    Reg Reads[2];
+    unsigned NumReads = I.readRegs(Reads);
+    for (unsigned R = 0; R < NumReads; ++R) {
+      Reg V = Reads[R];
+      if (LastWriter[V] >= 0)
+        AddEdge(static_cast<uint32_t>(LastWriter[V]), K); // RAW
+      ReadersSinceWrite[V].push_back(K);
+    }
+    if (I.writesReg()) {
+      Reg V = I.Rd;
+      if (LastWriter[V] >= 0)
+        AddEdge(static_cast<uint32_t>(LastWriter[V]), K); // WAW
+      for (uint32_t Reader : ReadersSinceWrite[V])
+        if (Reader != K)
+          AddEdge(Reader, K); // WAR
+      ReadersSinceWrite[V].clear();
+      LastWriter[V] = static_cast<int32_t>(K);
+    }
+
+    if (isLoad(I.Op)) {
+      if (LastStore >= 0)
+        AddEdge(static_cast<uint32_t>(LastStore), K);
+      LoadsSinceStore.push_back(K);
+    }
+    if (isStore(I.Op)) {
+      if (LastStore >= 0)
+        AddEdge(static_cast<uint32_t>(LastStore), K);
+      for (uint32_t L : LoadsSinceStore)
+        AddEdge(L, K);
+      LoadsSinceStore.clear();
+      LastStore = static_cast<int32_t>(K);
+    }
+    if (hasSideEffects(I.Op)) {
+      if (LastSideEffect >= 0)
+        AddEdge(static_cast<uint32_t>(LastSideEffect), K);
+      LastSideEffect = static_cast<int32_t>(K);
+    }
+
+    // The terminator stays last.
+    if (K == N - 1 && isTerminator(I.Op))
+      for (uint32_t J = 0; J + 1 < N; ++J)
+        AddEdge(J, K);
+  }
+  return DAG;
+}
+
+namespace {
+
+/// Greedy list scheduling of one block. The score of a ready instruction
+/// is the change it causes to the live-fault-bit surface: scheduling p
+/// makes, for each register it accesses, the access point (p,v) the new
+/// governing segment, replacing the previous governor's live bits.
+class BlockScheduler {
+public:
+  BlockScheduler(const BECAnalysis &A, const BasicBlock &B,
+                 SchedulePolicy Policy)
+      : A(A), Prog(A.program()), B(B), Policy(Policy),
+        DAG(buildBlockDAG(Prog, B)) {}
+
+  /// Appends the chosen instruction order (original indices) to \p Out.
+  void schedule(std::vector<uint32_t> &Out);
+
+private:
+  int64_t liveBitsAfter(uint32_t P, Reg V) const {
+    int32_t Ap = A.space().pointId(P, V);
+    assert(Ap >= 0 && "accessed register without access point");
+    const auto &S = A.summary(static_cast<uint32_t>(Ap));
+    return static_cast<int64_t>(Prog.Width) -
+           popCount(S.MaskedMask, Prog.Width);
+  }
+
+  /// Surface delta of scheduling \p K next (lower = fewer live sites).
+  int64_t scoreOf(uint32_t K) const {
+    uint32_t P = B.First + K;
+    const Instruction &I = Prog.instr(P);
+    if (isHalt(I.Op))
+      return 0;
+    int64_t Delta = 0;
+    auto [ApBegin, ApEnd] = A.space().pointsOfInstr(P);
+    for (uint32_t Ap = ApBegin; Ap < ApEnd; ++Ap) {
+      Reg V = A.space().point(Ap).R;
+      Delta += liveBitsAfter(P, V) - Current[V];
+    }
+    return Delta;
+  }
+
+  const BECAnalysis &A;
+  const Program &Prog;
+  const BasicBlock &B;
+  SchedulePolicy Policy;
+  BlockDAG DAG;
+  /// Current live-bit contribution of each register's governing segment
+  /// within this block walk.
+  std::array<int64_t, NumRegs> Current{};
+};
+
+} // namespace
+
+void BlockScheduler::schedule(std::vector<uint32_t> &Out) {
+  uint32_t N = B.size();
+  // Registers live into the block contribute their full width (their
+  // governing segment is outside the block; unknown masking).
+  Current.fill(0);
+  uint32_t LiveIn = A.liveness().liveInMask(B.First);
+  for (Reg V = 1; V < NumRegs; ++V)
+    if ((LiveIn >> V) & 1)
+      Current[V] = Prog.Width;
+
+  std::vector<uint32_t> PredsLeft = DAG.NumPreds;
+  std::vector<bool> Scheduled(N, false);
+
+  for (uint32_t Step = 0; Step < N; ++Step) {
+    int32_t Best = -1;
+    int64_t BestScore = 0;
+    for (uint32_t K = 0; K < N; ++K) {
+      if (Scheduled[K] || PredsLeft[K] != 0)
+        continue;
+      if (Policy == SchedulePolicy::SourceOrder) {
+        Best = static_cast<int32_t>(K);
+        break;
+      }
+      int64_t Score = scoreOf(K);
+      if (Best < 0) {
+        Best = static_cast<int32_t>(K);
+        BestScore = Score;
+        continue;
+      }
+      bool Better = Policy == SchedulePolicy::BestReliability
+                        ? Score < BestScore
+                        : Score > BestScore;
+      if (Better) {
+        Best = static_cast<int32_t>(K);
+        BestScore = Score;
+      }
+    }
+    assert(Best >= 0 && "dependence cycle in block DAG");
+    uint32_t K = static_cast<uint32_t>(Best);
+    Scheduled[K] = true;
+    for (uint32_t S : DAG.Succs[K])
+      --PredsLeft[S];
+
+    uint32_t P = B.First + K;
+    const Instruction &I = Prog.instr(P);
+    if (!isHalt(I.Op)) {
+      auto [ApBegin, ApEnd] = A.space().pointsOfInstr(P);
+      for (uint32_t Ap = ApBegin; Ap < ApEnd; ++Ap) {
+        Reg V = A.space().point(Ap).R;
+        Current[V] = liveBitsAfter(P, V);
+      }
+    }
+    Out.push_back(P);
+  }
+}
+
+Program bec::scheduleProgram(const BECAnalysis &A, SchedulePolicy Policy) {
+  const Program &Prog = A.program();
+  // New order, block by block, in original block order.
+  std::vector<uint32_t> Order;
+  Order.reserve(Prog.size());
+  for (const BasicBlock &B : Prog.blocks()) {
+    BlockScheduler Scheduler(A, B, Policy);
+    Scheduler.schedule(Order);
+  }
+  assert(Order.size() == Prog.size() && "scheduler dropped instructions");
+
+  // Rebuild the program. Branch targets address block leaders; map the
+  // old target instruction to the first instruction of its block in the
+  // new order (blocks keep their extents and order).
+  std::vector<uint32_t> NewIndexOf(Prog.size());
+  for (uint32_t NewP = 0; NewP < Order.size(); ++NewP)
+    NewIndexOf[Order[NewP]] = NewP;
+
+  Program Out;
+  Out.Name = Prog.Name + ".sched";
+  Out.Width = Prog.Width;
+  Out.MemSize = Prog.MemSize;
+  Out.DataBase = Prog.DataBase;
+  Out.Data = Prog.Data;
+  // Block extents keep their positions, so the entry block's leader sits
+  // at the same index as before.
+  Out.Entry = Prog.blocks()[Prog.blockOf(Prog.Entry)].First;
+
+  Out.Instrs.resize(Prog.size());
+  for (uint32_t NewP = 0; NewP < Order.size(); ++NewP) {
+    Instruction I = Prog.instr(Order[NewP]);
+    if (I.Target != NoTarget) {
+      uint32_t TargetBlock = Prog.blockOf(static_cast<uint32_t>(I.Target));
+      I.Target = static_cast<int32_t>(Prog.blocks()[TargetBlock].First);
+    }
+    Out.Instrs[NewP] = I;
+  }
+  Out.buildCFG();
+  return Out;
+}

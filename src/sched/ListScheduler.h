@@ -1,0 +1,50 @@
+//===- sched/ListScheduler.h - Vulnerability-aware instruction scheduling -===//
+///
+/// \file
+/// The paper's second use case (Section VI-B, Algorithm 4): list
+/// scheduling within each basic block where the number of fault sites a
+/// candidate instruction retires (in bits, per the BEC analysis) is the
+/// selection criterion. `BestReliability` picks, among ready instructions,
+/// the one that minimizes the live-fault-bit surface; `WorstReliability`
+/// the opposite (the two ends of Table IV); `SourceOrder` keeps the
+/// original order (a correctness baseline).
+///
+/// Scheduling never changes which instructions execute or how many fault
+/// injection runs a campaign needs; it only reorders independent
+/// instructions within blocks, preserving all data, memory and
+/// side-effect dependences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SCHED_LISTSCHEDULER_H
+#define BEC_SCHED_LISTSCHEDULER_H
+
+#include "core/BECAnalysis.h"
+
+#include <vector>
+
+namespace bec {
+
+enum class SchedulePolicy { BestReliability, WorstReliability, SourceOrder };
+
+/// Dependence DAG of one basic block (nodes are instruction indices).
+struct BlockDAG {
+  uint32_t First = 0; ///< First instruction of the block.
+  /// Per node (offset from First): direct successors and predecessor count.
+  std::vector<std::vector<uint32_t>> Succs;
+  std::vector<uint32_t> NumPreds;
+};
+
+/// Builds the dependence DAG of block \p B: register RAW/WAR/WAW edges,
+/// conservative memory edges (no alias analysis), side-effect ordering,
+/// and terminator-last edges.
+BlockDAG buildBlockDAG(const Program &Prog, const BasicBlock &B);
+
+/// Reorders every basic block of \p A's program under \p Policy, driven
+/// by \p A's per-access-point masked-bit summaries. Returns a new program
+/// (with rebuilt CFG) that is observationally equivalent to the input.
+Program scheduleProgram(const BECAnalysis &A, SchedulePolicy Policy);
+
+} // namespace bec
+
+#endif // BEC_SCHED_LISTSCHEDULER_H

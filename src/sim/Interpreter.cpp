@@ -1,0 +1,322 @@
+//===- sim/Interpreter.cpp - RISC-V functional simulator -------------------===//
+
+#include "sim/Interpreter.h"
+
+#include "support/Debug.h"
+
+using namespace bec;
+
+const char *bec::outcomeName(Outcome O) {
+  switch (O) {
+  case Outcome::Finished:
+    return "finished";
+  case Outcome::Trap:
+    return "trap";
+  case Outcome::Hang:
+    return "hang";
+  }
+  bec_unreachable("invalid outcome");
+}
+
+Interpreter::Interpreter(const Program &Prog, RunOptions Opts)
+    : Prog(&Prog), Opts(Opts), PC(Prog.Entry) {
+  M.reset(Prog);
+}
+
+void Interpreter::finish(Outcome End) {
+  Done = true;
+  Result.End = End;
+  FullHash.absorb(0x9e3700 + static_cast<uint64_t>(End));
+}
+
+Trace Interpreter::takeTrace() {
+  assert(Done && "takeTrace before the run ended");
+  Result.Cycles = CycleCount;
+  // Outcome and return value enter both hashes at the end.
+  ObsHash.absorb(static_cast<uint64_t>(Result.End));
+  ObsHash.absorb(Result.HasReturnValue ? Result.ReturnValue + 1 : 0);
+  FullHash.absorb(Result.HasReturnValue ? Result.ReturnValue + 1 : 0);
+  Result.TraceHash = FullHash.value();
+  Result.ObservableHash = ObsHash.value();
+  return std::move(Result);
+}
+
+bool Interpreter::step() {
+  if (Done)
+    return false;
+  if (CycleCount >= Opts.MaxCycles) {
+    finish(Outcome::Hang);
+    return false;
+  }
+
+  const Instruction &I = Prog->instr(PC);
+  unsigned W = M.width();
+  uint64_t Mask = M.mask();
+  uint64_t A = M.reg(I.Rs1);
+  uint64_t B = M.reg(I.Rs2);
+  uint64_t Imm = static_cast<uint64_t>(I.Imm) & Mask;
+  uint32_t NextPC = PC + 1;
+
+  FullHash.absorb(PC);
+  if (Opts.Record)
+    Result.Executed.push_back(PC);
+
+  auto ShiftAmount = [&](uint64_t V) -> unsigned {
+    if ((W & (W - 1)) == 0)
+      return static_cast<unsigned>(V & (W - 1));
+    return static_cast<unsigned>(V % W);
+  };
+  auto SignedDiv = [&](uint64_t X, uint64_t Y) -> uint64_t {
+    int64_t SX = signExtend(X, W), SY = signExtend(Y, W);
+    if (SY == 0)
+      return allOnesValue(W);
+    if (X == signedMinValue(W) && SY == -1)
+      return signedMinValue(W);
+    return truncate(static_cast<uint64_t>(SX / SY), W);
+  };
+  auto SignedRem = [&](uint64_t X, uint64_t Y) -> uint64_t {
+    int64_t SX = signExtend(X, W), SY = signExtend(Y, W);
+    if (SY == 0)
+      return X;
+    if (X == signedMinValue(W) && SY == -1)
+      return 0;
+    return truncate(static_cast<uint64_t>(SX % SY), W);
+  };
+  auto MemAccess = [&](unsigned Bytes, bool IsStore, uint64_t &Addr) {
+    Addr = (A + Imm) & Mask;
+    if (Addr % Bytes != 0 || Addr + Bytes > M.memSize()) {
+      finish(Outcome::Trap);
+      return false;
+    }
+    (void)IsStore;
+    return true;
+  };
+  auto RecordStore = [&](uint64_t Addr, uint64_t Value, unsigned Bytes) {
+    FullHash.absorb(0x5700 + Addr);
+    FullHash.absorb(Value);
+    if (Opts.Record)
+      Result.Events.push_back({TraceEvent::Kind::Store, Addr, Value,
+                               static_cast<uint8_t>(Bytes)});
+  };
+
+  switch (I.Op) {
+  case Opcode::LI:
+    M.setReg(I.Rd, Imm);
+    break;
+  case Opcode::LUI:
+    M.setReg(I.Rd, (static_cast<uint64_t>(I.Imm) << 12) & Mask);
+    break;
+  case Opcode::MV:
+    M.setReg(I.Rd, A);
+    break;
+  case Opcode::ADD:
+    M.setReg(I.Rd, A + B);
+    break;
+  case Opcode::SUB:
+    M.setReg(I.Rd, A - B);
+    break;
+  case Opcode::AND:
+    M.setReg(I.Rd, A & B);
+    break;
+  case Opcode::OR:
+    M.setReg(I.Rd, A | B);
+    break;
+  case Opcode::XOR:
+    M.setReg(I.Rd, A ^ B);
+    break;
+  case Opcode::SLL:
+    M.setReg(I.Rd, A << ShiftAmount(B));
+    break;
+  case Opcode::SRL:
+    M.setReg(I.Rd, truncate(A, W) >> ShiftAmount(B));
+    break;
+  case Opcode::SRA:
+    M.setReg(I.Rd, static_cast<uint64_t>(signExtend(A, W) >>
+                                         static_cast<int64_t>(ShiftAmount(B))));
+    break;
+  case Opcode::SLT:
+    M.setReg(I.Rd, signExtend(A, W) < signExtend(B, W) ? 1 : 0);
+    break;
+  case Opcode::SLTU:
+    M.setReg(I.Rd, A < B ? 1 : 0);
+    break;
+  case Opcode::ADDI:
+    M.setReg(I.Rd, A + Imm);
+    break;
+  case Opcode::ANDI:
+    M.setReg(I.Rd, A & Imm);
+    break;
+  case Opcode::ORI:
+    M.setReg(I.Rd, A | Imm);
+    break;
+  case Opcode::XORI:
+    M.setReg(I.Rd, A ^ Imm);
+    break;
+  case Opcode::SLLI:
+    M.setReg(I.Rd, A << I.Imm);
+    break;
+  case Opcode::SRLI:
+    M.setReg(I.Rd, truncate(A, W) >> I.Imm);
+    break;
+  case Opcode::SRAI:
+    M.setReg(I.Rd, static_cast<uint64_t>(signExtend(A, W) >> I.Imm));
+    break;
+  case Opcode::SLTI:
+    M.setReg(I.Rd, signExtend(A, W) < I.Imm ? 1 : 0);
+    break;
+  case Opcode::SLTIU:
+    M.setReg(I.Rd, A < Imm ? 1 : 0);
+    break;
+  case Opcode::MUL:
+    M.setReg(I.Rd, A * B);
+    break;
+  case Opcode::MULHU:
+    if (W <= 32)
+      M.setReg(I.Rd, (A * B) >> W);
+    else
+      M.setReg(I.Rd, static_cast<uint64_t>(
+                         (static_cast<__uint128_t>(A) * B) >> W));
+    break;
+  case Opcode::DIV:
+    M.setReg(I.Rd, SignedDiv(A, B));
+    break;
+  case Opcode::DIVU:
+    M.setReg(I.Rd, B == 0 ? allOnesValue(W) : A / B);
+    break;
+  case Opcode::REM:
+    M.setReg(I.Rd, SignedRem(A, B));
+    break;
+  case Opcode::REMU:
+    M.setReg(I.Rd, B == 0 ? A : A % B);
+    break;
+  case Opcode::BEQ:
+    if (A == B)
+      NextPC = static_cast<uint32_t>(I.Target);
+    break;
+  case Opcode::BNE:
+    if (A != B)
+      NextPC = static_cast<uint32_t>(I.Target);
+    break;
+  case Opcode::BLT:
+    if (signExtend(A, W) < signExtend(B, W))
+      NextPC = static_cast<uint32_t>(I.Target);
+    break;
+  case Opcode::BGE:
+    if (signExtend(A, W) >= signExtend(B, W))
+      NextPC = static_cast<uint32_t>(I.Target);
+    break;
+  case Opcode::BLTU:
+    if (A < B)
+      NextPC = static_cast<uint32_t>(I.Target);
+    break;
+  case Opcode::BGEU:
+    if (A >= B)
+      NextPC = static_cast<uint32_t>(I.Target);
+    break;
+  case Opcode::J:
+    NextPC = static_cast<uint32_t>(I.Target);
+    break;
+  case Opcode::LW: {
+    uint64_t Addr;
+    if (!MemAccess(4, false, Addr))
+      return false;
+    M.setReg(I.Rd, M.loadUnsigned(Addr, 4));
+    break;
+  }
+  case Opcode::LH: {
+    uint64_t Addr;
+    if (!MemAccess(2, false, Addr))
+      return false;
+    M.setReg(I.Rd, truncate(
+                       static_cast<uint64_t>(signExtend(
+                           M.loadUnsigned(Addr, 2), 16)),
+                       W));
+    break;
+  }
+  case Opcode::LHU: {
+    uint64_t Addr;
+    if (!MemAccess(2, false, Addr))
+      return false;
+    M.setReg(I.Rd, M.loadUnsigned(Addr, 2));
+    break;
+  }
+  case Opcode::LB: {
+    uint64_t Addr;
+    if (!MemAccess(1, false, Addr))
+      return false;
+    M.setReg(I.Rd, truncate(
+                       static_cast<uint64_t>(signExtend(
+                           M.loadUnsigned(Addr, 1), 8)),
+                       W));
+    break;
+  }
+  case Opcode::LBU: {
+    uint64_t Addr;
+    if (!MemAccess(1, false, Addr))
+      return false;
+    M.setReg(I.Rd, M.loadUnsigned(Addr, 1));
+    break;
+  }
+  case Opcode::SW: {
+    uint64_t Addr;
+    if (!MemAccess(4, true, Addr))
+      return false;
+    M.store(Addr, B, 4);
+    RecordStore(Addr, B & 0xffffffff, 4);
+    break;
+  }
+  case Opcode::SH: {
+    uint64_t Addr;
+    if (!MemAccess(2, true, Addr))
+      return false;
+    M.store(Addr, B, 2);
+    RecordStore(Addr, B & 0xffff, 2);
+    break;
+  }
+  case Opcode::SB: {
+    uint64_t Addr;
+    if (!MemAccess(1, true, Addr))
+      return false;
+    M.store(Addr, B, 1);
+    RecordStore(Addr, B & 0xff, 1);
+    break;
+  }
+  case Opcode::OUT:
+    FullHash.absorb(0xBEC0u + A);
+    ObsHash.absorb(A);
+    if (Opts.Record)
+      Result.Events.push_back({TraceEvent::Kind::Out, 0, A, 0});
+    break;
+  case Opcode::RET:
+    Result.ReturnValue = M.reg(RegA0);
+    Result.HasReturnValue = true;
+    ++CycleCount;
+    finish(Outcome::Finished);
+    return false;
+  case Opcode::HALT:
+    ++CycleCount;
+    finish(Outcome::Finished);
+    return false;
+  case Opcode::NOP:
+    break;
+  }
+
+  PC = NextPC;
+  ++CycleCount;
+  return true;
+}
+
+Trace bec::simulate(const Program &Prog, RunOptions Opts) {
+  Interpreter Interp(Prog, Opts);
+  Interp.run();
+  return Interp.takeTrace();
+}
+
+Trace bec::simulateWithInjection(const Program &Prog, const Injection &Inj,
+                                 RunOptions Opts) {
+  Interpreter Interp(Prog, Opts);
+  Interp.runToCycle(Inj.AfterCycle);
+  Interp.machine().flipRegBit(Inj.R, Inj.Bit);
+  Interp.run();
+  return Interp.takeTrace();
+}

@@ -1,0 +1,87 @@
+//===- sim/Interpreter.h - RISC-V functional simulator ---------------------===//
+///
+/// \file
+/// The stand-in for the paper's instrumented SPIKE ISA simulator: a
+/// cycle-per-instruction functional interpreter that produces architectural
+/// traces and supports single-event-upset injection at a (cycle, register,
+/// bit) fault site. The interpreter object is copyable, which the campaign
+/// engine uses to snapshot state at each injection cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SIM_INTERPRETER_H
+#define BEC_SIM_INTERPRETER_H
+
+#include "sim/Machine.h"
+#include "sim/Trace.h"
+
+#include <limits>
+
+namespace bec {
+
+/// Execution options for a single run.
+struct RunOptions {
+  /// Cycle budget; exceeded -> Outcome::Hang.
+  uint64_t MaxCycles = 1 << 22;
+  /// Record full Executed/Events vectors (hashes are always computed).
+  bool Record = true;
+};
+
+/// Describes one fault-injection run: after `AfterCycle` instructions have
+/// executed (0 = before the first instruction), flip `Bit` of `R`.
+struct Injection {
+  uint64_t AfterCycle = 0;
+  Reg R = 0;
+  unsigned Bit = 0;
+};
+
+/// Stepping interpreter over one program.
+class Interpreter {
+public:
+  Interpreter(const Program &Prog, RunOptions Opts = {});
+
+  /// Executes one instruction. Returns false once the run has ended
+  /// (finished, trapped, or exhausted the budget).
+  bool step();
+
+  /// Runs until \p Cycle instructions have executed or the program ends.
+  void runToCycle(uint64_t Cycle) {
+    while (!Done && Cycle > CycleCount)
+      step();
+  }
+  /// Runs to completion.
+  void run() { runToCycle(std::numeric_limits<uint64_t>::max()); }
+
+  bool done() const { return Done; }
+  uint64_t cycle() const { return CycleCount; }
+  uint32_t pc() const { return PC; }
+  Machine &machine() { return M; }
+  const Machine &machine() const { return M; }
+
+  /// Finalizes and returns the trace (valid once done()).
+  Trace takeTrace();
+
+private:
+  void finish(Outcome End);
+
+  const Program *Prog;
+  RunOptions Opts;
+  Machine M;
+  uint32_t PC;
+  uint64_t CycleCount = 0;
+  bool Done = false;
+  Trace Result;
+  TraceHasher FullHash;
+  TraceHasher ObsHash;
+};
+
+/// Convenience wrapper: runs \p Prog to completion.
+Trace simulate(const Program &Prog, RunOptions Opts = {});
+
+/// Convenience wrapper: runs \p Prog with a single injected bit flip.
+Trace simulateWithInjection(const Program &Prog, const Injection &Inj,
+                            RunOptions Opts = {});
+
+} // namespace bec
+
+#endif // BEC_SIM_INTERPRETER_H

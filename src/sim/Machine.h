@@ -1,0 +1,75 @@
+//===- sim/Machine.h - Architectural machine state -------------------------===//
+///
+/// \file
+/// Register file and byte-addressable memory of the simulated machine.
+/// Copyable by value: the campaign engine snapshots the machine at every
+/// injection cycle, so each fault-injection run only re-executes the
+/// suffix of the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SIM_MACHINE_H
+#define BEC_SIM_MACHINE_H
+
+#include "ir/Program.h"
+#include "support/BitUtils.h"
+
+#include <array>
+#include <cstring>
+#include <vector>
+
+namespace bec {
+
+/// Architectural state: 32 registers of Program::Width bits plus memory.
+class Machine {
+public:
+  void reset(const Program &Prog) {
+    Width = Prog.Width;
+    Mask = lowBitMask(Width);
+    Regs.fill(0);
+    Mem.assign(Prog.MemSize, 0);
+    if (!Prog.Data.empty())
+      std::memcpy(Mem.data() + Prog.DataBase, Prog.Data.data(),
+                  Prog.Data.size());
+  }
+
+  uint64_t reg(Reg R) const { return R == RegZero ? 0 : Regs[R]; }
+  void setReg(Reg R, uint64_t Value) {
+    if (R != RegZero)
+      Regs[R] = Value & Mask;
+  }
+
+  /// Injects a single-event upset: flips bit \p Bit of register \p R.
+  /// Flips on x0 are architecturally impossible and are ignored, matching
+  /// the analysis (x0 fault sites are permanently masked).
+  void flipRegBit(Reg R, unsigned Bit) {
+    if (R != RegZero)
+      Regs[R] = flipBit(Regs[R], Bit, Width);
+  }
+
+  /// Memory accessors; bounds/alignment are checked by the interpreter.
+  uint64_t loadUnsigned(uint64_t Addr, unsigned Bytes) const {
+    uint64_t Value = 0;
+    for (unsigned I = 0; I < Bytes; ++I)
+      Value |= uint64_t(Mem[Addr + I]) << (8 * I);
+    return Value;
+  }
+  void store(uint64_t Addr, uint64_t Value, unsigned Bytes) {
+    for (unsigned I = 0; I < Bytes; ++I)
+      Mem[Addr + I] = static_cast<uint8_t>(Value >> (8 * I));
+  }
+
+  uint64_t memSize() const { return Mem.size(); }
+  unsigned width() const { return Width; }
+  uint64_t mask() const { return Mask; }
+
+private:
+  unsigned Width = 32;
+  uint64_t Mask = 0xffffffff;
+  std::array<uint64_t, NumRegs> Regs{};
+  std::vector<uint8_t> Mem;
+};
+
+} // namespace bec
+
+#endif // BEC_SIM_MACHINE_H

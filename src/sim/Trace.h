@@ -1,0 +1,92 @@
+//===- sim/Trace.h - Architectural execution traces ------------------------===//
+///
+/// \file
+/// Execution traces in the sense of the paper's validation section: "a
+/// sequence of executed instructions, side effects caused by the
+/// instructions executed such as memory accesses, and observable outcomes
+/// of the program". Two fault-injection runs are equivalent iff their
+/// traces are identical; the campaign engine compares traces by a rolling
+/// 64-bit hash so that millions of runs need not be archived.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SIM_TRACE_H
+#define BEC_SIM_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bec {
+
+/// How a run ended.
+enum class Outcome : uint8_t {
+  Finished, ///< Reached ret/halt.
+  Trap,     ///< Memory fault (out of bounds or misaligned access).
+  Hang,     ///< Exceeded the cycle budget.
+};
+
+const char *outcomeName(Outcome O);
+
+/// One observable side effect.
+struct TraceEvent {
+  enum class Kind : uint8_t { Store, Out };
+  Kind K;
+  uint64_t Addr;  ///< Store address (0 for Out).
+  uint64_t Value; ///< Stored/emitted value.
+  uint8_t Size;   ///< Store size in bytes (0 for Out).
+};
+
+/// Incremental FNV-1a hasher used for both the full-trace hash and the
+/// observable-output hash.
+class TraceHasher {
+public:
+  void absorb(uint64_t Value) {
+    for (unsigned I = 0; I < 8; ++I) {
+      Hash ^= (Value >> (8 * I)) & 0xff;
+      Hash *= 0x100000001b3ull;
+    }
+  }
+  uint64_t value() const { return Hash; }
+
+private:
+  uint64_t Hash = 0xcbf29ce484222325ull;
+};
+
+/// A (possibly abbreviated) record of one program execution.
+struct Trace {
+  /// Executed instruction index per cycle (empty if recording was off).
+  std::vector<uint32_t> Executed;
+  /// Side effects in program order (empty if recording was off).
+  std::vector<TraceEvent> Events;
+  uint64_t Cycles = 0;
+  uint64_t ReturnValue = 0;
+  bool HasReturnValue = false;
+  Outcome End = Outcome::Finished;
+
+  /// Hash of the complete architectural trace (instructions + side effects
+  /// + outcome). Equal hashes are treated as identical traces.
+  uint64_t TraceHash = 0;
+  /// Hash of the externally observable behaviour only (out-events,
+  /// return value, outcome): used to classify SDC vs. benign.
+  uint64_t ObservableHash = 0;
+
+  /// Values emitted by `out` instructions (requires recording).
+  std::vector<uint64_t> outputValues() const {
+    std::vector<uint64_t> Result;
+    for (const TraceEvent &E : Events)
+      if (E.K == TraceEvent::Kind::Out)
+        Result.push_back(E.Value);
+    return Result;
+  }
+
+  /// Approximate archival size in bytes, as used by the Table I disk-space
+  /// accounting (4 bytes per executed instruction, 18 per event).
+  uint64_t approxByteSize() const {
+    return Cycles * 4 + Events.size() * 18 + 16;
+  }
+};
+
+} // namespace bec
+
+#endif // BEC_SIM_TRACE_H

@@ -1,0 +1,76 @@
+//===- support/BitUtils.h - Fixed-width bit manipulation helpers ---------===//
+///
+/// \file
+/// Small helpers for working with values of a configurable register width
+/// (1..64 bits). All machine values in this project are kept in a uint64_t
+/// and masked to the active width; these helpers centralize the masking and
+/// sign handling so the simulator and the abstract domain agree bit-exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SUPPORT_BITUTILS_H
+#define BEC_SUPPORT_BITUTILS_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace bec {
+
+/// Maximum register width supported by the abstract domain and simulator.
+inline constexpr unsigned MaxRegWidth = 64;
+
+/// Returns a mask with the low \p Width bits set.
+inline uint64_t lowBitMask(unsigned Width) {
+  assert(Width >= 1 && Width <= MaxRegWidth && "unsupported register width");
+  return Width == 64 ? ~uint64_t(0) : ((uint64_t(1) << Width) - 1);
+}
+
+/// Truncates \p Value to \p Width bits.
+inline uint64_t truncate(uint64_t Value, unsigned Width) {
+  return Value & lowBitMask(Width);
+}
+
+/// Returns bit \p Index (0 = LSB) of \p Value.
+inline bool testBit(uint64_t Value, unsigned Index) {
+  assert(Index < MaxRegWidth && "bit index out of range");
+  return (Value >> Index) & 1;
+}
+
+/// Returns \p Value with bit \p Index flipped, truncated to \p Width bits.
+inline uint64_t flipBit(uint64_t Value, unsigned Index, unsigned Width) {
+  assert(Index < Width && "bit index beyond register width");
+  return truncate(Value ^ (uint64_t(1) << Index), Width);
+}
+
+/// Sign-extends the \p Width-bit value \p Value to a signed 64-bit integer.
+inline int64_t signExtend(uint64_t Value, unsigned Width) {
+  assert(Width >= 1 && Width <= MaxRegWidth && "unsupported register width");
+  if (Width == 64)
+    return static_cast<int64_t>(Value);
+  uint64_t SignBit = uint64_t(1) << (Width - 1);
+  uint64_t Truncated = truncate(Value, Width);
+  return static_cast<int64_t>((Truncated ^ SignBit) - SignBit);
+}
+
+/// True if the sign bit of the \p Width-bit value is set.
+inline bool isNegative(uint64_t Value, unsigned Width) {
+  return testBit(Value, Width - 1);
+}
+
+/// Population count over the low \p Width bits.
+inline unsigned popCount(uint64_t Value, unsigned Width) {
+  return static_cast<unsigned>(std::popcount(truncate(Value, Width)));
+}
+
+/// The most negative signed value representable in \p Width bits.
+inline uint64_t signedMinValue(unsigned Width) {
+  return uint64_t(1) << (Width - 1);
+}
+
+/// All-ones value of \p Width bits (unsigned max, signed -1).
+inline uint64_t allOnesValue(unsigned Width) { return lowBitMask(Width); }
+
+} // namespace bec
+
+#endif // BEC_SUPPORT_BITUTILS_H

@@ -1,0 +1,30 @@
+//===- support/Debug.h - Fatal-error and unreachable helpers -------------===//
+///
+/// \file
+/// Minimal stand-ins for llvm_unreachable / report_fatal_error. Library code
+/// uses these for programmatic errors (invariant violations); recoverable
+/// errors (e.g. assembler diagnostics) are returned as values instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SUPPORT_DEBUG_H
+#define BEC_SUPPORT_DEBUG_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bec {
+
+/// Prints \p Message to stderr and aborts. For invariant violations that
+/// must be diagnosed even in release builds.
+[[noreturn]] inline void reportFatalError(const char *Message) {
+  std::fprintf(stderr, "bec fatal error: %s\n", Message);
+  std::abort();
+}
+
+} // namespace bec
+
+/// Marks a point in the code that must never be reached.
+#define bec_unreachable(MSG) ::bec::reportFatalError("unreachable: " MSG)
+
+#endif // BEC_SUPPORT_DEBUG_H

@@ -1,0 +1,100 @@
+//===- support/Table.cpp - Plain-text table rendering --------------------===//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+
+using namespace bec;
+
+Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {}
+
+Table &Table::row() {
+  Rows.emplace_back();
+  return *this;
+}
+
+Table &Table::cell(std::string Text) {
+  assert(!Rows.empty() && "call row() before cell()");
+  Rows.back().push_back(std::move(Text));
+  return *this;
+}
+
+Table &Table::cell(uint64_t Value) { return cell(withSeparators(Value)); }
+
+Table &Table::cell(double Value, unsigned Decimals, const char *Suffix) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f%s", Decimals, Value, Suffix);
+  return cell(std::string(Buffer));
+}
+
+std::string Table::withSeparators(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  unsigned Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count && Count % 3 == 0)
+      Result.push_back(' ');
+    Result.push_back(*It);
+    ++Count;
+  }
+  return std::string(Result.rbegin(), Result.rend());
+}
+
+std::string Table::percent(double Fraction) {
+  char Buffer[32];
+  std::snprintf(Buffer, sizeof(Buffer), "%.2f%%", Fraction * 100.0);
+  return std::string(Buffer);
+}
+
+/// True if the cell consists of digits, separators and numeric punctuation,
+/// in which case it is right-aligned.
+static bool looksNumeric(const std::string &Cell) {
+  if (Cell.empty())
+    return false;
+  for (char C : Cell)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && C != ' ' && C != '.' &&
+        C != '%' && C != '-' && C != '+' && C != 'x')
+      return false;
+  return true;
+}
+
+std::string Table::render() const {
+  std::vector<size_t> Widths(Header.size());
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size() && I < Widths.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  auto AppendRow = [&](std::string &Out, const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      size_t Pad = Widths[I] - Cell.size();
+      if (I)
+        Out += "  ";
+      if (looksNumeric(Cell)) {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      } else {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      }
+    }
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    Out += '\n';
+  };
+
+  std::string Out;
+  AppendRow(Out, Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  Out.append(Total ? Total - 2 : 0, '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    AppendRow(Out, Row);
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- support/Table.h - Plain-text table rendering for reports ----------===//
+///
+/// \file
+/// A small column-aligned table renderer used by the benchmark harnesses to
+/// print the paper's tables. Library code renders into a std::string; only
+/// tools write to stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SUPPORT_TABLE_H
+#define BEC_SUPPORT_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace bec {
+
+/// Column-aligned plain-text table. Cells are strings; numeric helpers
+/// format with thousands separators to match the paper's layout.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Starts a new row; subsequent cell() calls fill it left to right.
+  Table &row();
+
+  /// Appends a cell to the current row.
+  Table &cell(std::string Text);
+  Table &cell(uint64_t Value);
+  Table &cell(double Value, unsigned Decimals = 2, const char *Suffix = "");
+
+  /// Renders the table, right-aligning numeric-looking cells.
+  std::string render() const;
+
+  /// Formats \p Value with ' ' thousands separators (paper style).
+  static std::string withSeparators(uint64_t Value);
+
+  /// Formats a percentage with two decimals, e.g. "13.71%".
+  static std::string percent(double Fraction);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace bec
+
+#endif // BEC_SUPPORT_TABLE_H

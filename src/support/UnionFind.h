@@ -1,0 +1,82 @@
+//===- support/UnionFind.h - Disjoint-set forest with min-id roots -------===//
+///
+/// \file
+/// Union-find (disjoint-set) structure used to represent the equivalence
+/// relation over fault indices. The representative of each class is the
+/// *minimum* element id in the class, which gives two properties the BEC
+/// analysis relies on:
+///   * index 0 (the distinguished class s0 of masked faults) is always its
+///     own class representative, and
+///   * results are deterministic regardless of merge order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SUPPORT_UNIONFIND_H
+#define BEC_SUPPORT_UNIONFIND_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bec {
+
+/// Disjoint-set forest over dense ids [0, size) with minimum-id
+/// representatives and path compression.
+class UnionFind {
+public:
+  UnionFind() = default;
+  explicit UnionFind(uint32_t Size) { reset(Size); }
+
+  /// Re-initializes to \p Size singleton classes.
+  void reset(uint32_t Size) {
+    Parent.resize(Size);
+    for (uint32_t I = 0; I < Size; ++I)
+      Parent[I] = I;
+    NumClasses = Size;
+  }
+
+  uint32_t size() const { return static_cast<uint32_t>(Parent.size()); }
+
+  /// Number of distinct classes currently in the relation.
+  uint32_t numClasses() const { return NumClasses; }
+
+  /// Returns the class representative (minimum member id) of \p Id.
+  uint32_t find(uint32_t Id) const {
+    assert(Id < Parent.size() && "id out of range");
+    uint32_t Root = Id;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    // Path compression (does not change observable behaviour).
+    while (Parent[Id] != Root) {
+      uint32_t Next = Parent[Id];
+      Parent[Id] = Root;
+      Id = Next;
+    }
+    return Root;
+  }
+
+  /// Merges the classes of \p A and \p B. Returns true if the relation
+  /// changed (the two were in distinct classes).
+  bool unite(uint32_t A, uint32_t B) {
+    uint32_t RA = find(A), RB = find(B);
+    if (RA == RB)
+      return false;
+    // Keep the minimum id as the representative so s0 stays canonical.
+    if (RA > RB)
+      std::swap(RA, RB);
+    Parent[RB] = RA;
+    --NumClasses;
+    return true;
+  }
+
+  /// True if \p A and \p B are in the same class.
+  bool connected(uint32_t A, uint32_t B) const { return find(A) == find(B); }
+
+private:
+  mutable std::vector<uint32_t> Parent;
+  uint32_t NumClasses = 0;
+};
+
+} // namespace bec
+
+#endif // BEC_SUPPORT_UNIONFIND_H

@@ -1,0 +1,63 @@
+//===- support/Xoshiro.h - Deterministic PRNG for tests and workloads ----===//
+///
+/// \file
+/// xoshiro256** generator. Used by property-based tests and synthetic
+/// workload generators; seeded explicitly so every run is reproducible
+/// (per the coding standards, no global state and no nondeterminism).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SUPPORT_XOSHIRO_H
+#define BEC_SUPPORT_XOSHIRO_H
+
+#include <cstdint>
+
+namespace bec {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
+/// implementation, reimplemented here).
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed) {
+    // splitmix64 seeding, as recommended by the authors.
+    for (auto &Word : State) {
+      Seed += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = Seed;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// Bernoulli draw with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+  uint64_t State[4];
+};
+
+} // namespace bec
+
+#endif // BEC_SUPPORT_XOSHIRO_H

@@ -1,0 +1,82 @@
+//===- workloads/Rsa.cpp - FISSC-style RSA modular exponentiation ----------===//
+///
+/// \file
+/// Textbook RSA encryption c = m^e mod n with e = 65537 = 2^16 + 1 over a
+/// stream of 24 message blocks. Because the public exponent is a Fermat
+/// number, the kernel is a pure square chain (sixteen modular squarings
+/// and one final multiply) of mul/remu arithmetic with no per-bit
+/// branching: almost every value is compile-time unknown and no
+/// coalescing rule applies. This reproduces the paper's adversary case
+/// ("the majority of its operations are arithmetic and thus challenging
+/// for bit-value analysis"; 0.08 % pruning).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/Sources.h"
+
+using namespace bec;
+
+// p = 251, q = 211 (prime): n = 52961 < 2^16, so a * b < 2^32 never
+// overflows the 32-bit registers.
+static constexpr uint64_t N = 251ull * 211ull;
+
+static const uint32_t Messages[24] = {
+    42424242, 19283746, 777,      52960,   1048576, 999999,
+    314159,   27182818, 11111,    2222222, 333,     4444444,
+    5555,     66666,    7777777,  888,     9999999, 1234321,
+    43210,    505050,   60606060, 70707,   808,     90909090};
+
+namespace {
+const char *RsaAsm = R"(
+# rsa: c_i = m_i^65537 mod n; sixteen modular squarings + one multiply
+# per block (e = 2^16 + 1), mul/remu arithmetic only.
+.memsize 8192
+.data
+msgs:
+  .word 42424242, 19283746, 777, 52960, 1048576, 999999
+  .word 314159, 27182818, 11111, 2222222, 333, 4444444
+  .word 5555, 66666, 7777777, 888, 9999999, 1234321
+  .word 43210, 505050, 60606060, 70707, 808, 90909090
+.text
+main:
+  li   s0, 52961         # n
+  la   s1, msgs
+  li   s2, 24            # blocks remaining
+  li   s7, 0             # additive ciphertext checksum
+block_loop:
+  lw   t0, 0(s1)
+  remu t0, t0, s0        # m mod n
+  mv   t2, t0            # keep m for the final multiply
+  li   t1, 16            # squarings remaining
+sq_loop:
+  mul  t0, t0, t0        # base = base^2 mod n
+  remu t0, t0, s0
+  addi t1, t1, -1
+  bnez t1, sq_loop
+  mul  t0, t0, t2        # c = base * m mod n
+  remu t0, t0, s0
+  out  t0
+  add  s7, s7, t0
+  addi s1, s1, 4
+  addi s2, s2, -1
+  bnez s2, block_loop
+  mv   a0, s7
+  ret
+)";
+} // namespace
+
+const char *bec::workloadRsaAsm() { return RsaAsm; }
+
+std::vector<uint64_t> bec::ref::rsa() {
+  std::vector<uint64_t> Out;
+  for (uint32_t M : Messages) {
+    uint64_t Base = M % N;
+    uint64_t Saved = Base;
+    for (int I = 0; I < 16; ++I)
+      Base = (Base * Base) % N;
+    Out.push_back((Base * Saved) % N);
+  }
+  return Out;
+}

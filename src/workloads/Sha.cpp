@@ -1,0 +1,176 @@
+//===- workloads/Sha.cpp - MiBench SHA (SHA-1 compression) -----------------===//
+///
+/// \file
+/// SHA-1 over the single padded block of the message "abc" (FIPS 180-1
+/// test vector: digest a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d).
+/// Rotate/xor heavy with a memory-resident message schedule.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/Sources.h"
+
+using namespace bec;
+
+namespace {
+const char *ShaAsm = R"(
+# sha: SHA-1 compression of the padded "abc" block.
+.memsize 8192
+.data
+msg:
+  .word 0x61626380, 0, 0, 0, 0, 0, 0, 0
+  .word 0, 0, 0, 0, 0, 0, 0, 0x00000018
+sched:
+  .zero 320              # w[0..79]
+.text
+main:
+  # --- message schedule ---
+  la   s0, msg
+  la   s1, sched
+  li   t0, 0             # t
+copy_loop:
+  slli t1, t0, 2
+  add  t2, s0, t1
+  lw   t3, 0(t2)
+  add  t2, s1, t1
+  sw   t3, 0(t2)
+  addi t0, t0, 1
+  slti t1, t0, 16
+  bnez t1, copy_loop
+expand_loop:
+  slli t1, t0, 2
+  add  t2, s1, t1
+  lw   t3, -12(t2)       # w[t-3]
+  lw   t4, -32(t2)       # w[t-8]
+  xor  t3, t3, t4
+  lw   t4, -56(t2)       # w[t-14]
+  xor  t3, t3, t4
+  lw   t4, -64(t2)       # w[t-16]
+  xor  t3, t3, t4
+  slli t4, t3, 1         # rotl(x, 1)
+  srli t3, t3, 31
+  or   t3, t3, t4
+  sw   t3, 0(t2)
+  addi t0, t0, 1
+  slti t1, t0, 80
+  bnez t1, expand_loop
+  # --- compression ---
+  li   s2, 0x67452301    # a
+  li   s3, 0xEFCDAB89    # b
+  li   s4, 0x98BADCFE    # c
+  li   s5, 0x10325476    # d
+  li   s6, 0xC3D2E1F0    # e
+  li   t0, 0             # t
+round_loop:
+  # f and k by round quarter
+  li   t1, 20
+  blt  t0, t1, f_ch
+  li   t1, 40
+  blt  t0, t1, f_par1
+  li   t1, 60
+  blt  t0, t1, f_maj
+  # t >= 60: parity, k = 0xCA62C1D6
+  xor  t2, s3, s4
+  xor  t2, t2, s5
+  li   t3, 0xCA62C1D6
+  j    f_done
+f_ch:                    # (b & c) | (~b & d), k = 0x5A827999
+  and  t2, s3, s4
+  not  t3, s3
+  and  t3, t3, s5
+  or   t2, t2, t3
+  li   t3, 0x5A827999
+  j    f_done
+f_par1:                  # b ^ c ^ d, k = 0x6ED9EBA1
+  xor  t2, s3, s4
+  xor  t2, t2, s5
+  li   t3, 0x6ED9EBA1
+  j    f_done
+f_maj:                   # (b&c) | (b&d) | (c&d), k = 0x8F1BBCDC
+  and  t2, s3, s4
+  and  t4, s3, s5
+  or   t2, t2, t4
+  and  t4, s4, s5
+  or   t2, t2, t4
+  li   t3, 0x8F1BBCDC
+f_done:
+  # temp = rotl(a,5) + f + e + k + w[t]
+  slli t4, s2, 5
+  srli t5, s2, 27
+  or   t4, t4, t5
+  add  t4, t4, t2
+  add  t4, t4, s6
+  add  t4, t4, t3
+  slli t5, t0, 2
+  add  t5, s1, t5
+  lw   t5, 0(t5)
+  add  t4, t4, t5
+  # e=d; d=c; c=rotl(b,30); b=a; a=temp
+  mv   s6, s5
+  mv   s5, s4
+  slli t5, s3, 30
+  srli s4, s3, 2
+  or   s4, s4, t5
+  mv   s3, s2
+  mv   s2, t4
+  addi t0, t0, 1
+  slti t1, t0, 80
+  bnez t1, round_loop
+  # --- add initial state and emit the digest ---
+  li   t0, 0x67452301
+  add  s2, s2, t0
+  li   t0, 0xEFCDAB89
+  add  s3, s3, t0
+  li   t0, 0x98BADCFE
+  add  s4, s4, t0
+  li   t0, 0x10325476
+  add  s5, s5, t0
+  li   t0, 0xC3D2E1F0
+  add  s6, s6, t0
+  out  s2
+  out  s3
+  out  s4
+  out  s5
+  out  s6
+  mv   a0, s2
+  ret
+)";
+} // namespace
+
+const char *bec::workloadShaAsm() { return ShaAsm; }
+
+std::vector<uint64_t> bec::ref::sha() {
+  uint32_t W[80] = {0x61626380u};
+  W[15] = 0x18;
+  for (int T = 16; T < 80; ++T) {
+    uint32_t X = W[T - 3] ^ W[T - 8] ^ W[T - 14] ^ W[T - 16];
+    W[T] = (X << 1) | (X >> 31);
+  }
+  uint32_t A = 0x67452301u, B = 0xEFCDAB89u, C = 0x98BADCFEu,
+           D = 0x10325476u, E = 0xC3D2E1F0u;
+  for (int T = 0; T < 80; ++T) {
+    uint32_t F, K;
+    if (T < 20) {
+      F = (B & C) | (~B & D);
+      K = 0x5A827999u;
+    } else if (T < 40) {
+      F = B ^ C ^ D;
+      K = 0x6ED9EBA1u;
+    } else if (T < 60) {
+      F = (B & C) | (B & D) | (C & D);
+      K = 0x8F1BBCDCu;
+    } else {
+      F = B ^ C ^ D;
+      K = 0xCA62C1D6u;
+    }
+    uint32_t Temp = ((A << 5) | (A >> 27)) + F + E + K + W[T];
+    E = D;
+    D = C;
+    C = (B << 30) | (B >> 2);
+    B = A;
+    A = Temp;
+  }
+  return {A + 0x67452301u, B + 0xEFCDAB89u, C + 0x98BADCFEu,
+          D + 0x10325476u, E + 0xC3D2E1F0u};
+}

@@ -1,0 +1,26 @@
+//===- workloads/Sources.h - Internal: per-benchmark assembly sources -----===//
+///
+/// \file
+/// Private interface between the per-benchmark translation units and the
+/// workload registry. Each benchmark exposes its assembly text through a
+/// function (no global constructors, per the coding standards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_WORKLOADS_SOURCES_H
+#define BEC_WORKLOADS_SOURCES_H
+
+namespace bec {
+
+const char *workloadBitcountAsm();
+const char *workloadDijkstraAsm();
+const char *workloadCrc32Asm();
+const char *workloadAdpcmEncAsm();
+const char *workloadAdpcmDecAsm();
+const char *workloadAesAsm();
+const char *workloadRsaAsm();
+const char *workloadShaAsm();
+
+} // namespace bec
+
+#endif // BEC_WORKLOADS_SOURCES_H

@@ -1,0 +1,56 @@
+//===- workloads/Workloads.cpp - Benchmark registry ------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "ir/AsmParser.h"
+#include "workloads/Sources.h"
+
+using namespace bec;
+
+static std::vector<Workload> buildRegistry() {
+  std::vector<Workload> Registry;
+  auto Add = [&](const char *Name, const char *Asm,
+                 std::vector<uint64_t> Outputs, uint64_t Return,
+                 bool CheckReturn = true) {
+    Registry.push_back({Name, Asm, std::move(Outputs), Return, CheckReturn});
+  };
+  // Return values mirror the programs' final `mv a0, ...` conventions.
+  // The adpcm return values are internal codec state (not part of the
+  // reference interface); their out-streams are the checked signal.
+  std::vector<uint64_t> Bc = ref::bitcount();
+  Add("bitcount", workloadBitcountAsm(), Bc, Bc[0]);
+  std::vector<uint64_t> Dj = ref::dijkstra();
+  Add("dijkstra", workloadDijkstraAsm(), Dj, Dj[7]);
+  std::vector<uint64_t> Crc = ref::crc32();
+  Add("CRC32", workloadCrc32Asm(), Crc, (Crc[0] ^ Crc[1]) & 0xffffffffu);
+  Add("adpcm_enc", workloadAdpcmEncAsm(), ref::adpcmEnc(), 0,
+      /*CheckReturn=*/false);
+  Add("adpcm_dec", workloadAdpcmDecAsm(), ref::adpcmDec(), 0,
+      /*CheckReturn=*/false);
+  std::vector<uint64_t> Aes = ref::aes();
+  Add("AES", workloadAesAsm(), Aes, (Aes[0] >> 24) & 0xff);
+  std::vector<uint64_t> Rsa = ref::rsa();
+  uint64_t RsaSum = 0;
+  for (uint64_t C : Rsa)
+    RsaSum += C;
+  Add("RSA", workloadRsaAsm(), Rsa, RsaSum & 0xffffffffu);
+  std::vector<uint64_t> Sha = ref::sha();
+  Add("SHA", workloadShaAsm(), Sha, Sha[0]);
+  return Registry;
+}
+
+const std::vector<Workload> &bec::allWorkloads() {
+  static const std::vector<Workload> Registry = buildRegistry();
+  return Registry;
+}
+
+const Workload *bec::findWorkload(std::string_view Name) {
+  for (const Workload &W : allWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+Program bec::loadWorkload(const Workload &W) {
+  return parseAsmOrDie(W.Asm, W.Name);
+}

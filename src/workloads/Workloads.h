@@ -1,0 +1,61 @@
+//===- workloads/Workloads.h - The eight benchmark programs ---------------===//
+///
+/// \file
+/// The benchmark suite of the paper's evaluation (Section VI): bitcount,
+/// dijkstra, CRC32, adpcm_enc, adpcm_dec (MiBench) and AES, RSA, SHA
+/// (FISSC-style security kernels), hand-written in the project's RISC-V
+/// assembly dialect with embedded inputs. Every workload carries a C++
+/// reference model; the simulated `out` stream must match it exactly
+/// (AES, SHA and CRC32 additionally hit published test vectors).
+///
+/// Workload sizes are scaled so that exhaustive fault-injection campaigns
+/// finish in seconds (the paper's originals took 0.5h..50h; Table I
+/// reproduces the shape, not the absolute cost).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_WORKLOADS_WORKLOADS_H
+#define BEC_WORKLOADS_WORKLOADS_H
+
+#include "ir/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace bec {
+
+/// One benchmark: assembly source plus its reference outputs.
+struct Workload {
+  std::string Name;
+  const char *Asm;
+  /// Expected `out` stream, computed by the C++ reference model.
+  std::vector<uint64_t> ExpectedOutputs;
+  /// Expected return value (a0 at ret); checked only when CheckReturn.
+  uint64_t ExpectedReturn = 0;
+  bool CheckReturn = false;
+};
+
+/// All eight benchmarks, in the paper's Table III column order.
+const std::vector<Workload> &allWorkloads();
+
+/// Finds a workload by name; returns nullptr if unknown.
+const Workload *findWorkload(std::string_view Name);
+
+/// Assembles a workload (aborts on internal error: sources are known-good).
+Program loadWorkload(const Workload &W);
+
+/// Reference models (exposed for direct testing).
+namespace ref {
+std::vector<uint64_t> bitcount();
+std::vector<uint64_t> dijkstra();
+std::vector<uint64_t> crc32();
+std::vector<uint64_t> adpcmEnc();
+std::vector<uint64_t> adpcmDec();
+std::vector<uint64_t> aes();
+std::vector<uint64_t> rsa();
+std::vector<uint64_t> sha();
+} // namespace ref
+
+} // namespace bec
+
+#endif // BEC_WORKLOADS_WORKLOADS_H

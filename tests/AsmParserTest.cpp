@@ -1,0 +1,208 @@
+//===- tests/AsmParserTest.cpp - Assembler and verifier tests --------------===//
+
+#include "ir/AsmParser.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace bec;
+
+namespace {
+
+TEST(AsmParser, ParsesEveryOperandFormat) {
+  const char *Src = R"(
+.data
+tab:
+  .word 1, 2, 3
+.text
+main:
+  li   t0, -5
+  lui  t1, 0x12345
+  mv   t2, t0
+  add  t3, t0, t1
+  addi t4, t0, 100
+  beq  t0, t1, main
+  j    main
+  lw   t5, 4(t0)
+  sw   t5, -4(t0)
+  out  t5
+  nop
+  halt
+)";
+  AsmParseResult R = parseAsm(Src);
+  ASSERT_TRUE(R.succeeded()) << R.diagText();
+  EXPECT_EQ(R.Prog->size(), 12u);
+  EXPECT_EQ(R.Prog->instr(0).Op, Opcode::LI);
+  EXPECT_EQ(R.Prog->instr(0).Imm, -5);
+  EXPECT_EQ(R.Prog->instr(5).Target, 0);
+  EXPECT_EQ(R.Prog->instr(8).Imm, -4);
+}
+
+TEST(AsmParser, LowersPseudoInstructions) {
+  const char *Src = R"(
+main:
+  seqz t0, t1
+  snez t0, t1
+  not  t0, t1
+  neg  t0, t1
+  beqz t0, main
+  bnez t0, main
+  bltz t0, main
+  bgez t0, main
+  blez t0, main
+  bgtz t0, main
+  ble  t0, t1, main
+  bgt  t0, t1, main
+  bleu t0, t1, main
+  bgtu t0, t1, main
+  halt
+)";
+  AsmParseResult R = parseAsm(Src);
+  ASSERT_TRUE(R.succeeded()) << R.diagText();
+  const Program &P = *R.Prog;
+  EXPECT_EQ(P.instr(0).Op, Opcode::SLTIU); // seqz -> sltiu rd, rs, 1
+  EXPECT_EQ(P.instr(0).Imm, 1);
+  EXPECT_EQ(P.instr(1).Op, Opcode::SLTU); // snez -> sltu rd, x0, rs
+  EXPECT_EQ(P.instr(1).Rs1, RegZero);
+  EXPECT_EQ(P.instr(2).Op, Opcode::XORI); // not -> xori rd, rs, -1
+  EXPECT_EQ(P.instr(2).Imm, -1);
+  EXPECT_EQ(P.instr(3).Op, Opcode::SUB); // neg -> sub rd, x0, rs
+  EXPECT_EQ(P.instr(4).Op, Opcode::BEQ);
+  EXPECT_EQ(P.instr(10).Op, Opcode::BGE); // ble a,b -> bge b,a
+  EXPECT_EQ(P.instr(10).Rs1, *parseRegName("t1"));
+  EXPECT_EQ(P.instr(10).Rs2, *parseRegName("t0"));
+  EXPECT_EQ(P.instr(11).Op, Opcode::BLT); // bgt a,b -> blt b,a
+}
+
+TEST(AsmParser, ResolvesDataLabels) {
+  const char *Src = R"(
+.data
+first:
+  .word 7
+second:
+  .byte 1
+  .align 4
+third:
+  .zero 8
+.text
+main:
+  la a0, second
+  la a1, third
+  ret
+)";
+  AsmParseResult R = parseAsm(Src);
+  ASSERT_TRUE(R.succeeded()) << R.diagText();
+  EXPECT_EQ(R.Prog->instr(0).Imm,
+            static_cast<int64_t>(R.Prog->DataBase + 4));
+  EXPECT_EQ(R.Prog->instr(1).Imm,
+            static_cast<int64_t>(R.Prog->DataBase + 8)); // aligned past byte
+  EXPECT_EQ(R.Prog->Data.size(), 16u);
+}
+
+TEST(AsmParser, RegisterAliases) {
+  EXPECT_EQ(parseRegName("zero"), parseRegName("x0"));
+  EXPECT_EQ(parseRegName("fp"), parseRegName("s0"));
+  EXPECT_EQ(parseRegName("fp"), parseRegName("x8"));
+  EXPECT_EQ(parseRegName("t6"), parseRegName("x31"));
+  EXPECT_FALSE(parseRegName("x32").has_value());
+  EXPECT_FALSE(parseRegName("q7").has_value());
+  EXPECT_FALSE(parseRegName("x01").has_value());
+}
+
+TEST(AsmParser, ReportsUnknownMnemonic) {
+  AsmParseResult R = parseAsm("main:\n  frobnicate t0, t1\n  ret\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.diagText().find("unknown mnemonic"), std::string::npos);
+  EXPECT_NE(R.diagText().find("line 2"), std::string::npos);
+}
+
+TEST(AsmParser, ReportsUnknownLabel) {
+  AsmParseResult R = parseAsm("main:\n  j nowhere\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.diagText().find("unknown label 'nowhere'"), std::string::npos);
+}
+
+TEST(AsmParser, ReportsDuplicateLabel) {
+  AsmParseResult R = parseAsm("main:\nmain:\n  ret\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.diagText().find("redefinition"), std::string::npos);
+}
+
+TEST(AsmParser, CollectsMultipleErrors) {
+  AsmParseResult R = parseAsm("main:\n  bogus\n  also_bogus\n  ret\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_GE(R.Diags.size(), 2u);
+}
+
+TEST(Verifier, RejectsFallthroughOffTheEnd) {
+  AsmParseResult R = parseAsm("main:\n  li t0, 1\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.diagText().find("falls off the end"), std::string::npos);
+}
+
+TEST(Verifier, RejectsOversizedShiftImmediate) {
+  AsmParseResult R = parseAsm("main:\n  slli t0, t0, 32\n  ret\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.diagText().find("shift amount"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMemoryOpsOnNarrowMachines) {
+  AsmParseResult R = parseAsm(".width 4\nmain:\n  lw t0, 0(t1)\n  ret\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.diagText().find("32-bit register width"), std::string::npos);
+}
+
+TEST(Verifier, RejectsImmediateOutsideWidth) {
+  AsmParseResult R = parseAsm(".width 4\nmain:\n  li t0, 300\n  ret\n");
+  ASSERT_FALSE(R.succeeded());
+  EXPECT_NE(R.diagText().find("immediate"), std::string::npos);
+}
+
+TEST(AsmPrinter, RoundTripsThroughTheParser) {
+  const char *Src = R"(
+main:
+  li   t0, 10
+  li   a0, 0
+loop:
+  add  a0, a0, t0
+  addi t0, t0, -1
+  bnez t0, loop
+  out  a0
+  ret
+)";
+  Program First = parseAsmOrDie(Src, "rt");
+  std::string Printed = First.toString();
+  AsmParseResult Again = parseAsm(Printed, "rt2");
+  ASSERT_TRUE(Again.succeeded()) << Again.diagText() << "\n" << Printed;
+  ASSERT_EQ(Again.Prog->size(), First.size());
+  for (uint32_t P = 0; P < First.size(); ++P) {
+    EXPECT_EQ(Again.Prog->instr(P).Op, First.instr(P).Op) << P;
+    EXPECT_EQ(Again.Prog->instr(P).Imm, First.instr(P).Imm) << P;
+    EXPECT_EQ(Again.Prog->instr(P).Target, First.instr(P).Target) << P;
+  }
+}
+
+TEST(ProgramCfg, BlocksAndEdges) {
+  const char *Src = R"(
+main:
+  li t0, 3
+loop:
+  addi t0, t0, -1
+  bnez t0, loop
+  ret
+)";
+  Program Prog = parseAsmOrDie(Src, "cfg");
+  ASSERT_EQ(Prog.blocks().size(), 3u);
+  // Block 1 (the loop) has itself and block 0 as predecessors.
+  const BasicBlock &Loop = Prog.blocks()[1];
+  EXPECT_EQ(Loop.First, 1u);
+  EXPECT_EQ(Loop.Last, 2u);
+  ASSERT_EQ(Loop.Succs.size(), 2u);
+  // Fallthrough edge first, then the taken edge.
+  EXPECT_EQ(Loop.Succs[0], 2u);
+  EXPECT_EQ(Loop.Succs[1], 1u);
+  for (uint32_t P = 0; P < Prog.size(); ++P)
+    EXPECT_TRUE(Prog.isReachable(P));
+}
+
+} // namespace

@@ -1,0 +1,222 @@
+//===- tests/FatesTest.cpp - Intra-instruction rule unit tests -------------===//
+///
+/// \file
+/// Direct unit tests of Algorithm 3's per-opcode fate rules against
+/// hand-computed expectations, including the operand-aliasing corner
+/// cases (x == y) where the paper's rules would be unsound if applied
+/// naively.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Fates.h"
+
+#include <gtest/gtest.h>
+
+using namespace bec;
+
+namespace {
+
+constexpr unsigned W = 8;
+constexpr Reg X = 5, Y = 6, Z = 7; // t0, t1, t2
+
+class FatesTest : public ::testing::Test {
+protected:
+  FatesTest() {
+    for (auto &K : State)
+      K = KnownBits::top(W);
+  }
+
+  InstrFates fatesOf(const Instruction &I) {
+    return computeFates(I, State, W);
+  }
+
+  RegState State;
+};
+
+TEST_F(FatesTest, MvForwardsEveryBit) {
+  InstrFates F = fatesOf({Opcode::MV, Z, X, 0, 0, NoTarget, 0});
+  for (unsigned B = 0; B < W; ++B) {
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::ToOutput);
+    EXPECT_EQ(F.fate(X, B).Arg, B);
+  }
+}
+
+TEST_F(FatesTest, XorForwardsBothOperands) {
+  InstrFates F = fatesOf({Opcode::XOR, Z, X, Y, 0, NoTarget, 0});
+  for (unsigned B = 0; B < W; ++B) {
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::ToOutput);
+    EXPECT_EQ(F.fate(Y, B).Kind, FateKind::ToOutput);
+  }
+}
+
+TEST_F(FatesTest, XorWithItselfMasks) {
+  // z = x ^ x == 0 for any x; a single storage flip corrupts both
+  // operand reads and still yields zero.
+  InstrFates F = fatesOf({Opcode::XOR, Z, X, X, 0, NoTarget, 0});
+  for (unsigned B = 0; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::Masked);
+}
+
+TEST_F(FatesTest, AndWithItselfIsMove) {
+  InstrFates F = fatesOf({Opcode::AND, Z, X, X, 0, NoTarget, 0});
+  for (unsigned B = 0; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::ToOutput);
+}
+
+TEST_F(FatesTest, AndiMasksZeroImmBitsForwardsOneImmBits) {
+  InstrFates F = fatesOf({Opcode::ANDI, Z, X, 0, 0b0011, NoTarget, 0});
+  EXPECT_EQ(F.fate(X, 0).Kind, FateKind::ToOutput);
+  EXPECT_EQ(F.fate(X, 1).Kind, FateKind::ToOutput);
+  for (unsigned B = 2; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::Masked) << B;
+}
+
+TEST_F(FatesTest, OriIsTheDualOfAndi) {
+  InstrFates F = fatesOf({Opcode::ORI, Z, X, 0, 0b0011, NoTarget, 0});
+  EXPECT_EQ(F.fate(X, 0).Kind, FateKind::Masked);
+  EXPECT_EQ(F.fate(X, 1).Kind, FateKind::Masked);
+  for (unsigned B = 2; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::ToOutput) << B;
+}
+
+TEST_F(FatesTest, AndWithUnknownOperandConcludesNothing) {
+  InstrFates F = fatesOf({Opcode::AND, Z, X, Y, 0, NoTarget, 0});
+  for (unsigned B = 0; B < W; ++B) {
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::None);
+    EXPECT_EQ(F.fate(Y, B).Kind, FateKind::None);
+  }
+}
+
+TEST_F(FatesTest, AndUsesKnownBitsOfTheOtherOperand) {
+  State[Y] = KnownBits::constant(0b11110000, W);
+  InstrFates F = fatesOf({Opcode::AND, Z, X, Y, 0, NoTarget, 0});
+  for (unsigned B = 0; B < 4; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::Masked) << B;
+  for (unsigned B = 4; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::ToOutput) << B;
+  // And for y itself: x is unknown, so nothing can be concluded.
+  for (unsigned B = 0; B < W; ++B)
+    EXPECT_EQ(F.fate(Y, B).Kind, FateKind::None) << B;
+}
+
+TEST_F(FatesTest, ShiftLeftByConstant) {
+  InstrFates F = fatesOf({Opcode::SLLI, Z, X, 0, 3, NoTarget, 0});
+  for (unsigned B = 0; B < W - 3; ++B) {
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::ToOutput) << B;
+    EXPECT_EQ(F.fate(X, B).Arg, B + 3) << B;
+  }
+  for (unsigned B = W - 3; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::Masked) << B;
+}
+
+TEST_F(FatesTest, ShiftRightLogicalByConstant) {
+  InstrFates F = fatesOf({Opcode::SRLI, Z, X, 0, 2, NoTarget, 0});
+  EXPECT_EQ(F.fate(X, 0).Kind, FateKind::Masked);
+  EXPECT_EQ(F.fate(X, 1).Kind, FateKind::Masked);
+  for (unsigned B = 2; B < W; ++B) {
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::ToOutput) << B;
+    EXPECT_EQ(F.fate(X, B).Arg, B - 2) << B;
+  }
+}
+
+TEST_F(FatesTest, ArithmeticShiftKeepsSignBitUnmapped) {
+  InstrFates F = fatesOf({Opcode::SRAI, Z, X, 0, 2, NoTarget, 0});
+  // The sign bit is replicated into several result bits: no single
+  // output-bit equivalent.
+  EXPECT_EQ(F.fate(X, W - 1).Kind, FateKind::None);
+  EXPECT_EQ(F.fate(X, 3).Kind, FateKind::ToOutput);
+  EXPECT_EQ(F.fate(X, 3).Arg, 1u);
+}
+
+TEST_F(FatesTest, VariableShiftUsesMinimumAmount) {
+  // y in [4, 7] (two low bits unknown, bit2 known one): bits above
+  // W - 4 are shifted out for any feasible amount.
+  State[Y] = KnownBits::constant(0b100, W);
+  State[Y].setBit(0, BitValue::Top);
+  State[Y].setBit(1, BitValue::Top);
+  InstrFates F = fatesOf({Opcode::SLL, Z, X, Y, 0, NoTarget, 0});
+  for (unsigned B = W - 4; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::Masked) << B;
+  // Lower bits: the amount is not constant, so no ToOutput mapping.
+  EXPECT_EQ(F.fate(X, 0).Kind, FateKind::None);
+}
+
+TEST_F(FatesTest, WritesToX0TurnPropagationIntoMasking) {
+  InstrFates F = fatesOf({Opcode::MV, RegZero, X, 0, 0, NoTarget, 0});
+  for (unsigned B = 0; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::Masked) << B;
+}
+
+TEST_F(FatesTest, BranchOnKnownZeroBitsCoalesces) {
+  // beq x, x0 with k(x) = 0000 000x: flipping any known-zero bit forces
+  // "not taken"; the unknown bit concludes nothing.
+  State[X] = KnownBits::constant(0, W);
+  State[X].setBit(0, BitValue::Top);
+  InstrFates F = fatesOf({Opcode::BEQ, 0, X, RegZero, 0, 1, 0});
+  EXPECT_EQ(F.fate(X, 0).Kind, FateKind::None);
+  for (unsigned B = 1; B < W; ++B) {
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::EvalClass) << B;
+    EXPECT_EQ(F.fate(X, B).Arg, 0u) << B; // forced "condition false"
+  }
+}
+
+TEST_F(FatesTest, BranchFlipWithUnchangedOutcomeIsMasked) {
+  // blt x, y with x known 0000_0000 and y known 0111_1111: x < y on
+  // every single-bit flip of x except the sign bit.
+  State[X] = KnownBits::constant(0, W);
+  State[Y] = KnownBits::constant(0x7f, W);
+  InstrFates F = fatesOf({Opcode::BLT, 0, X, Y, 0, 1, 0});
+  for (unsigned B = 0; B < W - 1; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::Masked) << B;
+  // Flipping the sign bit makes x negative: still x < y, also masked.
+  EXPECT_EQ(F.fate(X, W - 1).Kind, FateKind::Masked);
+  // Flipping y's low bits keeps x < y; flipping y's sign makes y
+  // negative and flips the branch.
+  EXPECT_EQ(F.fate(Y, 0).Kind, FateKind::Masked);
+  EXPECT_EQ(F.fate(Y, W - 1).Kind, FateKind::EvalClass);
+}
+
+TEST_F(FatesTest, CompareRegisterWithItselfMasksEverything) {
+  InstrFates F = fatesOf({Opcode::BEQ, 0, X, X, 0, 1, 0});
+  for (unsigned B = 0; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::Masked) << B;
+}
+
+TEST_F(FatesTest, SltiuOnMaskedValueMatchesMotivatingExample) {
+  // The seqz of the motivating example: k(x) = 0...0x, sltiu z, x, 1.
+  State[X] = KnownBits::constant(0, W);
+  State[X].setBit(0, BitValue::Top);
+  InstrFates F = fatesOf({Opcode::SLTIU, Z, X, 0, 1, NoTarget, 0});
+  EXPECT_EQ(F.fate(X, 0).Kind, FateKind::None);
+  for (unsigned B = 1; B < W; ++B) {
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::EvalClass) << B;
+    EXPECT_EQ(F.fate(X, B).Arg, 0u) << B;
+  }
+}
+
+TEST_F(FatesTest, AddHasNoRuleUnlessAnOperandIsZero) {
+  InstrFates F = fatesOf({Opcode::ADD, Z, X, Y, 0, NoTarget, 0});
+  for (unsigned B = 0; B < W; ++B)
+    EXPECT_EQ(F.fate(X, B).Kind, FateKind::None);
+  State[Y] = KnownBits::constant(0, W);
+  InstrFates F2 = fatesOf({Opcode::ADD, Z, X, Y, 0, NoTarget, 0});
+  for (unsigned B = 0; B < W; ++B)
+    EXPECT_EQ(F2.fate(X, B).Kind, FateKind::ToOutput) << B;
+}
+
+TEST_F(FatesTest, AblationFlagsDisableRuleFamilies) {
+  FateOptions NoBitwise;
+  NoBitwise.BitwiseRules = false;
+  InstrFates F =
+      computeFates({Opcode::MV, Z, X, 0, 0, NoTarget, 0}, State, W, NoBitwise);
+  EXPECT_EQ(F.fate(X, 0).Kind, FateKind::None);
+
+  FateOptions NoEval;
+  NoEval.EvalRules = false;
+  State[X] = KnownBits::constant(0, W);
+  InstrFates F2 =
+      computeFates({Opcode::BEQ, 0, X, Y, 0, 1, 0}, State, W, NoEval);
+  EXPECT_EQ(F2.fate(X, 1).Kind, FateKind::None);
+}
+
+} // namespace

@@ -1,0 +1,160 @@
+//===- tests/MotivatingExampleTest.cpp - Paper Fig. 1/2 golden numbers ----===//
+///
+/// \file
+/// End-to-end reproduction of the paper's motivating example (Section III,
+/// Figs. 1 and 2): the leap-year-inspired counting loop on a 4-bit
+/// architecture. The paper reports, for the original instruction order:
+///   * 288 fault-injection runs at value level (inject-on-read),
+///   * 225 runs after BEC pruning (footnote: 4+4+7x(4+16+2+1+4+3+1)),
+///   * a 21.8 % saving,
+///   * 681 live fault sites (footnote: 3x4 + 7x95 + 4),
+/// and for the rescheduled order of Fig. 2c: 576 live fault sites
+/// (a 15.4 % reduction) with unchanged run counts for the loop body shape.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/BECAnalysis.h"
+#include "core/Metrics.h"
+#include "ir/AsmParser.h"
+#include "sim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace bec;
+
+namespace {
+
+// v0 -> a0, v1 -> a1, v2 -> a2, v3 -> a3.
+const char *MotivatingAsm = R"(
+.width 4
+main:
+  li   a0, 0          # p0: v0 = 0
+  li   a1, 7          # p1: v1 = 7
+loop:
+  andi a2, a1, 1      # p2: v2 = v1 & 1
+  andi a3, a1, 3      # p3: v3 = v1 & 3
+  addi a1, a1, -1     # p4: v1 = v1 - 1
+  seqz a2, a2         # p5: v2 = (v2 == 0)
+  snez a3, a3         # p6: v3 = (v3 != 0)
+  and  a2, a2, a3     # p7: v2 = v2 & v3
+  add  a0, a0, a2     # p8: v0 = v0 + v2
+  bnez a1, loop       # p9
+  ret                 # p10: returns v0
+)";
+
+// Fig. 2c: the vulnerability-aware schedule of the same loop.
+const char *RescheduledAsm = R"(
+.width 4
+main:
+  li   a0, 0          # p0
+  li   a1, 7          # p1
+loop:
+  andi a2, a1, 1      # p2
+  seqz a2, a2         # p5'
+  andi a3, a1, 3      # p3
+  snez a3, a3         # p6
+  and  a2, a2, a3     # p7
+  add  a0, a0, a2     # p8
+  addi a1, a1, -1     # p4'
+  bnez a1, loop       # p9
+  ret                 # p10
+)";
+
+class MotivatingExampleTest : public ::testing::Test {
+protected:
+  static Trace traceOf(const Program &Prog) {
+    Trace T = simulate(Prog);
+    EXPECT_EQ(T.End, Outcome::Finished);
+    return T;
+  }
+};
+
+TEST_F(MotivatingExampleTest, ProgramComputesLeapYearCount) {
+  Program Prog = parseAsmOrDie(MotivatingAsm, "motivating");
+  Trace T = traceOf(Prog);
+  // Years 7..1 that are even but not multiples of four: {6, 2} -> 2.
+  ASSERT_TRUE(T.HasReturnValue);
+  EXPECT_EQ(T.ReturnValue, 2u);
+  // 2 prologue + 7 iterations x 8 + ret.
+  EXPECT_EQ(T.Cycles, 2u + 7u * 8u + 1u);
+}
+
+TEST_F(MotivatingExampleTest, ValueLevelRunsMatchPaper) {
+  Program Prog = parseAsmOrDie(MotivatingAsm, "motivating");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace T = traceOf(Prog);
+  FaultInjectionCounts Counts = countFaultInjectionRuns(A, T.Executed);
+  // Footnote dagger: 4 + 4 + 7 x (4 + 4x4 + 3x4 + 2x4) = 288.
+  EXPECT_EQ(Counts.ValueLevelRuns, 288u);
+}
+
+TEST_F(MotivatingExampleTest, BitLevelRunsMatchPaper) {
+  Program Prog = parseAsmOrDie(MotivatingAsm, "motivating");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace T = traceOf(Prog);
+  FaultInjectionCounts Counts = countFaultInjectionRuns(A, T.Executed);
+  // Footnote double-dagger: 4 + 4 + 7 x (4 + 16 + 2 + 1 + 4 + 3 + 1) = 225.
+  EXPECT_EQ(Counts.BitLevelRuns, 225u);
+  // Saving of 21.8 % (1 - 225/288).
+  EXPECT_NEAR(Counts.prunedFraction(), 0.21875, 1e-9);
+  // Consistency: value = bit + masked + inferrable.
+  EXPECT_EQ(Counts.ValueLevelRuns,
+            Counts.BitLevelRuns + Counts.MaskedBits + Counts.InferrableBits);
+}
+
+TEST_F(MotivatingExampleTest, VulnerabilityMatchesPaper) {
+  Program Prog = parseAsmOrDie(MotivatingAsm, "motivating");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace T = traceOf(Prog);
+  // Footnote double-dagger-dagger: 3x4 + 7x95 + 4 = 681 live fault sites.
+  EXPECT_EQ(computeVulnerability(A, T.Executed), 681u);
+}
+
+TEST_F(MotivatingExampleTest, RescheduledProgramIsEquivalent) {
+  Program Orig = parseAsmOrDie(MotivatingAsm, "motivating");
+  Program Sched = parseAsmOrDie(RescheduledAsm, "rescheduled");
+  Trace TO = traceOf(Orig), TS = traceOf(Sched);
+  EXPECT_EQ(TO.ReturnValue, TS.ReturnValue);
+  EXPECT_EQ(TO.Cycles, TS.Cycles);
+}
+
+TEST_F(MotivatingExampleTest, ReschedulingReducesVulnerabilityBy15Percent) {
+  Program Sched = parseAsmOrDie(RescheduledAsm, "rescheduled");
+  BECAnalysis A = BECAnalysis::run(Sched);
+  Trace T = traceOf(Sched);
+  uint64_t Vuln = computeVulnerability(A, T.Executed);
+  // Fig. 2 caption: 576 live fault sites, a 15.4 % reduction (1-576/681).
+  EXPECT_EQ(Vuln, 576u);
+  EXPECT_NEAR(1.0 - 576.0 / 681.0, 0.1542, 1e-3);
+}
+
+TEST_F(MotivatingExampleTest, ReschedulingKeepsRunCounts) {
+  // Section III-B: "the number of instructions to be executed and the
+  // number of fault injection runs required remain unchanged".
+  Program Orig = parseAsmOrDie(MotivatingAsm, "motivating");
+  Program Sched = parseAsmOrDie(RescheduledAsm, "rescheduled");
+  BECAnalysis AO = BECAnalysis::run(Orig), AS = BECAnalysis::run(Sched);
+  Trace TO = traceOf(Orig), TS = traceOf(Sched);
+  FaultInjectionCounts CO = countFaultInjectionRuns(AO, TO.Executed);
+  FaultInjectionCounts CS = countFaultInjectionRuns(AS, TS.Executed);
+  EXPECT_EQ(CO.ValueLevelRuns, CS.ValueLevelRuns);
+  EXPECT_EQ(CO.BitLevelRuns, CS.BitLevelRuns);
+}
+
+TEST_F(MotivatingExampleTest, MaskedSitesMatchFig2) {
+  Program Prog = parseAsmOrDie(MotivatingAsm, "motivating");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  // Fault sites (p5, v2^1..3) are dead: masked by the and at p7.
+  for (unsigned B = 1; B < 4; ++B)
+    EXPECT_EQ(A.classOf(5, 12, B), 0u) << "bit " << B; // a2 = x12
+  // (p5, v2^0) is live.
+  EXPECT_NE(A.classOf(5, 12, 0), 0u);
+  // (p2, v2^1..3) are equivalent to each other but not masked.
+  uint32_t C1 = A.classOf(2, 12, 1);
+  EXPECT_NE(C1, 0u);
+  EXPECT_EQ(A.classOf(2, 12, 2), C1);
+  EXPECT_EQ(A.classOf(2, 12, 3), C1);
+  EXPECT_NE(A.classOf(2, 12, 0), C1);
+}
+
+} // namespace

@@ -1,0 +1,122 @@
+//===- tests/SchedulerTest.cpp - Dependence DAG and list scheduler ---------===//
+
+#include "core/Metrics.h"
+#include "ir/AsmParser.h"
+#include "sched/ListScheduler.h"
+#include "sim/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace bec;
+
+namespace {
+
+TEST(BlockDAG, RegisterDependences) {
+  Program P = parseAsmOrDie(R"(
+main:
+  li  t0, 1          # 0
+  li  t1, 2          # 1
+  add t2, t0, t1     # 2: RAW on 0 and 1
+  li  t0, 3          # 3: WAR on 2, WAW on 0
+  add a0, t2, t0     # 4
+  ret                # 5
+)",
+                            "dag");
+  BlockDAG DAG = buildBlockDAG(P, P.blocks()[0]);
+  auto HasEdge = [&](uint32_t From, uint32_t To) {
+    const auto &S = DAG.Succs[From];
+    return std::find(S.begin(), S.end(), To) != S.end();
+  };
+  EXPECT_TRUE(HasEdge(0, 2)); // RAW
+  EXPECT_TRUE(HasEdge(1, 2)); // RAW
+  EXPECT_TRUE(HasEdge(2, 3)); // WAR: t0 read at 2, rewritten at 3
+  EXPECT_TRUE(HasEdge(0, 3)); // WAW
+  EXPECT_TRUE(HasEdge(3, 4)); // RAW
+  EXPECT_TRUE(HasEdge(4, 5)); // terminator last
+  EXPECT_FALSE(HasEdge(0, 1)); // independent
+}
+
+TEST(BlockDAG, MemoryAndSideEffectOrdering) {
+  Program P = parseAsmOrDie(R"(
+main:
+  li  t0, 0x1000     # 0
+  lw  t1, 0(t0)      # 1
+  sw  t1, 4(t0)      # 2: store after load
+  lw  t2, 8(t0)      # 3: load after store
+  out t1             # 4: side effect after the store
+  ret
+)",
+                            "mem");
+  BlockDAG DAG = buildBlockDAG(P, P.blocks()[0]);
+  auto HasEdge = [&](uint32_t From, uint32_t To) {
+    const auto &S = DAG.Succs[From];
+    return std::find(S.begin(), S.end(), To) != S.end();
+  };
+  EXPECT_TRUE(HasEdge(1, 2)); // load -> store
+  EXPECT_TRUE(HasEdge(2, 3)); // store -> load
+  EXPECT_TRUE(HasEdge(2, 4)); // side-effect chain
+}
+
+TEST(Scheduler, SourceOrderIsIdentity) {
+  Program P = parseAsmOrDie(R"(
+main:
+  li  t0, 1
+  li  t1, 2
+  add a0, t0, t1
+  ret
+)",
+                            "id");
+  BECAnalysis A = BECAnalysis::run(P);
+  Program S = scheduleProgram(A, SchedulePolicy::SourceOrder);
+  ASSERT_EQ(S.size(), P.size());
+  for (uint32_t I = 0; I < P.size(); ++I)
+    EXPECT_EQ(S.instr(I).Op, P.instr(I).Op) << I;
+}
+
+class SchedulerWorkloadTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SchedulerWorkloadTest, PreservesObservableBehaviour) {
+  const Workload &W = allWorkloads()[GetParam()];
+  Program Prog = loadWorkload(W);
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  for (SchedulePolicy Policy :
+       {SchedulePolicy::BestReliability, SchedulePolicy::WorstReliability,
+        SchedulePolicy::SourceOrder}) {
+    Program Sched = scheduleProgram(A, Policy);
+    ASSERT_EQ(Sched.size(), Prog.size());
+    Trace T = simulate(Sched);
+    EXPECT_EQ(T.ObservableHash, Golden.ObservableHash) << W.Name;
+    EXPECT_EQ(T.Cycles, Golden.Cycles)
+        << W.Name << ": scheduling must not change the instruction count";
+  }
+}
+
+TEST_P(SchedulerWorkloadTest, BestIsNoWorseThanWorst) {
+  const Workload &W = allWorkloads()[GetParam()];
+  Program Prog = loadWorkload(W);
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Program Best = scheduleProgram(A, SchedulePolicy::BestReliability);
+  Program Worst = scheduleProgram(A, SchedulePolicy::WorstReliability);
+  BECAnalysis AB = BECAnalysis::run(Best);
+  BECAnalysis AW = BECAnalysis::run(Worst);
+  Trace TB = simulate(Best), TW = simulate(Worst);
+  uint64_t VB = computeVulnerability(AB, TB.Executed);
+  uint64_t VW = computeVulnerability(AW, TW.Executed);
+  // The paper observed no degradation from the best-policy heuristic.
+  EXPECT_LE(VB, VW) << W.Name;
+}
+
+static std::string schedName(const ::testing::TestParamInfo<size_t> &Info) {
+  std::string Name = allWorkloads()[Info.param].Name;
+  for (char &C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SchedulerWorkloadTest,
+                         ::testing::Range<size_t>(0, 8), schedName);
+
+} // namespace

@@ -1,0 +1,95 @@
+//===- tests/SupportTest.cpp - Support library unit tests ------------------===//
+
+#include "support/BitUtils.h"
+#include "support/Table.h"
+#include "support/UnionFind.h"
+#include "support/Xoshiro.h"
+
+#include <gtest/gtest.h>
+
+using namespace bec;
+
+namespace {
+
+TEST(BitUtils, MasksAndTruncation) {
+  EXPECT_EQ(lowBitMask(1), 1u);
+  EXPECT_EQ(lowBitMask(4), 0xfu);
+  EXPECT_EQ(lowBitMask(32), 0xffffffffu);
+  EXPECT_EQ(lowBitMask(64), ~uint64_t(0));
+  EXPECT_EQ(truncate(0x1ff, 8), 0xffu);
+}
+
+TEST(BitUtils, SignExtension) {
+  EXPECT_EQ(signExtend(0b1000, 4), -8);
+  EXPECT_EQ(signExtend(0b0111, 4), 7);
+  EXPECT_EQ(signExtend(0xffffffff, 32), -1);
+  EXPECT_EQ(signExtend(0x7fffffff, 32), 0x7fffffff);
+  EXPECT_EQ(signExtend(~uint64_t(0), 64), -1);
+  EXPECT_TRUE(isNegative(0b1000, 4));
+  EXPECT_FALSE(isNegative(0b0111, 4));
+}
+
+TEST(BitUtils, FlipBit) {
+  EXPECT_EQ(flipBit(0b1010, 0, 4), 0b1011u);
+  EXPECT_EQ(flipBit(0b1010, 3, 4), 0b0010u);
+}
+
+TEST(UnionFind, MinimumIdRepresentatives) {
+  UnionFind UF(8);
+  EXPECT_EQ(UF.numClasses(), 8u);
+  EXPECT_TRUE(UF.unite(5, 3));
+  EXPECT_EQ(UF.find(5), 3u);
+  EXPECT_TRUE(UF.unite(3, 7));
+  EXPECT_EQ(UF.find(7), 3u);
+  // Class 0 always stays its own representative.
+  EXPECT_TRUE(UF.unite(7, 0));
+  EXPECT_EQ(UF.find(5), 0u);
+  EXPECT_EQ(UF.find(0), 0u);
+  EXPECT_EQ(UF.numClasses(), 5u);
+  // Re-uniting is a no-op.
+  EXPECT_FALSE(UF.unite(5, 7));
+  EXPECT_TRUE(UF.connected(0, 3));
+  EXPECT_FALSE(UF.connected(1, 2));
+}
+
+TEST(UnionFind, RepresentativeIsOrderIndependent) {
+  UnionFind A(6), B(6);
+  A.unite(1, 4);
+  A.unite(4, 2);
+  B.unite(4, 2);
+  B.unite(2, 1);
+  for (uint32_t I = 0; I < 6; ++I)
+    EXPECT_EQ(A.find(I), B.find(I)) << I;
+}
+
+TEST(Xoshiro, DeterministicAndBounded) {
+  Xoshiro256 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Xoshiro256 C(7);
+  for (int I = 0; I < 1000; ++I) {
+    EXPECT_LT(C.below(10), 10u);
+    int64_t R = C.range(-5, 5);
+    EXPECT_GE(R, -5);
+    EXPECT_LE(R, 5);
+  }
+}
+
+TEST(TableRender, AlignsAndSeparates) {
+  EXPECT_EQ(Table::withSeparators(0), "0");
+  EXPECT_EQ(Table::withSeparators(999), "999");
+  EXPECT_EQ(Table::withSeparators(1000), "1 000");
+  EXPECT_EQ(Table::withSeparators(2819904), "2 819 904");
+  EXPECT_EQ(Table::percent(0.3004), "30.04%");
+
+  Table T({"name", "count"});
+  T.row().cell("alpha").cell(uint64_t(12));
+  T.row().cell("b").cell(uint64_t(1234));
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  EXPECT_NE(Out.find("1 234"), std::string::npos);
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+//===- tests/WorkloadsTest.cpp - Benchmark correctness vs. references -----===//
+///
+/// \file
+/// Every workload must assemble, run to completion, and reproduce its C++
+/// reference model's output stream bit-exactly. CRC32, AES and SHA
+/// additionally hit published test vectors, which pins down both the
+/// assembly programs and the simulator's ISA semantics.
+///
+//===----------------------------------------------------------------------===//
+
+#include "sim/Interpreter.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace bec;
+
+namespace {
+
+class WorkloadTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(WorkloadTest, MatchesReferenceModel) {
+  const Workload &W = allWorkloads()[GetParam()];
+  Program Prog = loadWorkload(W);
+  Trace T = simulate(Prog);
+  ASSERT_EQ(T.End, Outcome::Finished) << W.Name;
+  std::vector<uint64_t> Outputs = T.outputValues();
+  ASSERT_EQ(Outputs.size(), W.ExpectedOutputs.size()) << W.Name;
+  for (size_t I = 0; I < Outputs.size(); ++I)
+    EXPECT_EQ(Outputs[I], W.ExpectedOutputs[I] & lowBitMask(Prog.Width))
+        << W.Name << " output " << I;
+  if (W.CheckReturn) {
+    ASSERT_TRUE(T.HasReturnValue) << W.Name;
+    EXPECT_EQ(T.ReturnValue, W.ExpectedReturn & lowBitMask(Prog.Width))
+        << W.Name;
+  }
+}
+
+TEST_P(WorkloadTest, TraceIsDeterministic) {
+  const Workload &W = allWorkloads()[GetParam()];
+  Program Prog = loadWorkload(W);
+  Trace A = simulate(Prog), B = simulate(Prog);
+  EXPECT_EQ(A.TraceHash, B.TraceHash) << W.Name;
+  EXPECT_EQ(A.ObservableHash, B.ObservableHash) << W.Name;
+  EXPECT_EQ(A.Cycles, B.Cycles) << W.Name;
+}
+
+std::string workloadName(const ::testing::TestParamInfo<size_t> &Info) {
+  std::string Name = allWorkloads()[Info.param].Name;
+  for (char &C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, WorkloadTest,
+                         ::testing::Range<size_t>(0, 8), workloadName);
+
+TEST(WorkloadVectors, Crc32StandardCheckValue) {
+  // CRC-32 of "123456789" is the ubiquitous check value 0xCBF43926.
+  EXPECT_EQ(ref::crc32()[0], 0xCBF43926u);
+}
+
+TEST(WorkloadVectors, AesFips197Vector) {
+  // FIPS-197 Appendix C: AES-128(000102..0f, 00112233..ff).
+  std::vector<uint64_t> Ct = ref::aes();
+  EXPECT_EQ(Ct[0], 0x69c4e0d8u);
+  EXPECT_EQ(Ct[1], 0x6a7b0430u);
+  EXPECT_EQ(Ct[2], 0xd8cdb780u);
+  EXPECT_EQ(Ct[3], 0x70b4c55au);
+}
+
+TEST(WorkloadVectors, ShaAbcVector) {
+  // FIPS-180-1: SHA-1("abc") = a9993e36 4706816a ba3e2571 7850c26c 9cd0d89d.
+  std::vector<uint64_t> Digest = ref::sha();
+  EXPECT_EQ(Digest[0], 0xa9993e36u);
+  EXPECT_EQ(Digest[1], 0x4706816au);
+  EXPECT_EQ(Digest[2], 0xba3e2571u);
+  EXPECT_EQ(Digest[3], 0x7850c26cu);
+  EXPECT_EQ(Digest[4], 0x9cd0d89du);
+}
+
+TEST(WorkloadVectors, RsaRoundTripsWithPrivateExponent) {
+  // d = e^-1 mod phi(n) for p=251, q=211, e=65537; decrypting the
+  // first ciphertext with d must recover the message.
+  constexpr uint64_t N = 251ull * 211ull;
+  constexpr uint64_t Phi = 250ull * 210ull;
+  // Extended Euclid for d.
+  int64_t T = 0, NewT = 1;
+  int64_t R = static_cast<int64_t>(Phi), NewR = 65537;
+  while (NewR != 0) {
+    int64_t Q = R / NewR;
+    std::swap(T, NewT);
+    NewT -= Q * T;
+    std::swap(R, NewR);
+    NewR -= Q * R;
+  }
+  ASSERT_EQ(R, 1) << "e and phi(n) must be coprime";
+  uint64_t D = static_cast<uint64_t>(T < 0 ? T + static_cast<int64_t>(Phi) : T);
+  auto ModMul = [&](uint64_t A, uint64_t B) {
+    return (A * B) % N; // fits: N < 2^26 so A*B < 2^52.
+  };
+  auto ModExp = [&](uint64_t Base, uint64_t Exp) {
+    uint64_t Result = 1;
+    while (Exp) {
+      if (Exp & 1)
+        Result = ModMul(Result, Base);
+      Base = ModMul(Base, Base);
+      Exp >>= 1;
+    }
+    return Result;
+  };
+  uint64_t C = ref::rsa()[0];
+  EXPECT_EQ(ModExp(C, D), 42424242 % N);
+}
+
+} // namespace
