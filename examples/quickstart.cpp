@@ -6,7 +6,7 @@
 /// and the fault-injection pruning the classes buy on a concrete run.
 ///
 /// Build and run:
-///   cmake -B build -G Ninja && cmake --build build
+///   cmake -B build -S . && cmake --build build -j
 ///   ./build/examples/quickstart
 ///
 //===----------------------------------------------------------------------===//

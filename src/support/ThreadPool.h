@@ -1,0 +1,128 @@
+//===- support/ThreadPool.h - Minimal fixed-size worker pool --------------===//
+///
+/// \file
+/// A fixed-size thread pool for embarrassingly parallel per-workload jobs
+/// (the driver's `--jobs N`). Tasks are opaque closures; results travel
+/// through whatever the closure captures. `ThreadPool::run` is the common
+/// case: submit every task, then block until all of them have finished.
+///
+/// With `NumThreads <= 1` no threads are spawned and tasks run inline on
+/// the caller, which keeps single-threaded runs deterministic and easy to
+/// debug (and is why analyses below the driver never need to be
+/// thread-aware).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SUPPORT_THREADPOOL_H
+#define BEC_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bec {
+
+/// Fixed-size pool executing queued tasks in submission order (per worker).
+class ThreadPool {
+public:
+  /// Creates a pool of \p NumThreads workers. 0 or 1 means "run inline".
+  explicit ThreadPool(unsigned NumThreads) {
+    if (NumThreads <= 1)
+      return;
+    Workers.reserve(NumThreads);
+    for (unsigned I = 0; I < NumThreads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Stopping = true;
+    }
+    WakeWorkers.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  /// Enqueues \p Task. Inline pools execute it immediately.
+  void submit(std::function<void()> Task) {
+    if (Workers.empty()) {
+      Task();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      Pending.push(std::move(Task));
+      ++Unfinished;
+    }
+    WakeWorkers.notify_one();
+  }
+
+  /// Blocks until every submitted task has completed.
+  void wait() {
+    if (Workers.empty())
+      return;
+    std::unique_lock<std::mutex> Lock(Mutex);
+    AllDone.wait(Lock, [this] { return Unfinished == 0; });
+  }
+
+  /// Submits all of \p Tasks and waits for them.
+  void run(std::vector<std::function<void()>> Tasks) {
+    for (std::function<void()> &T : Tasks)
+      submit(std::move(T));
+    wait();
+  }
+
+  /// Number of worker threads (0 when running inline).
+  size_t size() const { return Workers.size(); }
+
+  /// Clamps a user-supplied --jobs value to something sane.
+  static unsigned clampJobs(unsigned Requested) {
+    unsigned HW = std::thread::hardware_concurrency();
+    if (HW == 0)
+      HW = 1;
+    if (Requested == 0)
+      Requested = HW;
+    return Requested < HW ? Requested : HW;
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mutex);
+        WakeWorkers.wait(Lock, [this] { return Stopping || !Pending.empty(); });
+        if (Pending.empty())
+          return; // Stopping, queue drained.
+        Task = std::move(Pending.front());
+        Pending.pop();
+      }
+      Task();
+      {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (--Unfinished == 0)
+          AllDone.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> Workers;
+  std::queue<std::function<void()>> Pending;
+  std::mutex Mutex;
+  std::condition_variable WakeWorkers;
+  std::condition_variable AllDone;
+  size_t Unfinished = 0;
+  bool Stopping = false;
+};
+
+} // namespace bec
+
+#endif // BEC_SUPPORT_THREADPOOL_H

@@ -1,0 +1,158 @@
+//===- tests/DriverTest.cpp - In-process tests of the `bec` CLI -----------===//
+
+#include "Driver.h"
+
+#include "core/BECAnalysis.h"
+#include "core/Metrics.h"
+#include "sim/Interpreter.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace bec;
+using bec::tool::runDriver;
+
+namespace {
+
+/// Runs the driver in-process and captures stdout/stderr text.
+struct DriverRun {
+  int Status;
+  std::string Out;
+  std::string Err;
+};
+
+DriverRun run(std::vector<std::string> Args) {
+  std::ostringstream Out, Err;
+  int Status = runDriver(Args, Out, Err);
+  return {Status, Out.str(), Err.str()};
+}
+
+TEST(Driver, AnalyzeBitcountMatchesDirectPipeline) {
+  DriverRun R = run({"analyze", "--workload", "bitcount"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("bitcount"), std::string::npos);
+  EXPECT_NE(R.Out.find("Fault space"), std::string::npos);
+  EXPECT_NE(R.Out.find("Masked"), std::string::npos);
+
+  // The table must carry the same numbers the library computes directly.
+  Program Prog = loadWorkload(*findWorkload("bitcount"));
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  FaultInjectionCounts C = countFaultInjectionRuns(A, Golden.Executed);
+  EXPECT_NE(R.Out.find(Table::withSeparators(C.TotalFaultSpace)),
+            std::string::npos);
+  EXPECT_NE(R.Out.find(Table::withSeparators(C.BitLevelRuns)),
+            std::string::npos);
+  EXPECT_NE(R.Out.find(Table::withSeparators(
+                computeVulnerability(A, Golden.Executed))),
+            std::string::npos);
+}
+
+TEST(Driver, AnalyzeIsCaseInsensitiveOnWorkloadNames) {
+  DriverRun R = run({"analyze", "--workload", "crc32"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("CRC32"), std::string::npos);
+}
+
+TEST(Driver, AnalyzeAllWorkloadsWithJobs) {
+  DriverRun R = run({"analyze", "--all", "--jobs", "4"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  // One row per bundled workload, in registry order.
+  size_t Pos = 0;
+  for (const Workload &W : allWorkloads()) {
+    size_t Found = R.Out.find(W.Name, Pos);
+    EXPECT_NE(Found, std::string::npos) << "missing row for " << W.Name;
+    Pos = Found;
+  }
+}
+
+TEST(Driver, CampaignBitcountBitLevelPlan) {
+  DriverRun R = run({"campaign", "--workload", "bitcount", "--plan", "bit"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("bit-level"), std::string::npos);
+  EXPECT_NE(R.Out.find("Runs"), std::string::npos);
+  EXPECT_NE(R.Out.find("SDC"), std::string::npos);
+}
+
+TEST(Driver, ScheduleBitcountReportsAllPolicies) {
+  DriverRun R = run({"schedule", "--workload", "bitcount"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("Source vuln"), std::string::npos);
+  EXPECT_NE(R.Out.find("Best vuln"), std::string::npos);
+  EXPECT_NE(R.Out.find("Worst vuln"), std::string::npos);
+}
+
+TEST(Driver, ReportBitcountIsSound) {
+  DriverRun R = run({"report", "--workload", "bitcount"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("sound"), std::string::npos);
+  EXPECT_EQ(R.Out.find("UNSOUND"), std::string::npos);
+}
+
+TEST(Driver, AnalyzeExternalAsmFile) {
+  // Round-trip: dump a bundled workload to disk, analyze it as a file.
+  std::string Path = testing::TempDir() + "/driver_bitcount.s";
+  {
+    std::ofstream OutFile(Path);
+    OutFile << loadWorkload(*findWorkload("bitcount")).toString();
+  }
+  DriverRun R = run({"analyze", "--asm", Path});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find(Path), std::string::npos);
+}
+
+TEST(Driver, UsageErrors) {
+  EXPECT_EQ(run({}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"frobnicate"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"analyze", "--workload"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"analyze", "--bogus-flag"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"analyze", "--emit", "x.s"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"analyze", "--jobs", "many"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"campaign", "--max-cycles", "10O"}).Status, tool::ExitUsage);
+  // --emit needs exactly one target; the default selection is all of them.
+  EXPECT_EQ(run({"schedule", "--emit", "x.s"}).Status, tool::ExitUsage);
+
+  DriverRun Unknown = run({"analyze", "--workload", "nonesuch"});
+  EXPECT_EQ(Unknown.Status, tool::ExitBadInput);
+  EXPECT_NE(Unknown.Err.find("nonesuch"), std::string::npos);
+
+  EXPECT_EQ(run({"analyze", "--asm", "/nonexistent/x.s"}).Status,
+            tool::ExitBadInput);
+}
+
+TEST(Driver, DuplicateTargetSelectionsCollapse) {
+  DriverRun R = run({"analyze", "--workload", "bitcount", "--workload",
+                     "BITCOUNT", "--workload", "bitcount"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  size_t First = R.Out.find("bitcount");
+  ASSERT_NE(First, std::string::npos);
+  EXPECT_EQ(R.Out.find("bitcount", First + 1), std::string::npos)
+      << "duplicate selections must produce one row:\n"
+      << R.Out;
+}
+
+TEST(Driver, ScheduleEmitWritesParseableAssembly) {
+  std::string Path = testing::TempDir() + "/driver_sched.s";
+  DriverRun R =
+      run({"schedule", "--workload", "bitcount", "--emit", Path});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  DriverRun Re = run({"analyze", "--asm", Path});
+  EXPECT_EQ(Re.Status, tool::ExitSuccess) << Re.Err;
+}
+
+TEST(Driver, HelpAndListWorkloads) {
+  DriverRun Help = run({"--help"});
+  EXPECT_EQ(Help.Status, tool::ExitSuccess);
+  EXPECT_NE(Help.Out.find("usage: bec"), std::string::npos);
+
+  DriverRun List = run({"analyze", "--list-workloads"});
+  EXPECT_EQ(List.Status, tool::ExitSuccess);
+  for (const Workload &W : allWorkloads())
+    EXPECT_NE(List.Out.find(W.Name), std::string::npos);
+}
+
+} // namespace

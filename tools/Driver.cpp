@@ -1,0 +1,584 @@
+//===- tools/Driver.cpp - The `bec` pipeline driver ------------------------===//
+
+#include "Driver.h"
+
+#include "core/BECAnalysis.h"
+#include "core/Metrics.h"
+#include "fi/Campaign.h"
+#include "fi/Validation.h"
+#include "ir/AsmParser.h"
+#include "sched/ListScheduler.h"
+#include "sim/Interpreter.h"
+#include "support/Table.h"
+#include "support/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+using namespace bec;
+using namespace bec::tool;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Command line
+//===----------------------------------------------------------------------===//
+
+const char *const UsageText = R"(usage: bec <subcommand> [options]
+
+Subcommands:
+  analyze    Static fault-space metrics per target (Table III shape).
+  campaign   Plan and execute a fault-injection campaign per target.
+  schedule   Vulnerability-aware list scheduling; vulnerability per policy.
+  report     Full pipeline: metrics + bit-level campaign + soundness
+             validation. Exits 3 if any target validates unsound.
+
+Target selection (default: all bundled workloads):
+  --workload NAME   Add one bundled workload (case-insensitive; repeatable).
+  --asm FILE        Add an external assembly file in the bec dialect.
+  --all             Add every bundled workload.
+  --list-workloads  Print the bundled workload names and exit.
+
+Options:
+  --jobs N          Evaluate independent targets on N pool threads
+                    (default 1; 0 = hardware concurrency).
+  --plan KIND       campaign plan: exhaustive | value | bit (default bit).
+  --policy KIND     schedule policy for --emit: best | worst | source
+                    (default best).
+  --emit FILE       schedule only: write the scheduled program of the
+                    single selected target to FILE as assembly.
+  --max-cycles N    Truncate campaign/validation windows to N cycles
+                    (0 = whole trace; default 0).
+  -h, --help        Print this help and exit.
+
+Exit codes: 0 success, 1 usage error, 2 bad input, 3 unsound validation.
+)";
+
+enum class Command { Analyze, Campaign, Schedule, Report };
+
+struct DriverOptions {
+  Command Cmd = Command::Analyze;
+  std::vector<std::string> WorkloadNames;
+  std::vector<std::string> AsmFiles;
+  bool AllWorkloads = false;
+  unsigned Jobs = 1;
+  PlanKind Plan = PlanKind::BitLevel;
+  SchedulePolicy EmitPolicy = SchedulePolicy::BestReliability;
+  std::string EmitPath;
+  uint64_t MaxCycles = 0;
+};
+
+/// Parses a full-string unsigned decimal; nullopt on any trailing garbage.
+std::optional<uint64_t> parseUnsigned(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  char *End = nullptr;
+  uint64_t V = std::strtoull(S.c_str(), &End, 10);
+  if (End != S.c_str() + S.size())
+    return std::nullopt;
+  return V;
+}
+
+std::string toLower(std::string_view S) {
+  std::string Out(S);
+  std::transform(Out.begin(), Out.end(), Out.begin(),
+                 [](unsigned char C) { return std::tolower(C); });
+  return Out;
+}
+
+/// One analyzable target: a named, verified program.
+struct Target {
+  std::string Name;
+  Program Prog;
+};
+
+/// Everything one pipeline job produces; rendered after the pool drains.
+struct TargetResult {
+  std::string Error; ///< Non-empty on failure; row fields are then unset.
+
+  // analyze / report
+  uint32_t Instrs = 0;
+  uint64_t Cycles = 0;
+  FaultInjectionCounts Counts;
+  uint64_t Vulnerability = 0;
+
+  // campaign / report
+  CampaignResult Campaign;
+
+  // schedule: vulnerability per policy [source, best, worst]
+  uint64_t PolicyVuln[3] = {0, 0, 0};
+  // schedule --emit: assembly of the program scheduled under EmitPolicy.
+  std::string EmittedAsm;
+
+  // report
+  ValidationResult Validation;
+};
+
+int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
+              std::ostream &Out, std::ostream &Err) {
+  if (Args.empty()) {
+    Err << UsageText;
+    return ExitUsage;
+  }
+  size_t I = 0;
+  std::string Sub = Args[I++];
+  if (Sub == "-h" || Sub == "--help") {
+    Out << UsageText;
+    return -1; // Sentinel: handled, exit 0.
+  }
+  if (Sub == "analyze")
+    Opts.Cmd = Command::Analyze;
+  else if (Sub == "campaign")
+    Opts.Cmd = Command::Campaign;
+  else if (Sub == "schedule")
+    Opts.Cmd = Command::Schedule;
+  else if (Sub == "report")
+    Opts.Cmd = Command::Report;
+  else {
+    Err << "bec: unknown subcommand '" << Sub << "'\n" << UsageText;
+    return ExitUsage;
+  }
+
+  auto Value = [&](const std::string &Flag) -> std::optional<std::string> {
+    if (I >= Args.size()) {
+      Err << "bec: " << Flag << " requires a value\n";
+      return std::nullopt;
+    }
+    return Args[I++];
+  };
+
+  while (I < Args.size()) {
+    std::string Arg = Args[I++];
+    if (Arg == "-h" || Arg == "--help") {
+      Out << UsageText;
+      return -1;
+    } else if (Arg == "--workload") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.WorkloadNames.push_back(*V);
+    } else if (Arg == "--asm") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.AsmFiles.push_back(*V);
+    } else if (Arg == "--all") {
+      Opts.AllWorkloads = true;
+    } else if (Arg == "--list-workloads") {
+      for (const Workload &W : allWorkloads())
+        Out << W.Name << "\n";
+      return -1;
+    } else if (Arg == "--jobs") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N) {
+        Err << "bec: --jobs wants a number, got '" << *V << "'\n";
+        return ExitUsage;
+      }
+      Opts.Jobs = ThreadPool::clampJobs(static_cast<unsigned>(*N));
+    } else if (Arg == "--max-cycles") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N) {
+        Err << "bec: --max-cycles wants a number, got '" << *V << "'\n";
+        return ExitUsage;
+      }
+      Opts.MaxCycles = *N;
+    } else if (Arg == "--plan") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::string K = toLower(*V);
+      if (K == "exhaustive")
+        Opts.Plan = PlanKind::Exhaustive;
+      else if (K == "value")
+        Opts.Plan = PlanKind::ValueLevel;
+      else if (K == "bit")
+        Opts.Plan = PlanKind::BitLevel;
+      else {
+        Err << "bec: unknown --plan '" << *V
+            << "' (want exhaustive | value | bit)\n";
+        return ExitUsage;
+      }
+    } else if (Arg == "--policy") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::string K = toLower(*V);
+      if (K == "best")
+        Opts.EmitPolicy = SchedulePolicy::BestReliability;
+      else if (K == "worst")
+        Opts.EmitPolicy = SchedulePolicy::WorstReliability;
+      else if (K == "source")
+        Opts.EmitPolicy = SchedulePolicy::SourceOrder;
+      else {
+        Err << "bec: unknown --policy '" << *V
+            << "' (want best | worst | source)\n";
+        return ExitUsage;
+      }
+    } else if (Arg == "--emit") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.EmitPath = *V;
+    } else {
+      Err << "bec: unknown option '" << Arg << "'\n" << UsageText;
+      return ExitUsage;
+    }
+  }
+  if (!Opts.EmitPath.empty() && Opts.Cmd != Command::Schedule) {
+    Err << "bec: --emit is only valid with the schedule subcommand\n";
+    return ExitUsage;
+  }
+  return ExitSuccess;
+}
+
+//===----------------------------------------------------------------------===//
+// Target loading
+//===----------------------------------------------------------------------===//
+
+int collectTargets(const DriverOptions &Opts, std::vector<Target> &Targets,
+                   std::ostream &Err) {
+  bool Selected = Opts.AllWorkloads || !Opts.WorkloadNames.empty() ||
+                  !Opts.AsmFiles.empty();
+  if (Opts.AllWorkloads || !Selected)
+    for (const Workload &W : allWorkloads())
+      Targets.push_back({W.Name, loadWorkload(W)});
+
+  for (const std::string &Name : Opts.WorkloadNames) {
+    const Workload *W = findWorkload(Name);
+    if (!W) {
+      // Bundled names use mixed case (CRC32, AES, ...); accept any casing.
+      std::string Lower = toLower(Name);
+      for (const Workload &Cand : allWorkloads())
+        if (toLower(Cand.Name) == Lower)
+          W = &Cand;
+    }
+    if (!W) {
+      Err << "bec: unknown workload '" << Name
+          << "'; --list-workloads prints the bundled names\n";
+      return ExitBadInput;
+    }
+    Targets.push_back({W->Name, loadWorkload(*W)});
+  }
+
+  for (const std::string &Path : Opts.AsmFiles) {
+    std::ifstream In(Path);
+    if (!In) {
+      Err << "bec: cannot open '" << Path << "'\n";
+      return ExitBadInput;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    AsmParseResult R = parseAsm(Buf.str(), Path);
+    if (!R.succeeded()) {
+      Err << "bec: " << Path << " failed to assemble:\n" << R.diagText();
+      return ExitBadInput;
+    }
+    Targets.push_back({Path, std::move(*R.Prog)});
+  }
+
+  // --all plus an explicit --workload (or a repeated name in any casing)
+  // would otherwise run and report the same target twice.
+  std::vector<Target> Unique;
+  for (Target &T : Targets) {
+    bool Seen = false;
+    for (const Target &U : Unique)
+      Seen = Seen || U.Name == T.Name;
+    if (!Seen)
+      Unique.push_back(std::move(T));
+  }
+  Targets = std::move(Unique);
+  return ExitSuccess;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-target pipeline stages
+//===----------------------------------------------------------------------===//
+
+/// Runs the static pipeline and the golden simulation; the common prefix of
+/// every subcommand. Returns false (with R.Error set) if the golden run
+/// does not terminate normally.
+bool runCommonPipeline(const Target &T, BECAnalysis &A, Trace &Golden,
+                       TargetResult &R) {
+  A = BECAnalysis::run(T.Prog);
+  Golden = simulate(T.Prog);
+  if (Golden.End != Outcome::Finished) {
+    R.Error = "golden run ended with " + std::string(outcomeName(Golden.End));
+    return false;
+  }
+  R.Instrs = T.Prog.size();
+  R.Cycles = Golden.Cycles;
+  return true;
+}
+
+void runAnalyze(const Target &T, TargetResult &R) {
+  BECAnalysis A;
+  Trace Golden;
+  if (!runCommonPipeline(T, A, Golden, R))
+    return;
+  R.Counts = countFaultInjectionRuns(A, Golden.Executed);
+  R.Vulnerability = computeVulnerability(A, Golden.Executed);
+}
+
+void runCampaignCmd(const Target &T, const DriverOptions &Opts,
+                    TargetResult &R) {
+  BECAnalysis A;
+  Trace Golden;
+  if (!runCommonPipeline(T, A, Golden, R))
+    return;
+  std::vector<PlannedRun> Plan =
+      planCampaign(A, Golden, Opts.Plan, Opts.MaxCycles);
+  R.Campaign = runCampaign(T.Prog, Golden, std::move(Plan));
+}
+
+void runScheduleCmd(const Target &T, const DriverOptions &Opts,
+                    TargetResult &R) {
+  BECAnalysis A;
+  Trace Golden;
+  if (!runCommonPipeline(T, A, Golden, R))
+    return;
+  R.PolicyVuln[0] = computeVulnerability(A, Golden.Executed);
+  bool Emit = !Opts.EmitPath.empty();
+  if (Emit && Opts.EmitPolicy == SchedulePolicy::SourceOrder)
+    R.EmittedAsm = scheduleProgram(A, SchedulePolicy::SourceOrder).toString();
+  const SchedulePolicy Policies[] = {SchedulePolicy::BestReliability,
+                                     SchedulePolicy::WorstReliability};
+  for (unsigned P = 0; P < 2; ++P) {
+    Program Sched = scheduleProgram(A, Policies[P]);
+    if (Emit && Opts.EmitPolicy == Policies[P])
+      R.EmittedAsm = Sched.toString();
+    BECAnalysis SA = BECAnalysis::run(Sched);
+    Trace SG = simulate(Sched);
+    if (SG.End != Outcome::Finished) {
+      R.Error = "scheduled run ended with " +
+                std::string(outcomeName(SG.End));
+      return;
+    }
+    R.PolicyVuln[1 + P] = computeVulnerability(SA, SG.Executed);
+  }
+}
+
+void runReportCmd(const Target &T, const DriverOptions &Opts,
+                  TargetResult &R) {
+  BECAnalysis A;
+  Trace Golden;
+  if (!runCommonPipeline(T, A, Golden, R))
+    return;
+  R.Counts = countFaultInjectionRuns(A, Golden.Executed);
+  R.Vulnerability = computeVulnerability(A, Golden.Executed);
+  std::vector<PlannedRun> Plan =
+      planCampaign(A, Golden, PlanKind::BitLevel, Opts.MaxCycles);
+  R.Campaign = runCampaign(T.Prog, Golden, std::move(Plan));
+  R.Validation = validateAnalysis(A, Golden, Opts.MaxCycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Rendering
+//===----------------------------------------------------------------------===//
+
+void renderAnalyze(const std::vector<Target> &Targets,
+                   const std::vector<TargetResult> &Results,
+                   std::ostream &Out) {
+  Table Tbl({"Workload", "Instrs", "Cycles", "Fault space", "Value-level",
+             "Bit-level", "Masked", "Inferrable", "Pruned", "Vuln (bits)"});
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    const TargetResult &R = Results[I];
+    if (!R.Error.empty())
+      continue;
+    Tbl.row()
+        .cell(Targets[I].Name)
+        .cell(uint64_t(R.Instrs))
+        .cell(R.Cycles)
+        .cell(R.Counts.TotalFaultSpace)
+        .cell(R.Counts.ValueLevelRuns)
+        .cell(R.Counts.BitLevelRuns)
+        .cell(R.Counts.MaskedBits)
+        .cell(R.Counts.InferrableBits)
+        .cell(Table::percent(R.Counts.prunedFraction()))
+        .cell(R.Vulnerability);
+  }
+  Out << Tbl.render();
+}
+
+void renderCampaign(const std::vector<Target> &Targets,
+                    const std::vector<TargetResult> &Results,
+                    const DriverOptions &Opts, std::ostream &Out) {
+  const char *PlanName = Opts.Plan == PlanKind::Exhaustive ? "exhaustive"
+                         : Opts.Plan == PlanKind::ValueLevel
+                             ? "value-level"
+                             : "bit-level";
+  Out << "Campaign plan: " << PlanName << "\n";
+  Table Tbl({"Workload", "Runs", "Masked", "Benign", "SDC", "Trap", "Hang",
+             "Distinct", "Seconds"});
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    const TargetResult &R = Results[I];
+    if (!R.Error.empty())
+      continue;
+    const auto &E = R.Campaign.EffectCounts;
+    Tbl.row()
+        .cell(Targets[I].Name)
+        .cell(R.Campaign.Runs)
+        .cell(E[size_t(FaultEffect::Masked)])
+        .cell(E[size_t(FaultEffect::Benign)])
+        .cell(E[size_t(FaultEffect::SDC)])
+        .cell(E[size_t(FaultEffect::Trap)])
+        .cell(E[size_t(FaultEffect::Hang)])
+        .cell(R.Campaign.DistinctTraces)
+        .cell(R.Campaign.Seconds, 2);
+  }
+  Out << Tbl.render();
+}
+
+void renderSchedule(const std::vector<Target> &Targets,
+                    const std::vector<TargetResult> &Results,
+                    std::ostream &Out) {
+  Table Tbl({"Workload", "Source vuln", "Best vuln", "Worst vuln",
+             "Best vs source"});
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    const TargetResult &R = Results[I];
+    if (!R.Error.empty())
+      continue;
+    // Positive delta = the best-reliability schedule shrinks the surface.
+    double Delta =
+        R.PolicyVuln[0] == 0
+            ? 0.0
+            : 1.0 - double(R.PolicyVuln[1]) / double(R.PolicyVuln[0]);
+    Tbl.row()
+        .cell(Targets[I].Name)
+        .cell(R.PolicyVuln[0])
+        .cell(R.PolicyVuln[1])
+        .cell(R.PolicyVuln[2])
+        .cell((Delta >= 0 ? "-" : "+") + Table::percent(std::fabs(Delta)));
+  }
+  Out << Tbl.render();
+}
+
+void renderReport(const std::vector<Target> &Targets,
+                  const std::vector<TargetResult> &Results,
+                  std::ostream &Out) {
+  Table Tbl({"Workload", "Bit-level runs", "Pruned", "SDC", "Trap", "Hang",
+             "Sound+precise", "Sound+imprecise", "Unsound", "Verdict"});
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    const TargetResult &R = Results[I];
+    if (!R.Error.empty())
+      continue;
+    const auto &E = R.Campaign.EffectCounts;
+    const ValidationResult &V = R.Validation;
+    Tbl.row()
+        .cell(Targets[I].Name)
+        .cell(R.Counts.BitLevelRuns)
+        .cell(Table::percent(R.Counts.prunedFraction()))
+        .cell(E[size_t(FaultEffect::SDC)])
+        .cell(E[size_t(FaultEffect::Trap)])
+        .cell(E[size_t(FaultEffect::Hang)])
+        .cell(V.SoundPrecisePairs)
+        .cell(V.SoundImprecisePairs)
+        .cell(V.UnsoundPairs + V.MaskedViolations + V.CrossViolations)
+        .cell(V.sound() ? "sound" : "UNSOUND");
+  }
+  Out << Tbl.render();
+}
+
+int emitScheduled(const TargetResult &R, const DriverOptions &Opts,
+                  std::ostream &Err) {
+  std::ofstream OutFile(Opts.EmitPath);
+  if (!OutFile) {
+    Err << "bec: cannot write '" << Opts.EmitPath << "'\n";
+    return ExitBadInput;
+  }
+  OutFile << R.EmittedAsm;
+  return ExitSuccess;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+int bec::tool::runDriver(const std::vector<std::string> &Args,
+                         std::ostream &Out, std::ostream &Err) {
+  DriverOptions Opts;
+  int ParseStatus = parseArgs(Args, Opts, Out, Err);
+  if (ParseStatus == -1)
+    return ExitSuccess; // --help / --list-workloads.
+  if (ParseStatus != ExitSuccess)
+    return ParseStatus;
+
+  std::vector<Target> Targets;
+  if (int Status = collectTargets(Opts, Targets, Err))
+    return Status;
+  if (!Opts.EmitPath.empty() && Targets.size() != 1) {
+    Err << "bec: --emit requires exactly one selected target\n";
+    return ExitUsage;
+  }
+
+  // Fan the per-target pipelines out on the pool; rows render afterwards so
+  // output order is deterministic regardless of completion order.
+  std::vector<TargetResult> Results(Targets.size());
+  {
+    ThreadPool Pool(Opts.Jobs);
+    for (size_t I = 0; I < Targets.size(); ++I)
+      Pool.submit([&, I] {
+        switch (Opts.Cmd) {
+        case Command::Analyze:
+          runAnalyze(Targets[I], Results[I]);
+          break;
+        case Command::Campaign:
+          runCampaignCmd(Targets[I], Opts, Results[I]);
+          break;
+        case Command::Schedule:
+          runScheduleCmd(Targets[I], Opts, Results[I]);
+          break;
+        case Command::Report:
+          runReportCmd(Targets[I], Opts, Results[I]);
+          break;
+        }
+      });
+    Pool.wait();
+  }
+
+  switch (Opts.Cmd) {
+  case Command::Analyze:
+    renderAnalyze(Targets, Results, Out);
+    break;
+  case Command::Campaign:
+    renderCampaign(Targets, Results, Opts, Out);
+    break;
+  case Command::Schedule:
+    renderSchedule(Targets, Results, Out);
+    break;
+  case Command::Report:
+    renderReport(Targets, Results, Out);
+    break;
+  }
+
+  int Status = ExitSuccess;
+  for (size_t I = 0; I < Targets.size(); ++I)
+    if (!Results[I].Error.empty()) {
+      Err << "bec: " << Targets[I].Name << ": " << Results[I].Error << "\n";
+      Status = ExitBadInput;
+    }
+  if (Status == ExitSuccess && Opts.Cmd == Command::Report)
+    for (const TargetResult &R : Results)
+      if (!R.Validation.sound())
+        Status = ExitUnsound;
+  if (Status == ExitSuccess && Opts.Cmd == Command::Schedule &&
+      !Opts.EmitPath.empty())
+    Status = emitScheduled(Results[0], Opts, Err);
+  return Status;
+}

@@ -1,0 +1,47 @@
+//===- tools/Driver.h - The `bec` pipeline driver --------------------------===//
+///
+/// \file
+/// Library entry point of the `bec` command-line tool, factored out of the
+/// binary so tests can invoke every subcommand in-process. The driver runs
+/// the complete pipeline (AsmParser -> BitValueAnalysis -> BECAnalysis
+/// coalescing -> Metrics / fault-injection Validation) over bundled
+/// workloads or external assembly files:
+///
+///   bec analyze  [targets] [--jobs N]      fault-space metrics table
+///   bec campaign [targets] [--plan KIND]   execute a fault-injection plan
+///   bec schedule [targets] [--emit FILE]   vulnerability-aware scheduling
+///   bec report   [targets]                 metrics + campaign + validation
+///
+/// Targets are `--workload NAME` (repeatable, case-insensitive), `--asm
+/// FILE.s`, or `--all` (the default). Independent targets are evaluated on
+/// a support/ThreadPool.h pool sized by `--jobs`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_TOOLS_DRIVER_H
+#define BEC_TOOLS_DRIVER_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bec {
+namespace tool {
+
+/// Exit codes of the driver (stable interface; asserted by DriverTest).
+enum ExitCode : int {
+  ExitSuccess = 0,  ///< Everything ran and validated.
+  ExitUsage = 1,    ///< Bad command line; usage was printed to Err.
+  ExitBadInput = 2, ///< A target failed to assemble / load / run.
+  ExitUnsound = 3,  ///< `report` found a validation violation.
+};
+
+/// Runs the `bec` CLI on \p Args (argv without the program name), writing
+/// human output to \p Out and diagnostics to \p Err. Returns an ExitCode.
+int runDriver(const std::vector<std::string> &Args, std::ostream &Out,
+              std::ostream &Err);
+
+} // namespace tool
+} // namespace bec
+
+#endif // BEC_TOOLS_DRIVER_H

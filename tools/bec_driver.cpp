@@ -1,0 +1,12 @@
+//===- tools/bec_driver.cpp - main() of the `bec` binary -------------------===//
+
+#include "Driver.h"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char **argv) {
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  return bec::tool::runDriver(Args, std::cout, std::cerr);
+}
