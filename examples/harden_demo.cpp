@@ -1,0 +1,111 @@
+//===- examples/harden_demo.cpp - Analyze -> harden -> validate loop ------===//
+///
+/// \file
+/// The selective-hardening subsystem on the paper's motivating example
+/// (Section III, Fig. 1): the 4-bit leap-year counting loop. The demo
+/// runs the full closed loop:
+///
+///   1. analyze   — BEC classes + the live-fault-site vulnerability;
+///   2. harden    — BEC-guided protection under a 20% dynamic-instruction
+///                  budget (shadow registers + compare-and-trap checks,
+///                  live-range narrowing);
+///   3. validate  — re-analyze, re-execute, and fire the fault-injection
+///                  oracle at the protected windows to show the faults
+///                  are actually detected.
+///
+/// Build and run:
+///   cmake -B build -S . && cmake --build build -j
+///   ./build/examples/harden_demo
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Metrics.h"
+#include "harden/Harden.h"
+#include "harden/VulnerabilityRank.h"
+#include "ir/AsmParser.h"
+#include "sim/Interpreter.h"
+#include "support/Debug.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace bec;
+
+int main() {
+  // The paper's Fig. 1 loop: count years in 7..1 that are divisible by
+  // two but not by four, on a 4-bit register file.
+  const char *Source = R"(
+.width 4
+main:
+  li   a0, 0          # count
+  li   a1, 7          # year
+loop:
+  andi a2, a1, 1
+  andi a3, a1, 3
+  addi a1, a1, -1
+  seqz a2, a2
+  snez a3, a3
+  and  a2, a2, a3
+  add  a0, a0, a2
+  bnez a1, loop
+  ret                 # returns the count (2)
+)";
+  Program Prog = parseAsmOrDie(Source, "motivating");
+
+  // -- 1. Analyze -------------------------------------------------------
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  uint64_t Vuln = computeVulnerability(A, Golden.Executed);
+  VulnerabilityRank Rank = VulnerabilityRank::run(A, Golden.Executed);
+  std::printf("baseline: %llu cycles, vulnerability %llu live fault sites\n",
+              static_cast<unsigned long long>(Golden.Cycles),
+              static_cast<unsigned long long>(Vuln));
+  std::printf("hottest registers by carried fault sites:\n");
+  for (Reg R = 0; R < NumRegs; ++R)
+    if (Rank.regScore(R) != 0)
+      std::printf("  %-4s %6llu\n", regName(R).data(),
+                  static_cast<unsigned long long>(Rank.regScore(R)));
+
+  // -- 2. Harden --------------------------------------------------------
+  HardenOptions Opts;
+  Opts.BudgetPercent = 20.0;
+  HardenResult R = hardenProgram(Prog, Opts);
+  std::printf("\nhardened under a 20%% budget: %u duplicated, %u narrowed\n",
+              R.NumDuplicated, R.NumNarrowed);
+  std::printf("  cost     %+.2f%% dynamic instructions\n", R.costPercent());
+  std::printf("  residual %llu live fault sites (-%.2f%%)\n",
+              static_cast<unsigned long long>(R.ResidualVuln),
+              100.0 * R.reduction());
+  std::printf("\nhardened program:\n%s\n", R.HP.Prog.toString().c_str());
+
+  // -- 3. Validate ------------------------------------------------------
+  HardenValidation V = validateHardening(R, Prog);
+  std::printf("verifier clean: %s, outputs bit-identical: %s\n",
+              V.VerifierClean ? "yes" : "NO",
+              V.OutputsMatch ? "yes" : "NO");
+  std::printf("fault-injection oracle: %llu/%llu probes detected or masked\n",
+              static_cast<unsigned long long>(V.DetectionsCaught),
+              static_cast<unsigned long long>(V.DetectionProbes));
+  if (!V.ok())
+    reportFatalError("hardening validation failed");
+
+  // One concrete run, narrated: flip the protected accumulator mid-loop
+  // and watch the check divert into the detector instead of silently
+  // corrupting the result.
+  for (const ProtectedSite &S : R.HP.Sites) {
+    if (S.Kind == ProtectKind::Narrow)
+      continue;
+    Trace Hardened = simulate(R.HP.Prog);
+    uint64_t Mid = Hardened.Cycles / 2;
+    Trace Faulty = simulateWithInjection(R.HP.Prog, {Mid, S.Orig, 0});
+    std::printf("\nflip %s bit 0 after cycle %llu -> %s\n",
+                regName(S.Orig).data(),
+                static_cast<unsigned long long>(Mid),
+                Faulty.End == Outcome::Trap ? "detector trap (detected)"
+                : Faulty.TraceHash == Hardened.TraceHash
+                    ? "identical trace (masked)"
+                    : "reached the halt detector");
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,379 @@
+//===- harden/Harden.cpp - BEC-guided selective hardening -----------------===//
+
+#include "harden/Harden.h"
+
+#include "core/Metrics.h"
+#include "harden/VulnerabilityRank.h"
+#include "ir/Verifier.h"
+#include "sim/Interpreter.h"
+#include "support/BitUtils.h"
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <string>
+
+using namespace bec;
+
+uint64_t bec::computeResidualVulnerability(const BECAnalysis &A,
+                                           std::span<const uint32_t> Executed,
+                                           const HardenedProgram &HP) {
+  const Program &Prog = A.program();
+  const FaultSpace &FS = A.space();
+  unsigned W = Prog.Width;
+
+  // Per-instruction protection triggers. A def (or its shadow recompute)
+  // arms protection of its register until the site's check executes; any
+  // other write to an armed register disarms it (the protected value is
+  // gone, and with it the window).
+  std::vector<int32_t> SiteOfDef(Prog.size(), -1);
+  std::vector<int32_t> SiteOfDup(Prog.size(), -1);
+  // Register-granular sites: the register is covered everywhere except
+  // between a check's execution and the next access of the register (a
+  // flip in that gap is consumed unchecked). Shadows are always covered:
+  // their corruption can only ever trip a check.
+  std::array<int32_t, NumRegs> RegSiteOf;
+  RegSiteOf.fill(-1);
+  std::array<Reg, NumRegs> RegShadowOf{};
+  uint32_t RegDupShadows = 0;
+  std::vector<bool> Uncovered(HP.Sites.size(), false);
+  for (size_t S = 0; S < HP.Sites.size(); ++S) {
+    const ProtectedSite &Site = HP.Sites[S];
+    if (Site.Kind == ProtectKind::Duplicate) {
+      SiteOfDef[Site.DefIdx] = static_cast<int32_t>(S);
+      SiteOfDup[Site.DupIdx] = static_cast<int32_t>(S);
+    } else if (Site.Kind == ProtectKind::DuplicateReg) {
+      RegSiteOf[Site.Orig] = static_cast<int32_t>(S);
+      RegShadowOf[Site.Orig] = Site.Shadow;
+      RegDupShadows |= uint32_t(1) << Site.Shadow;
+    }
+  }
+
+  std::array<int32_t, NumRegs> Governor;
+  Governor.fill(-1);
+  std::array<unsigned, NumRegs> LiveBits{};
+  /// Check index whose execution ends the register's window, or -1.
+  std::array<int32_t, NumRegs> ArmedUntil;
+  ArmedUntil.fill(-1);
+  uint64_t Total = 0;
+
+  for (size_t C = 0; C < Executed.size(); ++C) {
+    uint32_t P = Executed[C];
+    const Instruction &I = Prog.instr(P);
+
+    // The check validated the value: faults from here on are unchecked.
+    for (Reg V = 0; V < NumRegs; ++V)
+      if (ArmedUntil[V] == static_cast<int32_t>(P))
+        ArmedUntil[V] = -1;
+
+    if (isHalt(I.Op)) {
+      // Windows never span a halt (def and check share a basic block),
+      // so the final residue is counted unconditionally, as in
+      // computeVulnerability.
+      Reg Reads[2];
+      unsigned NumReads = I.readRegs(Reads);
+      for (unsigned R = 0; R < NumReads; ++R) {
+        int32_t Ap = Governor[Reads[R]];
+        if (Ap >= 0)
+          Total +=
+              W - popCount(A.summary(static_cast<uint32_t>(Ap)).MaskedMask, W);
+      }
+      break;
+    }
+
+    if (I.writesReg() && ArmedUntil[I.Rd] >= 0)
+      ArmedUntil[I.Rd] = -1; // Overwritten: old window is void.
+    if (SiteOfDup[P] >= 0) {
+      const ProtectedSite &Site = HP.Sites[SiteOfDup[P]];
+      ArmedUntil[Site.Shadow] = static_cast<int32_t>(Site.CheckIdx);
+    }
+    if (SiteOfDef[P] >= 0) {
+      const ProtectedSite &Site = HP.Sites[SiteOfDef[P]];
+      ArmedUntil[Site.Orig] = static_cast<int32_t>(Site.CheckIdx);
+    }
+
+    auto [ApBegin, ApEnd] = FS.pointsOfInstr(P);
+    for (uint32_t Ap = ApBegin; Ap < ApEnd; ++Ap) {
+      Reg V = FS.point(Ap).R;
+      Governor[V] = static_cast<int32_t>(Ap);
+      LiveBits[V] = W - popCount(A.summary(Ap).MaskedMask, W);
+    }
+    for (Reg V = 0; V < NumRegs; ++V) {
+      if (Governor[V] < 0 || ArmedUntil[V] >= 0)
+        continue;
+      if ((RegDupShadows >> V) & 1)
+        continue;
+      if (RegSiteOf[V] >= 0 && !Uncovered[RegSiteOf[V]])
+        continue;
+      Total += LiveBits[V];
+    }
+
+    // Advance the register-site state machines *after* counting: a flip
+    // ahead of the check itself is still detected, a flip ahead of the
+    // consuming access is not.
+    for (Reg V = 0; V < NumRegs; ++V) {
+      int32_t S = RegSiteOf[V];
+      if (S < 0)
+        continue;
+      bool IsCheck = I.Op == Opcode::BNE && I.Rs1 == V &&
+                     I.Rs2 == RegShadowOf[V] &&
+                     I.Target == HP.DetectorIdx;
+      if (IsCheck)
+        Uncovered[S] = true;
+      else if (I.reads(V) || (I.writesReg() && I.Rd == V))
+        Uncovered[S] = false;
+    }
+  }
+  return Total;
+}
+
+namespace {
+
+/// One measured trial of the greedy loop.
+struct Measurement {
+  bool Valid = false;
+  uint64_t ResidualVuln = 0;
+  uint64_t Cycles = 0;
+};
+
+Measurement measure(const HardenedProgram &HP, uint64_t ObservableHash,
+                    uint64_t BaselineCycles, double BudgetPercent) {
+  Measurement M;
+  if (!verifyProgram(HP.Prog).empty())
+    return M;
+  Trace G = simulate(HP.Prog);
+  if (G.End != Outcome::Finished || G.ObservableHash != ObservableHash)
+    return M;
+  double Cost = 100.0 *
+                (static_cast<double>(G.Cycles) -
+                 static_cast<double>(BaselineCycles)) /
+                static_cast<double>(BaselineCycles);
+  if (Cost > BudgetPercent)
+    return M;
+  BECAnalysis A = BECAnalysis::run(HP.Prog);
+  M.Valid = true;
+  M.ResidualVuln = computeResidualVulnerability(A, G.Executed, HP);
+  M.Cycles = G.Cycles;
+  return M;
+}
+
+/// Stable identity of a candidate across index shifts, used to memoize
+/// rejections: the def's rendered text, its ordinal among identical
+/// texts (so two equal defs at different sites never share an entry),
+/// and the window/target distance.
+std::string signatureOf(const Program &Prog, const char *Kind, uint32_t Def,
+                        uint32_t End) {
+  std::string Text = Prog.instr(Def).toString();
+  unsigned Ordinal = 0;
+  for (uint32_t P = 0; P < Def; ++P)
+    if (Prog.instr(P).toString() == Text)
+      ++Ordinal;
+  return std::string(Kind) + ":" + Text + "#" + std::to_string(Ordinal) +
+         ":" + std::to_string(End - Def);
+}
+
+} // namespace
+
+HardenResult bec::hardenProgram(const Program &Prog,
+                                const HardenOptions &Opts) {
+  HardenResult R;
+  R.HP.Prog = Prog;
+
+  Trace Golden = simulate(Prog);
+  assert(Golden.End == Outcome::Finished && "golden run must finish");
+  {
+    BECAnalysis A = BECAnalysis::run(Prog);
+    R.BaselineVuln = computeVulnerability(A, Golden.Executed);
+  }
+  R.BaselineCycles = Golden.Cycles;
+  R.ResidualVuln = R.BaselineVuln;
+  R.HardenedCycles = R.BaselineCycles;
+
+  std::set<std::string> Rejected;
+  while (R.HP.Sites.size() < Opts.MaxSites) {
+    BECAnalysis A = BECAnalysis::run(R.HP.Prog);
+    Trace G = simulate(R.HP.Prog);
+    VulnerabilityRank Rank = VulnerabilityRank::run(A, G.Executed);
+    std::vector<uint64_t> DefScore(R.HP.Prog.size());
+    for (uint32_t P = 0; P < R.HP.Prog.size(); ++P)
+      DefScore[P] = Rank.defScore(P);
+    std::array<uint64_t, NumRegs> RegScore;
+    for (Reg V = 0; V < NumRegs; ++V)
+      RegScore[V] = Rank.regScore(V);
+
+    // Unified, rank-ordered candidate list over all transforms.
+    enum class Kind { Dup, RegDup, Sink };
+    struct Candidate {
+      uint64_t Score;
+      Kind K;
+      DupCandidate Dup;
+      RegDupCandidate Reg;
+      SinkCandidate Sink;
+    };
+    std::vector<Candidate> Cands;
+    if (Opts.EnableDuplication) {
+      for (const RegDupCandidate &C : findRegDupCandidates(R.HP, RegScore))
+        Cands.push_back({C.Score, Kind::RegDup, {}, C, {}});
+      for (const DupCandidate &C : findDupCandidates(R.HP, DefScore))
+        Cands.push_back({C.Score, Kind::Dup, C, {}, {}});
+    }
+    if (Opts.EnableNarrowing)
+      for (const SinkCandidate &C : findSinkCandidates(R.HP, DefScore))
+        Cands.push_back({C.Score, Kind::Sink, {}, {}, C});
+    std::stable_sort(Cands.begin(), Cands.end(),
+                     [](const Candidate &L, const Candidate &Rhs) {
+                       return L.Score > Rhs.Score;
+                     });
+
+    // Measure the top candidates and take the round's best vulnerability
+    // drop per added cycle (free transforms rank naturally first).
+    // Candidates that fail to improve are memoized by a shift-stable
+    // signature and never measured again; improving runners-up stay in
+    // play for later rounds.
+    HardenedProgram Best;
+    Measurement BestM;
+    double BestRatio = 0.0;
+    bool HaveBest = false;
+    unsigned Probed = 0;
+    for (const Candidate &C : Cands) {
+      if (Probed >= Opts.ProbesPerRound)
+        break;
+      std::string Sig;
+      switch (C.K) {
+      case Kind::Dup:
+        Sig = signatureOf(R.HP.Prog, "dup", C.Dup.Def, C.Dup.CheckPos);
+        break;
+      case Kind::RegDup:
+        Sig = "regdup:" + std::string(regName(C.Reg.R));
+        break;
+      case Kind::Sink:
+        Sig = signatureOf(R.HP.Prog, "sink", C.Sink.From, C.Sink.To);
+        break;
+      }
+      if (Rejected.count(Sig))
+        continue;
+      HardenedProgram Trial = R.HP;
+      switch (C.K) {
+      case Kind::Dup:
+        applyDuplication(Trial, C.Dup);
+        break;
+      case Kind::RegDup:
+        applyRegisterDuplication(Trial, C.Reg);
+        break;
+      case Kind::Sink:
+        applySinking(Trial, C.Sink);
+        break;
+      }
+      ++Probed;
+      Measurement M = measure(Trial, Golden.ObservableHash, R.BaselineCycles,
+                              Opts.BudgetPercent);
+      if (!M.Valid || M.ResidualVuln >= R.ResidualVuln) {
+        Rejected.insert(Sig);
+        continue;
+      }
+      double Gain = static_cast<double>(R.ResidualVuln - M.ResidualVuln);
+      double AddedCycles =
+          M.Cycles > R.HardenedCycles
+              ? static_cast<double>(M.Cycles - R.HardenedCycles)
+              : 0.0;
+      double Ratio = Gain / (AddedCycles + 1.0);
+      if (!HaveBest || Ratio > BestRatio) {
+        HaveBest = true;
+        BestRatio = Ratio;
+        Best = std::move(Trial);
+        BestM = M;
+      }
+    }
+    if (!HaveBest)
+      break;
+    R.HP = std::move(Best);
+    R.ResidualVuln = BestM.ResidualVuln;
+    R.HardenedCycles = BestM.Cycles;
+  }
+
+  for (const ProtectedSite &S : R.HP.Sites)
+    if (S.Kind == ProtectKind::Narrow)
+      ++R.NumNarrowed;
+    else
+      ++R.NumDuplicated;
+  {
+    BECAnalysis A = BECAnalysis::run(R.HP.Prog);
+    Trace G = simulate(R.HP.Prog);
+    R.HardenedRawVuln = computeVulnerability(A, G.Executed);
+  }
+  return R;
+}
+
+HardenValidation bec::validateHardening(const HardenResult &R,
+                                        const Program &Baseline) {
+  HardenValidation V;
+  V.VerifierClean = verifyProgram(R.HP.Prog).empty();
+  if (!V.VerifierClean)
+    return V;
+
+  Trace BaseGolden = simulate(Baseline);
+  Trace Golden = simulate(R.HP.Prog);
+  V.OutputsMatch = Golden.End == Outcome::Finished &&
+                   Golden.ObservableHash == BaseGolden.ObservableHash;
+  V.VulnerabilityReduced = R.HP.Sites.empty()
+                               ? R.ResidualVuln == R.BaselineVuln
+                               : R.ResidualVuln < R.BaselineVuln;
+
+  // The fault-injection oracle: flip a bit of the protected register (and
+  // of the shadow) right after the first dynamic execution of each
+  // protected def; the run must end detected. Detection is a trap — the
+  // detector's misaligned load, or earlier if the corrupted value itself
+  // traps — or, for register-only programs whose detector is a bare halt,
+  // reaching the detector block.
+  auto Detected = [&](const Trace &T) {
+    if (T.End == Outcome::Trap)
+      return true;
+    if (R.HP.DetectorIdx < 0)
+      return false;
+    uint32_t D = static_cast<uint32_t>(R.HP.DetectorIdx);
+    return std::find(T.Executed.begin(), T.Executed.end(), D) !=
+           T.Executed.end();
+  };
+  unsigned W = R.HP.Prog.Width;
+  auto Probe = [&](const Injection &Inj, bool AllowMasked) {
+    ++V.DetectionProbes;
+    Trace T = simulateWithInjection(R.HP.Prog, Inj);
+    // A masked outcome (identical architectural trace) is acceptable for
+    // register-granular sites: the shadow chain may absorb the flip, in
+    // which case the register provably returned to its fault-free value.
+    if (Detected(T) || (AllowMasked && T.TraceHash == Golden.TraceHash))
+      ++V.DetectionsCaught;
+  };
+  for (const ProtectedSite &S : R.HP.Sites) {
+    if (S.Kind == ProtectKind::Duplicate) {
+      // A flip inside the window survives verbatim until the check (the
+      // window contains no write of the register), so detection must be
+      // unconditional.
+      auto It =
+          std::find(Golden.Executed.begin(), Golden.Executed.end(), S.DefIdx);
+      if (It == Golden.Executed.end())
+        continue; // Def never executed: nothing to probe.
+      uint64_t AfterCycle =
+          static_cast<uint64_t>(It - Golden.Executed.begin()) + 1;
+      Probe({AfterCycle, S.Orig, 0}, false);
+      Probe({AfterCycle, S.Orig, W - 1}, false);
+      Probe({AfterCycle, S.Shadow, W / 2}, false);
+    } else if (S.Kind == ProtectKind::DuplicateReg) {
+      // Flip right after every distinct def of the register first
+      // executes; each flip must be caught by a downstream check or be
+      // provably masked.
+      std::vector<bool> Probed(R.HP.Prog.size(), false);
+      for (size_t C = 0; C + 1 < Golden.Executed.size(); ++C) {
+        uint32_t P = Golden.Executed[C];
+        const Instruction &I = R.HP.Prog.instr(P);
+        if (Probed[P] || !I.writesReg() || I.Rd != S.Orig)
+          continue;
+        Probed[P] = true;
+        Probe({C + 1, S.Orig, 0}, true);
+        Probe({C + 1, S.Orig, W - 1}, true);
+        Probe({C + 1, S.Shadow, W / 2}, true);
+      }
+    }
+  }
+  return V;
+}

@@ -1,0 +1,126 @@
+//===- harden/Harden.h - BEC-guided selective hardening under a budget ----===//
+///
+/// \file
+/// The selective-hardening subsystem's entry point. BEC's bit-level
+/// vulnerability data identifies *where* a program is exposed to soft
+/// errors; this pass spends a bounded dynamic-instruction budget there:
+///
+///   1. rank def sites by the live fault sites they govern
+///      (harden/VulnerabilityRank.h);
+///   2. greedily apply protection transforms (harden/Transforms.h) in
+///      rank order, re-measuring after each application and keeping a
+///      transform only if the program still verifies, the observable
+///      behaviour is bit-identical, the dynamic-instruction overhead
+///      stays within the budget, and the *residual* vulnerability
+///      strictly drops;
+///   3. report the reached cost/vulnerability Pareto point.
+///
+/// Residual vulnerability is the live-fault-site metric of core/Metrics.h
+/// minus the sites covered by a duplication window: a single-event upset
+/// in a protected register between its def and its check is caught by the
+/// compare (the corrupted register survives verbatim until the check — or
+/// traps even earlier on a corrupted address) and ends in a detector trap
+/// instead of silent data corruption. validateHardening() closes the loop
+/// by actually injecting faults into protected windows and confirming
+/// detection on the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_HARDEN_HARDEN_H
+#define BEC_HARDEN_HARDEN_H
+
+#include "core/BECAnalysis.h"
+#include "harden/Transforms.h"
+
+#include <span>
+
+namespace bec {
+
+struct HardenOptions {
+  /// Maximum extra dynamic instructions, in percent of the baseline
+  /// golden run's cycle count.
+  double BudgetPercent = 10.0;
+  /// Safety cap on accepted protection sites.
+  unsigned MaxSites = 64;
+  /// Candidates measured per greedy round; the best
+  /// vulnerability-drop-per-cycle wins the round.
+  unsigned ProbesPerRound = 8;
+  bool EnableDuplication = true;
+  bool EnableNarrowing = true;
+};
+
+/// The Pareto point reached for one program.
+struct HardenResult {
+  HardenedProgram HP;
+  uint64_t BaselineVuln = 0;
+  uint64_t BaselineCycles = 0;
+  /// Plain computeVulnerability of the hardened program (shadows and
+  /// checks included, protection not credited).
+  uint64_t HardenedRawVuln = 0;
+  /// Protection-aware live fault sites of the hardened program; the
+  /// quantity the selector minimizes.
+  uint64_t ResidualVuln = 0;
+  uint64_t HardenedCycles = 0;
+  unsigned NumDuplicated = 0;
+  unsigned NumNarrowed = 0;
+
+  /// Extra dynamic instructions relative to the baseline, in percent.
+  double costPercent() const {
+    if (BaselineCycles == 0)
+      return 0.0;
+    return 100.0 *
+           (static_cast<double>(HardenedCycles) -
+            static_cast<double>(BaselineCycles)) /
+           static_cast<double>(BaselineCycles);
+  }
+  /// Fraction of the baseline vulnerability removed.
+  double reduction() const {
+    if (BaselineVuln == 0)
+      return 0.0;
+    return 1.0 - static_cast<double>(ResidualVuln) /
+                     static_cast<double>(BaselineVuln);
+  }
+};
+
+/// Live fault sites of \p A's program over \p Executed, with the sites
+/// inside \p HP's duplication windows credited as detected (see file
+/// comment). With no protected sites this equals computeVulnerability.
+uint64_t computeResidualVulnerability(const BECAnalysis &A,
+                                      std::span<const uint32_t> Executed,
+                                      const HardenedProgram &HP);
+
+/// Hardens \p Prog (verified, CFG built, golden run must finish) under
+/// \p Opts. The result's program always verifies and behaves identically.
+HardenResult hardenProgram(const Program &Prog,
+                           const HardenOptions &Opts = {});
+
+/// Closed-loop validation of a hardening result against fault-injection
+/// ground truth.
+struct HardenValidation {
+  bool VerifierClean = false;
+  /// Hardened observable behaviour equals the baseline's (bit-identical
+  /// out stream, return value and outcome).
+  bool OutputsMatch = false;
+  /// ResidualVuln strictly below BaselineVuln whenever any site was
+  /// applied (a site is only ever accepted on a strict improvement);
+  /// equality is required when the selector found nothing affordable.
+  bool VulnerabilityReduced = false;
+  /// Fault-injection probes into duplication windows: every probe must
+  /// end detected (trap in the detector, or an earlier trap forced by
+  /// the corrupted value).
+  uint64_t DetectionProbes = 0;
+  uint64_t DetectionsCaught = 0;
+
+  bool ok() const {
+    return VerifierClean && OutputsMatch && VulnerabilityReduced &&
+           DetectionsCaught == DetectionProbes;
+  }
+};
+
+/// Re-verifies, re-simulates and fault-injects the hardened program.
+HardenValidation validateHardening(const HardenResult &R,
+                                   const Program &Baseline);
+
+} // namespace bec
+
+#endif // BEC_HARDEN_HARDEN_H

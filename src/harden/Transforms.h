@@ -1,0 +1,146 @@
+//===- harden/Transforms.h - Protection transforms over the IR ------------===//
+///
+/// \file
+/// The two program transformations of the selective-hardening subsystem,
+/// both expressed over the flat IR with index-remapping bookkeeping so a
+/// sequence of transforms composes:
+///
+///  * **Selective duplication** (SWIFT-style): recompute a chosen def
+///    into a never-otherwise-accessed shadow register immediately before
+///    the def, and insert a `bne rd, shadow, detector` check later in the
+///    same basic block (just before the first kill of rd, or before the
+///    block's last instruction). Any single-event upset in rd *or* the
+///    shadow between the def and the check makes the compare fail and
+///    control reach the detector block, which forces a deterministic
+///    trap — the fault is detected instead of silent.
+///
+///  * **Live-range narrowing** (rematerialization by sinking): move a
+///    pure def down to just before its first in-block reader when the
+///    block's dependence DAG (sched/ListScheduler machinery) permits it.
+///    The def's live segment shrinks by the distance moved, removing the
+///    corresponding live fault sites at zero dynamic-instruction cost.
+///
+/// Every transform keeps the program verifier-clean and observationally
+/// equivalent; the budgeted selector (harden/Harden.h) re-checks both
+/// properties empirically before accepting a transform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_HARDEN_TRANSFORMS_H
+#define BEC_HARDEN_TRANSFORMS_H
+
+#include "ir/Program.h"
+
+#include <array>
+#include <vector>
+
+namespace bec {
+
+/// How a protected site is hardened.
+enum class ProtectKind : uint8_t {
+  /// One def's value is shadowed from the def to a single in-block check.
+  Duplicate,
+  /// A whole register is shadowed: every def gets a shadow recompute
+  /// (chain defs read the shadow, so the shadow always carries the exact
+  /// fault-free value) and every non-self use gets a preceding check.
+  DuplicateReg,
+  /// A def was sunk toward its first reader (live-range narrowing).
+  Narrow,
+};
+
+/// One applied protection, in the *hardened* program's indices (kept up
+/// to date as later transforms shift instructions).
+struct ProtectedSite {
+  ProtectKind Kind;
+  Reg Orig = 0;   ///< Protected register (the def's destination).
+  Reg Shadow = 0; ///< Shadow register (Duplicate only).
+  /// Duplicate: DupIdx (shadow recompute), DefIdx (the protected def) and
+  /// CheckIdx (the compare-and-branch); the protection window is
+  /// [DefIdx's cycle, CheckIdx's cycle) in any execution.
+  uint32_t DupIdx = 0;
+  uint32_t DefIdx = 0;
+  uint32_t CheckIdx = 0;
+  /// Narrow: original and final index of the moved def.
+  uint32_t MovedFrom = 0;
+  uint32_t MovedTo = 0;
+};
+
+/// A program plus its protection bookkeeping; the unit the selector
+/// iterates on.
+struct HardenedProgram {
+  Program Prog;
+  /// Index of the first detector instruction, or -1 while no duplication
+  /// has been applied yet.
+  int32_t DetectorIdx = -1;
+  std::vector<ProtectedSite> Sites;
+
+  /// True if \p P belongs to hardening machinery (detector block, shadow
+  /// recompute or check) rather than original program code.
+  bool isHardeningInstr(uint32_t P) const;
+
+  /// Bitmask of the protected (Orig) registers across all sites.
+  uint32_t origRegMask() const;
+  /// Bitmask of the shadow registers across all sites.
+  uint32_t shadowRegMask() const;
+};
+
+/// A duplication opportunity on the current program. (The selector
+/// learns real dynamic cost by measuring, so candidates carry none.)
+struct DupCandidate {
+  uint32_t Def;      ///< Instruction whose destination gets a shadow.
+  uint32_t CheckPos; ///< Insert the check before this index.
+  uint64_t Score;    ///< Rank: live fault sites the window can cover.
+};
+
+/// A narrowing opportunity on the current program.
+struct SinkCandidate {
+  uint32_t From;  ///< The def to move.
+  uint32_t To;    ///< Its first in-block reader; lands at To - 1.
+  uint64_t Score; ///< Rank: live fault sites of the shrinking segment.
+};
+
+/// A register-granular duplication opportunity.
+struct RegDupCandidate {
+  Reg R;          ///< Register whose whole live surface gets shadowed.
+  uint64_t Score; ///< Rank: live fault sites the register carries.
+};
+
+/// Registers never accessed by \p Prog (excluding x0), usable as shadows.
+std::vector<Reg> freeRegisters(const Program &Prog);
+
+/// Enumerates duplication sites: defs with a coverable same-block window.
+/// \p DefScore comes from VulnerabilityRank (indexed by instruction).
+std::vector<DupCandidate>
+findDupCandidates(const HardenedProgram &HP,
+                  const std::vector<uint64_t> &DefScore);
+
+/// Enumerates sinking sites permitted by the block dependence DAGs.
+std::vector<SinkCandidate>
+findSinkCandidates(const HardenedProgram &HP,
+                   const std::vector<uint64_t> &DefScore);
+
+/// Applies one duplication: inserts the shadow recompute before \p Def,
+/// the check before \p CheckPos, and (on first use) the shared detector
+/// block. Appends a ProtectedSite and remaps existing site indices.
+/// The program's CFG is rebuilt.
+void applyDuplication(HardenedProgram &HP, const DupCandidate &C);
+
+/// Applies one narrowing: rotates \p C.From down to \p C.To - 1 within
+/// its block, remapping existing site indices. The CFG is rebuilt.
+void applySinking(HardenedProgram &HP, const SinkCandidate &C);
+
+/// Enumerates register-granular duplication sites. \p RegScore is
+/// VulnerabilityRank's per-register attribution.
+std::vector<RegDupCandidate>
+findRegDupCandidates(const HardenedProgram &HP,
+                     const std::array<uint64_t, NumRegs> &RegScore);
+
+/// Applies one register duplication: rebuilds the program with a shadow
+/// recompute before every def of \p C.R and a check before every non-self
+/// use, remapping branch targets, the entry point and existing site
+/// indices. The CFG is rebuilt.
+void applyRegisterDuplication(HardenedProgram &HP, const RegDupCandidate &C);
+
+} // namespace bec
+
+#endif // BEC_HARDEN_TRANSFORMS_H

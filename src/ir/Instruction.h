@@ -56,7 +56,9 @@ struct Instruction {
   /// Number of distinct source registers read, filled into \p Out
   /// (deduplicated, x0 excluded since it holds no state). Returns count.
   unsigned readRegs(Reg Out[2]) const {
-    Reg Tmp[2];
+    // One spare slot: the RET append below can never overflow (RET has
+    // format None), but the compiler cannot see that across the switch.
+    Reg Tmp[3];
     unsigned N = 0;
     switch (opcodeFormat(Op)) {
     case OpFormat::RegImm:

@@ -89,6 +89,23 @@ void Program::buildCFG() {
   }
 }
 
+void Program::insertInstructions(uint32_t At,
+                                 std::span<const Instruction> New) {
+  assert(At <= size() && "insertion point out of range");
+  if (New.empty())
+    return;
+  uint32_t N = static_cast<uint32_t>(New.size());
+  // Pre-existing control transfers to an index strictly after the
+  // insertion point shift; transfers to At itself keep their index and
+  // thus run the inserted code before the old instruction.
+  for (Instruction &I : Instrs)
+    if (I.Target != NoTarget && static_cast<uint32_t>(I.Target) > At)
+      I.Target += static_cast<int32_t>(N);
+  if (Entry > At)
+    Entry += N;
+  Instrs.insert(Instrs.begin() + At, New.begin(), New.end());
+}
+
 std::string Program::toString() const {
   std::string Out;
   Out += "# program: " + Name + "\n";

@@ -14,6 +14,7 @@
 #include "ir/Instruction.h"
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,14 @@ public:
   /// Recomputes CFG edges and basic blocks. Must be called after any
   /// structural mutation and before running analyses.
   void buildCFG();
+
+  /// Inserts \p New before the instruction currently at index \p At
+  /// (\p At == size() appends). Branch targets and the entry point are
+  /// remapped so that control transfers to the old instruction at \p At
+  /// now execute the inserted code first; targets inside \p New are taken
+  /// verbatim (the caller must express them in post-insertion indices).
+  /// The CFG is invalidated; call buildCFG() after the last mutation.
+  void insertInstructions(uint32_t At, std::span<const Instruction> New);
 
   /// Instruction-level successors of \p P (empty for halts).
   const std::vector<uint32_t> &succs(uint32_t P) const { return InstrSuccs[P]; }

@@ -144,6 +144,70 @@ TEST(Driver, ScheduleEmitWritesParseableAssembly) {
   EXPECT_EQ(Re.Status, tool::ExitSuccess) << Re.Err;
 }
 
+TEST(Driver, HardenReportsValidatedParetoPoints) {
+  DriverRun R = run({"harden", "--workload", "bitcount"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("Residual vuln"), std::string::npos);
+  EXPECT_NE(R.Out.find("ok"), std::string::npos);
+  EXPECT_EQ(R.Out.find("FAIL"), std::string::npos) << R.Out;
+}
+
+TEST(Driver, HardenSweepEmitsOneRowPerBudget) {
+  DriverRun R =
+      run({"harden", "--workload", "crc32", "--sweep", "0,10"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("0.00%"), std::string::npos);
+  EXPECT_NE(R.Out.find("10.00%"), std::string::npos);
+  // Two data rows: header + separator + 2 rows.
+  EXPECT_EQ(std::count(R.Out.begin(), R.Out.end(), '\n'), 4);
+}
+
+TEST(Driver, HardenEmitWritesParseableAssembly) {
+  std::string Path = testing::TempDir() + "/driver_hardened.s";
+  DriverRun R = run({"harden", "--workload", "bitcount", "--emit", Path});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  DriverRun Re = run({"analyze", "--asm", Path});
+  EXPECT_EQ(Re.Status, tool::ExitSuccess) << Re.Err;
+}
+
+TEST(Driver, JsonOutputIsWellFormedAndComplete) {
+  for (const char *Cmd : {"analyze", "harden"}) {
+    DriverRun R =
+        run({Cmd, "--workload", "bitcount", "--format", "json"});
+    EXPECT_EQ(R.Status, tool::ExitSuccess) << Cmd << ": " << R.Err;
+    ASSERT_FALSE(R.Out.empty());
+    EXPECT_EQ(R.Out.front(), '{') << Cmd;
+    EXPECT_EQ(R.Out[R.Out.size() - 2], '}') << Cmd; // Trailing newline.
+    EXPECT_NE(R.Out.find("\"command\":\"" + std::string(Cmd) + "\""),
+              std::string::npos);
+    EXPECT_NE(R.Out.find("\"name\":\"bitcount\""), std::string::npos);
+  }
+  DriverRun A = run({"analyze", "--workload", "bitcount", "--format",
+                     "json"});
+  EXPECT_NE(A.Out.find("\"vulnerability\":"), std::string::npos);
+  DriverRun H = run({"harden", "--workload", "bitcount", "--format",
+                     "json"});
+  EXPECT_NE(H.Out.find("\"residual_vulnerability\":"), std::string::npos);
+  EXPECT_NE(H.Out.find("\"ok\":true"), std::string::npos);
+  DriverRun Rep = run({"report", "--workload", "bitcount", "--format",
+                       "json"});
+  EXPECT_EQ(Rep.Status, tool::ExitSuccess) << Rep.Err;
+  EXPECT_NE(Rep.Out.find("\"sound\":true"), std::string::npos);
+}
+
+TEST(Driver, HardenAndFormatUsageErrors) {
+  EXPECT_EQ(run({"harden", "--budget", "nope"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"harden", "--budget", "-3"}).Status, tool::ExitUsage);
+  // strtod accepts these spellings; the budget gate must not.
+  EXPECT_EQ(run({"harden", "--budget", "nan"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"harden", "--budget", "inf"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"harden", "--sweep", "5,x"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"campaign", "--format", "json"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"analyze", "--format", "yaml"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"harden", "--sweep", "5,10", "--emit", "x.s"}).Status,
+            tool::ExitUsage);
+}
+
 TEST(Driver, HelpAndListWorkloads) {
   DriverRun Help = run({"--help"});
   EXPECT_EQ(Help.Status, tool::ExitSuccess);

@@ -6,9 +6,11 @@
 #include "core/Metrics.h"
 #include "fi/Campaign.h"
 #include "fi/Validation.h"
+#include "harden/Harden.h"
 #include "ir/AsmParser.h"
 #include "sched/ListScheduler.h"
 #include "sim/Interpreter.h"
+#include "support/Json.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
@@ -39,6 +41,10 @@ Subcommands:
   analyze    Static fault-space metrics per target (Table III shape).
   campaign   Plan and execute a fault-injection campaign per target.
   schedule   Vulnerability-aware list scheduling; vulnerability per policy.
+  harden     BEC-guided selective hardening under a dynamic-instruction
+             budget; per target the reached cost/vulnerability Pareto
+             point plus closed-loop validation. Exits 3 if any hardened
+             program fails validation.
   report     Full pipeline: metrics + bit-level campaign + soundness
              validation. Exits 3 if any target validates unsound.
 
@@ -54,8 +60,15 @@ Options:
   --plan KIND       campaign plan: exhaustive | value | bit (default bit).
   --policy KIND     schedule policy for --emit: best | worst | source
                     (default best).
-  --emit FILE       schedule only: write the scheduled program of the
-                    single selected target to FILE as assembly.
+  --emit FILE       schedule: write the scheduled program of the single
+                    selected target to FILE as assembly.
+                    harden: write the hardened program instead.
+  --budget P        harden only: max extra dynamic instructions in percent
+                    of the baseline run (default 10).
+  --sweep A,B,..    harden only: evaluate several budgets per target and
+                    print the full cost-vs-vulnerability table.
+  --format KIND     analyze/report/harden output: text | json
+                    (default text).
   --max-cycles N    Truncate campaign/validation windows to N cycles
                     (0 = whole trace; default 0).
   -h, --help        Print this help and exit.
@@ -63,7 +76,8 @@ Options:
 Exit codes: 0 success, 1 usage error, 2 bad input, 3 unsound validation.
 )";
 
-enum class Command { Analyze, Campaign, Schedule, Report };
+enum class Command { Analyze, Campaign, Schedule, Harden, Report };
+enum class OutputFormat { Text, Json };
 
 struct DriverOptions {
   Command Cmd = Command::Analyze;
@@ -75,6 +89,9 @@ struct DriverOptions {
   SchedulePolicy EmitPolicy = SchedulePolicy::BestReliability;
   std::string EmitPath;
   uint64_t MaxCycles = 0;
+  /// harden: budgets to evaluate (one entry unless --sweep is given).
+  std::vector<double> Budgets = {10.0};
+  OutputFormat Format = OutputFormat::Text;
 };
 
 /// Parses a full-string unsigned decimal; nullopt on any trailing garbage.
@@ -84,6 +101,18 @@ std::optional<uint64_t> parseUnsigned(const std::string &S) {
   char *End = nullptr;
   uint64_t V = std::strtoull(S.c_str(), &End, 10);
   if (End != S.c_str() + S.size())
+    return std::nullopt;
+  return V;
+}
+
+/// Parses a full-string non-negative finite decimal (strtod's "nan"/"inf"
+/// spellings would silently disable the budget gate).
+std::optional<double> parseBudget(const std::string &S) {
+  if (S.empty())
+    return std::nullopt;
+  char *End = nullptr;
+  double V = std::strtod(S.c_str(), &End);
+  if (End != S.c_str() + S.size() || !std::isfinite(V) || V < 0)
     return std::nullopt;
   return V;
 }
@@ -116,11 +145,16 @@ struct TargetResult {
 
   // schedule: vulnerability per policy [source, best, worst]
   uint64_t PolicyVuln[3] = {0, 0, 0};
-  // schedule --emit: assembly of the program scheduled under EmitPolicy.
+  // schedule/harden --emit: assembly of the transformed program.
   std::string EmittedAsm;
 
   // report
   ValidationResult Validation;
+
+  // harden: one Pareto point per requested budget, parallel to
+  // DriverOptions::Budgets.
+  std::vector<HardenResult> Harden;
+  std::vector<HardenValidation> HardenChecks;
 };
 
 int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
@@ -141,6 +175,8 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     Opts.Cmd = Command::Campaign;
   else if (Sub == "schedule")
     Opts.Cmd = Command::Schedule;
+  else if (Sub == "harden")
+    Opts.Cmd = Command::Harden;
   else if (Sub == "report")
     Opts.Cmd = Command::Report;
   else {
@@ -234,13 +270,68 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
       if (!V)
         return ExitUsage;
       Opts.EmitPath = *V;
+    } else if (Arg == "--budget") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<double> B = parseBudget(*V);
+      if (!B) {
+        Err << "bec: --budget wants a non-negative number, got '" << *V
+            << "'\n";
+        return ExitUsage;
+      }
+      Opts.Budgets = {*B};
+    } else if (Arg == "--sweep") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.Budgets.clear();
+      std::string Item;
+      std::stringstream Stream(*V);
+      while (std::getline(Stream, Item, ',')) {
+        std::optional<double> B = parseBudget(Item);
+        if (!B) {
+          Err << "bec: --sweep wants comma-separated budgets, got '" << *V
+              << "'\n";
+          return ExitUsage;
+        }
+        Opts.Budgets.push_back(*B);
+      }
+      if (Opts.Budgets.empty()) {
+        Err << "bec: --sweep needs at least one budget\n";
+        return ExitUsage;
+      }
+    } else if (Arg == "--format") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::string K = toLower(*V);
+      if (K == "text")
+        Opts.Format = OutputFormat::Text;
+      else if (K == "json")
+        Opts.Format = OutputFormat::Json;
+      else {
+        Err << "bec: unknown --format '" << *V << "' (want text | json)\n";
+        return ExitUsage;
+      }
     } else {
       Err << "bec: unknown option '" << Arg << "'\n" << UsageText;
       return ExitUsage;
     }
   }
-  if (!Opts.EmitPath.empty() && Opts.Cmd != Command::Schedule) {
-    Err << "bec: --emit is only valid with the schedule subcommand\n";
+  if (!Opts.EmitPath.empty() && Opts.Cmd != Command::Schedule &&
+      Opts.Cmd != Command::Harden) {
+    Err << "bec: --emit is only valid with schedule or harden\n";
+    return ExitUsage;
+  }
+  if (Opts.Format == OutputFormat::Json && Opts.Cmd != Command::Analyze &&
+      Opts.Cmd != Command::Report && Opts.Cmd != Command::Harden) {
+    Err << "bec: --format json supports analyze, report and harden\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd == Command::Harden && !Opts.EmitPath.empty() &&
+      Opts.Budgets.size() != 1) {
+    Err << "bec: harden --emit requires a single --budget\n";
     return ExitUsage;
   }
   return ExitSuccess;
@@ -372,6 +463,23 @@ void runScheduleCmd(const Target &T, const DriverOptions &Opts,
   }
 }
 
+void runHardenCmd(const Target &T, const DriverOptions &Opts,
+                  TargetResult &R) {
+  BECAnalysis A;
+  Trace Golden;
+  if (!runCommonPipeline(T, A, Golden, R))
+    return;
+  for (double Budget : Opts.Budgets) {
+    HardenOptions HO;
+    HO.BudgetPercent = Budget;
+    HardenResult H = hardenProgram(T.Prog, HO);
+    R.HardenChecks.push_back(validateHardening(H, T.Prog));
+    if (!Opts.EmitPath.empty())
+      R.EmittedAsm = H.HP.Prog.toString();
+    R.Harden.push_back(std::move(H));
+  }
+}
+
 void runReportCmd(const Target &T, const DriverOptions &Opts,
                   TargetResult &R) {
   BECAnalysis A;
@@ -467,6 +575,149 @@ void renderSchedule(const std::vector<Target> &Targets,
   Out << Tbl.render();
 }
 
+void renderHarden(const std::vector<Target> &Targets,
+                  const std::vector<TargetResult> &Results,
+                  const DriverOptions &Opts, std::ostream &Out) {
+  Table Tbl({"Workload", "Budget", "Cost", "Base vuln", "Residual vuln",
+             "Reduction", "Dup", "Narrow", "Probes", "Valid"});
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    const TargetResult &R = Results[I];
+    if (!R.Error.empty())
+      continue;
+    for (size_t B = 0; B < Opts.Budgets.size(); ++B) {
+      const HardenResult &H = R.Harden[B];
+      const HardenValidation &V = R.HardenChecks[B];
+      Tbl.row()
+          .cell(Targets[I].Name)
+          .cell(Table::percent(Opts.Budgets[B] / 100.0))
+          .cell(Table::percent(H.costPercent() / 100.0))
+          .cell(H.BaselineVuln)
+          .cell(H.ResidualVuln)
+          .cell("-" + Table::percent(H.reduction()))
+          .cell(uint64_t(H.NumDuplicated))
+          .cell(uint64_t(H.NumNarrowed))
+          .cell(std::to_string(V.DetectionsCaught) + "/" +
+                std::to_string(V.DetectionProbes))
+          .cell(V.ok() ? "ok" : "FAIL");
+    }
+  }
+  Out << Tbl.render();
+}
+
+//===----------------------------------------------------------------------===//
+// JSON rendering
+//===----------------------------------------------------------------------===//
+
+void jsonCounts(JsonWriter &W, const TargetResult &R) {
+  W.key("instrs").value(uint64_t(R.Instrs));
+  W.key("cycles").value(R.Cycles);
+  W.key("fault_space").value(R.Counts.TotalFaultSpace);
+  W.key("value_level_runs").value(R.Counts.ValueLevelRuns);
+  W.key("bit_level_runs").value(R.Counts.BitLevelRuns);
+  W.key("masked_bits").value(R.Counts.MaskedBits);
+  W.key("inferrable_bits").value(R.Counts.InferrableBits);
+  W.key("pruned_fraction").value(R.Counts.prunedFraction());
+  W.key("vulnerability").value(R.Vulnerability);
+}
+
+void jsonCampaign(JsonWriter &W, const CampaignResult &C) {
+  W.key("campaign").beginObject();
+  W.key("runs").value(C.Runs);
+  W.key("effects").beginObject();
+  for (unsigned E = 0; E < NumFaultEffects; ++E)
+    W.key(toLower(faultEffectName(FaultEffect(E))))
+        .value(C.EffectCounts[E]);
+  W.endObject();
+  W.key("distinct_traces").value(C.DistinctTraces);
+  W.key("seconds").value(C.Seconds);
+  W.endObject();
+}
+
+void jsonValidation(JsonWriter &W, const ValidationResult &V) {
+  W.key("validation").beginObject();
+  W.key("sound_precise_pairs").value(V.SoundPrecisePairs);
+  W.key("sound_imprecise_pairs").value(V.SoundImprecisePairs);
+  W.key("unsound_pairs").value(V.UnsoundPairs);
+  W.key("masked_violations").value(V.MaskedViolations);
+  W.key("cross_violations").value(V.CrossViolations);
+  W.key("runs_executed").value(V.RunsExecuted);
+  W.key("sound").value(V.sound());
+  W.endObject();
+}
+
+void jsonHarden(JsonWriter &W, const TargetResult &R,
+                const DriverOptions &Opts) {
+  W.key("points").beginArray();
+  for (size_t B = 0; B < Opts.Budgets.size(); ++B) {
+    const HardenResult &H = R.Harden[B];
+    const HardenValidation &V = R.HardenChecks[B];
+    W.beginObject();
+    W.key("budget_percent").value(Opts.Budgets[B]);
+    W.key("cost_percent").value(H.costPercent());
+    W.key("baseline_vulnerability").value(H.BaselineVuln);
+    W.key("residual_vulnerability").value(H.ResidualVuln);
+    W.key("hardened_raw_vulnerability").value(H.HardenedRawVuln);
+    W.key("reduction").value(H.reduction());
+    W.key("baseline_cycles").value(H.BaselineCycles);
+    W.key("hardened_cycles").value(H.HardenedCycles);
+    W.key("duplicated").value(uint64_t(H.NumDuplicated));
+    W.key("narrowed").value(uint64_t(H.NumNarrowed));
+    W.key("validation").beginObject();
+    W.key("verifier_clean").value(V.VerifierClean);
+    W.key("outputs_match").value(V.OutputsMatch);
+    W.key("vulnerability_reduced").value(V.VulnerabilityReduced);
+    W.key("detection_probes").value(V.DetectionProbes);
+    W.key("detections_caught").value(V.DetectionsCaught);
+    W.key("ok").value(V.ok());
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+}
+
+void renderJson(const std::vector<Target> &Targets,
+                const std::vector<TargetResult> &Results,
+                const DriverOptions &Opts, std::ostream &Out) {
+  const char *Cmd = Opts.Cmd == Command::Analyze  ? "analyze"
+                    : Opts.Cmd == Command::Report ? "report"
+                                                  : "harden";
+  JsonWriter W;
+  W.beginObject();
+  W.key("command").value(Cmd);
+  W.key("targets").beginArray();
+  for (size_t I = 0; I < Targets.size(); ++I) {
+    const TargetResult &R = Results[I];
+    W.beginObject();
+    W.key("name").value(Targets[I].Name);
+    if (!R.Error.empty()) {
+      W.key("error").value(R.Error);
+      W.endObject();
+      continue;
+    }
+    switch (Opts.Cmd) {
+    case Command::Analyze:
+      jsonCounts(W, R);
+      break;
+    case Command::Report:
+      jsonCounts(W, R);
+      jsonCampaign(W, R.Campaign);
+      jsonValidation(W, R.Validation);
+      break;
+    case Command::Harden:
+      W.key("instrs").value(uint64_t(R.Instrs));
+      W.key("cycles").value(R.Cycles);
+      jsonHarden(W, R, Opts);
+      break;
+    default:
+      break;
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  Out << W.take() << "\n";
+}
+
 void renderReport(const std::vector<Target> &Targets,
                   const std::vector<TargetResult> &Results,
                   std::ostream &Out) {
@@ -544,6 +795,9 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
         case Command::Schedule:
           runScheduleCmd(Targets[I], Opts, Results[I]);
           break;
+        case Command::Harden:
+          runHardenCmd(Targets[I], Opts, Results[I]);
+          break;
         case Command::Report:
           runReportCmd(Targets[I], Opts, Results[I]);
           break;
@@ -552,19 +806,26 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
     Pool.wait();
   }
 
-  switch (Opts.Cmd) {
-  case Command::Analyze:
-    renderAnalyze(Targets, Results, Out);
-    break;
-  case Command::Campaign:
-    renderCampaign(Targets, Results, Opts, Out);
-    break;
-  case Command::Schedule:
-    renderSchedule(Targets, Results, Out);
-    break;
-  case Command::Report:
-    renderReport(Targets, Results, Out);
-    break;
+  if (Opts.Format == OutputFormat::Json) {
+    renderJson(Targets, Results, Opts, Out);
+  } else {
+    switch (Opts.Cmd) {
+    case Command::Analyze:
+      renderAnalyze(Targets, Results, Out);
+      break;
+    case Command::Campaign:
+      renderCampaign(Targets, Results, Opts, Out);
+      break;
+    case Command::Schedule:
+      renderSchedule(Targets, Results, Out);
+      break;
+    case Command::Harden:
+      renderHarden(Targets, Results, Opts, Out);
+      break;
+    case Command::Report:
+      renderReport(Targets, Results, Out);
+      break;
+    }
   }
 
   int Status = ExitSuccess;
@@ -577,7 +838,16 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
     for (const TargetResult &R : Results)
       if (!R.Validation.sound())
         Status = ExitUnsound;
-  if (Status == ExitSuccess && Opts.Cmd == Command::Schedule &&
+  if (Status == ExitSuccess && Opts.Cmd == Command::Harden)
+    for (size_t I = 0; I < Targets.size(); ++I)
+      for (const HardenValidation &V : Results[I].HardenChecks)
+        if (!V.ok()) {
+          Err << "bec: " << Targets[I].Name
+              << ": hardened program failed validation\n";
+          Status = ExitUnsound;
+        }
+  if (Status == ExitSuccess &&
+      (Opts.Cmd == Command::Schedule || Opts.Cmd == Command::Harden) &&
       !Opts.EmitPath.empty())
     Status = emitScheduled(Results[0], Opts, Err);
   return Status;

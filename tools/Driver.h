@@ -10,11 +10,15 @@
 ///   bec analyze  [targets] [--jobs N]      fault-space metrics table
 ///   bec campaign [targets] [--plan KIND]   execute a fault-injection plan
 ///   bec schedule [targets] [--emit FILE]   vulnerability-aware scheduling
+///   bec harden   [targets] [--budget P]    selective hardening Pareto
+///                [--sweep A,B,..]          points + closed-loop checks
 ///   bec report   [targets]                 metrics + campaign + validation
 ///
 /// Targets are `--workload NAME` (repeatable, case-insensitive), `--asm
 /// FILE.s`, or `--all` (the default). Independent targets are evaluated on
-/// a support/ThreadPool.h pool sized by `--jobs`.
+/// a support/ThreadPool.h pool sized by `--jobs`. `analyze`, `report` and
+/// `harden` additionally support `--format=json` for machine-readable
+/// output.
 ///
 //===----------------------------------------------------------------------===//
 
