@@ -77,11 +77,11 @@ int main() {
   // The checks corresponding to Fig. 4c's final state. Instruction 4 is
   // `andi t1, t0, 1` (the join); t0 = x5 holds v, t1 = x6 holds m.
   uint32_t JoinAndi = 4;
-  bool Bit3Masked = A.classOf(JoinAndi, 5, 3) == 0;
-  bool Bit2Masked = A.classOf(JoinAndi, 5, 2) == 0;
-  bool Bit0Live = A.classOf(JoinAndi, 5, 0) != 0;
+  bool Bit3Masked = A.classOf(JoinAndi, 5, 3) == 0u;
+  bool Bit2Masked = A.classOf(JoinAndi, 5, 2) == 0u;
+  bool Bit0Live = A.classOf(JoinAndi, 5, 0) != 0u;
   // m is consumed by the branch; its pre-branch segment starts at the andi.
-  uint32_t C1 = A.classOf(JoinAndi, 6, 1);
+  uint32_t C1 = A.classOf(JoinAndi, 6, 1).value_or(0);
   bool MBitsCoalesced = C1 != 0 && C1 == A.classOf(JoinAndi, 6, 2) &&
                         C1 == A.classOf(JoinAndi, 6, 3);
   std::printf("v bits 2,3 masked after the join (paper: coalesced to s0): "

@@ -9,14 +9,19 @@
 /// the baseline and the 10%-budget hardened program, showing silent data
 /// corruptions converting into detector traps.
 ///
+/// The whole sweep runs on one AnalysisSession: budgets share the
+/// baseline pipeline and all trial measurements up to their greedy
+/// divergence point, and the closed-loop campaigns reuse the cached
+/// analyses of the baseline and hardened programs (bench_SessionReuse
+/// quantifies the saving).
+///
 /// Output feeds the BENCH trajectory: one (cost, residual) point per
 /// workload/budget pair.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "fi/Campaign.h"
-#include "harden/Harden.h"
-#include "sim/Interpreter.h"
+#include "api/Api.h"
+
 #include "support/Debug.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
@@ -31,14 +36,11 @@ constexpr double Budgets[] = {2, 5, 10, 20, 30};
 /// Campaign window for the closed-loop table (keeps the bench fast).
 constexpr uint64_t CampaignCycles = 1200;
 
-CampaignResult boundedBitLevelCampaign(const Program &Prog) {
-  BECAnalysis A = BECAnalysis::run(Prog);
-  Trace Golden = simulate(Prog);
-  if (Golden.End != Outcome::Finished)
+CampaignResult boundedBitLevelCampaign(AnalysisSession &S,
+                                       const CachedProgramPtr &P) {
+  if (S.get<TraceQuery>(P)->End != Outcome::Finished)
     reportFatalError("golden run did not finish");
-  std::vector<PlannedRun> Plan =
-      planCampaign(A, Golden, PlanKind::BitLevel, CampaignCycles);
-  return runCampaign(Prog, Golden, std::move(Plan));
+  return *S.get<CampaignQuery>(P, {PlanKind::BitLevel, CampaignCycles});
 }
 
 } // namespace
@@ -48,20 +50,23 @@ int main() {
   std::printf("(budget = max extra dynamic instructions; residual = live "
               "fault sites not covered by a detector)\n\n");
 
+  AnalysisSession S;
+  S.addAllWorkloads();
+
   Table Sweep({"benchmark", "budget", "cost", "base vuln", "residual vuln",
                "reduction", "dup", "narrow"});
   std::vector<HardenResult> TenPercent;
-  for (const Workload &W : allWorkloads()) {
-    Program Prog = loadWorkload(W);
+  for (size_t T = 0; T < S.numTargets(); ++T) {
     for (double Budget : Budgets) {
       HardenOptions Opts;
       Opts.BudgetPercent = Budget;
-      HardenResult R = hardenProgram(Prog, Opts);
-      HardenValidation V = validateHardening(R, Prog);
-      if (!V.ok())
+      const HardenPoint &P =
+          *S.get<HardenQuery>(static_cast<uint32_t>(T), Opts);
+      if (!P.Check.ok())
         reportFatalError("hardening failed validation on a workload");
+      const HardenResult &R = P.Harden;
       Sweep.row()
-          .cell(W.Name)
+          .cell(S.name(T))
           .cell(Table::percent(Budget / 100.0))
           .cell(Table::percent(R.costPercent() / 100.0))
           .cell(R.BaselineVuln)
@@ -70,7 +75,7 @@ int main() {
           .cell(uint64_t(R.NumDuplicated))
           .cell(uint64_t(R.NumNarrowed));
       if (Budget == 10.0)
-        TenPercent.push_back(std::move(R));
+        TenPercent.push_back(R);
     }
   }
   std::printf("%s\n", Sweep.render().c_str());
@@ -83,10 +88,10 @@ int main() {
   Table Loop({"benchmark", "runs", "SDC", "SDC rate", "trap", "hardened runs",
               "SDC", "SDC rate", "trap"});
   for (size_t I = 0; I < TenPercent.size(); ++I) {
-    const Workload &W = allWorkloads()[I];
-    Program Prog = loadWorkload(W);
-    CampaignResult Base = boundedBitLevelCampaign(Prog);
-    CampaignResult Hard = boundedBitLevelCampaign(TenPercent[I].HP.Prog);
+    CampaignResult Base =
+        boundedBitLevelCampaign(S, S.cached(static_cast<uint32_t>(I)));
+    CampaignResult Hard =
+        boundedBitLevelCampaign(S, S.intern(TenPercent[I].HP.Prog));
     auto SDC = [](const CampaignResult &C) {
       return C.EffectCounts[size_t(FaultEffect::SDC)];
     };
@@ -99,7 +104,7 @@ int main() {
                                static_cast<double>(C.Runs);
     };
     Loop.row()
-        .cell(W.Name)
+        .cell(S.name(I))
         .cell(Base.Runs)
         .cell(SDC(Base))
         .cell(Table::percent(Rate(Base)))

@@ -1,0 +1,227 @@
+//===- bench/SessionReuse.cpp - What the session cache buys the hardener --===//
+///
+/// \file
+/// The headline measurement of the AnalysisSession redesign: the selective
+/// hardener's measure-and-accept loop, cold versus cached.
+///
+///   * cold  — AnalysisSession with Caching=false: every get() recomputes,
+///             reproducing the PR-2 loop that re-ran the full pipeline
+///             (verify + simulate + BEC) after every candidate transform
+///             and at every round top.
+///   * warm  — a caching session: the accepted candidate's measurement
+///             becomes the next round's baseline, the final re-analysis
+///             and the closed-loop validation hit the cache.
+///   * sweep — five budgets per workload on one shared session: budgets
+///             share the baseline pipeline and every trial measured
+///             before their greedy paths diverge.
+///   * hot   — re-asking an already-answered HardenQuery (the library
+///             use case: interactive tools, dashboards, CI re-checks).
+///
+/// Cold and warm must agree bit-for-bit on every result (asserted here);
+/// only the time may differ. Emits BENCH_session.json (path = argv[1],
+/// default ./BENCH_session.json), seeding the perf trajectory.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Api.h"
+
+#include "support/Debug.h"
+#include "support/Json.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+using namespace bec;
+
+namespace {
+
+constexpr double SingleBudget = 10.0;
+constexpr double SweepBudgets[] = {2, 5, 10, 20, 30};
+constexpr int Reps = 3; ///< Best-of-N to damp scheduler noise.
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+AnalysisSession::Config coldConfig() {
+  AnalysisSession::Config C;
+  C.Caching = false;
+  return C;
+}
+
+/// One full `bec harden` unit of work for one target: the greedy loop
+/// plus the closed-loop validation (what the driver always runs).
+HardenPoint hardenOnce(AnalysisSession &S, const CachedProgramPtr &P,
+                       double Budget) {
+  HardenOptions HO;
+  HO.BudgetPercent = Budget;
+  HardenPoint Point;
+  Point.Harden = hardenProgram(S, P, HO);
+  Point.Check = validateHardening(S, P, Point.Harden);
+  return Point;
+}
+
+/// Best-of-Reps wall time of \p Fn (called exactly Reps times).
+template <class Fn> double timeBest(Fn &&F) {
+  double Best = 1e100;
+  for (int R = 0; R < Reps; ++R) {
+    double T0 = now();
+    F();
+    Best = std::min(Best, now() - T0);
+  }
+  return Best;
+}
+
+struct TargetTimes {
+  std::string Name;
+  double ColdS = 0, WarmS = 0;
+  double SweepColdS = 0, SweepWarmS = 0;
+  double HotS = 0;
+  uint64_t ResidualVuln = 0;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_session.json";
+  std::printf("Session reuse: the harden loop cold (PR-2 re-analysis) vs. "
+              "cached, %d-rep best-of\n\n", Reps);
+
+  std::vector<TargetTimes> Rows;
+  for (const Workload &W : allWorkloads()) {
+    TargetTimes Row;
+    Row.Name = W.Name;
+
+    // Cold: caching off; every measurement re-runs the pipeline.
+    HardenPoint Cold;
+    Row.ColdS = timeBest([&] {
+      AnalysisSession S(coldConfig());
+      Cold = hardenOnce(S, S.intern(loadWorkload(W)), SingleBudget);
+    });
+
+    // Warm: a fresh caching session per run (intra-run reuse only).
+    HardenPoint Warm;
+    Row.WarmS = timeBest([&] {
+      AnalysisSession S;
+      Warm = hardenOnce(S, S.intern(loadWorkload(W)), SingleBudget);
+    });
+
+    // Caching must never change an answer.
+    if (Cold.Harden.ResidualVuln != Warm.Harden.ResidualVuln ||
+        Cold.Harden.HardenedCycles != Warm.Harden.HardenedCycles ||
+        Cold.Harden.HP.Prog.toString() != Warm.Harden.HP.Prog.toString() ||
+        !Cold.Check.ok() || !Warm.Check.ok())
+      reportFatalError("cold and warm hardening disagree");
+    Row.ResidualVuln = Warm.Harden.ResidualVuln;
+
+    // Budget sweep: five budgets, cold vs. one shared warm session.
+    Row.SweepColdS = timeBest([&] {
+      AnalysisSession S(coldConfig());
+      CachedProgramPtr P = S.intern(loadWorkload(W));
+      for (double B : SweepBudgets)
+        hardenOnce(S, P, B);
+    });
+    Row.SweepWarmS = timeBest([&] {
+      AnalysisSession S;
+      CachedProgramPtr P = S.intern(loadWorkload(W));
+      for (double B : SweepBudgets)
+        hardenOnce(S, P, B);
+    });
+
+    // Hot: the query result itself is cached.
+    {
+      AnalysisSession S;
+      AnalysisSession::TargetId T = *S.addWorkload(W.Name);
+      HardenOptions HO;
+      HO.BudgetPercent = SingleBudget;
+      S.get<HardenQuery>(T, HO); // Fill.
+      Row.HotS = timeBest([&] { S.get<HardenQuery>(T, HO); });
+    }
+    Rows.push_back(Row);
+  }
+
+  auto Speedup = [](double Cold, double Warm) {
+    return Warm > 0 ? Cold / Warm : 0.0;
+  };
+
+  Table Tbl({"benchmark", "cold", "warm", "speedup", "sweep cold",
+             "sweep warm", "speedup", "hot query"});
+  double TCold = 0, TWarm = 0, TSwCold = 0, TSwWarm = 0;
+  for (const TargetTimes &R : Rows) {
+    TCold += R.ColdS;
+    TWarm += R.WarmS;
+    TSwCold += R.SweepColdS;
+    TSwWarm += R.SweepWarmS;
+    char Buf[5][32];
+    std::snprintf(Buf[0], 32, "%.3f s", R.ColdS);
+    std::snprintf(Buf[1], 32, "%.3f s", R.WarmS);
+    std::snprintf(Buf[2], 32, "%.2fx", Speedup(R.ColdS, R.WarmS));
+    std::snprintf(Buf[3], 32, "%.3f s", R.SweepColdS);
+    std::snprintf(Buf[4], 32, "%.3f s", R.SweepWarmS);
+    char Buf2[2][32];
+    std::snprintf(Buf2[0], 32, "%.2fx", Speedup(R.SweepColdS, R.SweepWarmS));
+    std::snprintf(Buf2[1], 32, "%.1f us", R.HotS * 1e6);
+    Tbl.row()
+        .cell(R.Name)
+        .cell(std::string(Buf[0]))
+        .cell(std::string(Buf[1]))
+        .cell(std::string(Buf[2]))
+        .cell(std::string(Buf[3]))
+        .cell(std::string(Buf[4]))
+        .cell(std::string(Buf2[0]))
+        .cell(std::string(Buf2[1]));
+  }
+  std::printf("%s\n", Tbl.render().c_str());
+  std::printf("totals: harden --budget 10 --all  %.3f s cold -> %.3f s "
+              "cached (%.2fx); sweep %.3f s -> %.3f s (%.2fx)\n",
+              TCold, TWarm, Speedup(TCold, TWarm), TSwCold, TSwWarm,
+              Speedup(TSwCold, TSwWarm));
+
+  JsonWriter J;
+  J.beginObject();
+  J.key("bench").value("SessionReuse");
+  J.key("api_version").value(BEC_API_VERSION_STRING);
+  J.key("budget_percent").value(SingleBudget);
+  J.key("sweep_budgets").beginArray();
+  for (double B : SweepBudgets)
+    J.value(B);
+  J.endArray();
+  J.key("targets").beginArray();
+  for (const TargetTimes &R : Rows) {
+    J.beginObject();
+    J.key("name").value(R.Name);
+    J.key("residual_vulnerability").value(R.ResidualVuln);
+    J.key("cold_seconds").value(R.ColdS);
+    J.key("warm_seconds").value(R.WarmS);
+    J.key("speedup").value(Speedup(R.ColdS, R.WarmS));
+    J.key("sweep_cold_seconds").value(R.SweepColdS);
+    J.key("sweep_warm_seconds").value(R.SweepWarmS);
+    J.key("sweep_speedup").value(Speedup(R.SweepColdS, R.SweepWarmS));
+    J.key("hot_query_seconds").value(R.HotS);
+    J.endObject();
+  }
+  J.endArray();
+  J.key("total").beginObject();
+  J.key("cold_seconds").value(TCold);
+  J.key("warm_seconds").value(TWarm);
+  J.key("speedup").value(Speedup(TCold, TWarm));
+  J.key("sweep_cold_seconds").value(TSwCold);
+  J.key("sweep_warm_seconds").value(TSwWarm);
+  J.key("sweep_speedup").value(Speedup(TSwCold, TSwWarm));
+  J.endObject();
+  J.endObject();
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath);
+    return 1;
+  }
+  Out << J.take() << "\n";
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

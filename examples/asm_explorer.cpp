@@ -4,20 +4,20 @@
 /// Reads a program in the project's RISC-V dialect from a file (or runs a
 /// built-in demo), and prints the per-instruction analysis view: abstract
 /// bit values of every accessed register, liveness, masked bits, and the
-/// fault-injection probes each access point needs.
+/// fault-injection probes each access point needs. Loading and analysis
+/// go through the AnalysisSession, so exploring the same file twice in a
+/// bigger tool would be free.
 ///
 /// Usage: asm_explorer [file.s]
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/BECAnalysis.h"
+#include "api/Api.h"
+
 #include "ir/AsmParser.h"
-#include "sim/Interpreter.h"
 #include "support/Table.h"
 
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 
 using namespace bec;
 
@@ -48,58 +48,57 @@ no_sat:
 )";
 
 int main(int Argc, char **Argv) {
-  std::string Source = DemoSource;
-  std::string Name = "demo";
+  AnalysisSession S;
+  std::optional<AnalysisSession::TargetId> T;
   if (Argc > 1) {
-    std::ifstream File(Argv[1]);
-    if (!File) {
-      std::fprintf(stderr, "cannot open '%s'\n", Argv[1]);
+    std::string Error;
+    T = S.addAsmFile(Argv[1], Error);
+    if (!T) {
+      std::fprintf(stderr, "%s\n", Error.c_str());
       return 1;
     }
-    std::ostringstream Buffer;
-    Buffer << File.rdbuf();
-    Source = Buffer.str();
-    Name = Argv[1];
+  } else {
+    AsmParseResult Parsed = parseAsm(DemoSource, "demo");
+    if (!Parsed.succeeded()) {
+      std::fprintf(stderr, "%s", Parsed.diagText().c_str());
+      return 1;
+    }
+    T = S.addProgram("demo", std::move(*Parsed.Prog));
   }
 
-  AsmParseResult Parsed = parseAsm(Source, Name);
-  if (!Parsed.succeeded()) {
-    std::fprintf(stderr, "%s", Parsed.diagText().c_str());
-    return 1;
-  }
-  Program &Prog = *Parsed.Prog;
-  BECAnalysis A = BECAnalysis::run(Prog);
-  const FaultSpace &FS = A.space();
+  const Program &Prog = S.program(*T);
+  std::shared_ptr<const BECAnalysis> A = S.get<BECQuery>(*T);
+  const FaultSpace &FS = A->space();
 
-  Table T({"p", "instruction", "reg", "k(p,v)", "live", "masked",
-           "probes"});
+  Table Tb({"p", "instruction", "reg", "k(p,v)", "live", "masked",
+            "probes"});
   for (uint32_t P = 0; P < Prog.size(); ++P) {
     auto [Begin, End] = FS.pointsOfInstr(P);
     if (Begin == End) {
-      T.row().cell("p" + std::to_string(P)).cell(Prog.instr(P).toString());
+      Tb.row().cell("p" + std::to_string(P)).cell(Prog.instr(P).toString());
       continue;
     }
     for (uint32_t Ap = Begin; Ap < End; ++Ap) {
       Reg V = FS.point(Ap).R;
-      const auto &S = A.summary(Ap);
-      T.row()
+      const auto &Sum = A->summary(Ap);
+      Tb.row()
           .cell("p" + std::to_string(P))
           .cell(Ap == Begin ? Prog.instr(P).toString() : "")
           .cell(std::string(regName(V)))
-          .cell(A.bitValues().after(P, V).toString())
-          .cell(S.LiveAfter ? "yes" : "no")
-          .cell(static_cast<uint64_t>(popCount(S.MaskedMask, Prog.Width)))
-          .cell(static_cast<uint64_t>(S.NumProbes));
+          .cell(A->bitValues().after(P, V).toString())
+          .cell(Sum.LiveAfter ? "yes" : "no")
+          .cell(static_cast<uint64_t>(popCount(Sum.MaskedMask, Prog.Width)))
+          .cell(static_cast<uint64_t>(Sum.NumProbes));
     }
   }
-  std::printf("%s\n", T.render().c_str());
+  std::printf("%s\n", Tb.render().c_str());
 
-  Trace Golden = simulate(Prog);
-  std::printf("run: %s in %llu cycles", outcomeName(Golden.End),
-              static_cast<unsigned long long>(Golden.Cycles));
-  if (!Golden.outputValues().empty()) {
+  std::shared_ptr<const Trace> Golden = S.get<TraceQuery>(*T);
+  std::printf("run: %s in %llu cycles", outcomeName(Golden->End),
+              static_cast<unsigned long long>(Golden->Cycles));
+  if (!Golden->outputValues().empty()) {
     std::printf(", outputs:");
-    for (uint64_t V : Golden.outputValues())
+    for (uint64_t V : Golden->outputValues())
       std::printf(" %llu", static_cast<unsigned long long>(V));
   }
   std::printf("\n");

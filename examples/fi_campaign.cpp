@@ -4,13 +4,16 @@
 /// Use case 1 of the paper on a real benchmark: plans the value-level
 /// (inject-on-read) and the BEC-pruned campaigns for a chosen workload,
 /// executes both against the simulator, and shows that the pruned
-/// campaign reaches the same outcome statistics with fewer runs.
+/// campaign reaches the same outcome statistics with fewer runs. Both
+/// plans are CampaignQuery results of one AnalysisSession, so they share
+/// the cached BEC analysis and golden trace.
 ///
 /// Usage: fi_campaign [workload] [max-cycles]     (default: CRC32 400)
 ///
 //===----------------------------------------------------------------------===//
 
-#include "fi/Campaign.h"
+#include "api/Api.h"
+
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
@@ -22,8 +25,10 @@ using namespace bec;
 int main(int Argc, char **Argv) {
   const char *Name = Argc > 1 ? Argv[1] : "CRC32";
   uint64_t MaxCycles = Argc > 2 ? std::strtoull(Argv[2], nullptr, 10) : 400;
-  const Workload *W = findWorkload(Name);
-  if (!W) {
+
+  AnalysisSession S;
+  std::optional<AnalysisSession::TargetId> T = S.addWorkload(Name);
+  if (!T) {
     std::fprintf(stderr, "unknown workload '%s'; available:", Name);
     for (const Workload &Each : allWorkloads())
       std::fprintf(stderr, " %s", Each.Name.c_str());
@@ -31,39 +36,37 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  Program Prog = loadWorkload(*W);
-  BECAnalysis A = BECAnalysis::run(Prog);
-  Trace Golden = simulate(Prog);
+  std::shared_ptr<const Trace> Golden = S.get<TraceQuery>(*T);
   std::printf("%s: %u instructions, %llu cycles (campaign window: %llu)\n\n",
-              W->Name.c_str(), Prog.size(),
-              static_cast<unsigned long long>(Golden.Cycles),
+              S.name(*T).c_str(), S.program(*T).size(),
+              static_cast<unsigned long long>(Golden->Cycles),
               static_cast<unsigned long long>(MaxCycles));
 
-  Table T({"plan", "runs", "masked", "benign", "sdc", "trap", "hang",
-           "time"});
+  Table Tb({"plan", "runs", "masked", "benign", "sdc", "trap", "hang",
+            "time"});
   auto RunPlan = [&](const char *Label, PlanKind Kind) {
-    std::vector<PlannedRun> Plan = planCampaign(A, Golden, Kind, MaxCycles);
-    CampaignResult R = runCampaign(Prog, Golden, std::move(Plan));
+    std::shared_ptr<const CampaignResult> R =
+        S.get<CampaignQuery>(*T, {Kind, MaxCycles});
     char TimeBuf[32];
-    std::snprintf(TimeBuf, sizeof(TimeBuf), "%.2f s", R.Seconds);
-    T.row()
+    std::snprintf(TimeBuf, sizeof(TimeBuf), "%.2f s", R->Seconds);
+    Tb.row()
         .cell(Label)
-        .cell(R.Runs)
-        .cell(R.EffectCounts[0])
-        .cell(R.EffectCounts[1])
-        .cell(R.EffectCounts[2])
-        .cell(R.EffectCounts[3])
-        .cell(R.EffectCounts[4])
+        .cell(R->Runs)
+        .cell(R->EffectCounts[0])
+        .cell(R->EffectCounts[1])
+        .cell(R->EffectCounts[2])
+        .cell(R->EffectCounts[3])
+        .cell(R->EffectCounts[4])
         .cell(std::string(TimeBuf));
     return R;
   };
 
-  CampaignResult Value = RunPlan("inject-on-read", PlanKind::ValueLevel);
-  CampaignResult Bec = RunPlan("BEC-pruned", PlanKind::BitLevel);
-  std::printf("%s\n", T.render().c_str());
+  auto Value = RunPlan("inject-on-read", PlanKind::ValueLevel);
+  auto Bec = RunPlan("BEC-pruned", PlanKind::BitLevel);
+  std::printf("%s\n", Tb.render().c_str());
   std::printf("runs saved by BEC: %.2f%%\n",
-              100.0 * (1.0 - static_cast<double>(Bec.Runs) /
-                                 static_cast<double>(Value.Runs)));
+              100.0 * (1.0 - static_cast<double>(Bec->Runs) /
+                                 static_cast<double>(Value->Runs)));
   std::printf("(each pruned run is provably masked or has an effect "
               "identical to a run that was kept)\n");
   return 0;

@@ -2,13 +2,14 @@
 ///
 /// \file
 /// The selective-hardening subsystem on the paper's motivating example
-/// (Section III, Fig. 1): the 4-bit leap-year counting loop. The demo
-/// runs the full closed loop:
+/// (Section III, Fig. 1): the 4-bit leap-year counting loop, driven
+/// through the AnalysisSession API. The demo runs the full closed loop:
 ///
 ///   1. analyze   — BEC classes + the live-fault-site vulnerability;
 ///   2. harden    — BEC-guided protection under a 20% dynamic-instruction
 ///                  budget (shadow registers + compare-and-trap checks,
-///                  live-range narrowing);
+///                  live-range narrowing); the session caches every trial
+///                  measurement of the greedy loop;
 ///   3. validate  — re-analyze, re-execute, and fire the fault-injection
 ///                  oracle at the protected windows to show the faults
 ///                  are actually detected.
@@ -19,13 +20,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/Metrics.h"
-#include "harden/Harden.h"
-#include "harden/VulnerabilityRank.h"
+#include "api/Api.h"
+
 #include "ir/AsmParser.h"
 #include "sim/Interpreter.h"
 #include "support/Debug.h"
-#include "workloads/Workloads.h"
 
 #include <cstdio>
 
@@ -50,26 +49,28 @@ loop:
   bnez a1, loop
   ret                 # returns the count (2)
 )";
-  Program Prog = parseAsmOrDie(Source, "motivating");
+  AnalysisSession S;
+  AnalysisSession::TargetId T =
+      S.addProgram("motivating", parseAsmOrDie(Source, "motivating"));
 
   // -- 1. Analyze -------------------------------------------------------
-  BECAnalysis A = BECAnalysis::run(Prog);
-  Trace Golden = simulate(Prog);
-  uint64_t Vuln = computeVulnerability(A, Golden.Executed);
-  VulnerabilityRank Rank = VulnerabilityRank::run(A, Golden.Executed);
+  std::shared_ptr<const Trace> Golden = S.get<TraceQuery>(T);
+  uint64_t Vuln = *S.get<VulnQuery>(T);
+  std::shared_ptr<const VulnerabilityRank> Rank = S.get<RankQuery>(T);
   std::printf("baseline: %llu cycles, vulnerability %llu live fault sites\n",
-              static_cast<unsigned long long>(Golden.Cycles),
+              static_cast<unsigned long long>(Golden->Cycles),
               static_cast<unsigned long long>(Vuln));
   std::printf("hottest registers by carried fault sites:\n");
   for (Reg R = 0; R < NumRegs; ++R)
-    if (Rank.regScore(R) != 0)
+    if (Rank->regScore(R) != 0)
       std::printf("  %-4s %6llu\n", regName(R).data(),
-                  static_cast<unsigned long long>(Rank.regScore(R)));
+                  static_cast<unsigned long long>(Rank->regScore(R)));
 
   // -- 2. Harden --------------------------------------------------------
   HardenOptions Opts;
   Opts.BudgetPercent = 20.0;
-  HardenResult R = hardenProgram(Prog, Opts);
+  const HardenPoint &Point = *S.get<HardenQuery>(T, Opts);
+  const HardenResult &R = Point.Harden;
   std::printf("\nhardened under a 20%% budget: %u duplicated, %u narrowed\n",
               R.NumDuplicated, R.NumNarrowed);
   std::printf("  cost     %+.2f%% dynamic instructions\n", R.costPercent());
@@ -79,7 +80,8 @@ loop:
   std::printf("\nhardened program:\n%s\n", R.HP.Prog.toString().c_str());
 
   // -- 3. Validate ------------------------------------------------------
-  HardenValidation V = validateHardening(R, Prog);
+  // HardenQuery already ran the closed loop; the check rides along.
+  const HardenValidation &V = Point.Check;
   std::printf("verifier clean: %s, outputs bit-identical: %s\n",
               V.VerifierClean ? "yes" : "NO",
               V.OutputsMatch ? "yes" : "NO");
@@ -91,18 +93,20 @@ loop:
 
   // One concrete run, narrated: flip the protected accumulator mid-loop
   // and watch the check divert into the detector instead of silently
-  // corrupting the result.
-  for (const ProtectedSite &S : R.HP.Sites) {
-    if (S.Kind == ProtectKind::Narrow)
+  // corrupting the result. The hardened program's golden trace is a
+  // session query too (cache hit: the loop measured it already).
+  for (const ProtectedSite &Site : R.HP.Sites) {
+    if (Site.Kind == ProtectKind::Narrow)
       continue;
-    Trace Hardened = simulate(R.HP.Prog);
-    uint64_t Mid = Hardened.Cycles / 2;
-    Trace Faulty = simulateWithInjection(R.HP.Prog, {Mid, S.Orig, 0});
+    std::shared_ptr<const Trace> Hardened =
+        S.get<TraceQuery>(S.intern(R.HP.Prog));
+    uint64_t Mid = Hardened->Cycles / 2;
+    Trace Faulty = simulateWithInjection(R.HP.Prog, {Mid, Site.Orig, 0});
     std::printf("\nflip %s bit 0 after cycle %llu -> %s\n",
-                regName(S.Orig).data(),
+                regName(Site.Orig).data(),
                 static_cast<unsigned long long>(Mid),
                 Faulty.End == Outcome::Trap ? "detector trap (detected)"
-                : Faulty.TraceHash == Hardened.TraceHash
+                : Faulty.TraceHash == Hardened->TraceHash
                     ? "identical trace (masked)"
                     : "reached the halt detector");
     break;

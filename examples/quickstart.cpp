@@ -1,9 +1,12 @@
 //===- examples/quickstart.cpp - Five-minute tour of the BEC library ------===//
 ///
 /// \file
-/// Assembles a small RISC-V program, runs the BEC analysis, and walks the
-/// results: abstract bit values, masked fault sites, equivalence classes,
-/// and the fault-injection pruning the classes buy on a concrete run.
+/// Assembles a small RISC-V program, loads it into an AnalysisSession
+/// (the library API, api/Api.h), and walks the results: abstract bit
+/// values, masked fault sites, equivalence classes, and the
+/// fault-injection pruning the classes buy on a concrete run. Along the
+/// way it shows the session's caching and invalidation contract — the
+/// parts you rely on when embedding the analysis in a bigger tool.
 ///
 /// Build and run:
 ///   cmake -B build -S . && cmake --build build -j
@@ -11,10 +14,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/BECAnalysis.h"
-#include "core/Metrics.h"
+#include "api/Api.h"
+
 #include "ir/AsmParser.h"
-#include "sim/Interpreter.h"
 
 #include <cstdio>
 
@@ -41,42 +43,67 @@ loop:
   ret
 )";
 
-  // 1. Assemble. Diagnostics carry line numbers; parseAsm returns them
-  //    instead of dying, parseAsmOrDie is the known-good-input shortcut.
-  Program Prog = parseAsmOrDie(Source, "quickstart");
-  std::printf("assembled %u instructions, %zu basic blocks\n\n", Prog.size(),
-              Prog.blocks().size());
+  // 1. Load a session and a target. Programs can come from bundled
+  //    workloads (S.addWorkload("crc32")), external files (S.addAsmFile)
+  //    or, as here, assembled in memory.
+  AnalysisSession S;
+  AnalysisSession::TargetId T =
+      S.addProgram("quickstart", parseAsmOrDie(Source, "quickstart"));
+  std::printf("bec api %s: loaded %u instructions, %zu basic blocks\n\n",
+              BEC_API_VERSION_STRING, S.program(T).size(),
+              S.program(T).blocks().size());
 
-  // 2. Run the analysis: global abstract bit values + fault-index
-  //    coalescing (the two phases of the paper's Section IV).
-  BECAnalysis A = BECAnalysis::run(Prog);
+  // 2. Ask for the analysis. get<>() computes on demand and caches: the
+  //    second call returns the identical object for free.
+  std::shared_ptr<const BECAnalysis> A = S.get<BECQuery>(T);
   std::printf("coalescing reached its fixed point after %u rounds, "
-              "%u merges\n\n",
-              A.iterations(), A.mergeCount());
+              "%u merges\n",
+              A->iterations(), A->mergeCount());
+  std::printf("(cached: second get<BECQuery> is the same object: %s)\n\n",
+              S.get<BECQuery>(T).get() == A.get() ? "yes" : "no");
 
   // 3. Inspect a few results. k(p,v) is the abstract value of v after p.
   std::printf("abstract bits of t0 after `andi t0, t0, 1` (instr 4): %s\n",
-              A.bitValues().after(4, 5).toString().c_str());
-  const FaultSpace &FS = A.space();
+              A->bitValues().after(4, 5).toString().c_str());
+  const FaultSpace &FS = A->space();
   int32_t Ap = FS.pointId(4, 5); // (p=andi, v=t0)
   std::printf("masked bits of that fault site: %u of %u\n",
-              popCount(A.summary(Ap).MaskedMask, Prog.Width), Prog.Width);
-  std::printf("fault-injection probes it needs: %u\n\n",
-              A.summary(Ap).NumProbes);
+              popCount(A->summary(Ap).MaskedMask, S.program(T).Width),
+              S.program(T).Width);
+  std::printf("fault-injection probes it needs: %u\n",
+              A->summary(Ap).NumProbes);
+  // Class lookups take untrusted coordinates and answer with nullopt
+  // instead of aborting when they are off the program.
+  std::printf("class of (p4, t0^0) exists: %s; of (p999, t0^0): %s\n\n",
+              A->classOf(4, 5, 0) ? "yes" : "no",
+              A->classOf(999, 5, 0) ? "yes" : "no");
 
-  // 4. Execute and count what the classes save on this very trace.
-  Trace Golden = simulate(Prog);
+  // 4. Execute and count what the classes save on this very trace. The
+  //    golden run and the Table III counts are session queries too.
+  std::shared_ptr<const Trace> Golden = S.get<TraceQuery>(T);
   std::printf("golden run: %llu cycles, checksum output = %llu\n",
-              static_cast<unsigned long long>(Golden.Cycles),
-              static_cast<unsigned long long>(Golden.outputValues()[0]));
-  FaultInjectionCounts C = countFaultInjectionRuns(A, Golden.Executed);
+              static_cast<unsigned long long>(Golden->Cycles),
+              static_cast<unsigned long long>(Golden->outputValues()[0]));
+  std::shared_ptr<const FaultInjectionCounts> C = S.get<CountsQuery>(T);
   std::printf("inject-on-read (value level) would need %llu runs\n",
-              static_cast<unsigned long long>(C.ValueLevelRuns));
+              static_cast<unsigned long long>(C->ValueLevelRuns));
   std::printf("BEC needs %llu runs (%.2f%% pruned: %llu masked, %llu "
-              "inferrable)\n",
-              static_cast<unsigned long long>(C.BitLevelRuns),
-              C.prunedFraction() * 100.0,
-              static_cast<unsigned long long>(C.MaskedBits),
-              static_cast<unsigned long long>(C.InferrableBits));
+              "inferrable)\n\n",
+              static_cast<unsigned long long>(C->BitLevelRuns),
+              C->prunedFraction() * 100.0,
+              static_cast<unsigned long long>(C->MaskedBits),
+              static_cast<unsigned long long>(C->InferrableBits));
+
+  // 5. Mutate the program through the session: the epoch bumps and every
+  //    dependent result is invalidated — and only those; other targets
+  //    (none here) would keep their caches. Results you already hold
+  //    (A, Golden) stay valid for the pre-mutation program.
+  S.mutate(T, [](Program &P) { P.Instrs[1].Imm = 12; }); // 8 -> 12 rounds.
+  std::printf("after raising the iteration count (epoch %llu): old "
+              "vulnerability %llu, recomputed %llu\n",
+              static_cast<unsigned long long>(S.epoch(T)),
+              static_cast<unsigned long long>(
+                  computeVulnerability(*A, Golden->Executed)),
+              static_cast<unsigned long long>(*S.get<VulnQuery>(T)));
   return 0;
 }

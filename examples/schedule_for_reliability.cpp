@@ -5,55 +5,52 @@
 /// applied to a chosen workload: reorders independent instructions within
 /// every basic block to retire live fault bits as early as possible,
 /// verifies observational equivalence, and reports the change in the
-/// program's fault surface.
+/// program's fault surface. The scheduled programs are interned into the
+/// same AnalysisSession, so their vulnerability numbers come from the
+/// shared cache.
 ///
 /// Usage: schedule_for_reliability [workload]     (default: SHA)
 ///
 //===----------------------------------------------------------------------===//
 
-#include "core/Metrics.h"
-#include "sched/ListScheduler.h"
-#include "sim/Interpreter.h"
-#include "workloads/Workloads.h"
+#include "api/Api.h"
 
 #include <cstdio>
 
 using namespace bec;
 
-static uint64_t vulnerability(const Program &Prog) {
-  BECAnalysis A = BECAnalysis::run(Prog);
-  Trace T = simulate(Prog);
-  return computeVulnerability(A, T.Executed);
-}
-
 int main(int Argc, char **Argv) {
   const char *Name = Argc > 1 ? Argv[1] : "SHA";
-  const Workload *W = findWorkload(Name);
-  if (!W) {
+  AnalysisSession S;
+  std::optional<AnalysisSession::TargetId> T = S.addWorkload(Name);
+  if (!T) {
     std::fprintf(stderr, "unknown workload '%s'\n", Name);
     return 1;
   }
+  const Program &Prog = S.program(*T);
 
-  Program Prog = loadWorkload(*W);
-  BECAnalysis A = BECAnalysis::run(Prog);
-  Trace Golden = simulate(Prog);
+  std::shared_ptr<const BECAnalysis> A = S.get<BECQuery>(*T);
+  std::shared_ptr<const Trace> Golden = S.get<TraceQuery>(*T);
 
-  Program Best = scheduleProgram(A, SchedulePolicy::BestReliability);
-  Program Worst = scheduleProgram(A, SchedulePolicy::WorstReliability);
-  Trace TB = simulate(Best);
-  Trace TW = simulate(Worst);
-  if (TB.ObservableHash != Golden.ObservableHash ||
-      TW.ObservableHash != Golden.ObservableHash) {
+  Program Best = scheduleProgram(*A, SchedulePolicy::BestReliability);
+  Program Worst = scheduleProgram(*A, SchedulePolicy::WorstReliability);
+  CachedProgramPtr BestP = S.intern(Best);
+  CachedProgramPtr WorstP = S.intern(Worst);
+  std::shared_ptr<const Trace> TB = S.get<TraceQuery>(BestP);
+  std::shared_ptr<const Trace> TW = S.get<TraceQuery>(WorstP);
+  if (TB->ObservableHash != Golden->ObservableHash ||
+      TW->ObservableHash != Golden->ObservableHash) {
     std::fprintf(stderr, "scheduling changed program behaviour -- bug\n");
     return 1;
   }
   std::printf("%s: outputs unchanged under both schedules; %llu cycles "
               "either way\n\n",
-              W->Name.c_str(), static_cast<unsigned long long>(TB.Cycles));
+              S.name(*T).c_str(),
+              static_cast<unsigned long long>(TB->Cycles));
 
-  uint64_t VOrig = vulnerability(Prog);
-  uint64_t VBest = vulnerability(Best);
-  uint64_t VWorst = vulnerability(Worst);
+  uint64_t VOrig = *S.get<VulnQuery>(*T);
+  uint64_t VBest = *S.get<VulnQuery>(BestP);
+  uint64_t VWorst = *S.get<VulnQuery>(WorstP);
   std::printf("live fault sites over the run (lower = more reliable):\n");
   std::printf("  original order:        %llu\n",
               static_cast<unsigned long long>(VOrig));

@@ -1,0 +1,245 @@
+//===- api/AnalysisSession.cpp - Session core: interning + registry -------===//
+
+#include "api/AnalysisSession.h"
+
+#include "ir/AsmParser.h"
+#include "ir/Verifier.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <cctype>
+#include <deque>
+#include <fstream>
+#include <sstream>
+
+using namespace bec;
+
+//===----------------------------------------------------------------------===//
+// Content keys
+//===----------------------------------------------------------------------===//
+
+std::string AnalysisSession::contentKeyOf(const Program &P) {
+  std::string K;
+  K.reserve(32 + P.Data.size() + P.Instrs.size() * 20);
+  auto Raw = [&K](const void *Ptr, size_t N) {
+    K.append(static_cast<const char *>(Ptr), N);
+  };
+  auto U64 = [&](uint64_t V) { Raw(&V, sizeof(V)); };
+  U64(P.Width);
+  U64(P.MemSize);
+  U64(P.DataBase);
+  U64(P.Entry);
+  U64(P.Data.size());
+  if (!P.Data.empty())
+    Raw(P.Data.data(), P.Data.size());
+  U64(P.size());
+  for (const Instruction &I : P.Instrs) {
+    // Everything semantic; Line and the program name are deliberately
+    // excluded so cosmetic differences share one cache shard.
+    K += static_cast<char>(static_cast<uint8_t>(I.Op));
+    K += static_cast<char>(I.Rd);
+    K += static_cast<char>(I.Rs1);
+    K += static_cast<char>(I.Rs2);
+    U64(static_cast<uint64_t>(I.Imm));
+    U64(static_cast<uint64_t>(static_cast<int64_t>(I.Target)));
+  }
+  return K;
+}
+
+size_t CachedProgram::numCachedResults() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Interning
+//===----------------------------------------------------------------------===//
+
+CachedProgramPtr AnalysisSession::intern(Program P) {
+  std::string Key = contentKeyOf(P);
+  std::lock_guard<std::mutex> Lock(InternMutex);
+  {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    ++Stats.Interned;
+  }
+  auto It = InternIndex.find(Key);
+  if (It != InternIndex.end()) {
+    // Refresh LRU position.
+    InternLRU.splice(InternLRU.begin(), InternLRU, It->second);
+    return *It->second;
+  }
+  auto Shard = std::make_shared<CachedProgram>();
+  Shard->Prog = std::move(P);
+  Shard->Key = Key;
+  InternLRU.push_front(Shard);
+  InternIndex.emplace(std::move(Key), InternLRU.begin());
+  {
+    std::lock_guard<std::mutex> SLock(StatsMutex);
+    ++Stats.Shards;
+  }
+  while (InternLRU.size() > Cfg.MaxInternedShards) {
+    // Only the index reference is dropped; targets and handed-out results
+    // keep evicted shards alive and fully usable.
+    InternIndex.erase(InternLRU.back()->Key);
+    InternLRU.pop_back();
+  }
+  // Not InternLRU.front(): the new shard itself may just have been
+  // evicted (MaxInternedShards == 0, or a pathologically small cap).
+  return Shard;
+}
+
+//===----------------------------------------------------------------------===//
+// Targets
+//===----------------------------------------------------------------------===//
+
+AnalysisSession::TargetId AnalysisSession::addProgram(std::string Name,
+                                                      Program P) {
+  TargetInfo T;
+  T.Name = std::move(Name);
+  T.Prog = intern(std::move(P));
+  Targets.push_back(std::move(T));
+  return static_cast<TargetId>(Targets.size() - 1);
+}
+
+std::optional<AnalysisSession::TargetId>
+AnalysisSession::addWorkload(std::string_view Name) {
+  const Workload *W = findWorkloadAnyCase(Name);
+  if (!W)
+    return std::nullopt;
+  return addProgram(W->Name, loadWorkload(*W));
+}
+
+void AnalysisSession::addAllWorkloads() {
+  for (const Workload &W : allWorkloads())
+    addProgram(W.Name, loadWorkload(W));
+}
+
+std::optional<AnalysisSession::TargetId>
+AnalysisSession::addAsmFile(const std::string &Path, std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return std::nullopt;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  AsmParseResult R = parseAsm(Buf.str(), Path);
+  if (!R.succeeded()) {
+    Error = Path + " failed to assemble:\n" + R.diagText();
+    return std::nullopt;
+  }
+  return addProgram(Path, std::move(*R.Prog));
+}
+
+std::optional<AnalysisSession::TargetId>
+AnalysisSession::findTarget(std::string_view Name) const {
+  for (size_t I = 0; I < Targets.size(); ++I)
+    if (Targets[I].Name == Name)
+      return static_cast<TargetId>(I);
+  return std::nullopt;
+}
+
+std::vector<std::string>
+AnalysisSession::mutate(TargetId T, const std::function<void(Program &)> &Fn) {
+  Program Mutated = Targets[T].Prog->program();
+  Fn(Mutated);
+  // Verify before buildCFG: the verifier works without a CFG, and buildCFG
+  // is entitled to assume a structurally sound program.
+  std::vector<std::string> Errors = verifyProgram(Mutated);
+  if (!Errors.empty())
+    return Errors;
+  Mutated.buildCFG();
+  ++Targets[T].Epoch;
+  Targets[T].Prog = intern(std::move(Mutated));
+  return {};
+}
+
+//===----------------------------------------------------------------------===//
+// Registry internals
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// "Key of Shard is being computed" frames, innermost last. Thread-local:
+/// concurrent evaluateAll workers each carry their own compute stack.
+struct ActiveFrame {
+  const AnalysisSession *Session;
+  CachedProgram *Shard;
+  std::string Key;
+};
+
+thread_local std::vector<ActiveFrame> ActiveFrames;
+
+} // namespace
+
+AnalysisSession::ComputeFrame::ComputeFrame(AnalysisSession *S,
+                                            CachedProgram *Shard,
+                                            std::string Key) {
+  ActiveFrames.push_back({S, Shard, std::move(Key)});
+}
+
+AnalysisSession::ComputeFrame::~ComputeFrame() { ActiveFrames.pop_back(); }
+
+bool AnalysisSession::inNestedComputeOf(const CachedProgram *Shard) const {
+  return !ActiveFrames.empty() && ActiveFrames.back().Session == this &&
+         ActiveFrames.back().Shard == Shard;
+}
+
+std::shared_ptr<detail::CacheEntry>
+AnalysisSession::entryFor(CachedProgram &Shard, const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  std::shared_ptr<detail::CacheEntry> &E = Shard.Entries[Key];
+  if (!E)
+    E = std::make_shared<detail::CacheEntry>();
+  return E;
+}
+
+void AnalysisSession::noteDependency(CachedProgram &Shard,
+                                     const std::string &Key) {
+  // If this get() happens while another query of the *same shard* is being
+  // computed on this thread, that query depends on Key.
+  if (ActiveFrames.empty())
+    return;
+  const ActiveFrame &Parent = ActiveFrames.back();
+  if (Parent.Session != this || Parent.Shard != &Shard ||
+      Parent.Key == Key)
+    return;
+  std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  auto It = Shard.Entries.find(Key);
+  if (It == Shard.Entries.end())
+    return; // Caching disabled: no entry to hang the edge on.
+  std::vector<std::string> &Deps = It->second->Dependents;
+  if (std::find(Deps.begin(), Deps.end(), Parent.Key) == Deps.end())
+    Deps.push_back(Parent.Key);
+}
+
+void AnalysisSession::invalidateKey(CachedProgram &Shard,
+                                    const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Shard.Mutex);
+  std::deque<std::string> Work{Key};
+  while (!Work.empty()) {
+    std::string K = std::move(Work.front());
+    Work.pop_front();
+    auto It = Shard.Entries.find(K);
+    if (It == Shard.Entries.end())
+      continue;
+    for (std::string &Dep : It->second->Dependents)
+      Work.push_back(std::move(Dep));
+    Shard.Entries.erase(It);
+  }
+}
+
+void AnalysisSession::countHit() {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  ++Stats.Hits;
+}
+
+void AnalysisSession::countMiss() {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  ++Stats.Misses;
+}
+
+SessionStats AnalysisSession::stats() const {
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  return Stats;
+}

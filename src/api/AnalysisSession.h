@@ -1,0 +1,334 @@
+//===- api/AnalysisSession.h - Cached, invalidation-aware analysis API ----===//
+///
+/// \file
+/// The library facade of the BEC analysis engine. A session owns loaded
+/// programs (bundled workloads, external assembly, or programs built in
+/// memory) and a typed analysis registry in the style of LLVM's
+/// AnalysisManager: `get<BECQuery>(P)` computes on demand, caches, and
+/// records dependencies, so repeated queries — and in particular the
+/// measure-and-accept loop of the selective hardener — reuse every result
+/// that is still valid instead of re-running the pipeline cold.
+///
+/// ## Caching model
+///
+/// Results are cached *per program content*, not per target: every program
+/// entering the session is interned into a CachedProgram shard keyed by an
+/// exact binary fingerprint of its semantic state (instructions, width,
+/// memory image, entry point — the name is deliberately excluded). Two
+/// targets with identical content share one shard, and a mutation that
+/// round-trips back to a previous content re-attaches to the old shard
+/// with all of its results intact ("revalidation" in LLVM terms).
+///
+/// ## Invalidation contract
+///
+/// * `mutate(T, Fn)` bumps the target's epoch and re-interns the program.
+///   All IR-dependent results of the *old* content stay with the old
+///   shard; the mutated target starts from whatever the new content has
+///   already cached (usually nothing). Results of other targets are never
+///   touched: an IR mutation invalidates exactly the dependent analyses.
+/// * `invalidate<Q>(T)` drops Q's cached result for T's current content
+///   *and, transitively, every result that was computed from it* (edges
+///   are recorded automatically when one query's compute function calls
+///   `get` on another). Non-dependent results survive.
+/// * Results handed out by `get` are `shared_ptr<const R>` and remain
+///   valid for as long as the caller holds them, even across mutation,
+///   invalidation, target removal, or session destruction: each result
+///   keeps its shard (and therefore the Program it refers to) alive.
+///
+/// ## Threading rules
+///
+/// `get`/`intern`/`evaluateAll` may be called concurrently from any
+/// thread; per-entry mutexes guarantee each analysis is computed exactly
+/// once, and `evaluateAll` fans independent targets out on a caller
+/// -supplied ThreadPool. `mutate`, `invalidate` and target management must
+/// not race with queries *on the same target* (classic reader/writer
+/// discipline; the session does not serialize them for you). Query
+/// dependency cycles are programming errors and deadlock by design.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_API_ANALYSISSESSION_H
+#define BEC_API_ANALYSISSESSION_H
+
+#include "ir/Program.h"
+#include "support/ThreadPool.h"
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace bec {
+
+class AnalysisSession;
+
+namespace detail {
+
+/// One cached analysis result: compute-once state plus the intra-shard
+/// dependency edges used by selective invalidation.
+struct CacheEntry {
+  std::mutex ComputeMutex;
+  bool Ready = false; ///< Guarded by ComputeMutex.
+  std::shared_ptr<const void> Result;
+  /// Keys (within the same shard) of entries computed *from* this one.
+  std::vector<std::string> Dependents;
+};
+
+} // namespace detail
+
+/// An interned, immutable program plus the cache of every analysis result
+/// computed over it. Created only by AnalysisSession::intern.
+class CachedProgram {
+  friend class AnalysisSession;
+
+public:
+  const Program &program() const { return Prog; }
+  /// Exact binary fingerprint of the program's semantic content.
+  const std::string &contentKey() const { return Key; }
+  /// Number of results currently cached on this shard (for tests/stats).
+  size_t numCachedResults() const;
+
+private:
+  Program Prog;
+  std::string Key;
+  mutable std::mutex Mutex; ///< Guards Entries and all Dependents lists.
+  std::map<std::string, std::shared_ptr<detail::CacheEntry>> Entries;
+};
+
+using CachedProgramPtr = std::shared_ptr<CachedProgram>;
+
+/// Aggregate cache statistics (monotonic since session construction).
+struct SessionStats {
+  uint64_t Hits = 0;     ///< get() served from cache.
+  uint64_t Misses = 0;   ///< get() had to compute.
+  uint64_t Interned = 0; ///< intern() calls.
+  uint64_t Shards = 0;   ///< intern() calls that created a new shard.
+};
+
+/// See the file comment for the caching model, invalidation contract and
+/// threading rules. Queries are tag types:
+///
+/// \code
+///   struct VulnQuery {
+///     using Result = uint64_t;
+///     struct Options {};                      // fingerprinted options
+///     static constexpr const char *Name = "vuln";
+///     static std::string fingerprint(const Options &);
+///     static Result compute(AnalysisSession &, const CachedProgramPtr &,
+///                           const Options &);
+///   };
+/// \endcode
+class AnalysisSession {
+public:
+  struct Config {
+    /// When false every get() recomputes (the "cold" PR-2 pipeline);
+    /// used by benchmarks to measure what caching buys.
+    bool Caching = true;
+    /// Maximum interned shards the session keeps *findable* for content
+    /// dedup (LRU). Evicted shards stay alive while targets or handed-out
+    /// results reference them.
+    size_t MaxInternedShards = 4096;
+  };
+
+  using TargetId = uint32_t;
+
+  AnalysisSession() = default;
+  explicit AnalysisSession(Config C) : Cfg(C) {}
+
+  AnalysisSession(const AnalysisSession &) = delete;
+  AnalysisSession &operator=(const AnalysisSession &) = delete;
+
+  //===--------------------------------------------------------------------===//
+  // Program interning
+  //===--------------------------------------------------------------------===//
+
+  /// Interns \p P: returns the existing shard if a program with identical
+  /// semantic content was seen before, otherwise creates one. \p P must be
+  /// verified with a built CFG.
+  CachedProgramPtr intern(Program P);
+
+  //===--------------------------------------------------------------------===//
+  // Target management
+  //===--------------------------------------------------------------------===//
+
+  /// Adds \p P as a named target. Returns its id (ids are dense and
+  /// stable; targets are append-only).
+  TargetId addProgram(std::string Name, Program P);
+
+  /// Adds a bundled workload by name (case-insensitive, as the CLI
+  /// accepts). Returns nullopt for unknown names.
+  std::optional<TargetId> addWorkload(std::string_view Name);
+
+  /// Adds every bundled workload, in registry order.
+  void addAllWorkloads();
+
+  /// Reads, assembles and adds an external assembly file. On failure
+  /// returns nullopt and fills \p Error with a diagnostic.
+  std::optional<TargetId> addAsmFile(const std::string &Path,
+                                     std::string &Error);
+
+  size_t numTargets() const { return Targets.size(); }
+  const std::string &name(TargetId T) const { return Targets[T].Name; }
+  const Program &program(TargetId T) const { return Targets[T].Prog->program(); }
+  const CachedProgramPtr &cached(TargetId T) const { return Targets[T].Prog; }
+  /// Bumped by every mutate() call (successful or not in content terms).
+  uint64_t epoch(TargetId T) const { return Targets[T].Epoch; }
+  /// First target with this exact name, if any.
+  std::optional<TargetId> findTarget(std::string_view Name) const;
+
+  /// Mutates target \p T's program in place: copies the current program,
+  /// applies \p Fn, rebuilds the CFG and verifies. On verifier errors the
+  /// target is left unchanged and the errors are returned. On success the
+  /// epoch is bumped and the target re-interned — results cached for the
+  /// old content are untouched (and shared content is re-attached).
+  std::vector<std::string> mutate(TargetId T,
+                                  const std::function<void(Program &)> &Fn);
+
+  //===--------------------------------------------------------------------===//
+  // The typed analysis registry
+  //===--------------------------------------------------------------------===//
+
+  /// Returns query \p Q over \p P, computing and caching on demand.
+  template <class Q>
+  std::shared_ptr<const typename Q::Result>
+  get(const CachedProgramPtr &P, const typename Q::Options &Opts = {}) {
+    return getImpl<Q>(P, Opts);
+  }
+
+  /// Target-id convenience overload.
+  template <class Q>
+  std::shared_ptr<const typename Q::Result>
+  get(TargetId T, const typename Q::Options &Opts = {}) {
+    return getImpl<Q>(Targets[T].Prog, Opts);
+  }
+
+  /// Drops Q's cached result for \p T's current content and, transitively,
+  /// everything computed from it. Non-dependent results survive.
+  template <class Q>
+  void invalidate(TargetId T, const typename Q::Options &Opts = {}) {
+    invalidateKey(*Targets[T].Prog, Q::Name + fingerprintSuffix<Q>(Opts));
+  }
+
+  /// Runs \p Q over every target on \p Pool; results are returned in
+  /// target order regardless of completion order. This is the engine
+  /// behind the driver's `--jobs` and free for any consumer.
+  template <class Q>
+  std::vector<std::shared_ptr<const typename Q::Result>>
+  evaluateAll(const typename Q::Options &Opts, ThreadPool &Pool) {
+    std::vector<std::shared_ptr<const typename Q::Result>> Results(
+        Targets.size());
+    for (size_t I = 0; I < Targets.size(); ++I)
+      Pool.submit([this, &Results, &Opts, I] {
+        Results[I] = get<Q>(static_cast<TargetId>(I), Opts);
+      });
+    Pool.wait();
+    return Results;
+  }
+
+  const Config &config() const { return Cfg; }
+  SessionStats stats() const;
+
+  /// Exact binary fingerprint of \p P's semantic state (exposed for
+  /// tests; what intern() dedups on).
+  static std::string contentKeyOf(const Program &P);
+
+private:
+  struct TargetInfo {
+    std::string Name;
+    uint64_t Epoch = 0;
+    CachedProgramPtr Prog;
+  };
+
+  template <class Q>
+  static std::string fingerprintSuffix(const typename Q::Options &Opts) {
+    std::string F = Q::fingerprint(Opts);
+    return F.empty() ? std::string() : "/" + F;
+  }
+
+  template <class Q>
+  std::shared_ptr<const typename Q::Result>
+  getImpl(const CachedProgramPtr &P, const typename Q::Options &Opts) {
+    using R = typename Q::Result;
+    const std::string Key = Q::Name + fingerprintSuffix<Q>(Opts);
+
+    if (!Cfg.Caching) {
+      auto Result = std::make_shared<const R>(Q::compute(*this, P, Opts));
+      countMiss();
+      return tieToShard(std::move(Result), P);
+    }
+
+    // Results handed to user code are tied to their shard (lifetime rule
+    // in the file comment). Results fetched during another query's
+    // compute *on the same shard* must NOT be: they may be stored in that
+    // query's cached result, and a shard-tying deleter there would cycle
+    // shard -> entry -> result -> shard and leak; the outer result's own
+    // tie keeps the shard (and everything nested) alive instead.
+    // Cross-shard nested fetches (e.g. a query interning a derived
+    // program) stay tied: storing them in another shard's result cannot
+    // cycle, and untying them would dangle once the derived shard is
+    // evicted.
+    bool SameShardNested = inNestedComputeOf(P.get());
+
+    std::shared_ptr<detail::CacheEntry> E = entryFor(*P, Key);
+    noteDependency(*P, Key);
+    std::lock_guard<std::mutex> Lock(E->ComputeMutex);
+    if (!E->Ready) {
+      ComputeFrame Frame(this, P.get(), Key);
+      E->Result = std::make_shared<const R>(Q::compute(*this, P, Opts));
+      E->Ready = true;
+      countMiss();
+    } else {
+      countHit();
+    }
+    auto Inner = std::static_pointer_cast<const R>(E->Result);
+    return SameShardNested ? Inner : tieToShard(std::move(Inner), P);
+  }
+
+  /// Keeps the shard (and its Program) alive for as long as the caller
+  /// holds the result; see the lifetime rules in the file comment.
+  template <class T>
+  static std::shared_ptr<const T> tieToShard(std::shared_ptr<const T> R,
+                                             CachedProgramPtr P) {
+    const T *Raw = R.get();
+    return std::shared_ptr<const T>(
+        Raw, [R = std::move(R), P = std::move(P)](const T *) {});
+  }
+
+  /// RAII frame marking "Key of Shard is being computed" so nested get()
+  /// calls can record dependency edges.
+  struct ComputeFrame {
+    ComputeFrame(AnalysisSession *S, CachedProgram *Shard, std::string Key);
+    ~ComputeFrame();
+  };
+
+  std::shared_ptr<detail::CacheEntry> entryFor(CachedProgram &Shard,
+                                               const std::string &Key);
+  void noteDependency(CachedProgram &Shard, const std::string &Key);
+  /// True while this thread is inside one of this session's Q::compute
+  /// calls *on \p Shard* (the innermost active frame matches both).
+  bool inNestedComputeOf(const CachedProgram *Shard) const;
+  void invalidateKey(CachedProgram &Shard, const std::string &Key);
+  void countHit();
+  void countMiss();
+
+  Config Cfg;
+  std::vector<TargetInfo> Targets;
+
+  /// Content-addressed shard index with LRU eviction (eviction only makes
+  /// a shard un-findable; live references keep it working).
+  mutable std::mutex InternMutex;
+  std::list<CachedProgramPtr> InternLRU; ///< Front = most recent.
+  std::map<std::string, std::list<CachedProgramPtr>::iterator> InternIndex;
+
+  mutable std::mutex StatsMutex;
+  SessionStats Stats;
+};
+
+} // namespace bec
+
+#endif // BEC_API_ANALYSISSESSION_H

@@ -1,0 +1,8 @@
+//===- api/Api.cpp - Runtime version stamp --------------------------------===//
+
+#include "api/Api.h"
+
+bec::ApiVersion bec::apiVersion() {
+  return {BEC_API_VERSION_MAJOR, BEC_API_VERSION_MINOR,
+          BEC_API_VERSION_PATCH};
+}

@@ -1,0 +1,65 @@
+//===- api/Api.h - The single public include of the BEC library -----------===//
+///
+/// \file
+/// Umbrella header and version stamp of the stable library surface:
+///
+///   #include "api/Api.h"
+///
+///   bec::AnalysisSession S;
+///   auto T = S.addWorkload("crc32");
+///   auto Vuln = S.get<bec::VulnQuery>(*T);       // cached on demand
+///   auto Point = S.get<bec::HardenQuery>(*T, {});
+///
+/// The surface consists of AnalysisSession (session lifecycle, target
+/// management, the typed registry, the invalidation protocol), the query
+/// catalog of api/Queries.h with its result objects, and the JSON
+/// serializers of api/Serialize.h. Everything below src/api/ — the IR,
+/// the analyses, the simulator — is usable directly but not
+/// version-stamped; its types appear in query results by value.
+///
+/// Versioning follows semver: MAJOR bumps on breaking changes to any
+/// declaration reachable from this header or to the serialized JSON
+/// shape, MINOR on compatible additions (new queries, new JSON keys),
+/// PATCH otherwise. See docs/api.md for the compatibility contract,
+/// ownership/lifetime rules and threading rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_API_API_H
+#define BEC_API_API_H
+
+// clang-format off
+#define BEC_API_VERSION_MAJOR 1
+#define BEC_API_VERSION_MINOR 0
+#define BEC_API_VERSION_PATCH 0
+// clang-format on
+
+/// "MAJOR.MINOR.PATCH", e.g. for a CLI --version or a JSON field.
+#define BEC_API_VERSION_STRING "1.0.0"
+
+/// Single integer for compile-time comparisons:
+/// BEC_API_VERSION >= 10000 * major + 100 * minor + patch.
+#define BEC_API_VERSION                                                        \
+  (10000 * BEC_API_VERSION_MAJOR + 100 * BEC_API_VERSION_MINOR +               \
+   BEC_API_VERSION_PATCH)
+
+#include "api/AnalysisSession.h"
+#include "api/Queries.h"
+#include "api/Serialize.h"
+
+namespace bec {
+
+/// Runtime mirror of the version macros (for consumers linking against a
+/// prebuilt library).
+struct ApiVersion {
+  int Major;
+  int Minor;
+  int Patch;
+};
+
+/// The version this library was built as.
+ApiVersion apiVersion();
+
+} // namespace bec
+
+#endif // BEC_API_API_H

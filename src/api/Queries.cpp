@@ -1,0 +1,254 @@
+//===- api/Queries.cpp - Query catalog implementations --------------------===//
+
+#include "api/Queries.h"
+
+#include "ir/Verifier.h"
+#include "sim/Interpreter.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace bec;
+
+//===----------------------------------------------------------------------===//
+// Fingerprint helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::string fpNum(uint64_t V) { return std::to_string(V); }
+
+/// Exact (hex-float) double encoding so fingerprints never collide through
+/// decimal rounding.
+std::string fpDouble(double V) {
+  char Buf[48];
+  std::snprintf(Buf, sizeof(Buf), "%a", V);
+  return Buf;
+}
+
+/// Shared "golden run finished?" prefix of every subcommand query.
+template <class R>
+bool commonPrefix(AnalysisSession &S, const CachedProgramPtr &P, R &Out) {
+  std::shared_ptr<const Trace> G = S.get<TraceQuery>(P);
+  if (G->End != Outcome::Finished) {
+    Out.Error = "golden run ended with " + std::string(outcomeName(G->End));
+    return false;
+  }
+  Out.Instrs = P->program().size();
+  Out.Cycles = G->Cycles;
+  return true;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Primitive queries
+//===----------------------------------------------------------------------===//
+
+VerifyQuery::Result VerifyQuery::compute(AnalysisSession &,
+                                         const CachedProgramPtr &P,
+                                         const Options &) {
+  return verifyProgram(P->program());
+}
+
+TraceQuery::Result TraceQuery::compute(AnalysisSession &,
+                                       const CachedProgramPtr &P,
+                                       const Options &) {
+  return simulate(P->program());
+}
+
+LivenessQuery::Result LivenessQuery::compute(AnalysisSession &,
+                                             const CachedProgramPtr &P,
+                                             const Options &) {
+  return Liveness::run(P->program());
+}
+
+UseDefQuery::Result UseDefQuery::compute(AnalysisSession &,
+                                         const CachedProgramPtr &P,
+                                         const Options &) {
+  return UseDef::run(P->program());
+}
+
+BitValuesQuery::Result BitValuesQuery::compute(AnalysisSession &,
+                                               const CachedProgramPtr &P,
+                                               const Options &) {
+  return BitValueAnalysis::run(P->program());
+}
+
+std::string BECQuery::fingerprint(const Options &O) {
+  // Default options fingerprint to "" (the common key).
+  if (O.Fates.BitwiseRules && O.Fates.EvalRules && O.InterInstruction &&
+      O.GlobalBitValues)
+    return {};
+  std::string F;
+  F += O.Fates.BitwiseRules ? 'b' : '-';
+  F += O.Fates.EvalRules ? 'e' : '-';
+  F += O.InterInstruction ? 'i' : '-';
+  F += O.GlobalBitValues ? 'g' : '-';
+  return F;
+}
+
+BECQuery::Result BECQuery::compute(AnalysisSession &S,
+                                   const CachedProgramPtr &P,
+                                   const Options &O) {
+  return BECAnalysis::run(P->program(), O, S.get<LivenessQuery>(P),
+                          S.get<UseDefQuery>(P), S.get<BitValuesQuery>(P));
+}
+
+CountsQuery::Result CountsQuery::compute(AnalysisSession &S,
+                                         const CachedProgramPtr &P,
+                                         const Options &) {
+  return countFaultInjectionRuns(*S.get<BECQuery>(P),
+                                 S.get<TraceQuery>(P)->Executed);
+}
+
+VulnQuery::Result VulnQuery::compute(AnalysisSession &S,
+                                     const CachedProgramPtr &P,
+                                     const Options &) {
+  return computeVulnerability(*S.get<BECQuery>(P),
+                              S.get<TraceQuery>(P)->Executed);
+}
+
+RankQuery::Result RankQuery::compute(AnalysisSession &S,
+                                     const CachedProgramPtr &P,
+                                     const Options &) {
+  return VulnerabilityRank::run(*S.get<BECQuery>(P),
+                                S.get<TraceQuery>(P)->Executed);
+}
+
+std::string CampaignQuery::fingerprint(const Options &O) {
+  return fpNum(static_cast<uint64_t>(O.Plan)) + "," + fpNum(O.MaxCycles);
+}
+
+CampaignQuery::Result CampaignQuery::compute(AnalysisSession &S,
+                                             const CachedProgramPtr &P,
+                                             const Options &O) {
+  std::shared_ptr<const BECAnalysis> A = S.get<BECQuery>(P);
+  std::shared_ptr<const Trace> G = S.get<TraceQuery>(P);
+  std::vector<PlannedRun> Plan = planCampaign(*A, *G, O.Plan, O.MaxCycles);
+  return runCampaign(P->program(), *G, std::move(Plan));
+}
+
+std::string ValidationQuery::fingerprint(const Options &O) {
+  return fpNum(O.MaxCycles);
+}
+
+ValidationQuery::Result ValidationQuery::compute(AnalysisSession &S,
+                                                 const CachedProgramPtr &P,
+                                                 const Options &O) {
+  return validateAnalysis(*S.get<BECQuery>(P), *S.get<TraceQuery>(P),
+                          O.MaxCycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Hardening queries
+//===----------------------------------------------------------------------===//
+
+std::string HardenQuery::fingerprint(const Options &O) {
+  return fpDouble(O.BudgetPercent) + "," + fpNum(O.MaxSites) + "," +
+         fpNum(O.ProbesPerRound) + "," + (O.EnableDuplication ? "d" : "-") +
+         (O.EnableNarrowing ? "n" : "-");
+}
+
+HardenQuery::Result HardenQuery::compute(AnalysisSession &S,
+                                         const CachedProgramPtr &P,
+                                         const Options &O) {
+  HardenPoint Point;
+  Point.Harden = hardenProgram(S, P, O);
+  Point.Check = validateHardening(S, P, Point.Harden);
+  return Point;
+}
+
+//===----------------------------------------------------------------------===//
+// Subcommand queries
+//===----------------------------------------------------------------------===//
+
+AnalyzeQuery::Result AnalyzeQuery::compute(AnalysisSession &S,
+                                           const CachedProgramPtr &P,
+                                           const Options &) {
+  AnalyzeResult R;
+  if (!commonPrefix(S, P, R))
+    return R;
+  R.Counts = *S.get<CountsQuery>(P);
+  R.Vulnerability = *S.get<VulnQuery>(P);
+  return R;
+}
+
+CampaignCmdQuery::Result CampaignCmdQuery::compute(AnalysisSession &S,
+                                                   const CachedProgramPtr &P,
+                                                   const Options &O) {
+  CampaignCmdResult R;
+  if (!commonPrefix(S, P, R))
+    return R;
+  R.Campaign = *S.get<CampaignQuery>(P, O);
+  return R;
+}
+
+ScheduleCmdQuery::Result ScheduleCmdQuery::compute(AnalysisSession &S,
+                                                   const CachedProgramPtr &P,
+                                                   const Options &) {
+  ScheduleCmdResult R;
+  if (!commonPrefix(S, P, R))
+    return R;
+  std::shared_ptr<const BECAnalysis> A = S.get<BECQuery>(P);
+  R.PolicyVuln[0] = *S.get<VulnQuery>(P);
+  R.PolicyAsm[0] = scheduleProgram(*A, SchedulePolicy::SourceOrder).toString();
+  const SchedulePolicy Policies[] = {SchedulePolicy::BestReliability,
+                                     SchedulePolicy::WorstReliability};
+  for (unsigned I = 0; I < 2; ++I) {
+    Program Sched = scheduleProgram(*A, Policies[I]);
+    R.PolicyAsm[1 + I] = Sched.toString();
+    // The scheduled program is interned too: re-asking (or a target whose
+    // schedule coincides with another's) reuses its whole analysis stack.
+    CachedProgramPtr SP = S.intern(std::move(Sched));
+    std::shared_ptr<const Trace> SG = S.get<TraceQuery>(SP);
+    if (SG->End != Outcome::Finished) {
+      R.Error =
+          "scheduled run ended with " + std::string(outcomeName(SG->End));
+      return R;
+    }
+    R.PolicyVuln[1 + I] = *S.get<VulnQuery>(SP);
+  }
+  return R;
+}
+
+std::string HardenCmdQuery::fingerprint(const Options &O) {
+  std::string F;
+  for (double B : O.Budgets)
+    F += fpDouble(B) + ";";
+  HardenOptions Base = O.Base;
+  Base.BudgetPercent = 0; // Budget comes from the list.
+  return F + HardenQuery::fingerprint(Base);
+}
+
+HardenCmdQuery::Result HardenCmdQuery::compute(AnalysisSession &S,
+                                               const CachedProgramPtr &P,
+                                               const Options &O) {
+  HardenCmdResult R;
+  if (!commonPrefix(S, P, R))
+    return R;
+  for (double Budget : O.Budgets) {
+    HardenOptions HO = O.Base;
+    HO.BudgetPercent = Budget;
+    R.Points.push_back(*S.get<HardenQuery>(P, HO));
+  }
+  return R;
+}
+
+std::string ReportCmdQuery::fingerprint(const Options &O) {
+  return fpNum(O.MaxCycles);
+}
+
+ReportCmdQuery::Result ReportCmdQuery::compute(AnalysisSession &S,
+                                               const CachedProgramPtr &P,
+                                               const Options &O) {
+  ReportCmdResult R;
+  if (!commonPrefix(S, P, R))
+    return R;
+  R.Counts = *S.get<CountsQuery>(P);
+  R.Vulnerability = *S.get<VulnQuery>(P);
+  R.Campaign = *S.get<CampaignQuery>(
+      P, {PlanKind::BitLevel, O.MaxCycles});
+  R.Validation = *S.get<ValidationQuery>(P, {O.MaxCycles});
+  return R;
+}

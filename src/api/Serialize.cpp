@@ -1,0 +1,182 @@
+//===- api/Serialize.cpp - JSON rendering of subcommand results -----------===//
+
+#include "api/Serialize.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+using namespace bec;
+
+namespace {
+
+void jsonCounts(JsonWriter &W, uint32_t Instrs, uint64_t Cycles,
+                const FaultInjectionCounts &C, uint64_t Vulnerability) {
+  W.key("instrs").value(uint64_t(Instrs));
+  W.key("cycles").value(Cycles);
+  W.key("fault_space").value(C.TotalFaultSpace);
+  W.key("value_level_runs").value(C.ValueLevelRuns);
+  W.key("bit_level_runs").value(C.BitLevelRuns);
+  W.key("masked_bits").value(C.MaskedBits);
+  W.key("inferrable_bits").value(C.InferrableBits);
+  W.key("pruned_fraction").value(C.prunedFraction());
+  W.key("vulnerability").value(Vulnerability);
+}
+
+void jsonCampaign(JsonWriter &W, const CampaignResult &C) {
+  W.key("campaign").beginObject();
+  W.key("runs").value(C.Runs);
+  W.key("effects").beginObject();
+  for (unsigned E = 0; E < NumFaultEffects; ++E)
+    W.key(toLowerAscii(faultEffectName(FaultEffect(E))))
+        .value(C.EffectCounts[E]);
+  W.endObject();
+  W.key("distinct_traces").value(C.DistinctTraces);
+  W.key("seconds").value(C.Seconds);
+  W.endObject();
+}
+
+void jsonValidation(JsonWriter &W, const ValidationResult &V) {
+  W.key("validation").beginObject();
+  W.key("sound_precise_pairs").value(V.SoundPrecisePairs);
+  W.key("sound_imprecise_pairs").value(V.SoundImprecisePairs);
+  W.key("unsound_pairs").value(V.UnsoundPairs);
+  W.key("masked_violations").value(V.MaskedViolations);
+  W.key("cross_violations").value(V.CrossViolations);
+  W.key("runs_executed").value(V.RunsExecuted);
+  W.key("sound").value(V.sound());
+  W.endObject();
+}
+
+void jsonHardenPoints(JsonWriter &W, const HardenCmdResult &R,
+                      std::span<const double> Budgets) {
+  W.key("points").beginArray();
+  for (size_t B = 0; B < Budgets.size(); ++B) {
+    const HardenResult &H = R.Points[B].Harden;
+    const HardenValidation &V = R.Points[B].Check;
+    W.beginObject();
+    W.key("budget_percent").value(Budgets[B]);
+    W.key("cost_percent").value(H.costPercent());
+    W.key("baseline_vulnerability").value(H.BaselineVuln);
+    W.key("residual_vulnerability").value(H.ResidualVuln);
+    W.key("hardened_raw_vulnerability").value(H.HardenedRawVuln);
+    W.key("reduction").value(H.reduction());
+    W.key("baseline_cycles").value(H.BaselineCycles);
+    W.key("hardened_cycles").value(H.HardenedCycles);
+    W.key("duplicated").value(uint64_t(H.NumDuplicated));
+    W.key("narrowed").value(uint64_t(H.NumNarrowed));
+    W.key("validation").beginObject();
+    W.key("verifier_clean").value(V.VerifierClean);
+    W.key("outputs_match").value(V.OutputsMatch);
+    W.key("vulnerability_reduced").value(V.VulnerabilityReduced);
+    W.key("detection_probes").value(V.DetectionProbes);
+    W.key("detections_caught").value(V.DetectionsCaught);
+    W.key("ok").value(V.ok());
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+}
+
+/// The shared document frame: {"command": ..., <Extra>, "targets": [...]}
+/// with per-target name/error handling identical across subcommands.
+template <class R, class ExtraFn, class BodyFn>
+std::string renderDocument(const char *Command,
+                           std::span<const std::string> Names,
+                           std::span<const std::shared_ptr<const R>> Results,
+                           ExtraFn Extra, BodyFn Body) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("command").value(Command);
+  Extra(W);
+  W.key("targets").beginArray();
+  for (size_t I = 0; I < Names.size(); ++I) {
+    const R &Res = *Results[I];
+    W.beginObject();
+    W.key("name").value(Names[I]);
+    if (!Res.Error.empty())
+      W.key("error").value(Res.Error);
+    else
+      Body(W, Res);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take() + "\n";
+}
+
+void noExtra(JsonWriter &) {}
+
+} // namespace
+
+std::string bec::renderAnalyzeJson(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const AnalyzeResult>> Results) {
+  return renderDocument<AnalyzeResult>(
+      "analyze", Names, Results, noExtra,
+      [](JsonWriter &W, const AnalyzeResult &R) {
+        jsonCounts(W, R.Instrs, R.Cycles, R.Counts, R.Vulnerability);
+      });
+}
+
+std::string bec::renderCampaignJson(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const CampaignCmdResult>> Results,
+    PlanKind Plan) {
+  const char *PlanName = Plan == PlanKind::Exhaustive ? "exhaustive"
+                         : Plan == PlanKind::ValueLevel ? "value-level"
+                                                        : "bit-level";
+  return renderDocument<CampaignCmdResult>(
+      "campaign", Names, Results,
+      [&](JsonWriter &W) { W.key("plan").value(PlanName); },
+      [](JsonWriter &W, const CampaignCmdResult &R) {
+        W.key("instrs").value(uint64_t(R.Instrs));
+        W.key("cycles").value(R.Cycles);
+        jsonCampaign(W, R.Campaign);
+      });
+}
+
+std::string bec::renderScheduleJson(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const ScheduleCmdResult>> Results) {
+  return renderDocument<ScheduleCmdResult>(
+      "schedule", Names, Results, noExtra,
+      [](JsonWriter &W, const ScheduleCmdResult &R) {
+        W.key("instrs").value(uint64_t(R.Instrs));
+        W.key("cycles").value(R.Cycles);
+        W.key("source_vulnerability").value(R.PolicyVuln[0]);
+        W.key("best_vulnerability").value(R.PolicyVuln[1]);
+        W.key("worst_vulnerability").value(R.PolicyVuln[2]);
+        // Positive = the best-reliability schedule shrinks the surface,
+        // matching the text table's "Best vs source" column.
+        double Delta = R.PolicyVuln[0] == 0
+                           ? 0.0
+                           : 1.0 - double(R.PolicyVuln[1]) /
+                                       double(R.PolicyVuln[0]);
+        W.key("best_vs_source").value(Delta);
+      });
+}
+
+std::string bec::renderHardenJson(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const HardenCmdResult>> Results,
+    std::span<const double> Budgets) {
+  return renderDocument<HardenCmdResult>(
+      "harden", Names, Results, noExtra,
+      [&](JsonWriter &W, const HardenCmdResult &R) {
+        W.key("instrs").value(uint64_t(R.Instrs));
+        W.key("cycles").value(R.Cycles);
+        jsonHardenPoints(W, R, Budgets);
+      });
+}
+
+std::string bec::renderReportJson(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const ReportCmdResult>> Results) {
+  return renderDocument<ReportCmdResult>(
+      "report", Names, Results, noExtra,
+      [](JsonWriter &W, const ReportCmdResult &R) {
+        jsonCounts(W, R.Instrs, R.Cycles, R.Counts, R.Vulnerability);
+        jsonCampaign(W, R.Campaign);
+        jsonValidation(W, R.Validation);
+      });
+}

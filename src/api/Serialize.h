@@ -1,0 +1,53 @@
+//===- api/Serialize.h - One JSON serializer for every subcommand ---------===//
+///
+/// \file
+/// Machine-readable rendering of the five subcommand result objects
+/// (api/Queries.h). All consumers — the `bec` driver's `--format=json`,
+/// CI jobs, library users — share these functions, so `campaign` and
+/// `schedule` emit through exactly the same serializer as `analyze`,
+/// `report` and `harden`, and the emitted shape is part of the stable API
+/// surface (see BEC_API_VERSION in api/Api.h).
+///
+/// Each renderer takes parallel spans of target names and results (result
+/// pointers may come straight from Session::evaluateAll) and returns the
+/// full document including the trailing newline. Failed targets emit
+/// `{"name": ..., "error": ...}` rows, as the CLI always has.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_API_SERIALIZE_H
+#define BEC_API_SERIALIZE_H
+
+#include "api/Queries.h"
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace bec {
+
+std::string
+renderAnalyzeJson(std::span<const std::string> Names,
+                  std::span<const std::shared_ptr<const AnalyzeResult>> Results);
+
+std::string renderCampaignJson(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const CampaignCmdResult>> Results,
+    PlanKind Plan);
+
+std::string renderScheduleJson(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const ScheduleCmdResult>> Results);
+
+std::string
+renderHardenJson(std::span<const std::string> Names,
+                 std::span<const std::shared_ptr<const HardenCmdResult>> Results,
+                 std::span<const double> Budgets);
+
+std::string
+renderReportJson(std::span<const std::string> Names,
+                 std::span<const std::shared_ptr<const ReportCmdResult>> Results);
+
+} // namespace bec
+
+#endif // BEC_API_SERIALIZE_H

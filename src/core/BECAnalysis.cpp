@@ -10,12 +10,23 @@
 using namespace bec;
 
 BECAnalysis BECAnalysis::run(const Program &Prog, const BECOptions &Opts) {
+  return run(Prog, Opts,
+             std::make_shared<const Liveness>(Liveness::run(Prog)),
+             std::make_shared<const UseDef>(UseDef::run(Prog)),
+             std::make_shared<const BitValueAnalysis>(
+                 BitValueAnalysis::run(Prog)));
+}
+
+BECAnalysis BECAnalysis::run(const Program &Prog, const BECOptions &Opts,
+                             std::shared_ptr<const Liveness> Live,
+                             std::shared_ptr<const UseDef> Uses,
+                             std::shared_ptr<const BitValueAnalysis> BitValues) {
   BECAnalysis A;
   A.Prog = &Prog;
   A.Space = std::make_unique<FaultSpace>(Prog);
-  A.Live = std::make_unique<Liveness>(Liveness::run(Prog));
-  A.Uses = std::make_unique<UseDef>(UseDef::run(Prog));
-  A.BitValues = std::make_unique<BitValueAnalysis>(BitValueAnalysis::run(Prog));
+  A.Live = std::move(Live);
+  A.Uses = std::move(Uses);
+  A.BitValues = std::move(BitValues);
 
   const FaultSpace &FS = *A.Space;
   unsigned W = Prog.Width;

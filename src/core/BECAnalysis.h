@@ -26,6 +26,7 @@
 #include "support/UnionFind.h"
 
 #include <memory>
+#include <optional>
 
 namespace bec {
 
@@ -48,6 +49,15 @@ public:
   /// must outlive this object.
   static BECAnalysis run(const Program &Prog, const BECOptions &Opts = {});
 
+  /// Runs the coalescing on precomputed sub-analyses (which must have been
+  /// produced from \p Prog). The api/AnalysisSession registry uses this to
+  /// share cached Liveness/UseDef/BitValueAnalysis results instead of
+  /// recomputing them per BECAnalysis.
+  static BECAnalysis run(const Program &Prog, const BECOptions &Opts,
+                         std::shared_ptr<const Liveness> Live,
+                         std::shared_ptr<const UseDef> Uses,
+                         std::shared_ptr<const BitValueAnalysis> BitValues);
+
   const Program &program() const { return *Prog; }
   const FaultSpace &space() const { return *Space; }
   const Liveness &liveness() const { return *Live; }
@@ -56,10 +66,16 @@ public:
 
   /// Representative of the equivalence class of fault index \p Idx.
   uint32_t classOf(uint32_t Idx) const { return Classes.find(Idx); }
-  /// Representative of the class of s((P, V^Bit)); V must be accessed at P.
-  uint32_t classOf(uint32_t P, Reg V, unsigned Bit) const {
+  /// Representative of the class of s((P, V^Bit)), or nullopt if \p P is
+  /// out of range, \p V is not a register, \p Bit is not a bit of the
+  /// register file, or V is not accessed at P. Safe on untrusted query
+  /// input: this is the library API's lookup and never aborts.
+  std::optional<uint32_t> classOf(uint32_t P, Reg V, unsigned Bit) const {
+    if (P >= Prog->size() || V >= NumRegs || Bit >= Space->width())
+      return std::nullopt;
     int32_t Ap = Space->pointId(P, V);
-    assert(Ap >= 0 && "register not accessed at this program point");
+    if (Ap < 0)
+      return std::nullopt;
     return Classes.find(Space->faultIndex(static_cast<uint32_t>(Ap), Bit));
   }
   /// True if the fault site is masked (class of s0).
@@ -85,9 +101,11 @@ public:
 private:
   const Program *Prog = nullptr;
   std::unique_ptr<FaultSpace> Space;
-  std::unique_ptr<Liveness> Live;
-  std::unique_ptr<UseDef> Uses;
-  std::unique_ptr<BitValueAnalysis> BitValues;
+  /// Shared so a cached sub-analysis (api/AnalysisSession) can back any
+  /// number of BECAnalysis results without being recomputed or copied.
+  std::shared_ptr<const Liveness> Live;
+  std::shared_ptr<const UseDef> Uses;
+  std::shared_ptr<const BitValueAnalysis> BitValues;
   std::vector<InstrFates> Fates;
   UnionFind Classes;
   std::vector<PointSummary> Summaries;

@@ -2,16 +2,12 @@
 
 #include "harden/Harden.h"
 
-#include "core/Metrics.h"
-#include "harden/VulnerabilityRank.h"
 #include "ir/Verifier.h"
 #include "sim/Interpreter.h"
 #include "support/BitUtils.h"
 
 #include <algorithm>
 #include <array>
-#include <set>
-#include <string>
 
 using namespace bec;
 
@@ -127,198 +123,16 @@ uint64_t bec::computeResidualVulnerability(const BECAnalysis &A,
   return Total;
 }
 
-namespace {
+// The greedy measure-and-accept selector lives in api/HardenLoop.cpp: it
+// runs on the AnalysisSession cache (hardenProgram(AnalysisSession&, ...))
+// so trial measurements, round baselines, sweeps and validation share
+// work; the classic hardenProgram(Program, ...) wrapper there keeps this
+// header's historical entry point. This file retains the parts that are
+// pure functions of their arguments: the residual-vulnerability metric
+// above and the closed-loop validation below.
 
-/// One measured trial of the greedy loop.
-struct Measurement {
-  bool Valid = false;
-  uint64_t ResidualVuln = 0;
-  uint64_t Cycles = 0;
-};
-
-Measurement measure(const HardenedProgram &HP, uint64_t ObservableHash,
-                    uint64_t BaselineCycles, double BudgetPercent) {
-  Measurement M;
-  if (!verifyProgram(HP.Prog).empty())
-    return M;
-  Trace G = simulate(HP.Prog);
-  if (G.End != Outcome::Finished || G.ObservableHash != ObservableHash)
-    return M;
-  double Cost = 100.0 *
-                (static_cast<double>(G.Cycles) -
-                 static_cast<double>(BaselineCycles)) /
-                static_cast<double>(BaselineCycles);
-  if (Cost > BudgetPercent)
-    return M;
-  BECAnalysis A = BECAnalysis::run(HP.Prog);
-  M.Valid = true;
-  M.ResidualVuln = computeResidualVulnerability(A, G.Executed, HP);
-  M.Cycles = G.Cycles;
-  return M;
-}
-
-/// Stable identity of a candidate across index shifts, used to memoize
-/// rejections: the def's rendered text, its ordinal among identical
-/// texts (so two equal defs at different sites never share an entry),
-/// and the window/target distance.
-std::string signatureOf(const Program &Prog, const char *Kind, uint32_t Def,
-                        uint32_t End) {
-  std::string Text = Prog.instr(Def).toString();
-  unsigned Ordinal = 0;
-  for (uint32_t P = 0; P < Def; ++P)
-    if (Prog.instr(P).toString() == Text)
-      ++Ordinal;
-  return std::string(Kind) + ":" + Text + "#" + std::to_string(Ordinal) +
-         ":" + std::to_string(End - Def);
-}
-
-} // namespace
-
-HardenResult bec::hardenProgram(const Program &Prog,
-                                const HardenOptions &Opts) {
-  HardenResult R;
-  R.HP.Prog = Prog;
-
-  Trace Golden = simulate(Prog);
-  assert(Golden.End == Outcome::Finished && "golden run must finish");
-  {
-    BECAnalysis A = BECAnalysis::run(Prog);
-    R.BaselineVuln = computeVulnerability(A, Golden.Executed);
-  }
-  R.BaselineCycles = Golden.Cycles;
-  R.ResidualVuln = R.BaselineVuln;
-  R.HardenedCycles = R.BaselineCycles;
-
-  std::set<std::string> Rejected;
-  while (R.HP.Sites.size() < Opts.MaxSites) {
-    BECAnalysis A = BECAnalysis::run(R.HP.Prog);
-    Trace G = simulate(R.HP.Prog);
-    VulnerabilityRank Rank = VulnerabilityRank::run(A, G.Executed);
-    std::vector<uint64_t> DefScore(R.HP.Prog.size());
-    for (uint32_t P = 0; P < R.HP.Prog.size(); ++P)
-      DefScore[P] = Rank.defScore(P);
-    std::array<uint64_t, NumRegs> RegScore;
-    for (Reg V = 0; V < NumRegs; ++V)
-      RegScore[V] = Rank.regScore(V);
-
-    // Unified, rank-ordered candidate list over all transforms.
-    enum class Kind { Dup, RegDup, Sink };
-    struct Candidate {
-      uint64_t Score;
-      Kind K;
-      DupCandidate Dup;
-      RegDupCandidate Reg;
-      SinkCandidate Sink;
-    };
-    std::vector<Candidate> Cands;
-    if (Opts.EnableDuplication) {
-      for (const RegDupCandidate &C : findRegDupCandidates(R.HP, RegScore))
-        Cands.push_back({C.Score, Kind::RegDup, {}, C, {}});
-      for (const DupCandidate &C : findDupCandidates(R.HP, DefScore))
-        Cands.push_back({C.Score, Kind::Dup, C, {}, {}});
-    }
-    if (Opts.EnableNarrowing)
-      for (const SinkCandidate &C : findSinkCandidates(R.HP, DefScore))
-        Cands.push_back({C.Score, Kind::Sink, {}, {}, C});
-    std::stable_sort(Cands.begin(), Cands.end(),
-                     [](const Candidate &L, const Candidate &Rhs) {
-                       return L.Score > Rhs.Score;
-                     });
-
-    // Measure the top candidates and take the round's best vulnerability
-    // drop per added cycle (free transforms rank naturally first).
-    // Candidates that fail to improve are memoized by a shift-stable
-    // signature and never measured again; improving runners-up stay in
-    // play for later rounds.
-    HardenedProgram Best;
-    Measurement BestM;
-    double BestRatio = 0.0;
-    bool HaveBest = false;
-    unsigned Probed = 0;
-    for (const Candidate &C : Cands) {
-      if (Probed >= Opts.ProbesPerRound)
-        break;
-      std::string Sig;
-      switch (C.K) {
-      case Kind::Dup:
-        Sig = signatureOf(R.HP.Prog, "dup", C.Dup.Def, C.Dup.CheckPos);
-        break;
-      case Kind::RegDup:
-        Sig = "regdup:" + std::string(regName(C.Reg.R));
-        break;
-      case Kind::Sink:
-        Sig = signatureOf(R.HP.Prog, "sink", C.Sink.From, C.Sink.To);
-        break;
-      }
-      if (Rejected.count(Sig))
-        continue;
-      HardenedProgram Trial = R.HP;
-      switch (C.K) {
-      case Kind::Dup:
-        applyDuplication(Trial, C.Dup);
-        break;
-      case Kind::RegDup:
-        applyRegisterDuplication(Trial, C.Reg);
-        break;
-      case Kind::Sink:
-        applySinking(Trial, C.Sink);
-        break;
-      }
-      ++Probed;
-      Measurement M = measure(Trial, Golden.ObservableHash, R.BaselineCycles,
-                              Opts.BudgetPercent);
-      if (!M.Valid || M.ResidualVuln >= R.ResidualVuln) {
-        Rejected.insert(Sig);
-        continue;
-      }
-      double Gain = static_cast<double>(R.ResidualVuln - M.ResidualVuln);
-      double AddedCycles =
-          M.Cycles > R.HardenedCycles
-              ? static_cast<double>(M.Cycles - R.HardenedCycles)
-              : 0.0;
-      double Ratio = Gain / (AddedCycles + 1.0);
-      if (!HaveBest || Ratio > BestRatio) {
-        HaveBest = true;
-        BestRatio = Ratio;
-        Best = std::move(Trial);
-        BestM = M;
-      }
-    }
-    if (!HaveBest)
-      break;
-    R.HP = std::move(Best);
-    R.ResidualVuln = BestM.ResidualVuln;
-    R.HardenedCycles = BestM.Cycles;
-  }
-
-  for (const ProtectedSite &S : R.HP.Sites)
-    if (S.Kind == ProtectKind::Narrow)
-      ++R.NumNarrowed;
-    else
-      ++R.NumDuplicated;
-  {
-    BECAnalysis A = BECAnalysis::run(R.HP.Prog);
-    Trace G = simulate(R.HP.Prog);
-    R.HardenedRawVuln = computeVulnerability(A, G.Executed);
-  }
-  return R;
-}
-
-HardenValidation bec::validateHardening(const HardenResult &R,
-                                        const Program &Baseline) {
-  HardenValidation V;
-  V.VerifierClean = verifyProgram(R.HP.Prog).empty();
-  if (!V.VerifierClean)
-    return V;
-
-  Trace BaseGolden = simulate(Baseline);
-  Trace Golden = simulate(R.HP.Prog);
-  V.OutputsMatch = Golden.End == Outcome::Finished &&
-                   Golden.ObservableHash == BaseGolden.ObservableHash;
-  V.VulnerabilityReduced = R.HP.Sites.empty()
-                               ? R.ResidualVuln == R.BaselineVuln
-                               : R.ResidualVuln < R.BaselineVuln;
-
+void bec::runDetectionProbes(const HardenResult &R, const Trace &Golden,
+                             HardenValidation &V) {
   // The fault-injection oracle: flip a bit of the protected register (and
   // of the shadow) right after the first dynamic execution of each
   // protected def; the run must end detected. Detection is a trap — the
@@ -375,5 +189,22 @@ HardenValidation bec::validateHardening(const HardenResult &R,
       }
     }
   }
+}
+
+HardenValidation bec::validateHardening(const HardenResult &R,
+                                        const Program &Baseline) {
+  HardenValidation V;
+  V.VerifierClean = verifyProgram(R.HP.Prog).empty();
+  if (!V.VerifierClean)
+    return V;
+
+  Trace BaseGolden = simulate(Baseline);
+  Trace Golden = simulate(R.HP.Prog);
+  V.OutputsMatch = Golden.End == Outcome::Finished &&
+                   Golden.ObservableHash == BaseGolden.ObservableHash;
+  V.VulnerabilityReduced = R.HP.Sites.empty()
+                               ? R.ResidualVuln == R.BaselineVuln
+                               : R.ResidualVuln < R.BaselineVuln;
+  runDetectionProbes(R, Golden, V);
   return V;
 }

@@ -31,6 +31,7 @@
 
 #include "core/BECAnalysis.h"
 #include "harden/Transforms.h"
+#include "sim/Trace.h"
 
 #include <span>
 
@@ -91,6 +92,10 @@ uint64_t computeResidualVulnerability(const BECAnalysis &A,
 
 /// Hardens \p Prog (verified, CFG built, golden run must finish) under
 /// \p Opts. The result's program always verifies and behaves identically.
+///
+/// This classic entry point runs on a private api/AnalysisSession; when
+/// hardening several budgets or mixing with other queries, prefer the
+/// session overload in api/Queries.h — identical results, shared cache.
 HardenResult hardenProgram(const Program &Prog,
                            const HardenOptions &Opts = {});
 
@@ -120,6 +125,14 @@ struct HardenValidation {
 /// Re-verifies, re-simulates and fault-injects the hardened program.
 HardenValidation validateHardening(const HardenResult &R,
                                    const Program &Baseline);
+
+/// The fault-injection probe stage shared by both validateHardening
+/// flavours (cold, above, and the cached one in api/Queries.h): injects
+/// into every protected window of \p R, judging each probe against
+/// \p Golden — the hardened program's fault-free trace — and accumulates
+/// DetectionProbes/DetectionsCaught into \p V.
+void runDetectionProbes(const HardenResult &R, const Trace &Golden,
+                        HardenValidation &V);
 
 } // namespace bec
 

@@ -1,0 +1,29 @@
+//===- support/StringUtils.h - Small shared string helpers ----------------===//
+///
+/// \file
+/// String utilities shared by the CLI, the workload registry and the JSON
+/// serializer. ASCII-only by design: workload names, option spellings and
+/// JSON keys never carry locale-dependent characters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SUPPORT_STRINGUTILS_H
+#define BEC_SUPPORT_STRINGUTILS_H
+
+#include <cctype>
+#include <string>
+#include <string_view>
+
+namespace bec {
+
+/// Byte-wise ASCII lowering (no locale).
+inline std::string toLowerAscii(std::string_view S) {
+  std::string Out(S);
+  for (char &C : Out)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Out;
+}
+
+} // namespace bec
+
+#endif // BEC_SUPPORT_STRINGUTILS_H

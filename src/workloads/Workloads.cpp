@@ -3,6 +3,7 @@
 #include "workloads/Workloads.h"
 
 #include "ir/AsmParser.h"
+#include "support/StringUtils.h"
 #include "workloads/Sources.h"
 
 using namespace bec;
@@ -47,6 +48,17 @@ const std::vector<Workload> &bec::allWorkloads() {
 const Workload *bec::findWorkload(std::string_view Name) {
   for (const Workload &W : allWorkloads())
     if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+const Workload *bec::findWorkloadAnyCase(std::string_view Name) {
+  if (const Workload *W = findWorkload(Name))
+    return W;
+  // Bundled names use mixed case (CRC32, AES, ...); accept any casing.
+  std::string Want = toLowerAscii(Name);
+  for (const Workload &W : allWorkloads())
+    if (toLowerAscii(W.Name) == Want)
       return &W;
   return nullptr;
 }

@@ -41,6 +41,10 @@ const std::vector<Workload> &allWorkloads();
 /// Finds a workload by name; returns nullptr if unknown.
 const Workload *findWorkload(std::string_view Name);
 
+/// Finds a workload by name, falling back to a case-insensitive match
+/// (the CLI's and AnalysisSession's lookup); nullptr if unknown.
+const Workload *findWorkloadAnyCase(std::string_view Name);
+
 /// Assembles a workload (aborts on internal error: sources are known-good).
 Program loadWorkload(const Workload &W);
 

@@ -171,7 +171,9 @@ TEST(Driver, HardenEmitWritesParseableAssembly) {
 }
 
 TEST(Driver, JsonOutputIsWellFormedAndComplete) {
-  for (const char *Cmd : {"analyze", "harden"}) {
+  // Every subcommand emits through the shared api/Serialize.h serializer.
+  for (const char *Cmd :
+       {"analyze", "campaign", "schedule", "harden", "report"}) {
     DriverRun R =
         run({Cmd, "--workload", "bitcount", "--format", "json"});
     EXPECT_EQ(R.Status, tool::ExitSuccess) << Cmd << ": " << R.Err;
@@ -185,6 +187,14 @@ TEST(Driver, JsonOutputIsWellFormedAndComplete) {
   DriverRun A = run({"analyze", "--workload", "bitcount", "--format",
                      "json"});
   EXPECT_NE(A.Out.find("\"vulnerability\":"), std::string::npos);
+  DriverRun C = run({"campaign", "--workload", "bitcount", "--format",
+                     "json"});
+  EXPECT_NE(C.Out.find("\"plan\":\"bit-level\""), std::string::npos);
+  EXPECT_NE(C.Out.find("\"effects\":"), std::string::npos);
+  DriverRun Sch = run({"schedule", "--workload", "bitcount", "--format",
+                       "json"});
+  EXPECT_NE(Sch.Out.find("\"source_vulnerability\":"), std::string::npos);
+  EXPECT_NE(Sch.Out.find("\"best_vs_source\":"), std::string::npos);
   DriverRun H = run({"harden", "--workload", "bitcount", "--format",
                      "json"});
   EXPECT_NE(H.Out.find("\"residual_vulnerability\":"), std::string::npos);
@@ -202,7 +212,6 @@ TEST(Driver, HardenAndFormatUsageErrors) {
   EXPECT_EQ(run({"harden", "--budget", "nan"}).Status, tool::ExitUsage);
   EXPECT_EQ(run({"harden", "--budget", "inf"}).Status, tool::ExitUsage);
   EXPECT_EQ(run({"harden", "--sweep", "5,x"}).Status, tool::ExitUsage);
-  EXPECT_EQ(run({"campaign", "--format", "json"}).Status, tool::ExitUsage);
   EXPECT_EQ(run({"analyze", "--format", "yaml"}).Status, tool::ExitUsage);
   EXPECT_EQ(run({"harden", "--sweep", "5,10", "--emit", "x.s"}).Status,
             tool::ExitUsage);

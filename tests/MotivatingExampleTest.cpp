@@ -150,8 +150,9 @@ TEST_F(MotivatingExampleTest, MaskedSitesMatchFig2) {
   // (p5, v2^0) is live.
   EXPECT_NE(A.classOf(5, 12, 0), 0u);
   // (p2, v2^1..3) are equivalent to each other but not masked.
-  uint32_t C1 = A.classOf(2, 12, 1);
-  EXPECT_NE(C1, 0u);
+  std::optional<uint32_t> C1 = A.classOf(2, 12, 1);
+  ASSERT_TRUE(C1.has_value());
+  EXPECT_NE(*C1, 0u);
   EXPECT_EQ(A.classOf(2, 12, 2), C1);
   EXPECT_EQ(A.classOf(2, 12, 3), C1);
   EXPECT_NE(A.classOf(2, 12, 0), C1);

@@ -1,26 +1,23 @@
 //===- tools/Driver.cpp - The `bec` pipeline driver ------------------------===//
+//
+// The driver is a thin shell over api/Api.h: it parses the command line,
+// loads targets into an AnalysisSession, fans the per-target subcommand
+// queries out on a thread pool (Session::evaluateAll), and renders the
+// result objects as tables or — through the shared api/Serialize.h
+// serializer — as JSON. All pipeline logic lives behind the session.
+//
+//===----------------------------------------------------------------------===//
 
 #include "Driver.h"
 
-#include "core/BECAnalysis.h"
-#include "core/Metrics.h"
-#include "fi/Campaign.h"
-#include "fi/Validation.h"
-#include "harden/Harden.h"
-#include "ir/AsmParser.h"
-#include "sched/ListScheduler.h"
-#include "sim/Interpreter.h"
-#include "support/Json.h"
+#include "api/Api.h"
+#include "support/StringUtils.h"
 #include "support/Table.h"
-#include "support/ThreadPool.h"
 #include "workloads/Workloads.h"
 
-#include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <functional>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -67,7 +64,7 @@ Options:
                     of the baseline run (default 10).
   --sweep A,B,..    harden only: evaluate several budgets per target and
                     print the full cost-vs-vulnerability table.
-  --format KIND     analyze/report/harden output: text | json
+  --format KIND     output format of any subcommand: text | json
                     (default text).
   --max-cycles N    Truncate campaign/validation windows to N cycles
                     (0 = whole trace; default 0).
@@ -116,46 +113,6 @@ std::optional<double> parseBudget(const std::string &S) {
     return std::nullopt;
   return V;
 }
-
-std::string toLower(std::string_view S) {
-  std::string Out(S);
-  std::transform(Out.begin(), Out.end(), Out.begin(),
-                 [](unsigned char C) { return std::tolower(C); });
-  return Out;
-}
-
-/// One analyzable target: a named, verified program.
-struct Target {
-  std::string Name;
-  Program Prog;
-};
-
-/// Everything one pipeline job produces; rendered after the pool drains.
-struct TargetResult {
-  std::string Error; ///< Non-empty on failure; row fields are then unset.
-
-  // analyze / report
-  uint32_t Instrs = 0;
-  uint64_t Cycles = 0;
-  FaultInjectionCounts Counts;
-  uint64_t Vulnerability = 0;
-
-  // campaign / report
-  CampaignResult Campaign;
-
-  // schedule: vulnerability per policy [source, best, worst]
-  uint64_t PolicyVuln[3] = {0, 0, 0};
-  // schedule/harden --emit: assembly of the transformed program.
-  std::string EmittedAsm;
-
-  // report
-  ValidationResult Validation;
-
-  // harden: one Pareto point per requested budget, parallel to
-  // DriverOptions::Budgets.
-  std::vector<HardenResult> Harden;
-  std::vector<HardenValidation> HardenChecks;
-};
 
 int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
               std::ostream &Out, std::ostream &Err) {
@@ -237,7 +194,7 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
       auto V = Value(Arg);
       if (!V)
         return ExitUsage;
-      std::string K = toLower(*V);
+      std::string K = toLowerAscii(*V);
       if (K == "exhaustive")
         Opts.Plan = PlanKind::Exhaustive;
       else if (K == "value")
@@ -253,7 +210,7 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
       auto V = Value(Arg);
       if (!V)
         return ExitUsage;
-      std::string K = toLower(*V);
+      std::string K = toLowerAscii(*V);
       if (K == "best")
         Opts.EmitPolicy = SchedulePolicy::BestReliability;
       else if (K == "worst")
@@ -305,7 +262,7 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
       auto V = Value(Arg);
       if (!V)
         return ExitUsage;
-      std::string K = toLower(*V);
+      std::string K = toLowerAscii(*V);
       if (K == "text")
         Opts.Format = OutputFormat::Text;
       else if (K == "json")
@@ -324,11 +281,6 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     Err << "bec: --emit is only valid with schedule or harden\n";
     return ExitUsage;
   }
-  if (Opts.Format == OutputFormat::Json && Opts.Cmd != Command::Analyze &&
-      Opts.Cmd != Command::Report && Opts.Cmd != Command::Harden) {
-    Err << "bec: --format json supports analyze, report and harden\n";
-    return ExitUsage;
-  }
   if (Opts.Cmd == Command::Harden && !Opts.EmitPath.empty() &&
       Opts.Budgets.size() != 1) {
     Err << "bec: harden --emit requires a single --budget\n";
@@ -341,174 +293,56 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
 // Target loading
 //===----------------------------------------------------------------------===//
 
-int collectTargets(const DriverOptions &Opts, std::vector<Target> &Targets,
+int collectTargets(const DriverOptions &Opts, AnalysisSession &S,
                    std::ostream &Err) {
+  // --all plus an explicit --workload (or a repeated name in any casing)
+  // would otherwise run and report the same target twice; skip names the
+  // session already has.
   bool Selected = Opts.AllWorkloads || !Opts.WorkloadNames.empty() ||
                   !Opts.AsmFiles.empty();
   if (Opts.AllWorkloads || !Selected)
-    for (const Workload &W : allWorkloads())
-      Targets.push_back({W.Name, loadWorkload(W)});
+    S.addAllWorkloads();
 
   for (const std::string &Name : Opts.WorkloadNames) {
-    const Workload *W = findWorkload(Name);
-    if (!W) {
-      // Bundled names use mixed case (CRC32, AES, ...); accept any casing.
-      std::string Lower = toLower(Name);
-      for (const Workload &Cand : allWorkloads())
-        if (toLower(Cand.Name) == Lower)
-          W = &Cand;
-    }
+    const Workload *W = findWorkloadAnyCase(Name);
     if (!W) {
       Err << "bec: unknown workload '" << Name
           << "'; --list-workloads prints the bundled names\n";
       return ExitBadInput;
     }
-    Targets.push_back({W->Name, loadWorkload(*W)});
+    if (!S.findTarget(W->Name))
+      S.addProgram(W->Name, loadWorkload(*W));
   }
 
   for (const std::string &Path : Opts.AsmFiles) {
-    std::ifstream In(Path);
-    if (!In) {
-      Err << "bec: cannot open '" << Path << "'\n";
+    if (S.findTarget(Path))
+      continue;
+    std::string Error;
+    if (!S.addAsmFile(Path, Error)) {
+      Err << "bec: " << Error << "\n";
       return ExitBadInput;
     }
-    std::stringstream Buf;
-    Buf << In.rdbuf();
-    AsmParseResult R = parseAsm(Buf.str(), Path);
-    if (!R.succeeded()) {
-      Err << "bec: " << Path << " failed to assemble:\n" << R.diagText();
-      return ExitBadInput;
-    }
-    Targets.push_back({Path, std::move(*R.Prog)});
   }
-
-  // --all plus an explicit --workload (or a repeated name in any casing)
-  // would otherwise run and report the same target twice.
-  std::vector<Target> Unique;
-  for (Target &T : Targets) {
-    bool Seen = false;
-    for (const Target &U : Unique)
-      Seen = Seen || U.Name == T.Name;
-    if (!Seen)
-      Unique.push_back(std::move(T));
-  }
-  Targets = std::move(Unique);
   return ExitSuccess;
 }
 
 //===----------------------------------------------------------------------===//
-// Per-target pipeline stages
+// Table rendering
 //===----------------------------------------------------------------------===//
 
-/// Runs the static pipeline and the golden simulation; the common prefix of
-/// every subcommand. Returns false (with R.Error set) if the golden run
-/// does not terminate normally.
-bool runCommonPipeline(const Target &T, BECAnalysis &A, Trace &Golden,
-                       TargetResult &R) {
-  A = BECAnalysis::run(T.Prog);
-  Golden = simulate(T.Prog);
-  if (Golden.End != Outcome::Finished) {
-    R.Error = "golden run ended with " + std::string(outcomeName(Golden.End));
-    return false;
-  }
-  R.Instrs = T.Prog.size();
-  R.Cycles = Golden.Cycles;
-  return true;
-}
+template <class R> using ResultVec = std::vector<std::shared_ptr<const R>>;
 
-void runAnalyze(const Target &T, TargetResult &R) {
-  BECAnalysis A;
-  Trace Golden;
-  if (!runCommonPipeline(T, A, Golden, R))
-    return;
-  R.Counts = countFaultInjectionRuns(A, Golden.Executed);
-  R.Vulnerability = computeVulnerability(A, Golden.Executed);
-}
-
-void runCampaignCmd(const Target &T, const DriverOptions &Opts,
-                    TargetResult &R) {
-  BECAnalysis A;
-  Trace Golden;
-  if (!runCommonPipeline(T, A, Golden, R))
-    return;
-  std::vector<PlannedRun> Plan =
-      planCampaign(A, Golden, Opts.Plan, Opts.MaxCycles);
-  R.Campaign = runCampaign(T.Prog, Golden, std::move(Plan));
-}
-
-void runScheduleCmd(const Target &T, const DriverOptions &Opts,
-                    TargetResult &R) {
-  BECAnalysis A;
-  Trace Golden;
-  if (!runCommonPipeline(T, A, Golden, R))
-    return;
-  R.PolicyVuln[0] = computeVulnerability(A, Golden.Executed);
-  bool Emit = !Opts.EmitPath.empty();
-  if (Emit && Opts.EmitPolicy == SchedulePolicy::SourceOrder)
-    R.EmittedAsm = scheduleProgram(A, SchedulePolicy::SourceOrder).toString();
-  const SchedulePolicy Policies[] = {SchedulePolicy::BestReliability,
-                                     SchedulePolicy::WorstReliability};
-  for (unsigned P = 0; P < 2; ++P) {
-    Program Sched = scheduleProgram(A, Policies[P]);
-    if (Emit && Opts.EmitPolicy == Policies[P])
-      R.EmittedAsm = Sched.toString();
-    BECAnalysis SA = BECAnalysis::run(Sched);
-    Trace SG = simulate(Sched);
-    if (SG.End != Outcome::Finished) {
-      R.Error = "scheduled run ended with " +
-                std::string(outcomeName(SG.End));
-      return;
-    }
-    R.PolicyVuln[1 + P] = computeVulnerability(SA, SG.Executed);
-  }
-}
-
-void runHardenCmd(const Target &T, const DriverOptions &Opts,
-                  TargetResult &R) {
-  BECAnalysis A;
-  Trace Golden;
-  if (!runCommonPipeline(T, A, Golden, R))
-    return;
-  for (double Budget : Opts.Budgets) {
-    HardenOptions HO;
-    HO.BudgetPercent = Budget;
-    HardenResult H = hardenProgram(T.Prog, HO);
-    R.HardenChecks.push_back(validateHardening(H, T.Prog));
-    if (!Opts.EmitPath.empty())
-      R.EmittedAsm = H.HP.Prog.toString();
-    R.Harden.push_back(std::move(H));
-  }
-}
-
-void runReportCmd(const Target &T, const DriverOptions &Opts,
-                  TargetResult &R) {
-  BECAnalysis A;
-  Trace Golden;
-  if (!runCommonPipeline(T, A, Golden, R))
-    return;
-  R.Counts = countFaultInjectionRuns(A, Golden.Executed);
-  R.Vulnerability = computeVulnerability(A, Golden.Executed);
-  std::vector<PlannedRun> Plan =
-      planCampaign(A, Golden, PlanKind::BitLevel, Opts.MaxCycles);
-  R.Campaign = runCampaign(T.Prog, Golden, std::move(Plan));
-  R.Validation = validateAnalysis(A, Golden, Opts.MaxCycles);
-}
-
-//===----------------------------------------------------------------------===//
-// Rendering
-//===----------------------------------------------------------------------===//
-
-void renderAnalyze(const std::vector<Target> &Targets,
-                   const std::vector<TargetResult> &Results,
+void renderAnalyze(const AnalysisSession &S,
+                   const ResultVec<AnalyzeResult> &Results,
                    std::ostream &Out) {
   Table Tbl({"Workload", "Instrs", "Cycles", "Fault space", "Value-level",
              "Bit-level", "Masked", "Inferrable", "Pruned", "Vuln (bits)"});
-  for (size_t I = 0; I < Targets.size(); ++I) {
-    const TargetResult &R = Results[I];
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const AnalyzeResult &R = *Results[I];
     if (!R.Error.empty())
       continue;
     Tbl.row()
-        .cell(Targets[I].Name)
+        .cell(S.name(I))
         .cell(uint64_t(R.Instrs))
         .cell(R.Cycles)
         .cell(R.Counts.TotalFaultSpace)
@@ -522,8 +356,8 @@ void renderAnalyze(const std::vector<Target> &Targets,
   Out << Tbl.render();
 }
 
-void renderCampaign(const std::vector<Target> &Targets,
-                    const std::vector<TargetResult> &Results,
+void renderCampaign(const AnalysisSession &S,
+                    const ResultVec<CampaignCmdResult> &Results,
                     const DriverOptions &Opts, std::ostream &Out) {
   const char *PlanName = Opts.Plan == PlanKind::Exhaustive ? "exhaustive"
                          : Opts.Plan == PlanKind::ValueLevel
@@ -532,13 +366,13 @@ void renderCampaign(const std::vector<Target> &Targets,
   Out << "Campaign plan: " << PlanName << "\n";
   Table Tbl({"Workload", "Runs", "Masked", "Benign", "SDC", "Trap", "Hang",
              "Distinct", "Seconds"});
-  for (size_t I = 0; I < Targets.size(); ++I) {
-    const TargetResult &R = Results[I];
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const CampaignCmdResult &R = *Results[I];
     if (!R.Error.empty())
       continue;
     const auto &E = R.Campaign.EffectCounts;
     Tbl.row()
-        .cell(Targets[I].Name)
+        .cell(S.name(I))
         .cell(R.Campaign.Runs)
         .cell(E[size_t(FaultEffect::Masked)])
         .cell(E[size_t(FaultEffect::Benign)])
@@ -551,13 +385,13 @@ void renderCampaign(const std::vector<Target> &Targets,
   Out << Tbl.render();
 }
 
-void renderSchedule(const std::vector<Target> &Targets,
-                    const std::vector<TargetResult> &Results,
+void renderSchedule(const AnalysisSession &S,
+                    const ResultVec<ScheduleCmdResult> &Results,
                     std::ostream &Out) {
   Table Tbl({"Workload", "Source vuln", "Best vuln", "Worst vuln",
              "Best vs source"});
-  for (size_t I = 0; I < Targets.size(); ++I) {
-    const TargetResult &R = Results[I];
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const ScheduleCmdResult &R = *Results[I];
     if (!R.Error.empty())
       continue;
     // Positive delta = the best-reliability schedule shrinks the surface.
@@ -566,7 +400,7 @@ void renderSchedule(const std::vector<Target> &Targets,
             ? 0.0
             : 1.0 - double(R.PolicyVuln[1]) / double(R.PolicyVuln[0]);
     Tbl.row()
-        .cell(Targets[I].Name)
+        .cell(S.name(I))
         .cell(R.PolicyVuln[0])
         .cell(R.PolicyVuln[1])
         .cell(R.PolicyVuln[2])
@@ -575,20 +409,20 @@ void renderSchedule(const std::vector<Target> &Targets,
   Out << Tbl.render();
 }
 
-void renderHarden(const std::vector<Target> &Targets,
-                  const std::vector<TargetResult> &Results,
+void renderHarden(const AnalysisSession &S,
+                  const ResultVec<HardenCmdResult> &Results,
                   const DriverOptions &Opts, std::ostream &Out) {
   Table Tbl({"Workload", "Budget", "Cost", "Base vuln", "Residual vuln",
              "Reduction", "Dup", "Narrow", "Probes", "Valid"});
-  for (size_t I = 0; I < Targets.size(); ++I) {
-    const TargetResult &R = Results[I];
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const HardenCmdResult &R = *Results[I];
     if (!R.Error.empty())
       continue;
     for (size_t B = 0; B < Opts.Budgets.size(); ++B) {
-      const HardenResult &H = R.Harden[B];
-      const HardenValidation &V = R.HardenChecks[B];
+      const HardenResult &H = R.Points[B].Harden;
+      const HardenValidation &V = R.Points[B].Check;
       Tbl.row()
-          .cell(Targets[I].Name)
+          .cell(S.name(I))
           .cell(Table::percent(Opts.Budgets[B] / 100.0))
           .cell(Table::percent(H.costPercent() / 100.0))
           .cell(H.BaselineVuln)
@@ -604,133 +438,19 @@ void renderHarden(const std::vector<Target> &Targets,
   Out << Tbl.render();
 }
 
-//===----------------------------------------------------------------------===//
-// JSON rendering
-//===----------------------------------------------------------------------===//
-
-void jsonCounts(JsonWriter &W, const TargetResult &R) {
-  W.key("instrs").value(uint64_t(R.Instrs));
-  W.key("cycles").value(R.Cycles);
-  W.key("fault_space").value(R.Counts.TotalFaultSpace);
-  W.key("value_level_runs").value(R.Counts.ValueLevelRuns);
-  W.key("bit_level_runs").value(R.Counts.BitLevelRuns);
-  W.key("masked_bits").value(R.Counts.MaskedBits);
-  W.key("inferrable_bits").value(R.Counts.InferrableBits);
-  W.key("pruned_fraction").value(R.Counts.prunedFraction());
-  W.key("vulnerability").value(R.Vulnerability);
-}
-
-void jsonCampaign(JsonWriter &W, const CampaignResult &C) {
-  W.key("campaign").beginObject();
-  W.key("runs").value(C.Runs);
-  W.key("effects").beginObject();
-  for (unsigned E = 0; E < NumFaultEffects; ++E)
-    W.key(toLower(faultEffectName(FaultEffect(E))))
-        .value(C.EffectCounts[E]);
-  W.endObject();
-  W.key("distinct_traces").value(C.DistinctTraces);
-  W.key("seconds").value(C.Seconds);
-  W.endObject();
-}
-
-void jsonValidation(JsonWriter &W, const ValidationResult &V) {
-  W.key("validation").beginObject();
-  W.key("sound_precise_pairs").value(V.SoundPrecisePairs);
-  W.key("sound_imprecise_pairs").value(V.SoundImprecisePairs);
-  W.key("unsound_pairs").value(V.UnsoundPairs);
-  W.key("masked_violations").value(V.MaskedViolations);
-  W.key("cross_violations").value(V.CrossViolations);
-  W.key("runs_executed").value(V.RunsExecuted);
-  W.key("sound").value(V.sound());
-  W.endObject();
-}
-
-void jsonHarden(JsonWriter &W, const TargetResult &R,
-                const DriverOptions &Opts) {
-  W.key("points").beginArray();
-  for (size_t B = 0; B < Opts.Budgets.size(); ++B) {
-    const HardenResult &H = R.Harden[B];
-    const HardenValidation &V = R.HardenChecks[B];
-    W.beginObject();
-    W.key("budget_percent").value(Opts.Budgets[B]);
-    W.key("cost_percent").value(H.costPercent());
-    W.key("baseline_vulnerability").value(H.BaselineVuln);
-    W.key("residual_vulnerability").value(H.ResidualVuln);
-    W.key("hardened_raw_vulnerability").value(H.HardenedRawVuln);
-    W.key("reduction").value(H.reduction());
-    W.key("baseline_cycles").value(H.BaselineCycles);
-    W.key("hardened_cycles").value(H.HardenedCycles);
-    W.key("duplicated").value(uint64_t(H.NumDuplicated));
-    W.key("narrowed").value(uint64_t(H.NumNarrowed));
-    W.key("validation").beginObject();
-    W.key("verifier_clean").value(V.VerifierClean);
-    W.key("outputs_match").value(V.OutputsMatch);
-    W.key("vulnerability_reduced").value(V.VulnerabilityReduced);
-    W.key("detection_probes").value(V.DetectionProbes);
-    W.key("detections_caught").value(V.DetectionsCaught);
-    W.key("ok").value(V.ok());
-    W.endObject();
-    W.endObject();
-  }
-  W.endArray();
-}
-
-void renderJson(const std::vector<Target> &Targets,
-                const std::vector<TargetResult> &Results,
-                const DriverOptions &Opts, std::ostream &Out) {
-  const char *Cmd = Opts.Cmd == Command::Analyze  ? "analyze"
-                    : Opts.Cmd == Command::Report ? "report"
-                                                  : "harden";
-  JsonWriter W;
-  W.beginObject();
-  W.key("command").value(Cmd);
-  W.key("targets").beginArray();
-  for (size_t I = 0; I < Targets.size(); ++I) {
-    const TargetResult &R = Results[I];
-    W.beginObject();
-    W.key("name").value(Targets[I].Name);
-    if (!R.Error.empty()) {
-      W.key("error").value(R.Error);
-      W.endObject();
-      continue;
-    }
-    switch (Opts.Cmd) {
-    case Command::Analyze:
-      jsonCounts(W, R);
-      break;
-    case Command::Report:
-      jsonCounts(W, R);
-      jsonCampaign(W, R.Campaign);
-      jsonValidation(W, R.Validation);
-      break;
-    case Command::Harden:
-      W.key("instrs").value(uint64_t(R.Instrs));
-      W.key("cycles").value(R.Cycles);
-      jsonHarden(W, R, Opts);
-      break;
-    default:
-      break;
-    }
-    W.endObject();
-  }
-  W.endArray();
-  W.endObject();
-  Out << W.take() << "\n";
-}
-
-void renderReport(const std::vector<Target> &Targets,
-                  const std::vector<TargetResult> &Results,
+void renderReport(const AnalysisSession &S,
+                  const ResultVec<ReportCmdResult> &Results,
                   std::ostream &Out) {
   Table Tbl({"Workload", "Bit-level runs", "Pruned", "SDC", "Trap", "Hang",
              "Sound+precise", "Sound+imprecise", "Unsound", "Verdict"});
-  for (size_t I = 0; I < Targets.size(); ++I) {
-    const TargetResult &R = Results[I];
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const ReportCmdResult &R = *Results[I];
     if (!R.Error.empty())
       continue;
     const auto &E = R.Campaign.EffectCounts;
     const ValidationResult &V = R.Validation;
     Tbl.row()
-        .cell(Targets[I].Name)
+        .cell(S.name(I))
         .cell(R.Counts.BitLevelRuns)
         .cell(Table::percent(R.Counts.prunedFraction()))
         .cell(E[size_t(FaultEffect::SDC)])
@@ -744,14 +464,38 @@ void renderReport(const std::vector<Target> &Targets,
   Out << Tbl.render();
 }
 
-int emitScheduled(const TargetResult &R, const DriverOptions &Opts,
-                  std::ostream &Err) {
+//===----------------------------------------------------------------------===//
+// Shared epilogue
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> targetNames(const AnalysisSession &S) {
+  std::vector<std::string> Names;
+  for (size_t I = 0; I < S.numTargets(); ++I)
+    Names.push_back(S.name(I));
+  return Names;
+}
+
+/// Reports per-target errors; ExitBadInput if any target failed.
+template <class R>
+int reportErrors(const AnalysisSession &S, const ResultVec<R> &Results,
+                 std::ostream &Err) {
+  int Status = ExitSuccess;
+  for (size_t I = 0; I < Results.size(); ++I)
+    if (!Results[I]->Error.empty()) {
+      Err << "bec: " << S.name(I) << ": " << Results[I]->Error << "\n";
+      Status = ExitBadInput;
+    }
+  return Status;
+}
+
+int emitAssembly(const std::string &Asm, const DriverOptions &Opts,
+                 std::ostream &Err) {
   std::ofstream OutFile(Opts.EmitPath);
   if (!OutFile) {
     Err << "bec: cannot write '" << Opts.EmitPath << "'\n";
     return ExitBadInput;
   }
-  OutFile << R.EmittedAsm;
+  OutFile << Asm;
   return ExitSuccess;
 }
 
@@ -770,85 +514,90 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
   if (ParseStatus != ExitSuccess)
     return ParseStatus;
 
-  std::vector<Target> Targets;
-  if (int Status = collectTargets(Opts, Targets, Err))
+  AnalysisSession S;
+  if (int Status = collectTargets(Opts, S, Err))
     return Status;
-  if (!Opts.EmitPath.empty() && Targets.size() != 1) {
+  if (!Opts.EmitPath.empty() && S.numTargets() != 1) {
     Err << "bec: --emit requires exactly one selected target\n";
     return ExitUsage;
   }
 
-  // Fan the per-target pipelines out on the pool; rows render afterwards so
-  // output order is deterministic regardless of completion order.
-  std::vector<TargetResult> Results(Targets.size());
-  {
-    ThreadPool Pool(Opts.Jobs);
-    for (size_t I = 0; I < Targets.size(); ++I)
-      Pool.submit([&, I] {
-        switch (Opts.Cmd) {
-        case Command::Analyze:
-          runAnalyze(Targets[I], Results[I]);
-          break;
-        case Command::Campaign:
-          runCampaignCmd(Targets[I], Opts, Results[I]);
-          break;
-        case Command::Schedule:
-          runScheduleCmd(Targets[I], Opts, Results[I]);
-          break;
-        case Command::Harden:
-          runHardenCmd(Targets[I], Opts, Results[I]);
-          break;
-        case Command::Report:
-          runReportCmd(Targets[I], Opts, Results[I]);
-          break;
-        }
-      });
-    Pool.wait();
-  }
-
-  if (Opts.Format == OutputFormat::Json) {
-    renderJson(Targets, Results, Opts, Out);
-  } else {
-    switch (Opts.Cmd) {
-    case Command::Analyze:
-      renderAnalyze(Targets, Results, Out);
-      break;
-    case Command::Campaign:
-      renderCampaign(Targets, Results, Opts, Out);
-      break;
-    case Command::Schedule:
-      renderSchedule(Targets, Results, Out);
-      break;
-    case Command::Harden:
-      renderHarden(Targets, Results, Opts, Out);
-      break;
-    case Command::Report:
-      renderReport(Targets, Results, Out);
-      break;
-    }
-  }
-
+  std::vector<std::string> Names = targetNames(S);
+  bool Json = Opts.Format == OutputFormat::Json;
+  ThreadPool Pool(Opts.Jobs);
   int Status = ExitSuccess;
-  for (size_t I = 0; I < Targets.size(); ++I)
-    if (!Results[I].Error.empty()) {
-      Err << "bec: " << Targets[I].Name << ": " << Results[I].Error << "\n";
-      Status = ExitBadInput;
+
+  switch (Opts.Cmd) {
+  case Command::Analyze: {
+    auto Results = S.evaluateAll<AnalyzeQuery>({}, Pool);
+    if (Json)
+      Out << renderAnalyzeJson(Names, Results);
+    else
+      renderAnalyze(S, Results, Out);
+    Status = reportErrors(S, Results, Err);
+    break;
+  }
+  case Command::Campaign: {
+    auto Results =
+        S.evaluateAll<CampaignCmdQuery>({Opts.Plan, Opts.MaxCycles}, Pool);
+    if (Json)
+      Out << renderCampaignJson(Names, Results, Opts.Plan);
+    else
+      renderCampaign(S, Results, Opts, Out);
+    Status = reportErrors(S, Results, Err);
+    break;
+  }
+  case Command::Schedule: {
+    auto Results = S.evaluateAll<ScheduleCmdQuery>({}, Pool);
+    if (Json)
+      Out << renderScheduleJson(Names, Results);
+    else
+      renderSchedule(S, Results, Out);
+    Status = reportErrors(S, Results, Err);
+    if (Status == ExitSuccess && !Opts.EmitPath.empty()) {
+      size_t Policy = Opts.EmitPolicy == SchedulePolicy::SourceOrder ? 0
+                      : Opts.EmitPolicy == SchedulePolicy::BestReliability
+                          ? 1
+                          : 2;
+      Status = emitAssembly(Results[0]->PolicyAsm[Policy], Opts, Err);
     }
-  if (Status == ExitSuccess && Opts.Cmd == Command::Report)
-    for (const TargetResult &R : Results)
-      if (!R.Validation.sound())
-        Status = ExitUnsound;
-  if (Status == ExitSuccess && Opts.Cmd == Command::Harden)
-    for (size_t I = 0; I < Targets.size(); ++I)
-      for (const HardenValidation &V : Results[I].HardenChecks)
-        if (!V.ok()) {
-          Err << "bec: " << Targets[I].Name
-              << ": hardened program failed validation\n";
+    break;
+  }
+  case Command::Harden: {
+    HardenCmdQuery::Options HO;
+    HO.Budgets = Opts.Budgets;
+    auto Results = S.evaluateAll<HardenCmdQuery>(HO, Pool);
+    if (Json)
+      Out << renderHardenJson(Names, Results, Opts.Budgets);
+    else
+      renderHarden(S, Results, Opts, Out);
+    Status = reportErrors(S, Results, Err);
+    if (Status == ExitSuccess)
+      for (size_t I = 0; I < Results.size(); ++I)
+        for (const HardenPoint &P : Results[I]->Points)
+          if (!P.Check.ok()) {
+            Err << "bec: " << S.name(I)
+                << ": hardened program failed validation\n";
+            Status = ExitUnsound;
+          }
+    if (Status == ExitSuccess && !Opts.EmitPath.empty())
+      Status = emitAssembly(Results[0]->Points[0].Harden.HP.Prog.toString(),
+                            Opts, Err);
+    break;
+  }
+  case Command::Report: {
+    auto Results = S.evaluateAll<ReportCmdQuery>({Opts.MaxCycles}, Pool);
+    if (Json)
+      Out << renderReportJson(Names, Results);
+    else
+      renderReport(S, Results, Out);
+    Status = reportErrors(S, Results, Err);
+    if (Status == ExitSuccess)
+      for (const auto &R : Results)
+        if (!R->Validation.sound())
           Status = ExitUnsound;
-        }
-  if (Status == ExitSuccess &&
-      (Opts.Cmd == Command::Schedule || Opts.Cmd == Command::Harden) &&
-      !Opts.EmitPath.empty())
-    Status = emitScheduled(Results[0], Opts, Err);
+    break;
+  }
+  }
   return Status;
 }

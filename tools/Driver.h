@@ -2,10 +2,10 @@
 ///
 /// \file
 /// Library entry point of the `bec` command-line tool, factored out of the
-/// binary so tests can invoke every subcommand in-process. The driver runs
-/// the complete pipeline (AsmParser -> BitValueAnalysis -> BECAnalysis
-/// coalescing -> Metrics / fault-injection Validation) over bundled
-/// workloads or external assembly files:
+/// binary so tests can invoke every subcommand in-process. The driver is a
+/// thin shell over the api/Api.h AnalysisSession: argument parsing here,
+/// pipelines and caching behind the session's subcommand queries,
+/// rendering as tables or via the shared api/Serialize.h JSON emitter:
 ///
 ///   bec analyze  [targets] [--jobs N]      fault-space metrics table
 ///   bec campaign [targets] [--plan KIND]   execute a fault-injection plan
@@ -15,10 +15,9 @@
 ///   bec report   [targets]                 metrics + campaign + validation
 ///
 /// Targets are `--workload NAME` (repeatable, case-insensitive), `--asm
-/// FILE.s`, or `--all` (the default). Independent targets are evaluated on
-/// a support/ThreadPool.h pool sized by `--jobs`. `analyze`, `report` and
-/// `harden` additionally support `--format=json` for machine-readable
-/// output.
+/// FILE.s`, or `--all` (the default). Independent targets are evaluated
+/// through Session::evaluateAll on a pool sized by `--jobs`. Every
+/// subcommand supports `--format=json` for machine-readable output.
 ///
 //===----------------------------------------------------------------------===//
 
