@@ -1,0 +1,315 @@
+//===- bench/ServeLoad.cpp - becd throughput / latency load generator -----===//
+///
+/// \file
+/// Load-generates a real becd server (in-process, ephemeral port, TCP
+/// loopback) at 1 / 4 / 16 concurrent clients and measures per-request
+/// latency (mean, p50, p99) and throughput for two request mixes:
+///
+///   * cold — every request analyzes a program the server has never seen
+///     (a freshly generated loop kernel interned via `intern`, then
+///     `analyze`d): the full verify + trace + BEC pipeline runs on the
+///     shared pool with zero reuse.
+///   * warm — requests analyze the bundled workloads, which some client
+///     has already analyzed: the server answers from the shared
+///     content-addressed session cache, so every request is a
+///     cross-client warm hit paying only wire + routing cost.
+///
+/// The headline claim of the serve subsystem is that the shared session
+/// pool turns repeat traffic into cache traffic: warm requests must be
+/// >= 5x faster than cold ones (asserted here). Emits BENCH_serve.json
+/// (path = argv[1], default ./BENCH_serve.json) next to the session
+/// bench's BENCH_session.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "serve/Service.h"
+
+#include "api/Api.h"
+#include "support/Debug.h"
+#include "support/Json.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace bec;
+using namespace bec::serve;
+
+namespace {
+
+constexpr unsigned Levels[] = {1, 4, 16};
+constexpr unsigned ColdOpsPerClient = 6;
+constexpr unsigned WarmOpsPerClient = 24;
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A unique analysis-worthy kernel per seed: ~1500 iterations of a mixing
+/// loop, so a cold request pays a realistic trace + BEC cost and every
+/// seed yields distinct program content.
+std::string coldAsm(unsigned Seed) {
+  char Buf[512];
+  std::snprintf(Buf, sizeof Buf, R"(main:
+  li   s0, %u
+  li   s1, 0
+  li   s2, 1500
+loop:
+  andi t0, s0, 1
+  add  s1, s1, t0
+  slli t1, s0, 1
+  srli t2, s0, 3
+  xor  s0, t1, t2
+  xori s0, s0, %u
+  addi s2, s2, -1
+  bnez s2, loop
+  out  s1
+  ret
+)",
+                (Seed * 2654435761u) % 100000, Seed % 64 + 1);
+  return Buf;
+}
+
+std::string jsonString(std::string_view S) {
+  JsonWriter W;
+  W.value(S);
+  return W.take();
+}
+
+struct LatencyStats {
+  size_t Ops = 0;
+  double Seconds = 0; ///< Wall time of the whole phase.
+  double MeanUs = 0, P50Us = 0, P99Us = 0;
+
+  static LatencyStats of(std::vector<double> &LatenciesUs, double WallS) {
+    LatencyStats St;
+    St.Ops = LatenciesUs.size();
+    St.Seconds = WallS;
+    if (LatenciesUs.empty())
+      return St;
+    std::sort(LatenciesUs.begin(), LatenciesUs.end());
+    double Sum = 0;
+    for (double L : LatenciesUs)
+      Sum += L;
+    St.MeanUs = Sum / double(St.Ops);
+    auto Pct = [&](double P) {
+      size_t Idx = size_t(P * double(St.Ops - 1) + 0.5);
+      return LatenciesUs[std::min(Idx, St.Ops - 1)];
+    };
+    St.P50Us = Pct(0.50);
+    St.P99Us = Pct(0.99);
+    return St;
+  }
+
+  double throughput() const { return Seconds > 0 ? Ops / Seconds : 0; }
+};
+
+struct LevelResult {
+  unsigned Clients = 0;
+  LatencyStats Cold, Warm;
+};
+
+std::atomic<unsigned> NextSeed{1};
+
+/// One client's cold ops: intern a unique kernel, then analyze it. The
+/// latency of one "op" covers both round-trips (what a real consumer
+/// submitting new code pays).
+void coldClient(uint16_t Port, unsigned Ops, std::vector<double> &Out) {
+  std::string Err;
+  std::optional<Client> C = Client::connect("127.0.0.1", Port, Err);
+  if (!C)
+    reportFatalError("bench client connect failed");
+  for (unsigned I = 0; I < Ops; ++I) {
+    unsigned Seed = NextSeed.fetch_add(1);
+    std::string Name = "cold-" + std::to_string(Seed) + ".s";
+    std::string Params = "{\"name\":" + jsonString(Name) +
+                         ",\"asm\":" + jsonString(coldAsm(Seed)) + "}";
+    std::string Analyze =
+        "{\"targets\":[" + jsonString(Name) + "],\"format\":\"json\"}";
+    double T0 = nowSeconds();
+    Reply R1 = C->call("intern", Params);
+    Reply R2 = C->call("analyze", Analyze);
+    double T1 = nowSeconds();
+    if (!R1.Ok || !R2.Ok)
+      reportFatalError("cold request failed");
+    Out.push_back((T1 - T0) * 1e6);
+  }
+}
+
+/// One client's warm ops: analyze bundled workloads round-robin (all
+/// pre-warmed, so every request is a cross-client cache hit).
+void warmClient(uint16_t Port, unsigned Ops, unsigned Stagger,
+                std::vector<double> &Out) {
+  std::string Err;
+  std::optional<Client> C = Client::connect("127.0.0.1", Port, Err);
+  if (!C)
+    reportFatalError("bench client connect failed");
+  const std::vector<Workload> &All = allWorkloads();
+  for (unsigned I = 0; I < Ops; ++I) {
+    const Workload &W = All[(I + Stagger) % All.size()];
+    std::string Analyze =
+        "{\"targets\":[" + jsonString(W.Name) + "],\"format\":\"json\"}";
+    double T0 = nowSeconds();
+    Reply R = C->call("analyze", Analyze);
+    double T1 = nowSeconds();
+    if (!R.Ok)
+      reportFatalError("warm request failed");
+    Out.push_back((T1 - T0) * 1e6);
+  }
+}
+
+template <class Fn>
+LatencyStats runPhase(unsigned Clients, Fn &&Body) {
+  std::vector<std::vector<double>> PerClient(Clients);
+  std::vector<std::thread> Threads;
+  double T0 = nowSeconds();
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back(
+        [&, C] { Body(C, PerClient[C]); });
+  for (std::thread &T : Threads)
+    T.join();
+  double Wall = nowSeconds() - T0;
+  std::vector<double> All;
+  for (std::vector<double> &L : PerClient)
+    All.insert(All.end(), L.begin(), L.end());
+  return LatencyStats::of(All, Wall);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_serve.json";
+  std::printf("becd load generator: cold (new program per request) vs. warm "
+              "(cross-client cache hits) over TCP loopback\n\n");
+
+  Service Svc;
+  Server::Options SO;
+  SO.Port = 0;
+  SO.Jobs = 16;
+  Server Srv(Svc, SO);
+  std::string Err;
+  if (!Srv.start(Err)) {
+    std::fprintf(stderr, "server start failed: %s\n", Err.c_str());
+    return 1;
+  }
+  std::thread ServerThread([&] { Srv.run(); });
+  uint16_t Port = Srv.port();
+
+  // Pre-warm every bundled workload once so each warm-phase request is a
+  // cross-client hit (the first client to touch a workload would
+  // otherwise absorb one compute into its latency sample).
+  {
+    std::optional<Client> C = Client::connect("127.0.0.1", Port, Err);
+    if (!C)
+      reportFatalError("warm-up connect failed");
+    Reply R = C->call("analyze", "{\"format\":\"json\"}");
+    if (!R.Ok)
+      reportFatalError("warm-up analyze failed");
+  }
+
+  std::vector<LevelResult> Results;
+  for (unsigned Clients : Levels) {
+    LevelResult L;
+    L.Clients = Clients;
+    L.Cold = runPhase(Clients, [&](unsigned, std::vector<double> &Out) {
+      coldClient(Port, ColdOpsPerClient, Out);
+    });
+    L.Warm = runPhase(Clients, [&](unsigned C, std::vector<double> &Out) {
+      warmClient(Port, WarmOpsPerClient, C, Out);
+    });
+    Results.push_back(L);
+  }
+
+  // Shut the server down through the protocol (exercising the drain).
+  {
+    std::optional<Client> C = Client::connect("127.0.0.1", Port, Err);
+    if (C)
+      C->call("shutdown");
+  }
+  ServerThread.join();
+
+  Table Tbl({"clients", "mix", "ops", "thrpt (op/s)", "mean", "p50", "p99"});
+  auto Row = [&](unsigned Clients, const char *Mix, const LatencyStats &St) {
+    char B[4][32];
+    std::snprintf(B[0], 32, "%.0f", St.throughput());
+    std::snprintf(B[1], 32, "%.0f us", St.MeanUs);
+    std::snprintf(B[2], 32, "%.0f us", St.P50Us);
+    std::snprintf(B[3], 32, "%.0f us", St.P99Us);
+    Tbl.row()
+        .cell(uint64_t(Clients))
+        .cell(Mix)
+        .cell(uint64_t(St.Ops))
+        .cell(std::string(B[0]))
+        .cell(std::string(B[1]))
+        .cell(std::string(B[2]))
+        .cell(std::string(B[3]));
+  };
+  double ColdMeanSum = 0, WarmMeanSum = 0;
+  for (const LevelResult &L : Results) {
+    Row(L.Clients, "cold", L.Cold);
+    Row(L.Clients, "warm", L.Warm);
+    ColdMeanSum += L.Cold.MeanUs;
+    WarmMeanSum += L.Warm.MeanUs;
+  }
+  std::printf("%s\n", Tbl.render().c_str());
+
+  double Speedup = WarmMeanSum > 0 ? ColdMeanSum / WarmMeanSum : 0;
+  std::printf("aggregate warm speedup over cold: %.1fx (mean latency, all "
+              "levels)\n",
+              Speedup);
+  // The subsystem's contract: shared-pool warm hits are at least 5x
+  // cheaper than cold analyses. Fail loudly if caching ever degrades.
+  if (Speedup < 5.0)
+    reportFatalError("warm requests are less than 5x faster than cold");
+
+  JsonWriter J;
+  J.beginObject();
+  J.key("bench").value("ServeLoad");
+  J.key("api_version").value(BEC_API_VERSION_STRING);
+  J.key("protocol").value(int64_t(ProtocolVersion));
+  J.key("cold_ops_per_client").value(uint64_t(ColdOpsPerClient));
+  J.key("warm_ops_per_client").value(uint64_t(WarmOpsPerClient));
+  J.key("levels").beginArray();
+  for (const LevelResult &L : Results) {
+    J.beginObject();
+    J.key("clients").value(uint64_t(L.Clients));
+    for (const char *Mix : {"cold", "warm"}) {
+      const LatencyStats &St = Mix == std::string("cold") ? L.Cold : L.Warm;
+      J.key(Mix).beginObject();
+      J.key("ops").value(uint64_t(St.Ops));
+      J.key("seconds").value(St.Seconds);
+      J.key("throughput_ops_s").value(St.throughput());
+      J.key("mean_us").value(St.MeanUs);
+      J.key("p50_us").value(St.P50Us);
+      J.key("p99_us").value(St.P99Us);
+      J.endObject();
+    }
+    J.key("warm_speedup_mean").value(
+        L.Warm.MeanUs > 0 ? L.Cold.MeanUs / L.Warm.MeanUs : 0.0);
+    J.endObject();
+  }
+  J.endArray();
+  J.key("aggregate").beginObject();
+  J.key("warm_speedup_mean").value(Speedup);
+  J.endObject();
+  J.endObject();
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath);
+    return 1;
+  }
+  Out << J.take() << "\n";
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

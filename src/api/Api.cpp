@@ -6,3 +6,10 @@ bec::ApiVersion bec::apiVersion() {
   return {BEC_API_VERSION_MAJOR, BEC_API_VERSION_MINOR,
           BEC_API_VERSION_PATCH};
 }
+
+// Stamped by src/CMakeLists.txt from CMAKE_BUILD_TYPE.
+#ifndef BEC_BUILD_TYPE
+#define BEC_BUILD_TYPE "unknown"
+#endif
+
+const char *bec::buildType() { return BEC_BUILD_TYPE; }

@@ -60,6 +60,11 @@ struct ApiVersion {
 /// The version this library was built as.
 ApiVersion apiVersion();
 
+/// The CMake build type this library was compiled as ("Release", "Debug",
+/// ...; "unknown" when the build system did not say). Reported by
+/// `bec --version` and the becd `version` RPC.
+const char *buildType();
+
 } // namespace bec
 
 #endif // BEC_API_API_H

@@ -1,13 +1,22 @@
-//===- api/Serialize.cpp - JSON rendering of subcommand results -----------===//
+//===- api/Serialize.cpp - JSON and table rendering of subcommand results -===//
 
 #include "api/Serialize.h"
 
 #include "support/Json.h"
 #include "support/StringUtils.h"
+#include "support/Table.h"
+
+#include <cmath>
 
 using namespace bec;
 
 namespace {
+
+const char *planName(PlanKind Plan) {
+  return Plan == PlanKind::Exhaustive   ? "exhaustive"
+         : Plan == PlanKind::ValueLevel ? "value-level"
+                                        : "bit-level";
+}
 
 void jsonCounts(JsonWriter &W, uint32_t Instrs, uint64_t Cycles,
                 const FaultInjectionCounts &C, uint64_t Vulnerability) {
@@ -122,12 +131,9 @@ std::string bec::renderCampaignJson(
     std::span<const std::string> Names,
     std::span<const std::shared_ptr<const CampaignCmdResult>> Results,
     PlanKind Plan) {
-  const char *PlanName = Plan == PlanKind::Exhaustive ? "exhaustive"
-                         : Plan == PlanKind::ValueLevel ? "value-level"
-                                                        : "bit-level";
   return renderDocument<CampaignCmdResult>(
       "campaign", Names, Results,
-      [&](JsonWriter &W) { W.key("plan").value(PlanName); },
+      [&](JsonWriter &W) { W.key("plan").value(planName(Plan)); },
       [](JsonWriter &W, const CampaignCmdResult &R) {
         W.key("instrs").value(uint64_t(R.Instrs));
         W.key("cycles").value(R.Cycles);
@@ -179,4 +185,151 @@ std::string bec::renderReportJson(
         jsonCampaign(W, R.Campaign);
         jsonValidation(W, R.Validation);
       });
+}
+
+//===----------------------------------------------------------------------===//
+// Text tables
+//===----------------------------------------------------------------------===//
+
+std::string bec::renderAnalyzeText(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const AnalyzeResult>> Results) {
+  Table Tbl({"Workload", "Instrs", "Cycles", "Fault space", "Value-level",
+             "Bit-level", "Masked", "Inferrable", "Pruned", "Vuln (bits)"});
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const AnalyzeResult &R = *Results[I];
+    if (!R.Error.empty())
+      continue;
+    Tbl.row()
+        .cell(Names[I])
+        .cell(uint64_t(R.Instrs))
+        .cell(R.Cycles)
+        .cell(R.Counts.TotalFaultSpace)
+        .cell(R.Counts.ValueLevelRuns)
+        .cell(R.Counts.BitLevelRuns)
+        .cell(R.Counts.MaskedBits)
+        .cell(R.Counts.InferrableBits)
+        .cell(Table::percent(R.Counts.prunedFraction()))
+        .cell(R.Vulnerability);
+  }
+  return Tbl.render();
+}
+
+std::string bec::renderCampaignText(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const CampaignCmdResult>> Results,
+    PlanKind Plan) {
+  std::string Out = "Campaign plan: " + std::string(planName(Plan)) + "\n";
+  Table Tbl({"Workload", "Runs", "Masked", "Benign", "SDC", "Trap", "Hang",
+             "Distinct", "Seconds"});
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const CampaignCmdResult &R = *Results[I];
+    if (!R.Error.empty())
+      continue;
+    const auto &E = R.Campaign.EffectCounts;
+    Tbl.row()
+        .cell(Names[I])
+        .cell(R.Campaign.Runs)
+        .cell(E[size_t(FaultEffect::Masked)])
+        .cell(E[size_t(FaultEffect::Benign)])
+        .cell(E[size_t(FaultEffect::SDC)])
+        .cell(E[size_t(FaultEffect::Trap)])
+        .cell(E[size_t(FaultEffect::Hang)])
+        .cell(R.Campaign.DistinctTraces)
+        .cell(R.Campaign.Seconds, 2);
+  }
+  return Out + Tbl.render();
+}
+
+std::string bec::renderScheduleText(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const ScheduleCmdResult>> Results) {
+  Table Tbl({"Workload", "Source vuln", "Best vuln", "Worst vuln",
+             "Best vs source"});
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const ScheduleCmdResult &R = *Results[I];
+    if (!R.Error.empty())
+      continue;
+    // Positive delta = the best-reliability schedule shrinks the surface.
+    double Delta =
+        R.PolicyVuln[0] == 0
+            ? 0.0
+            : 1.0 - double(R.PolicyVuln[1]) / double(R.PolicyVuln[0]);
+    Tbl.row()
+        .cell(Names[I])
+        .cell(R.PolicyVuln[0])
+        .cell(R.PolicyVuln[1])
+        .cell(R.PolicyVuln[2])
+        .cell((Delta >= 0 ? "-" : "+") + Table::percent(std::fabs(Delta)));
+  }
+  return Tbl.render();
+}
+
+std::string bec::renderHardenText(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const HardenCmdResult>> Results,
+    std::span<const double> Budgets) {
+  Table Tbl({"Workload", "Budget", "Cost", "Base vuln", "Residual vuln",
+             "Reduction", "Dup", "Narrow", "Probes", "Valid"});
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const HardenCmdResult &R = *Results[I];
+    if (!R.Error.empty())
+      continue;
+    for (size_t B = 0; B < Budgets.size(); ++B) {
+      const HardenResult &H = R.Points[B].Harden;
+      const HardenValidation &V = R.Points[B].Check;
+      Tbl.row()
+          .cell(Names[I])
+          .cell(Table::percent(Budgets[B] / 100.0))
+          .cell(Table::percent(H.costPercent() / 100.0))
+          .cell(H.BaselineVuln)
+          .cell(H.ResidualVuln)
+          .cell("-" + Table::percent(H.reduction()))
+          .cell(uint64_t(H.NumDuplicated))
+          .cell(uint64_t(H.NumNarrowed))
+          .cell(std::to_string(V.DetectionsCaught) + "/" +
+                std::to_string(V.DetectionProbes))
+          .cell(V.ok() ? "ok" : "FAIL");
+    }
+  }
+  return Tbl.render();
+}
+
+std::string bec::renderReportText(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const ReportCmdResult>> Results) {
+  Table Tbl({"Workload", "Bit-level runs", "Pruned", "SDC", "Trap", "Hang",
+             "Sound+precise", "Sound+imprecise", "Unsound", "Verdict"});
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const ReportCmdResult &R = *Results[I];
+    if (!R.Error.empty())
+      continue;
+    const auto &E = R.Campaign.EffectCounts;
+    const ValidationResult &V = R.Validation;
+    Tbl.row()
+        .cell(Names[I])
+        .cell(R.Counts.BitLevelRuns)
+        .cell(Table::percent(R.Counts.prunedFraction()))
+        .cell(E[size_t(FaultEffect::SDC)])
+        .cell(E[size_t(FaultEffect::Trap)])
+        .cell(E[size_t(FaultEffect::Hang)])
+        .cell(V.SoundPrecisePairs)
+        .cell(V.SoundImprecisePairs)
+        .cell(V.UnsoundPairs + V.MaskedViolations + V.CrossViolations)
+        .cell(V.sound() ? "sound" : "UNSOUND");
+  }
+  return Tbl.render();
+}
+
+std::string bec::renderCountsJson(const std::string &Name,
+                                  const AnalyzeResult &R) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("name").value(Name);
+  if (!R.Error.empty())
+    W.key("error").value(R.Error);
+  else
+    jsonCounts(W, R.Instrs, R.Cycles, R.Counts, R.Vulnerability);
+  W.endObject();
+  return W.take();
 }

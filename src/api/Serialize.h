@@ -1,17 +1,19 @@
-//===- api/Serialize.h - One JSON serializer for every subcommand ---------===//
+//===- api/Serialize.h - One serializer for every subcommand --------------===//
 ///
 /// \file
-/// Machine-readable rendering of the five subcommand result objects
-/// (api/Queries.h). All consumers — the `bec` driver's `--format=json`,
-/// CI jobs, library users — share these functions, so `campaign` and
-/// `schedule` emit through exactly the same serializer as `analyze`,
-/// `report` and `harden`, and the emitted shape is part of the stable API
-/// surface (see BEC_API_VERSION in api/Api.h).
+/// Rendering of the five subcommand result objects (api/Queries.h), in
+/// both machine-readable JSON and the CLI's human tables. All consumers —
+/// the `bec` driver, the becd analysis server (src/serve/), CI jobs,
+/// library users — share these functions, so a subcommand executed
+/// remotely emits byte-identical output to the same subcommand executed
+/// locally, and the emitted JSON shape is part of the stable API surface
+/// (see BEC_API_VERSION in api/Api.h).
 ///
 /// Each renderer takes parallel spans of target names and results (result
 /// pointers may come straight from Session::evaluateAll) and returns the
 /// full document including the trailing newline. Failed targets emit
-/// `{"name": ..., "error": ...}` rows, as the CLI always has.
+/// `{"name": ..., "error": ...}` rows in JSON and are skipped in tables,
+/// as the CLI always has.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,6 +49,36 @@ renderHardenJson(std::span<const std::string> Names,
 std::string
 renderReportJson(std::span<const std::string> Names,
                  std::span<const std::shared_ptr<const ReportCmdResult>> Results);
+
+//===----------------------------------------------------------------------===//
+// Human-readable tables (the CLI's default `--format=text` output)
+//===----------------------------------------------------------------------===//
+
+std::string
+renderAnalyzeText(std::span<const std::string> Names,
+                  std::span<const std::shared_ptr<const AnalyzeResult>> Results);
+
+std::string renderCampaignText(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const CampaignCmdResult>> Results,
+    PlanKind Plan);
+
+std::string renderScheduleText(
+    std::span<const std::string> Names,
+    std::span<const std::shared_ptr<const ScheduleCmdResult>> Results);
+
+std::string
+renderHardenText(std::span<const std::string> Names,
+                 std::span<const std::shared_ptr<const HardenCmdResult>> Results,
+                 std::span<const double> Budgets);
+
+std::string
+renderReportText(std::span<const std::string> Names,
+                 std::span<const std::shared_ptr<const ReportCmdResult>> Results);
+
+/// One target's analyze row as a bare JSON object ({"name", "instrs", ...}
+/// or {"name", "error"}): the becd `counts` method's structured result.
+std::string renderCountsJson(const std::string &Name, const AnalyzeResult &R);
 
 } // namespace bec
 

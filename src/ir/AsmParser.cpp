@@ -44,10 +44,20 @@ public:
     return Pos < Text.size() ? Text[Pos] : '\0';
   }
 
+  /// 1-based column of the next token (after space skipping).
+  uint32_t cursorCol() {
+    skipSpace();
+    return static_cast<uint32_t>(Pos) + 1;
+  }
+
+  /// 1-based column where the last ident()/number() token started.
+  uint32_t lastTokenCol() const { return static_cast<uint32_t>(TokStart) + 1; }
+
   /// Reads an identifier-like token: [A-Za-z_.][A-Za-z0-9_.]*
   std::string_view ident() {
     skipSpace();
     size_t Start = Pos;
+    TokStart = Start;
     auto IsIdent = [](char C) {
       return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
              C == '.';
@@ -61,6 +71,7 @@ public:
   bool number(int64_t &Out) {
     skipSpace();
     size_t Start = Pos;
+    TokStart = Start;
     bool Negative = false;
     if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+')) {
       Negative = Text[Pos] == '-';
@@ -99,6 +110,7 @@ public:
 private:
   std::string_view Text;
   size_t Pos = 0;
+  size_t TokStart = 0;
 };
 
 /// Assembler state over the whole translation unit.
@@ -110,17 +122,20 @@ private:
   enum class Section { Text, Data };
 
   void parseLine(std::string_view LineText);
-  void parseDirective(LineLexer &Lex, std::string_view Directive);
-  void parseInstruction(LineLexer &Lex, std::string_view Mnemonic);
-  void emit(Instruction I, std::string_view TargetLabel = {});
+  void parseDirective(LineLexer &Lex, std::string_view Directive,
+                      uint32_t DirectiveCol);
+  void parseInstruction(LineLexer &Lex, std::string_view Mnemonic,
+                        uint32_t MnemonicCol);
+  void emit(Instruction I, std::string_view TargetLabel = {},
+            uint32_t LabelCol = 0);
 
   bool expectReg(LineLexer &Lex, Reg &Out);
   bool expectImm(LineLexer &Lex, int64_t &Out);
   bool expectComma(LineLexer &Lex);
   std::string_view expectLabel(LineLexer &Lex);
 
-  void error(std::string Message) {
-    Diags.push_back({CurLine, std::move(Message)});
+  void error(uint32_t Col, std::string Message) {
+    Diags.push_back({CurLine, Col, std::move(Message)});
   }
 
   Program Prog;
@@ -129,11 +144,13 @@ private:
   uint32_t CurLine = 0;
   std::map<std::string, uint32_t, std::less<>> TextLabels;
   std::map<std::string, uint64_t, std::less<>> DataLabels;
-  /// (instruction index, label, line) fixups resolved after the last line.
+  /// (instruction index, label, position) fixups resolved after the last
+  /// line.
   struct Fixup {
     uint32_t Instr;
     std::string Label;
     uint32_t Line;
+    uint32_t Col;
     bool IsDataRef; ///< la/li referencing a data symbol via Imm.
   };
   std::vector<Fixup> Fixups;
@@ -147,40 +164,45 @@ bool Assembler::expectReg(LineLexer &Lex, Reg &Out) {
     Out = *R;
     return true;
   }
-  error("expected register, found '" + std::string(Tok) + "'");
+  error(Lex.lastTokenCol(), "expected register, found '" + std::string(Tok) + "'");
   return false;
 }
 
 bool Assembler::expectImm(LineLexer &Lex, int64_t &Out) {
+  uint32_t Col = Lex.cursorCol();
   if (Lex.number(Out))
     return true;
-  error("expected immediate");
+  error(Col, "expected immediate");
   return false;
 }
 
 bool Assembler::expectComma(LineLexer &Lex) {
+  uint32_t Col = Lex.cursorCol();
   if (Lex.consume(','))
     return true;
-  error("expected ','");
+  error(Col, "expected ','");
   return false;
 }
 
 std::string_view Assembler::expectLabel(LineLexer &Lex) {
+  uint32_t Col = Lex.cursorCol();
   std::string_view Tok = Lex.ident();
   if (Tok.empty())
-    error("expected label");
+    error(Col, "expected label");
   return Tok;
 }
 
-void Assembler::emit(Instruction I, std::string_view TargetLabel) {
+void Assembler::emit(Instruction I, std::string_view TargetLabel,
+                     uint32_t LabelCol) {
   I.Line = CurLine;
   if (!TargetLabel.empty())
     Fixups.push_back(
-        {Prog.size(), std::string(TargetLabel), CurLine, false});
+        {Prog.size(), std::string(TargetLabel), CurLine, LabelCol, false});
   Prog.Instrs.push_back(I);
 }
 
-void Assembler::parseDirective(LineLexer &Lex, std::string_view Directive) {
+void Assembler::parseDirective(LineLexer &Lex, std::string_view Directive,
+                               uint32_t DirectiveCol) {
   if (Directive == ".text") {
     CurSection = Section::Text;
     return;
@@ -193,7 +215,7 @@ void Assembler::parseDirective(LineLexer &Lex, std::string_view Directive) {
     int64_t W;
     if (expectImm(Lex, W)) {
       if (W < 2 || W > 64)
-        error(".width must be between 2 and 64");
+        error(Lex.lastTokenCol(), ".width must be between 2 and 64");
       else
         Prog.Width = static_cast<unsigned>(W);
     }
@@ -203,7 +225,7 @@ void Assembler::parseDirective(LineLexer &Lex, std::string_view Directive) {
     int64_t S;
     if (expectImm(Lex, S)) {
       if (S < 16 || S > (1 << 26))
-        error(".memsize out of supported range");
+        error(Lex.lastTokenCol(), ".memsize out of supported range");
       else
         Prog.MemSize = static_cast<uint64_t>(S);
     }
@@ -214,7 +236,7 @@ void Assembler::parseDirective(LineLexer &Lex, std::string_view Directive) {
     if (!expectImm(Lex, A))
       return;
     if (A <= 0 || (A & (A - 1)) != 0) {
-      error(".align requires a power of two");
+      error(Lex.lastTokenCol(), ".align requires a power of two");
       return;
     }
     while (Prog.Data.size() % static_cast<size_t>(A) != 0)
@@ -225,7 +247,7 @@ void Assembler::parseDirective(LineLexer &Lex, std::string_view Directive) {
     int64_t N;
     if (expectImm(Lex, N)) {
       if (N < 0 || N > (1 << 24)) {
-        error(".zero size out of range");
+        error(Lex.lastTokenCol(), ".zero size out of range");
         return;
       }
       Prog.Data.insert(Prog.Data.end(), static_cast<size_t>(N), 0);
@@ -234,7 +256,7 @@ void Assembler::parseDirective(LineLexer &Lex, std::string_view Directive) {
   }
   if (Directive == ".word" || Directive == ".half" || Directive == ".byte") {
     if (CurSection != Section::Data) {
-      error("data directive outside .data section");
+      error(DirectiveCol, "data directive outside .data section");
       return;
     }
     unsigned Bytes = Directive == ".word" ? 4 : Directive == ".half" ? 2 : 1;
@@ -248,12 +270,13 @@ void Assembler::parseDirective(LineLexer &Lex, std::string_view Directive) {
     } while (Lex.consume(','));
     return;
   }
-  error("unknown directive '" + std::string(Directive) + "'");
+  error(DirectiveCol, "unknown directive '" + std::string(Directive) + "'");
 }
 
-void Assembler::parseInstruction(LineLexer &Lex, std::string_view Mnemonic) {
+void Assembler::parseInstruction(LineLexer &Lex, std::string_view Mnemonic,
+                                 uint32_t MnemonicCol) {
   if (CurSection != Section::Text) {
-    error("instruction outside .text section");
+    error(MnemonicCol, "instruction outside .text section");
     return;
   }
   Instruction I;
@@ -307,7 +330,7 @@ void Assembler::parseInstruction(LineLexer &Lex, std::string_view Mnemonic) {
       A = RegZero;
       B = Rs1;
     }
-    emit({Op, 0, A, B, 0, NoTarget, 0}, Label);
+    emit({Op, 0, A, B, 0, NoTarget, 0}, Label, Lex.lastTokenCol());
     return;
   }
   if (Mnemonic == "ble" || Mnemonic == "bgt" || Mnemonic == "bleu" ||
@@ -323,7 +346,7 @@ void Assembler::parseInstruction(LineLexer &Lex, std::string_view Mnemonic) {
                 : (Mnemonic == "bgt")  ? Opcode::BLT
                 : (Mnemonic == "bleu") ? Opcode::BGEU
                                        : Opcode::BLTU;
-    emit({Op, 0, Rs2, Rs1, 0, NoTarget, 0}, Label);
+    emit({Op, 0, Rs2, Rs1, 0, NoTarget, 0}, Label, Lex.lastTokenCol());
     return;
   }
   if (Mnemonic == "la") {
@@ -333,13 +356,14 @@ void Assembler::parseInstruction(LineLexer &Lex, std::string_view Mnemonic) {
     if (Label.empty())
       return;
     emit({Opcode::LI, Rd, 0, 0, 0, NoTarget, 0});
-    Fixups.push_back({Prog.size() - 1, std::string(Label), CurLine, true});
+    Fixups.push_back(
+        {Prog.size() - 1, std::string(Label), CurLine, Lex.lastTokenCol(), true});
     return;
   }
 
   auto Op = parseOpcodeName(Mnemonic);
   if (!Op) {
-    error("unknown mnemonic '" + std::string(Mnemonic) + "'");
+    error(MnemonicCol, "unknown mnemonic '" + std::string(Mnemonic) + "'");
     return;
   }
   I.Op = *Op;
@@ -368,13 +392,13 @@ void Assembler::parseInstruction(LineLexer &Lex, std::string_view Mnemonic) {
       return;
     std::string_view Label = expectLabel(Lex);
     if (!Label.empty())
-      emit({*Op, 0, Rs1, Rs2, 0, NoTarget, 0}, Label);
+      emit({*Op, 0, Rs1, Rs2, 0, NoTarget, 0}, Label, Lex.lastTokenCol());
     return;
   }
   case OpFormat::Jump: {
     std::string_view Label = expectLabel(Lex);
     if (!Label.empty())
-      emit({*Op, 0, 0, 0, 0, NoTarget, 0}, Label);
+      emit({*Op, 0, 0, 0, 0, NoTarget, 0}, Label, Lex.lastTokenCol());
     return;
   }
   case OpFormat::Load:
@@ -403,34 +427,35 @@ void Assembler::parseLine(std::string_view LineText) {
   while (true) {
     if (Lex.atEnd())
       return;
+    uint32_t TokCol = Lex.cursorCol();
     std::string_view Tok = Lex.ident();
     if (Tok.empty()) {
-      error("syntax error");
+      error(TokCol, "syntax error");
       return;
     }
     // A leading '.' means a directive -- unless it is a label like ".L2:".
     if (Tok[0] == '.' && Lex.peek() != ':') {
-      parseDirective(Lex, Tok);
+      parseDirective(Lex, Tok, TokCol);
       if (!Lex.atEnd())
-        error("trailing characters after directive");
+        error(Lex.cursorCol(), "trailing characters after directive");
       return;
     }
     if (Lex.consume(':')) {
       // A label; there may be another label or an instruction after it.
       if (CurSection == Section::Text) {
         if (!TextLabels.emplace(std::string(Tok), Prog.size()).second)
-          error("redefinition of label '" + std::string(Tok) + "'");
+          error(TokCol, "redefinition of label '" + std::string(Tok) + "'");
       } else {
         if (!DataLabels
                  .emplace(std::string(Tok), Prog.DataBase + Prog.Data.size())
                  .second)
-          error("redefinition of label '" + std::string(Tok) + "'");
+          error(TokCol, "redefinition of label '" + std::string(Tok) + "'");
       }
       continue;
     }
-    parseInstruction(Lex, Tok);
+    parseInstruction(Lex, Tok, TokCol);
     if (!Lex.atEnd())
-      error("trailing characters after instruction");
+      error(Lex.cursorCol(), "trailing characters after instruction");
     return;
   }
 }
@@ -455,7 +480,8 @@ AsmParseResult Assembler::run(std::string_view Source, std::string_view Name) {
     if (F.IsDataRef) {
       auto It = DataLabels.find(F.Label);
       if (It == DataLabels.end()) {
-        Diags.push_back({F.Line, "unknown data label '" + F.Label + "'"});
+        Diags.push_back(
+            {F.Line, F.Col, "unknown data label '" + F.Label + "'"});
         continue;
       }
       Prog.Instrs[F.Instr].Imm = static_cast<int64_t>(It->second);
@@ -463,11 +489,12 @@ AsmParseResult Assembler::run(std::string_view Source, std::string_view Name) {
     }
     auto It = TextLabels.find(F.Label);
     if (It == TextLabels.end()) {
-      Diags.push_back({F.Line, "unknown label '" + F.Label + "'"});
+      Diags.push_back({F.Line, F.Col, "unknown label '" + F.Label + "'"});
       continue;
     }
     if (It->second >= Prog.size()) {
-      Diags.push_back({F.Line, "label '" + F.Label + "' points past the end"});
+      Diags.push_back(
+          {F.Line, F.Col, "label '" + F.Label + "' points past the end"});
       continue;
     }
     Prog.Instrs[F.Instr].Target = static_cast<int32_t>(It->second);
@@ -477,14 +504,14 @@ AsmParseResult Assembler::run(std::string_view Source, std::string_view Name) {
     Prog.Entry = It->second;
 
   if (Prog.empty())
-    Diags.push_back({CurLine, "program has no instructions"});
+    Diags.push_back({CurLine, 0, "program has no instructions"});
 
   if (!Diags.empty())
     return {std::nullopt, std::move(Diags)};
 
   std::vector<std::string> VerifyErrors = verifyProgram(Prog);
   for (std::string &E : VerifyErrors)
-    Diags.push_back({0, std::move(E)});
+    Diags.push_back({0, 0, std::move(E)});
   if (!Diags.empty())
     return {std::nullopt, std::move(Diags)};
   Prog.buildCFG();

@@ -7,8 +7,10 @@
 /// not, neg, la), `.data` directives (.word/.half/.byte/.zero/.align), and
 /// the harness directives `.width`/`.memsize`.
 ///
-/// Errors are recoverable and reported as diagnostics with line numbers;
-/// parsing continues after an error so multiple problems surface at once.
+/// Errors are recoverable and reported as structured diagnostics with line
+/// and column numbers; parsing continues after an error so multiple
+/// problems surface at once. Tools (the becd `intern` method in
+/// particular) relay AsmDiag structurally instead of scraping toString().
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,13 +26,19 @@
 
 namespace bec {
 
-/// One assembler diagnostic.
+/// One assembler diagnostic. Line and column are 1-based; Col 0 means the
+/// diagnostic refers to the line (or program) as a whole rather than a
+/// specific token — verifier diagnostics carry Line 0 too.
 struct AsmDiag {
   uint32_t Line = 0;
+  uint32_t Col = 0;
   std::string Message;
 
   std::string toString() const {
-    return "line " + std::to_string(Line) + ": " + Message;
+    std::string Out = "line " + std::to_string(Line);
+    if (Col != 0)
+      Out += ", col " + std::to_string(Col);
+    return Out + ": " + Message;
   }
 };
 

@@ -1,0 +1,143 @@
+//===- serve/Client.cpp - becd client --------------------------------------===//
+
+#include "serve/Client.h"
+
+#include "serve/Service.h"
+
+#include <stdexcept>
+
+using namespace bec;
+using namespace bec::serve;
+
+//===----------------------------------------------------------------------===//
+// Transports
+//===----------------------------------------------------------------------===//
+
+bool SocketTransport::greeting(std::string &Line, std::string &Err) {
+  return Conn.recvLine(Line, MaxFrameBytes, Err) == Socket::RecvStatus::Line;
+}
+
+bool SocketTransport::roundTrip(const std::string &RequestFrame,
+                                std::string &ResponseLine, std::string &Err) {
+  if (!Conn.sendAll(RequestFrame, Err))
+    return false;
+  Socket::RecvStatus St = Conn.recvLine(ResponseLine, MaxFrameBytes, Err);
+  if (St == Socket::RecvStatus::Line)
+    return true;
+  if (Err.empty())
+    Err = St == Socket::RecvStatus::TooLong
+              ? "response frame too large"
+              : "connection closed by server";
+  return false;
+}
+
+bool LoopbackTransport::greeting(std::string &Line, std::string &Err) {
+  (void)Err;
+  Line = Svc.handshakeFrame();
+  if (!Line.empty() && Line.back() == '\n')
+    Line.pop_back();
+  return true;
+}
+
+bool LoopbackTransport::roundTrip(const std::string &RequestFrame,
+                                  std::string &ResponseLine,
+                                  std::string &Err) {
+  (void)Err;
+  // handleFrame takes the line without framing newline, like the server's
+  // connection loop after recvLine.
+  std::string_view Line = RequestFrame;
+  if (!Line.empty() && Line.back() == '\n')
+    Line.remove_suffix(1);
+  ResponseLine = Svc.handleFrame(Line);
+  if (!ResponseLine.empty() && ResponseLine.back() == '\n')
+    ResponseLine.pop_back();
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Client
+//===----------------------------------------------------------------------===//
+
+std::string Reply::errorText() const {
+  std::string Out = "server error " + std::to_string(int(Code)) + " (" +
+                    (ErrorName.empty() ? errorCodeName(Code) : ErrorName) +
+                    "): " + Message;
+  return Out;
+}
+
+std::optional<Client> Client::over(std::unique_ptr<Transport> T,
+                                   std::string &Err) {
+  Client C;
+  C.T = std::move(T);
+  std::string Line;
+  if (!C.T->greeting(Line, Err)) {
+    if (Err.empty())
+      Err = "no handshake from server";
+    return std::nullopt;
+  }
+  std::optional<Handshake> HS = parseHandshakeFrame(Line);
+  if (!HS) {
+    Err = "invalid handshake frame from server";
+    return std::nullopt;
+  }
+  std::string Why = handshakeIncompatibility(*HS);
+  if (!Why.empty()) {
+    Err = Why;
+    return std::nullopt;
+  }
+  C.HS = std::move(*HS);
+  return C;
+}
+
+std::optional<Client> Client::connect(const std::string &Host, uint16_t Port,
+                                      std::string &Err) {
+  std::optional<Socket> Conn = connectTo(Host, Port, Err);
+  if (!Conn)
+    return std::nullopt;
+  return over(std::make_unique<SocketTransport>(std::move(*Conn)), Err);
+}
+
+Client Client::loopback(Service &Svc) {
+  std::string Err;
+  std::optional<Client> C =
+      over(std::make_unique<LoopbackTransport>(Svc), Err);
+  // A loopback handshake can only fail if this build disagrees with
+  // itself; that is a programming error, not a runtime condition.
+  if (!C)
+    throw std::logic_error("loopback handshake failed: " + Err);
+  return std::move(*C);
+}
+
+Reply Client::call(std::string_view Method, std::string_view ParamsJson) {
+  Reply R;
+  uint64_t Id = NextId++;
+  std::string Frame = makeRequestFrame(Id, Method, ParamsJson);
+  std::string Line, Err;
+  if (!T->roundTrip(Frame, Line, Err)) {
+    R.Code = ErrorCode::TransportError;
+    R.Message = Err;
+    return R;
+  }
+  std::optional<Response> Resp = parseResponseFrame(Line, Err);
+  if (!Resp) {
+    R.Code = ErrorCode::TransportError;
+    R.Message = Err;
+    return R;
+  }
+  if (Resp->Id != Id) {
+    R.Code = ErrorCode::TransportError;
+    R.Message = "response id " + std::to_string(Resp->Id) +
+                " does not match request id " + std::to_string(Id);
+    return R;
+  }
+  if (Resp->IsError) {
+    R.Code = Resp->Code;
+    R.ErrorName = std::move(Resp->ErrorName);
+    R.Message = std::move(Resp->Message);
+    R.ErrorData = std::move(Resp->ErrorData);
+    return R;
+  }
+  R.Ok = true;
+  R.Result = std::move(Resp->Result);
+  return R;
+}

@@ -1,0 +1,115 @@
+//===- serve/Client.h - becd client over TCP or in-process loopback -------===//
+///
+/// \file
+/// The client half of the becd protocol. A Client drives request/response
+/// round-trips over a Transport:
+///
+///  * SocketTransport — a real TCP connection (what `bec client` and the
+///    driver's `--remote host:port` use);
+///  * LoopbackTransport — calls a Service in-process, no sockets. Same
+///    frames, same handshake validation, fully deterministic: the unit
+///    tests' and embedders' way to exercise the protocol.
+///
+/// Connecting validates the server handshake against this build's
+/// BEC_API_VERSION / ProtocolVersion before any request is sent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SERVE_CLIENT_H
+#define BEC_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+#include "serve/Socket.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bec {
+namespace serve {
+
+class Service;
+
+/// One request/response channel. greeting() must be called (and checked)
+/// once before the first roundTrip.
+class Transport {
+public:
+  virtual ~Transport() = default;
+  /// Receives the server's handshake frame (without trailing newline).
+  virtual bool greeting(std::string &Line, std::string &Err) = 0;
+  /// Sends one request frame, receives one response line.
+  virtual bool roundTrip(const std::string &RequestFrame,
+                         std::string &ResponseLine, std::string &Err) = 0;
+};
+
+/// Blocking TCP transport owning its socket.
+class SocketTransport : public Transport {
+public:
+  explicit SocketTransport(Socket Conn) : Conn(std::move(Conn)) {}
+  bool greeting(std::string &Line, std::string &Err) override;
+  bool roundTrip(const std::string &RequestFrame, std::string &ResponseLine,
+                 std::string &Err) override;
+
+private:
+  Socket Conn;
+};
+
+/// In-process transport calling Service::handleFrame directly.
+class LoopbackTransport : public Transport {
+public:
+  explicit LoopbackTransport(Service &Svc) : Svc(Svc) {}
+  bool greeting(std::string &Line, std::string &Err) override;
+  bool roundTrip(const std::string &RequestFrame, std::string &ResponseLine,
+                 std::string &Err) override;
+
+private:
+  Service &Svc;
+};
+
+/// The outcome of one call: a parsed result or a typed error (which may
+/// be server-sent or synthesized client-side for transport failures).
+struct Reply {
+  bool Ok = false;
+  JsonValue Result;
+  ErrorCode Code = ErrorCode::InternalError;
+  std::string ErrorName;
+  std::string Message;
+  JsonValue ErrorData;
+
+  /// Formats the error for a CLI diagnostic.
+  std::string errorText() const;
+};
+
+class Client {
+public:
+  /// Connects over TCP and validates the handshake. nullopt with a
+  /// diagnostic on connection or version failure.
+  static std::optional<Client> connect(const std::string &Host, uint16_t Port,
+                                       std::string &Err);
+
+  /// In-process client over \p Svc (handshake validated the same way).
+  static Client loopback(Service &Svc);
+
+  /// Custom transport (tests injecting faults).
+  static std::optional<Client> over(std::unique_ptr<Transport> T,
+                                    std::string &Err);
+
+  /// Calls \p Method. \p ParamsJson must be a serialized JSON object, or
+  /// empty for no params.
+  Reply call(std::string_view Method, std::string_view ParamsJson = {});
+
+  const Handshake &serverHandshake() const { return HS; }
+
+private:
+  Client() = default;
+
+  std::unique_ptr<Transport> T;
+  Handshake HS;
+  uint64_t NextId = 1;
+};
+
+} // namespace serve
+} // namespace bec
+
+#endif // BEC_SERVE_CLIENT_H

@@ -1,0 +1,237 @@
+//===- serve/Protocol.cpp - The becd wire protocol -------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "api/Api.h"
+#include "support/Json.h"
+
+using namespace bec;
+using namespace bec::serve;
+
+const char *bec::serve::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::ParseError:
+    return "parse_error";
+  case ErrorCode::InvalidRequest:
+    return "invalid_request";
+  case ErrorCode::MethodNotFound:
+    return "method_not_found";
+  case ErrorCode::InvalidParams:
+    return "invalid_params";
+  case ErrorCode::InternalError:
+    return "internal_error";
+  case ErrorCode::VersionMismatch:
+    return "version_mismatch";
+  case ErrorCode::BadTarget:
+    return "bad_target";
+  case ErrorCode::BadAsm:
+    return "bad_asm";
+  case ErrorCode::ShuttingDown:
+    return "shutting_down";
+  case ErrorCode::TransportError:
+    return "transport_error";
+  }
+  return "unknown";
+}
+
+//===----------------------------------------------------------------------===//
+// Request parsing
+//===----------------------------------------------------------------------===//
+
+ParsedFrame bec::serve::parseRequestFrame(std::string_view Line) {
+  ParsedFrame Out;
+  std::string ParseErr;
+  std::optional<JsonValue> Doc = parseJson(Line, &ParseErr);
+  if (!Doc) {
+    Out.Code = ErrorCode::ParseError;
+    Out.Message = "frame is not valid JSON (" + ParseErr + ")";
+    return Out;
+  }
+  if (!Doc->isObject()) {
+    Out.Code = ErrorCode::InvalidRequest;
+    Out.Message = "request frame must be a JSON object";
+    return Out;
+  }
+  // Recover the id first so even malformed requests echo it.
+  std::optional<uint64_t> Id = Doc->memberU64("id");
+  Out.Id = Id;
+  if (!Id) {
+    Out.Code = ErrorCode::InvalidRequest;
+    Out.Message = "request needs an unsigned integer 'id'";
+    return Out;
+  }
+  const std::string *Method = Doc->memberString("method");
+  if (!Method || Method->empty()) {
+    Out.Code = ErrorCode::InvalidRequest;
+    Out.Message = "request needs a non-empty string 'method'";
+    return Out;
+  }
+  const JsonValue *Params = Doc->member("params");
+  if (Params && !Params->isObject() && !Params->isNull()) {
+    Out.Code = ErrorCode::InvalidParams;
+    Out.Message = "'params' must be an object when present";
+    return Out;
+  }
+
+  Request R;
+  R.Id = *Id;
+  R.Method = *Method;
+  if (Params)
+    R.Params = *Params;
+  Out.Req = std::move(R);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Response parsing
+//===----------------------------------------------------------------------===//
+
+std::optional<Response>
+bec::serve::parseResponseFrame(std::string_view Line, std::string &Err) {
+  std::string ParseErr;
+  std::optional<JsonValue> Doc = parseJson(Line, &ParseErr);
+  if (!Doc) {
+    Err = "response is not valid JSON (" + ParseErr + ")";
+    return std::nullopt;
+  }
+  if (!Doc->isObject()) {
+    Err = "response frame must be a JSON object";
+    return std::nullopt;
+  }
+  std::optional<uint64_t> Id = Doc->memberU64("id");
+  if (!Id) {
+    Err = "response has no unsigned integer 'id'";
+    return std::nullopt;
+  }
+  Response R;
+  R.Id = *Id;
+  if (const JsonValue *E = Doc->member("error")) {
+    if (!E->isObject()) {
+      Err = "response 'error' must be an object";
+      return std::nullopt;
+    }
+    R.IsError = true;
+    if (const JsonValue *Code = E->member("code"))
+      if (auto I = Code->asI64())
+        R.Code = static_cast<ErrorCode>(*I);
+    if (const std::string *Name = E->memberString("name"))
+      R.ErrorName = *Name;
+    if (const std::string *Message = E->memberString("message"))
+      R.Message = *Message;
+    if (const JsonValue *Data = E->member("data"))
+      R.ErrorData = *Data;
+    return R;
+  }
+  const JsonValue *Result = Doc->member("result");
+  if (!Result) {
+    Err = "response has neither 'result' nor 'error'";
+    return std::nullopt;
+  }
+  R.Result = *Result;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Frame builders
+//===----------------------------------------------------------------------===//
+
+std::string bec::serve::makeRequestFrame(uint64_t Id, std::string_view Method,
+                                         std::string_view ParamsJson) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("id").value(Id);
+  W.key("method").value(Method);
+  W.endObject();
+  std::string Out = W.take();
+  if (!ParamsJson.empty()) {
+    // Splice the pre-serialized params in before the closing brace.
+    Out.pop_back();
+    Out += ",\"params\":";
+    Out += ParamsJson;
+    Out += '}';
+  }
+  Out += '\n';
+  return Out;
+}
+
+std::string bec::serve::makeResultFrame(uint64_t Id,
+                                        std::string_view ResultJson) {
+  std::string Out = "{\"id\":" + std::to_string(Id) + ",\"result\":";
+  Out += ResultJson.empty() ? std::string_view("null") : ResultJson;
+  Out += "}\n";
+  return Out;
+}
+
+std::string bec::serve::makeErrorFrame(std::optional<uint64_t> Id, ErrorCode C,
+                                       std::string_view Message,
+                                       std::string_view DataJson) {
+  JsonWriter W;
+  W.beginObject();
+  if (Id)
+    W.key("id").value(*Id);
+  else
+    W.key("id").value(uint64_t(0)); // Unrecoverable id: 0 by convention.
+  W.key("error").beginObject();
+  W.key("code").value(static_cast<int64_t>(C));
+  W.key("name").value(errorCodeName(C));
+  W.key("message").value(Message);
+  W.endObject();
+  W.endObject();
+  std::string Out = W.take();
+  if (!DataJson.empty()) {
+    // Attach structured detail inside the error object.
+    Out.pop_back(); // outer '}'
+    Out.pop_back(); // error '}'
+    Out += ",\"data\":";
+    Out += DataJson;
+    Out += "}}";
+  }
+  Out += '\n';
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Handshake
+//===----------------------------------------------------------------------===//
+
+std::string bec::serve::makeHandshakeFrame() {
+  JsonWriter W;
+  W.beginObject();
+  W.key("bec").value("becd");
+  W.key("api").value(BEC_API_VERSION_STRING);
+  W.key("protocol").value(int64_t(ProtocolVersion));
+  W.endObject();
+  return W.take() + "\n";
+}
+
+std::optional<Handshake>
+bec::serve::parseHandshakeFrame(std::string_view Line) {
+  std::optional<JsonValue> Doc = parseJson(Line);
+  if (!Doc || !Doc->isObject())
+    return std::nullopt;
+  const std::string *Server = Doc->memberString("bec");
+  const std::string *Api = Doc->memberString("api");
+  std::optional<uint64_t> Protocol = Doc->memberU64("protocol");
+  if (!Server || !Api || !Protocol)
+    return std::nullopt;
+  Handshake H;
+  H.Server = *Server;
+  H.ApiVersion = *Api;
+  H.Protocol = static_cast<int>(*Protocol);
+  return H;
+}
+
+std::string bec::serve::handshakeIncompatibility(const Handshake &H) {
+  if (H.Server != "becd")
+    return "peer is not a becd server (got '" + H.Server + "')";
+  if (H.Protocol != ProtocolVersion)
+    return "protocol revision mismatch: server speaks " +
+           std::to_string(H.Protocol) + ", this client speaks " +
+           std::to_string(ProtocolVersion);
+  // Same major API version = compatible payload shapes (semver).
+  std::string Major = H.ApiVersion.substr(0, H.ApiVersion.find('.'));
+  if (Major != std::to_string(BEC_API_VERSION_MAJOR))
+    return "API major version mismatch: server is " + H.ApiVersion +
+           ", this client is " BEC_API_VERSION_STRING;
+  return {};
+}

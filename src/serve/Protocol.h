@@ -1,0 +1,129 @@
+//===- serve/Protocol.h - The becd wire protocol ---------------------------===//
+///
+/// \file
+/// Framing and message types of the becd analysis service: a line-oriented
+/// JSON-RPC dialect over any byte stream. One frame = one JSON document +
+/// '\n'. Three frame shapes:
+///
+///   handshake  {"bec":"becd","api":"1.0.0","protocol":1}
+///              — sent by the server immediately on connect, before any
+///                request. Clients verify the protocol revision and the
+///                API major version (both pinned to BEC_API_VERSION).
+///   request    {"id":7,"method":"analyze","params":{...}}
+///              — ids are client-chosen uint64s, echoed verbatim; params
+///                is an optional object.
+///   response   {"id":7,"result":...}
+///              {"id":7,"error":{"code":-32600,"name":"invalid_request",
+///                               "message":"...","data":...}}
+///              — exactly one of result/error; data is optional
+///                structured detail (e.g. assembler diagnostics).
+///
+/// Error codes follow JSON-RPC 2.0 for protocol-level failures and use a
+/// positive becd range for domain failures; see ErrorCode. The full
+/// method table lives in serve/Service.h and docs/serve.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SERVE_PROTOCOL_H
+#define BEC_SERVE_PROTOCOL_H
+
+#include "support/JsonParse.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bec {
+namespace serve {
+
+/// Wire protocol revision; bumps only on incompatible framing changes
+/// (the API payload shape is versioned by BEC_API_VERSION instead).
+constexpr int ProtocolVersion = 1;
+
+/// Default TCP port of `bec serve`.
+constexpr uint16_t DefaultPort = 4690;
+
+/// Hard cap on one frame in either direction: a peer that streams more
+/// than this without a newline is cut off (DoS guard).
+constexpr size_t MaxFrameBytes = 8u << 20;
+
+/// Typed failure codes carried by error responses.
+enum class ErrorCode : int {
+  // Protocol-level (JSON-RPC 2.0 compatible).
+  ParseError = -32700,     ///< Frame is not valid JSON.
+  InvalidRequest = -32600, ///< Valid JSON, but not a request shape.
+  MethodNotFound = -32601, ///< Unknown method name.
+  InvalidParams = -32602,  ///< Params missing/mistyped for the method.
+  InternalError = -32603,  ///< Server-side failure.
+  // becd domain errors (positive range).
+  VersionMismatch = 100, ///< Incompatible handshake (client-side).
+  BadTarget = 101,       ///< Unknown workload or interned program name.
+  BadAsm = 102,          ///< `intern` source failed to assemble.
+  ShuttingDown = 103,    ///< Server is draining; request refused.
+  TransportError = 104,  ///< Connection-level failure (client-side).
+};
+
+/// Stable snake_case name of \p C (part of the wire format).
+const char *errorCodeName(ErrorCode C);
+
+/// One parsed request.
+struct Request {
+  uint64_t Id = 0;
+  std::string Method;
+  JsonValue Params; ///< Object, or null when the request sent none.
+};
+
+/// Outcome of parsing one request frame: either a Request or a typed
+/// error to send back (with the request id when one could be recovered).
+struct ParsedFrame {
+  std::optional<Request> Req;
+  ErrorCode Code = ErrorCode::ParseError;
+  std::string Message;
+  std::optional<uint64_t> Id;
+};
+
+ParsedFrame parseRequestFrame(std::string_view Line);
+
+/// One parsed response (client side).
+struct Response {
+  uint64_t Id = 0;
+  bool IsError = false;
+  JsonValue Result;             ///< Engaged when !IsError.
+  ErrorCode Code = ErrorCode::InternalError;
+  std::string ErrorName;
+  std::string Message;
+  JsonValue ErrorData; ///< Null unless the server attached detail.
+};
+
+/// nullopt (with a diagnostic) when \p Line is not a valid response frame.
+std::optional<Response> parseResponseFrame(std::string_view Line,
+                                           std::string &Err);
+
+// Frame builders. All return complete frames including the trailing
+// newline. *Json arguments must already be serialized JSON values.
+std::string makeRequestFrame(uint64_t Id, std::string_view Method,
+                             std::string_view ParamsJson);
+std::string makeResultFrame(uint64_t Id, std::string_view ResultJson);
+std::string makeErrorFrame(std::optional<uint64_t> Id, ErrorCode C,
+                           std::string_view Message,
+                           std::string_view DataJson = {});
+
+/// The server's greeting.
+struct Handshake {
+  std::string Server;     ///< "becd".
+  std::string ApiVersion; ///< BEC_API_VERSION_STRING of the server.
+  int Protocol = 0;       ///< ProtocolVersion of the server.
+};
+
+std::string makeHandshakeFrame();
+std::optional<Handshake> parseHandshakeFrame(std::string_view Line);
+
+/// Empty when \p H is compatible with this build; otherwise the reason
+/// (protocol revision or API major mismatch).
+std::string handshakeIncompatibility(const Handshake &H);
+
+} // namespace serve
+} // namespace bec
+
+#endif // BEC_SERVE_PROTOCOL_H

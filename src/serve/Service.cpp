@@ -1,0 +1,731 @@
+//===- serve/Service.cpp - The becd request router and TCP server ---------===//
+
+#include "serve/Service.h"
+
+#include "api/Api.h"
+#include "ir/AsmParser.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+#include <exception>
+#include <sys/socket.h>
+#include <thread>
+
+using namespace bec;
+using namespace bec::serve;
+
+namespace {
+
+// The service mirrors the driver's exit-code contract (tools/Driver.h)
+// without depending on it: the wire result's "exit" field is what a local
+// `bec <subcommand>` would have returned.
+constexpr int ExitSuccess = 0;
+constexpr int ExitBadInput = 2;
+constexpr int ExitUnsound = 3;
+
+std::string hexEncode(std::string_view Bytes) {
+  static const char Digits[] = "0123456789abcdef";
+  std::string Out;
+  Out.reserve(Bytes.size() * 2);
+  for (unsigned char C : Bytes) {
+    Out += Digits[C >> 4];
+    Out += Digits[C & 0xF];
+  }
+  return Out;
+}
+
+/// The shared result shape of the five subcommand methods.
+std::string commandResult(bool Json, const std::string &Output,
+                          const std::string &Diag, int Exit,
+                          const std::string &EmitAsm) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("format").value(Json ? "json" : "text");
+  W.key("exit").value(int64_t(Exit));
+  W.key("output").value(Output);
+  if (!Diag.empty())
+    W.key("diag").value(Diag);
+  if (!EmitAsm.empty())
+    W.key("emit").value(EmitAsm);
+  W.endObject();
+  return W.take();
+}
+
+/// Per-target error reporting, identical to the driver's epilogue.
+template <class R>
+int diagErrors(const std::vector<std::string> &Names,
+               const std::vector<std::shared_ptr<const R>> &Results,
+               std::string &Diag) {
+  int Exit = ExitSuccess;
+  for (size_t I = 0; I < Results.size(); ++I)
+    if (!Results[I]->Error.empty()) {
+      Diag += "bec: " + Names[I] + ": " + Results[I]->Error + "\n";
+      Exit = ExitBadInput;
+    }
+  return Exit;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Service: frame handling
+//===----------------------------------------------------------------------===//
+
+Service::Outcome Service::fail(ErrorCode C, std::string Message,
+                               std::string DataJson) {
+  Outcome O;
+  O.Failed = true;
+  O.Code = C;
+  O.Message = std::move(Message);
+  O.DataJson = std::move(DataJson);
+  return O;
+}
+
+namespace {
+
+/// The served method names; PerMethod keys come only from this list, so
+/// a client cycling through bogus names cannot grow the daemon's stats
+/// map without bound.
+bool isKnownMethod(const std::string &M) {
+  static const char *const Known[] = {"version",  "stats",   "shutdown",
+                                      "intern",   "counts",  "analyze",
+                                      "campaign", "schedule", "harden",
+                                      "report"};
+  for (const char *K : Known)
+    if (M == K)
+      return true;
+  return false;
+}
+
+} // namespace
+
+std::string Service::handleFrame(std::string_view Line) {
+  ParsedFrame F = parseRequestFrame(Line);
+  {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Requests;
+    if (F.Req)
+      ++PerMethod[isKnownMethod(F.Req->Method) ? F.Req->Method : "unknown"];
+  }
+  if (!F.Req) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Errors;
+    return makeErrorFrame(F.Id, F.Code, F.Message);
+  }
+
+  const Request &R = *F.Req;
+  Outcome O;
+  if (Shutdown.load()) {
+    O = fail(ErrorCode::ShuttingDown, "server is shutting down");
+  } else {
+    try {
+      O = dispatch(R);
+    } catch (const std::exception &E) {
+      O = fail(ErrorCode::InternalError,
+               std::string("method '") + R.Method + "' failed: " + E.what());
+    } catch (...) {
+      O = fail(ErrorCode::InternalError,
+               std::string("method '") + R.Method + "' failed");
+    }
+  }
+  if (O.Failed) {
+    std::lock_guard<std::mutex> Lock(StatsMutex);
+    ++Errors;
+  }
+  return O.Failed ? makeErrorFrame(R.Id, O.Code, O.Message, O.DataJson)
+                  : makeResultFrame(R.Id, O.ResultJson);
+}
+
+Service::Outcome Service::dispatch(const Request &R) {
+  const JsonValue &P = R.Params;
+  if (R.Method == "version")
+    return methodVersion();
+  if (R.Method == "stats")
+    return methodStats();
+  if (R.Method == "shutdown")
+    return methodShutdown();
+  if (R.Method == "intern")
+    return methodIntern(P);
+  if (R.Method == "counts")
+    return methodCounts(P);
+  if (R.Method == "analyze")
+    return methodAnalyze(P);
+  if (R.Method == "campaign")
+    return methodCampaign(P);
+  if (R.Method == "schedule")
+    return methodSchedule(P);
+  if (R.Method == "harden")
+    return methodHarden(P);
+  if (R.Method == "report")
+    return methodReport(P);
+  return fail(ErrorCode::MethodNotFound,
+              "unknown method '" + R.Method + "'");
+}
+
+ServiceCounters Service::counters() const {
+  ServiceCounters C;
+  C.Connections = Connections.load();
+  std::lock_guard<std::mutex> Lock(StatsMutex);
+  C.Requests = Requests;
+  C.Errors = Errors;
+  C.PerMethod = PerMethod;
+  return C;
+}
+
+//===----------------------------------------------------------------------===//
+// Target resolution (the shared session pool)
+//===----------------------------------------------------------------------===//
+
+CachedProgramPtr Service::resolveOne(const std::string &Name,
+                                     std::string &Canonical) {
+  if (const Workload *W = findWorkloadAnyCase(Name)) {
+    Canonical = W->Name;
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    auto It = NamedPrograms.find(Canonical);
+    if (It != NamedPrograms.end())
+      return It->second;
+    CachedProgramPtr Shard = S.intern(loadWorkload(*W));
+    NamedPrograms.emplace(Canonical, Shard);
+    return Shard;
+  }
+  std::lock_guard<std::mutex> Lock(PoolMutex);
+  auto It = NamedPrograms.find(Name);
+  if (It == NamedPrograms.end())
+    return nullptr;
+  Canonical = Name;
+  return It->second;
+}
+
+bool Service::resolveTargets(const JsonValue &Params, Targets &Out,
+                             Outcome &Err) {
+  std::vector<std::string> Requested;
+  if (const JsonValue *TV = Params.member("targets")) {
+    if (!TV->isNull()) {
+      const std::vector<JsonValue> *Arr = TV->asArray();
+      if (!Arr) {
+        Err = fail(ErrorCode::InvalidParams,
+                   "'targets' must be an array of strings");
+        return false;
+      }
+      for (const JsonValue &E : *Arr) {
+        const std::string *Name = E.asString();
+        if (!Name) {
+          Err = fail(ErrorCode::InvalidParams,
+                     "'targets' must be an array of strings");
+          return false;
+        }
+        Requested.push_back(*Name);
+      }
+    }
+  }
+  if (Requested.empty())
+    for (const Workload &W : allWorkloads())
+      Requested.push_back(W.Name);
+
+  for (const std::string &Name : Requested) {
+    std::string Canonical;
+    CachedProgramPtr Shard = resolveOne(Name, Canonical);
+    if (!Shard) {
+      Err = fail(ErrorCode::BadTarget,
+                 "unknown target '" + Name +
+                     "' (bundled workload or interned program name)");
+      return false;
+    }
+    // Duplicate selections collapse, exactly as the CLI's target loading.
+    bool Seen = false;
+    for (const std::string &Existing : Out.Names)
+      Seen |= Existing == Canonical;
+    if (Seen)
+      continue;
+    Out.Names.push_back(std::move(Canonical));
+    Out.Progs.push_back(std::move(Shard));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Method implementations
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Parses the optional "format" param ("text" default | "json").
+bool parseFormat(const JsonValue &Params, bool &Json, std::string &Err) {
+  Json = false;
+  const JsonValue *F = Params.member("format");
+  if (!F)
+    return true;
+  const std::string *Sp = F->asString();
+  if (Sp) {
+    std::string K = toLowerAscii(*Sp);
+    if (K == "json") {
+      Json = true;
+      return true;
+    }
+    if (K == "text")
+      return true;
+  }
+  Err = "unknown 'format' (want text | json)";
+  return false;
+}
+
+/// Parses the optional "jobs" param (per-request target parallelism,
+/// mirroring the CLI's --jobs; 0 = hardware concurrency, default 1).
+bool parseJobs(const JsonValue &Params, unsigned &Jobs, std::string &Err) {
+  Jobs = 1;
+  const JsonValue *J = Params.member("jobs");
+  if (!J)
+    return true;
+  std::optional<uint64_t> N = J->asU64();
+  if (!N || *N > 1u << 16) {
+    Err = "'jobs' must be a small unsigned integer";
+    return false;
+  }
+  Jobs = static_cast<unsigned>(*N);
+  return true;
+}
+
+/// Runs query \p Q over every resolved target; results in target order.
+/// Multi-target requests fan out on a per-request pool (CPU-bound, so
+/// clamped to the core count like every analysis pool), matching what
+/// the same command would do locally with --jobs.
+template <class Q>
+std::vector<std::shared_ptr<const typename Q::Result>>
+evalOver(AnalysisSession &S, const std::vector<CachedProgramPtr> &Progs,
+         const typename Q::Options &Opts = {}, unsigned Jobs = 1) {
+  std::vector<std::shared_ptr<const typename Q::Result>> Results(
+      Progs.size());
+  ThreadPool Pool(Progs.size() > 1 ? ThreadPool::clampJobs(Jobs) : 1);
+  for (size_t I = 0; I < Progs.size(); ++I)
+    Pool.submit([&, I] { Results[I] = S.get<Q>(Progs[I], Opts); });
+  Pool.wait();
+  return Results;
+}
+
+} // namespace
+
+Service::Outcome Service::methodVersion() {
+  JsonWriter W;
+  W.beginObject();
+  W.key("bec").value("becd");
+  W.key("api").value(BEC_API_VERSION_STRING);
+  W.key("protocol").value(int64_t(ProtocolVersion));
+  W.key("build_type").value(buildType());
+  W.endObject();
+  Outcome O;
+  O.ResultJson = W.take();
+  return O;
+}
+
+Service::Outcome Service::methodStats() {
+  ServiceCounters C = counters();
+  SessionStats SS = S.stats();
+  size_t Programs;
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    Programs = NamedPrograms.size();
+  }
+  JsonWriter W;
+  W.beginObject();
+  W.key("connections").value(C.Connections);
+  W.key("requests").value(C.Requests);
+  W.key("errors").value(C.Errors);
+  W.key("methods").beginObject();
+  for (const auto &[Method, Count] : C.PerMethod)
+    W.key(Method).value(Count);
+  W.endObject();
+  W.key("session").beginObject();
+  W.key("hits").value(SS.Hits);
+  W.key("misses").value(SS.Misses);
+  W.key("interned").value(SS.Interned);
+  W.key("shards").value(SS.Shards);
+  W.endObject();
+  W.key("programs").value(uint64_t(Programs));
+  W.endObject();
+  Outcome O;
+  O.ResultJson = W.take();
+  return O;
+}
+
+Service::Outcome Service::methodShutdown() {
+  Shutdown.store(true);
+  Outcome O;
+  O.ResultJson = "{\"ok\":true}";
+  return O;
+}
+
+Service::Outcome Service::methodIntern(const JsonValue &Params) {
+  const std::string *Name = Params.memberString("name");
+  const std::string *Asm = Params.memberString("asm");
+  if (!Name || Name->empty() || !Asm)
+    return fail(ErrorCode::InvalidParams,
+                "'intern' needs string params 'name' and 'asm'");
+  if (findWorkloadAnyCase(*Name))
+    return fail(ErrorCode::InvalidParams,
+                "'" + *Name + "' collides with a bundled workload name");
+
+  AsmParseResult R = parseAsm(*Asm, *Name);
+  if (!R.succeeded()) {
+    // Structured diagnostics: the AsmParser's line/col survive the wire.
+    JsonWriter D;
+    D.beginObject();
+    D.key("diags").beginArray();
+    for (const AsmDiag &G : R.Diags) {
+      D.beginObject();
+      D.key("line").value(uint64_t(G.Line));
+      D.key("col").value(uint64_t(G.Col));
+      D.key("message").value(G.Message);
+      D.endObject();
+    }
+    D.endArray();
+    D.endObject();
+    return fail(ErrorCode::BadAsm, "'" + *Name + "' failed to assemble",
+                D.take());
+  }
+
+  CachedProgramPtr Shard;
+  {
+    std::lock_guard<std::mutex> Lock(PoolMutex);
+    Shard = S.intern(std::move(*R.Prog));
+    NamedPrograms[*Name] = Shard; // Re-interning a name rebinds it.
+  }
+  JsonWriter W;
+  W.beginObject();
+  W.key("name").value(*Name);
+  W.key("instrs").value(uint64_t(Shard->program().size()));
+  W.key("content_key").value(hexEncode(Shard->contentKey()));
+  W.endObject();
+  Outcome O;
+  O.ResultJson = W.take();
+  return O;
+}
+
+Service::Outcome Service::methodCounts(const JsonValue &Params) {
+  const std::string *Target = Params.memberString("target");
+  if (!Target)
+    return fail(ErrorCode::InvalidParams,
+                "'counts' needs a string param 'target'");
+  std::string Canonical;
+  CachedProgramPtr Shard = resolveOne(*Target, Canonical);
+  if (!Shard)
+    return fail(ErrorCode::BadTarget, "unknown target '" + *Target + "'");
+  std::shared_ptr<const AnalyzeResult> R = S.get<AnalyzeQuery>(Shard);
+  Outcome O;
+  O.ResultJson = renderCountsJson(Canonical, *R);
+  return O;
+}
+
+Service::Outcome Service::methodAnalyze(const JsonValue &Params) {
+  Targets T;
+  Outcome Err;
+  if (!resolveTargets(Params, T, Err))
+    return Err;
+  bool Json;
+  std::string FmtErr;
+  if (!parseFormat(Params, Json, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+  unsigned Jobs;
+  if (!parseJobs(Params, Jobs, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+
+  auto Results = evalOver<AnalyzeQuery>(S, T.Progs, {}, Jobs);
+  std::string Output = Json ? renderAnalyzeJson(T.Names, Results)
+                            : renderAnalyzeText(T.Names, Results);
+  std::string Diag;
+  int Exit = diagErrors(T.Names, Results, Diag);
+  Outcome O;
+  O.ResultJson = commandResult(Json, Output, Diag, Exit, {});
+  return O;
+}
+
+Service::Outcome Service::methodCampaign(const JsonValue &Params) {
+  Targets T;
+  Outcome Err;
+  if (!resolveTargets(Params, T, Err))
+    return Err;
+  bool Json;
+  std::string FmtErr;
+  if (!parseFormat(Params, Json, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+  unsigned Jobs;
+  if (!parseJobs(Params, Jobs, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+
+  CampaignCmdQuery::Options Opts;
+  if (const JsonValue *PV = Params.member("plan")) {
+    const std::string *Sp = PV->asString();
+    std::string K = Sp ? toLowerAscii(*Sp) : std::string();
+    if (K == "exhaustive")
+      Opts.Plan = PlanKind::Exhaustive;
+    else if (K == "value")
+      Opts.Plan = PlanKind::ValueLevel;
+    else if (K == "bit")
+      Opts.Plan = PlanKind::BitLevel;
+    else
+      return fail(ErrorCode::InvalidParams,
+                  "unknown 'plan' (want exhaustive | value | bit)");
+  }
+  if (const JsonValue *MC = Params.member("max_cycles")) {
+    std::optional<uint64_t> N = MC->asU64();
+    if (!N)
+      return fail(ErrorCode::InvalidParams,
+                  "'max_cycles' must be an unsigned integer");
+    Opts.MaxCycles = *N;
+  }
+
+  auto Results = evalOver<CampaignCmdQuery>(S, T.Progs, Opts, Jobs);
+  std::string Output = Json ? renderCampaignJson(T.Names, Results, Opts.Plan)
+                            : renderCampaignText(T.Names, Results, Opts.Plan);
+  std::string Diag;
+  int Exit = diagErrors(T.Names, Results, Diag);
+  Outcome O;
+  O.ResultJson = commandResult(Json, Output, Diag, Exit, {});
+  return O;
+}
+
+Service::Outcome Service::methodSchedule(const JsonValue &Params) {
+  Targets T;
+  Outcome Err;
+  if (!resolveTargets(Params, T, Err))
+    return Err;
+  bool Json;
+  std::string FmtErr;
+  if (!parseFormat(Params, Json, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+  unsigned Jobs;
+  if (!parseJobs(Params, Jobs, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+
+  int EmitPolicy = -1; // 0 = source, 1 = best, 2 = worst.
+  if (const JsonValue *E = Params.member("emit")) {
+    const std::string *Sp = E->asString();
+    std::string K = Sp ? toLowerAscii(*Sp) : std::string();
+    if (K == "source")
+      EmitPolicy = 0;
+    else if (K == "best")
+      EmitPolicy = 1;
+    else if (K == "worst")
+      EmitPolicy = 2;
+    else
+      return fail(ErrorCode::InvalidParams,
+                  "unknown 'emit' policy (want source | best | worst)");
+    if (T.Names.size() != 1)
+      return fail(ErrorCode::InvalidParams,
+                  "'emit' requires exactly one target");
+  }
+
+  auto Results = evalOver<ScheduleCmdQuery>(S, T.Progs, {}, Jobs);
+  std::string Output = Json ? renderScheduleJson(T.Names, Results)
+                            : renderScheduleText(T.Names, Results);
+  std::string Diag;
+  int Exit = diagErrors(T.Names, Results, Diag);
+  std::string Emit;
+  if (EmitPolicy >= 0 && Exit == ExitSuccess)
+    Emit = Results[0]->PolicyAsm[EmitPolicy];
+  Outcome O;
+  O.ResultJson = commandResult(Json, Output, Diag, Exit, Emit);
+  return O;
+}
+
+Service::Outcome Service::methodHarden(const JsonValue &Params) {
+  Targets T;
+  Outcome Err;
+  if (!resolveTargets(Params, T, Err))
+    return Err;
+  bool Json;
+  std::string FmtErr;
+  if (!parseFormat(Params, Json, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+  unsigned Jobs;
+  if (!parseJobs(Params, Jobs, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+
+  HardenCmdQuery::Options Opts;
+  if (const JsonValue *BV = Params.member("budgets")) {
+    const std::vector<JsonValue> *Arr = BV->asArray();
+    if (!Arr || Arr->empty())
+      return fail(ErrorCode::InvalidParams,
+                  "'budgets' must be a non-empty array of numbers");
+    Opts.Budgets.clear();
+    for (const JsonValue &E : *Arr) {
+      std::optional<double> B = E.asDouble();
+      if (!B || !(*B >= 0))
+        return fail(ErrorCode::InvalidParams,
+                    "'budgets' entries must be non-negative numbers");
+      Opts.Budgets.push_back(*B);
+    }
+  }
+  bool EmitAsm = false;
+  if (const JsonValue *E = Params.member("emit")) {
+    std::optional<bool> B = E->asBool();
+    if (!B)
+      return fail(ErrorCode::InvalidParams, "'emit' must be a boolean");
+    EmitAsm = *B;
+    if (EmitAsm && (T.Names.size() != 1 || Opts.Budgets.size() != 1))
+      return fail(ErrorCode::InvalidParams,
+                  "'emit' requires exactly one target and one budget");
+  }
+
+  auto Results = evalOver<HardenCmdQuery>(S, T.Progs, Opts, Jobs);
+  std::string Output = Json ? renderHardenJson(T.Names, Results, Opts.Budgets)
+                            : renderHardenText(T.Names, Results, Opts.Budgets);
+  std::string Diag;
+  int Exit = diagErrors(T.Names, Results, Diag);
+  if (Exit == ExitSuccess)
+    for (size_t I = 0; I < Results.size(); ++I)
+      for (const HardenPoint &P : Results[I]->Points)
+        if (!P.Check.ok()) {
+          Diag += "bec: " + T.Names[I] +
+                  ": hardened program failed validation\n";
+          Exit = ExitUnsound;
+        }
+  std::string Emit;
+  if (EmitAsm && Exit == ExitSuccess)
+    Emit = Results[0]->Points[0].Harden.HP.Prog.toString();
+  Outcome O;
+  O.ResultJson = commandResult(Json, Output, Diag, Exit, Emit);
+  return O;
+}
+
+Service::Outcome Service::methodReport(const JsonValue &Params) {
+  Targets T;
+  Outcome Err;
+  if (!resolveTargets(Params, T, Err))
+    return Err;
+  bool Json;
+  std::string FmtErr;
+  if (!parseFormat(Params, Json, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+  unsigned Jobs;
+  if (!parseJobs(Params, Jobs, FmtErr))
+    return fail(ErrorCode::InvalidParams, FmtErr);
+
+  ReportCmdQuery::Options Opts;
+  if (const JsonValue *MC = Params.member("max_cycles")) {
+    std::optional<uint64_t> N = MC->asU64();
+    if (!N)
+      return fail(ErrorCode::InvalidParams,
+                  "'max_cycles' must be an unsigned integer");
+    Opts.MaxCycles = *N;
+  }
+
+  auto Results = evalOver<ReportCmdQuery>(S, T.Progs, Opts, Jobs);
+  std::string Output = Json ? renderReportJson(T.Names, Results)
+                            : renderReportText(T.Names, Results);
+  std::string Diag;
+  int Exit = diagErrors(T.Names, Results, Diag);
+  if (Exit == ExitSuccess)
+    for (const auto &R : Results)
+      if (!R->Validation.sound())
+        Exit = ExitUnsound;
+  Outcome O;
+  O.ResultJson = commandResult(Json, Output, Diag, Exit, {});
+  return O;
+}
+
+//===----------------------------------------------------------------------===//
+// Server
+//===----------------------------------------------------------------------===//
+
+// Connection handlers are I/O-bound (they mostly block in recv), so the
+// pool is NOT clamped to the core count like CPU-bound --jobs pools: an
+// inline pool would wedge the acceptor behind the first open connection.
+// At least two handlers, at most a sane cap.
+static unsigned connectionJobs(unsigned Requested) {
+  if (Requested < 2)
+    return 2;
+  return Requested > 64 ? 64 : Requested;
+}
+
+Server::Server(Service &Svc, Options O)
+    : Svc(Svc), Opts(std::move(O)), Pool(connectionJobs(Opts.Jobs)) {}
+
+bool Server::start(std::string &Err) {
+  return Listener.listenOn(Opts.Host, Opts.Port, Err);
+}
+
+void Server::run() {
+  while (!Stopping.load()) {
+    // accept(2) on a listening socket cannot be woken portably from
+    // another thread; poll in short slices and re-check the stop flag.
+    ListenSocket::WaitStatus WS = Listener.waitReadable(/*TimeoutMs=*/100);
+    if (WS == ListenSocket::WaitStatus::Timeout)
+      continue;
+    if (WS == ListenSocket::WaitStatus::Error)
+      break;
+    std::string Err;
+    std::optional<Socket> Conn = Listener.accept(Err);
+    if (!Conn) {
+      // Transient per-connection failures (ECONNABORTED from a client
+      // resetting mid-handshake, EMFILE under fd pressure) must not take
+      // the daemon down; back off briefly and keep accepting.
+      if (Stopping.load())
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(ConnMutex);
+      if (Stopping.load())
+        break; // Conn closes via its destructor.
+      OpenConns.insert(Conn->fd());
+    }
+    Svc.noteConnection();
+    auto Shared = std::make_shared<Socket>(std::move(*Conn));
+    Pool.submit([this, Shared] { serveConnection(*Shared); });
+  }
+  requestStop(); // Idempotent: unblocks any still-draining connections.
+  Pool.wait();
+  Listener.close();
+}
+
+void Server::requestStop() {
+  std::lock_guard<std::mutex> Lock(ConnMutex);
+  Stopping.store(true);
+  // Wake every connection blocked in recv; handlers then drain and
+  // close. Registered fds are guaranteed un-recycled (closeConnection
+  // erases under this lock before closing).
+  for (int FD : OpenConns)
+    ::shutdown(FD, SHUT_RDWR);
+}
+
+void Server::closeConnection(Socket &Conn) {
+  std::lock_guard<std::mutex> Lock(ConnMutex);
+  OpenConns.erase(Conn.fd());
+  Conn.close();
+}
+
+void Server::serveConnection(Socket &Conn) {
+  std::string Err;
+  if (!Conn.sendAll(Svc.handshakeFrame(), Err)) {
+    closeConnection(Conn);
+    return;
+  }
+  std::string Line;
+  for (;;) {
+    if (Stopping.load() || Svc.isShuttingDown())
+      break;
+    Socket::RecvStatus St = Conn.recvLine(Line, MaxFrameBytes, Err);
+    if (St == Socket::RecvStatus::TooLong) {
+      Conn.sendAll(makeErrorFrame(std::nullopt, ErrorCode::ParseError,
+                                  "frame exceeds " +
+                                      std::to_string(MaxFrameBytes) +
+                                      " bytes"),
+                   Err);
+      break;
+    }
+    if (St != Socket::RecvStatus::Line)
+      break; // EOF or transport error.
+    std::string Response = Svc.handleFrame(Line);
+    if (!Conn.sendAll(Response, Err))
+      break;
+    if (Svc.isShuttingDown()) {
+      // This connection carried the shutdown request: begin the drain.
+      requestStop();
+      break;
+    }
+  }
+  closeConnection(Conn);
+}

@@ -1,0 +1,191 @@
+//===- serve/Service.h - The becd request router and TCP server -----------===//
+///
+/// \file
+/// The becd analysis service in two layers:
+///
+///  * Service — the transport-independent request router. It owns the
+///    server's one shared AnalysisSession (the "session pool"): every
+///    client's programs are interned into the same content-addressed
+///    cache, so two clients analyzing the same program — or the same
+///    client asking twice — hit the same shard, and the warm hits show up
+///    in the `stats` method. handleFrame() maps one request frame to one
+///    response frame and is safe to call from any number of threads; it
+///    is also the in-process "loopback" entry point used by deterministic
+///    tests and by serve::Client::loopback.
+///
+///  * Server — blocking TCP acceptor fanning connections out on the
+///    existing ThreadPool (one task per connection, requests within a
+///    connection served in order). A `shutdown` request drains the server
+///    gracefully: the listener and every idle connection are unblocked,
+///    in-flight requests finish, run() returns.
+///
+/// Method table (params and result shapes in docs/serve.md):
+///
+///   version   server API/protocol/build identification
+///   analyze | campaign | schedule | harden | report
+///             the five `bec` subcommands over named targets, rendered
+///             through api/Serialize.h — byte-identical to local output
+///   counts    one target's Table-III counts as a structured object
+///   intern    assemble inline asm text and pool it under a client name
+///   stats     server counters + session cache statistics
+///   shutdown  begin graceful shutdown
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SERVE_SERVICE_H
+#define BEC_SERVE_SERVICE_H
+
+#include "api/AnalysisSession.h"
+#include "serve/Protocol.h"
+#include "serve/Socket.h"
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace bec {
+namespace serve {
+
+/// Monotonic service counters (all requests since construction).
+struct ServiceCounters {
+  uint64_t Connections = 0;
+  uint64_t Requests = 0;
+  uint64_t Errors = 0;
+  std::map<std::string, uint64_t> PerMethod;
+};
+
+/// The transport-independent request router; see the file comment.
+class Service {
+public:
+  Service() = default;
+  Service(const Service &) = delete;
+  Service &operator=(const Service &) = delete;
+
+  /// The greeting frame a transport must deliver before any response.
+  std::string handshakeFrame() const { return makeHandshakeFrame(); }
+
+  /// Maps one request frame to one response frame (both '\n'-terminated).
+  /// Never throws; internal failures become error responses. Thread-safe.
+  std::string handleFrame(std::string_view Line);
+
+  /// True once a `shutdown` request has been accepted. Transports must
+  /// stop reading and drain.
+  bool isShuttingDown() const { return Shutdown.load(); }
+
+  /// Transport bookkeeping for the `stats` method.
+  void noteConnection() { ++Connections; }
+
+  ServiceCounters counters() const;
+
+  /// The shared session pool (exposed for tests and embedders).
+  AnalysisSession &session() { return S; }
+
+private:
+  /// One method's outcome: a result payload or a typed error.
+  struct Outcome {
+    bool Failed = false;
+    std::string ResultJson; ///< Serialized result value when !Failed.
+    ErrorCode Code = ErrorCode::InternalError;
+    std::string Message;
+    std::string DataJson; ///< Optional structured error detail.
+  };
+
+  static Outcome fail(ErrorCode C, std::string Message,
+                      std::string DataJson = {});
+
+  /// A resolved target list: parallel canonical names and shards.
+  struct Targets {
+    std::vector<std::string> Names;
+    std::vector<CachedProgramPtr> Progs;
+  };
+
+  Outcome dispatch(const Request &R);
+  /// Resolves params["targets"] (default: all bundled workloads),
+  /// collapsing duplicates as the CLI does. False on unknown names, with
+  /// \p Err filled.
+  bool resolveTargets(const JsonValue &Params, Targets &Out, Outcome &Err);
+  /// One name: interned program, bundled workload (any case), or null.
+  CachedProgramPtr resolveOne(const std::string &Name,
+                              std::string &Canonical);
+
+  Outcome methodVersion();
+  Outcome methodStats();
+  Outcome methodShutdown();
+  Outcome methodIntern(const JsonValue &Params);
+  Outcome methodCounts(const JsonValue &Params);
+  Outcome methodAnalyze(const JsonValue &Params);
+  Outcome methodCampaign(const JsonValue &Params);
+  Outcome methodSchedule(const JsonValue &Params);
+  Outcome methodHarden(const JsonValue &Params);
+  Outcome methodReport(const JsonValue &Params);
+
+  AnalysisSession S;
+
+  /// Guards NamedPrograms and the session's target-free interning of
+  /// workloads (queries themselves are session-synchronized).
+  std::mutex PoolMutex;
+  /// Client-visible program names: interned programs plus lazily loaded
+  /// bundled workloads (under their canonical names).
+  std::map<std::string, CachedProgramPtr, std::less<>> NamedPrograms;
+
+  std::atomic<bool> Shutdown{false};
+  std::atomic<uint64_t> Connections{0};
+  mutable std::mutex StatsMutex;
+  uint64_t Requests = 0;
+  uint64_t Errors = 0;
+  std::map<std::string, uint64_t> PerMethod;
+};
+
+/// Blocking TCP server around a Service; see the file comment.
+class Server {
+public:
+  struct Options {
+    std::string Host = "127.0.0.1";
+    uint16_t Port = DefaultPort; ///< 0 = ephemeral; see port().
+    /// Concurrent connection handlers (thread-per-connection; floor 2,
+    /// cap 64 — I/O-bound, deliberately not clamped to the core count).
+    /// Further connections queue until a handler frees up.
+    unsigned Jobs = 4;
+  };
+
+  Server(Service &Svc, Options Opts);
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds and listens. False with a diagnostic on failure.
+  bool start(std::string &Err);
+
+  /// The bound port (valid after start(); resolves Port=0 requests).
+  uint16_t port() const { return Listener.boundPort(); }
+
+  /// Accept loop; returns after graceful shutdown (a `shutdown` request
+  /// or requestStop()) once every connection has drained.
+  void run();
+
+  /// Thread-safe external stop (tests, signal handlers).
+  void requestStop();
+
+private:
+  void serveConnection(Socket &Conn);
+  /// Deregisters and closes under the registry lock (so requestStop never
+  /// touches a recycled descriptor).
+  void closeConnection(Socket &Conn);
+
+  Service &Svc;
+  Options Opts;
+  ListenSocket Listener;
+  ThreadPool Pool;
+  std::atomic<bool> Stopping{false};
+  std::mutex ConnMutex;
+  std::set<int> OpenConns; ///< Live connection fds, for shutdown wakeup.
+};
+
+} // namespace serve
+} // namespace bec
+
+#endif // BEC_SERVE_SERVICE_H

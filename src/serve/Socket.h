@@ -1,0 +1,107 @@
+//===- serve/Socket.h - Blocking TCP sockets for the becd transport -------===//
+///
+/// \file
+/// Thin RAII wrappers over POSIX stream sockets: a connected Socket with
+/// buffered newline-delimited reads (the becd framing unit), a
+/// ListenSocket that can bind ephemeral ports and be woken out of a
+/// blocking accept(), and a name-resolving connectTo(). Blocking I/O
+/// throughout — concurrency is the server's job (one connection per
+/// ThreadPool task), not the transport's. No third-party dependencies.
+///
+/// Thread-safety: a Socket is owned by one thread at a time, with one
+/// exception — unblock() may be called from another thread to force a
+/// blocked recv/accept to return (the server's shutdown path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_SERVE_SOCKET_H
+#define BEC_SERVE_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bec {
+namespace serve {
+
+/// A connected, blocking stream socket with buffered line reads.
+class Socket {
+public:
+  Socket() = default;
+  /// Takes ownership of \p FD (a connected socket).
+  explicit Socket(int FD) : FD(FD) {}
+  Socket(Socket &&O) noexcept;
+  Socket &operator=(Socket &&O) noexcept;
+  Socket(const Socket &) = delete;
+  Socket &operator=(const Socket &) = delete;
+  ~Socket();
+
+  bool valid() const { return FD >= 0; }
+  int fd() const { return FD; }
+  void close();
+  /// Half-closes both directions without releasing the descriptor: a recv
+  /// blocked on this socket (possibly in another thread) returns EOF.
+  void unblock();
+
+  /// Sends all of \p Data (retrying short writes). False on any error.
+  bool sendAll(std::string_view Data, std::string &Err);
+
+  enum class RecvStatus {
+    Line,    ///< One line read; \p Line holds it without the newline.
+    Eof,     ///< Orderly close with no buffered line.
+    TooLong, ///< The peer sent more than \p MaxLen bytes without a newline.
+    Error,   ///< Transport error; \p Err describes it.
+  };
+
+  /// Reads the next '\n'-terminated line. A final unterminated chunk
+  /// before EOF is not delivered as a line (frames end in newline).
+  RecvStatus recvLine(std::string &Line, size_t MaxLen, std::string &Err);
+
+private:
+  int FD = -1;
+  std::string Buffer; ///< Read-ahead past the last returned line.
+};
+
+/// A listening TCP socket (IPv4).
+class ListenSocket {
+public:
+  ListenSocket() = default;
+  ListenSocket(const ListenSocket &) = delete;
+  ListenSocket &operator=(const ListenSocket &) = delete;
+  ~ListenSocket();
+
+  /// Binds \p Host:\p Port (port 0 picks an ephemeral port; see
+  /// boundPort()) and listens. False with a diagnostic on failure.
+  bool listenOn(const std::string &Host, uint16_t Port, std::string &Err);
+
+  /// The actually bound port (resolves port-0 requests).
+  uint16_t boundPort() const { return Port; }
+
+  enum class WaitStatus { Ready, Timeout, Error };
+
+  /// Polls for a pending connection for up to \p TimeoutMs. Acceptor
+  /// loops interleave this with a stop-flag check: accept(2) on a
+  /// listening socket cannot be woken portably from another thread.
+  WaitStatus waitReadable(int TimeoutMs);
+
+  /// Blocks for the next connection. nullopt on error.
+  std::optional<Socket> accept(std::string &Err);
+  void close();
+  bool valid() const { return FD >= 0; }
+
+private:
+  int FD = -1;
+  uint16_t Port = 0;
+};
+
+/// Resolves \p Host (numeric or named) and connects. nullopt with a
+/// diagnostic on failure.
+std::optional<Socket> connectTo(const std::string &Host, uint16_t Port,
+                                std::string &Err);
+
+} // namespace serve
+} // namespace bec
+
+#endif // BEC_SERVE_SOCKET_H

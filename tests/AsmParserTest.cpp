@@ -110,28 +110,82 @@ TEST(AsmParser, RegisterAliases) {
 }
 
 TEST(AsmParser, ReportsUnknownMnemonic) {
+  // Structured position, not just message text: line 2, and the mnemonic
+  // starts at column 3 ("  frobnicate").
   AsmParseResult R = parseAsm("main:\n  frobnicate t0, t1\n  ret\n");
   ASSERT_FALSE(R.succeeded());
-  EXPECT_NE(R.diagText().find("unknown mnemonic"), std::string::npos);
-  EXPECT_NE(R.diagText().find("line 2"), std::string::npos);
+  ASSERT_GE(R.Diags.size(), 1u); // Unconsumed operands add a second diag.
+  EXPECT_NE(R.Diags[0].Message.find("unknown mnemonic"), std::string::npos);
+  EXPECT_EQ(R.Diags[0].Line, 2u);
+  EXPECT_EQ(R.Diags[0].Col, 3u);
+  EXPECT_NE(R.diagText().find("line 2, col 3"), std::string::npos);
 }
 
 TEST(AsmParser, ReportsUnknownLabel) {
   AsmParseResult R = parseAsm("main:\n  j nowhere\n");
   ASSERT_FALSE(R.succeeded());
-  EXPECT_NE(R.diagText().find("unknown label 'nowhere'"), std::string::npos);
+  ASSERT_EQ(R.Diags.size(), 1u);
+  EXPECT_NE(R.Diags[0].Message.find("unknown label 'nowhere'"),
+            std::string::npos);
+  EXPECT_EQ(R.Diags[0].Line, 2u);
+  EXPECT_EQ(R.Diags[0].Col, 5u); // "  j nowhere": the label operand.
 }
 
 TEST(AsmParser, ReportsDuplicateLabel) {
   AsmParseResult R = parseAsm("main:\nmain:\n  ret\n");
   ASSERT_FALSE(R.succeeded());
-  EXPECT_NE(R.diagText().find("redefinition"), std::string::npos);
+  ASSERT_EQ(R.Diags.size(), 1u);
+  EXPECT_NE(R.Diags[0].Message.find("redefinition"), std::string::npos);
+  EXPECT_EQ(R.Diags[0].Line, 2u);
+  EXPECT_EQ(R.Diags[0].Col, 1u);
 }
 
 TEST(AsmParser, CollectsMultipleErrors) {
   AsmParseResult R = parseAsm("main:\n  bogus\n  also_bogus\n  ret\n");
   ASSERT_FALSE(R.succeeded());
-  EXPECT_GE(R.Diags.size(), 2u);
+  ASSERT_GE(R.Diags.size(), 2u);
+  EXPECT_EQ(R.Diags[0].Line, 2u);
+  EXPECT_EQ(R.Diags[1].Line, 3u);
+}
+
+TEST(AsmParser, DiagnosticColumnsPointAtTheOffendingToken) {
+  struct Case {
+    const char *Src;
+    uint32_t Line, Col;
+    const char *MessagePart;
+  };
+  const Case Cases[] = {
+      // "  add t0, t1" missing the second source: col after the operands.
+      {"main:\n  add t0, t1\n  ret\n", 2, 13, "expected ','"},
+      // "  li t0," with no immediate: the cursor past the comma.
+      {"main:\n  li t0,\n  ret\n", 2, 9, "expected immediate"},
+      // Bad register name: the token itself.
+      {"main:\n  mv q9, t0\n  ret\n", 2, 6, "expected register"},
+      // Trailing garbage after a complete instruction.
+      {"main:\n  ret extra\n", 2, 7, "trailing characters"},
+      // Directive value out of range: the value token.
+      {".width 99\nmain:\n  ret\n", 1, 8, ".width must be"},
+      // Unknown directive: the directive token.
+      {".frob 1\nmain:\n  ret\n", 1, 1, "unknown directive"},
+  };
+  for (const Case &C : Cases) {
+    AsmParseResult R = parseAsm(C.Src);
+    ASSERT_FALSE(R.succeeded()) << C.Src;
+    ASSERT_FALSE(R.Diags.empty()) << C.Src;
+    EXPECT_EQ(R.Diags[0].Line, C.Line) << C.Src;
+    EXPECT_EQ(R.Diags[0].Col, C.Col) << C.Src;
+    EXPECT_NE(R.Diags[0].Message.find(C.MessagePart), std::string::npos)
+        << C.Src << " -> " << R.Diags[0].Message;
+  }
+}
+
+TEST(AsmParser, VerifierDiagnosticsCarryNoPosition) {
+  // Program-level verifier findings are whole-program, not token-level.
+  AsmParseResult R = parseAsm("main:\n  li t0, 1\n");
+  ASSERT_FALSE(R.succeeded());
+  ASSERT_FALSE(R.Diags.empty());
+  EXPECT_EQ(R.Diags[0].Col, 0u);
+  EXPECT_EQ(R.diagText().find("col"), std::string::npos);
 }
 
 TEST(Verifier, RejectsFallthroughOffTheEnd) {

@@ -1,0 +1,566 @@
+//===- tests/ServeTest.cpp - becd protocol, service, server, client -------===//
+//
+// The serve/ contract under test:
+//  * framing: malformed frames are rejected with typed error codes and do
+//    not kill the connection; well-formed frames round-trip;
+//  * handshake: incompatible protocol revisions / API majors are refused
+//    client-side;
+//  * loopback mode: the full method table over an in-process Service is
+//    deterministic and byte-identical to the local driver;
+//  * sockets: real TCP round-trips, concurrent clients sharing one
+//    session pool (bit-identical to serial execution, cross-client cache
+//    hits visible in stats), graceful shutdown unblocking idle clients;
+//  * driver integration: `bec --version`, `bec serve`/`bec client`, and
+//    `--remote` offload producing byte-identical subcommand output.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Api.h"
+#include "serve/Client.h"
+#include "serve/Service.h"
+
+#include "Driver.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+using namespace bec;
+using namespace bec::serve;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Helpers
+//===----------------------------------------------------------------------===//
+
+struct DriverRun {
+  int Status;
+  std::string Out;
+  std::string Err;
+};
+
+DriverRun runLocal(std::vector<std::string> Args) {
+  std::ostringstream Out, Err;
+  int Status = tool::runDriver(Args, Out, Err);
+  return {Status, Out.str(), Err.str()};
+}
+
+/// Masks the campaign's wall-clock column/field: it is nondeterministic
+/// between any two runs (local vs. local included), and is the one
+/// rendered value that is measured rather than computed.
+std::string maskSeconds(std::string S) {
+  S = std::regex_replace(S, std::regex("\"seconds\":[-+0-9.eE]+"),
+                         "\"seconds\":#");
+  // The column is right-aligned: absorb the padding too, or differing
+  // digit counts (fast vs. sanitizer-slow runs) shift the spaces.
+  S = std::regex_replace(S, std::regex(" +[0-9]+\\.[0-9]{2}\n"), " #\n");
+  return S;
+}
+
+/// A live TCP server on an ephemeral port, torn down on scope exit.
+struct ServerFixture {
+  Service Svc;
+  Server Srv;
+  std::thread Runner;
+
+  explicit ServerFixture(unsigned Jobs = 4)
+      : Srv(Svc, [&] {
+          Server::Options O;
+          O.Port = 0;
+          O.Jobs = Jobs;
+          return O;
+        }()) {
+    std::string Err;
+    if (!Srv.start(Err))
+      ADD_FAILURE() << "server start failed: " << Err;
+    Runner = std::thread([this] { Srv.run(); });
+  }
+
+  ~ServerFixture() {
+    Srv.requestStop();
+    Runner.join();
+  }
+
+  std::string remoteFlag() const {
+    return "127.0.0.1:" + std::to_string(Srv.port());
+  }
+
+  Client connect() {
+    std::string Err;
+    std::optional<Client> C = Client::connect("127.0.0.1", Srv.port(), Err);
+    if (!C)
+      throw std::runtime_error("connect failed: " + Err);
+    return std::move(*C);
+  }
+};
+
+/// Error code of a raw frame pushed through a loopback service.
+ErrorCode frameError(Service &Svc, std::string_view Frame) {
+  std::string Line = Svc.handleFrame(Frame);
+  std::string Err;
+  std::optional<Response> R = parseResponseFrame(Line, Err);
+  EXPECT_TRUE(R.has_value()) << Err;
+  EXPECT_TRUE(R && R->IsError) << Line;
+  return R ? R->Code : ErrorCode::InternalError;
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol framing
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, RejectsMalformedFramesWithTypedCodes) {
+  Service Svc;
+  EXPECT_EQ(frameError(Svc, "this is not json"), ErrorCode::ParseError);
+  EXPECT_EQ(frameError(Svc, "{\"id\":1,\"method\":\"x\""),
+            ErrorCode::ParseError);
+  EXPECT_EQ(frameError(Svc, "[1,2,3]"), ErrorCode::InvalidRequest);
+  EXPECT_EQ(frameError(Svc, "42"), ErrorCode::InvalidRequest);
+  EXPECT_EQ(frameError(Svc, "{\"method\":\"version\"}"),
+            ErrorCode::InvalidRequest);
+  EXPECT_EQ(frameError(Svc, "{\"id\":-3,\"method\":\"version\"}"),
+            ErrorCode::InvalidRequest);
+  EXPECT_EQ(frameError(Svc, "{\"id\":1}"), ErrorCode::InvalidRequest);
+  EXPECT_EQ(frameError(Svc, "{\"id\":1,\"method\":\"version\",\"params\":7}"),
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(frameError(Svc, "{\"id\":1,\"method\":\"frobnicate\"}"),
+            ErrorCode::MethodNotFound);
+  // Malformed frames count as errors but leave the service usable.
+  std::string Line = Svc.handleFrame("{\"id\":9,\"method\":\"version\"}");
+  std::string Err;
+  std::optional<Response> R = parseResponseFrame(Line, Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_FALSE(R->IsError);
+  EXPECT_EQ(R->Id, 9u);
+}
+
+TEST(Protocol, RequestAndResponseFramesRoundTrip) {
+  std::string Frame = makeRequestFrame(7, "analyze",
+                                       "{\"targets\":[\"bitcount\"]}");
+  EXPECT_EQ(Frame.back(), '\n');
+  ParsedFrame P = parseRequestFrame(
+      std::string_view(Frame).substr(0, Frame.size() - 1));
+  ASSERT_TRUE(P.Req.has_value()) << P.Message;
+  EXPECT_EQ(P.Req->Id, 7u);
+  EXPECT_EQ(P.Req->Method, "analyze");
+  const std::vector<JsonValue> *Targets =
+      P.Req->Params.member("targets")->asArray();
+  ASSERT_NE(Targets, nullptr);
+  EXPECT_EQ(*(*Targets)[0].asString(), "bitcount");
+
+  std::string Result = makeResultFrame(7, "{\"ok\":true}");
+  std::string Err;
+  std::optional<Response> R = parseResponseFrame(
+      std::string_view(Result).substr(0, Result.size() - 1), Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_FALSE(R->IsError);
+  EXPECT_EQ(R->Result.member("ok")->asBool(), true);
+
+  std::string Error =
+      makeErrorFrame(9, ErrorCode::BadTarget, "nope", "{\"k\":1}");
+  R = parseResponseFrame(std::string_view(Error).substr(0, Error.size() - 1),
+                         Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  EXPECT_TRUE(R->IsError);
+  EXPECT_EQ(R->Code, ErrorCode::BadTarget);
+  EXPECT_EQ(R->ErrorName, "bad_target");
+  EXPECT_EQ(R->Message, "nope");
+  EXPECT_EQ(R->ErrorData.memberU64("k"), 1u);
+}
+
+TEST(Protocol, HandshakeCompatibility) {
+  std::optional<Handshake> H = parseHandshakeFrame(makeHandshakeFrame());
+  ASSERT_TRUE(H.has_value());
+  EXPECT_EQ(H->Server, "becd");
+  EXPECT_EQ(H->Protocol, ProtocolVersion);
+  EXPECT_TRUE(handshakeIncompatibility(*H).empty());
+
+  Handshake Wrong = *H;
+  Wrong.Protocol = ProtocolVersion + 1;
+  EXPECT_NE(handshakeIncompatibility(Wrong), "");
+  Wrong = *H;
+  Wrong.ApiVersion = "999.0.0";
+  EXPECT_NE(handshakeIncompatibility(Wrong), "");
+  Wrong = *H;
+  Wrong.Server = "httpd";
+  EXPECT_NE(handshakeIncompatibility(Wrong), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Loopback service
+//===----------------------------------------------------------------------===//
+
+TEST(Loopback, VersionMethod) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  Reply R = C.call("version");
+  ASSERT_TRUE(R.Ok) << R.Message;
+  EXPECT_EQ(*R.Result.memberString("api"), BEC_API_VERSION_STRING);
+  EXPECT_EQ(R.Result.memberU64("protocol"), uint64_t(ProtocolVersion));
+  EXPECT_NE(R.Result.memberString("build_type"), nullptr);
+}
+
+TEST(Loopback, AnalyzeMatchesLocalDriverTextAndJson) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  for (const char *Format : {"text", "json"}) {
+    Reply R = C.call("analyze", std::string("{\"targets\":[\"bitcount\"],"
+                                            "\"format\":\"") +
+                                    Format + "\"}");
+    ASSERT_TRUE(R.Ok) << R.Message;
+    DriverRun Local = runLocal({"analyze", "--workload", "bitcount",
+                                "--format", Format});
+    EXPECT_EQ(*R.Result.memberString("output"), Local.Out) << Format;
+    EXPECT_EQ(int(*R.Result.memberU64("exit")), Local.Status);
+  }
+}
+
+TEST(Loopback, JobsParamNeverChangesOutputBytes) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  Reply Serial = C.call("analyze", "{\"format\":\"json\"}");
+  Reply Parallel = C.call("analyze", "{\"format\":\"json\",\"jobs\":4}");
+  ASSERT_TRUE(Serial.Ok) << Serial.Message;
+  ASSERT_TRUE(Parallel.Ok) << Parallel.Message;
+  EXPECT_EQ(*Serial.Result.memberString("output"),
+            *Parallel.Result.memberString("output"));
+  EXPECT_EQ(C.call("analyze", "{\"jobs\":\"many\"}").Code,
+            ErrorCode::InvalidParams);
+}
+
+TEST(Loopback, CountsIsStructured) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  Reply R = C.call("counts", "{\"target\":\"crc32\"}");
+  ASSERT_TRUE(R.Ok) << R.Message;
+  EXPECT_EQ(*R.Result.memberString("name"), "CRC32"); // Canonical casing.
+  EXPECT_GT(*R.Result.memberU64("fault_space"), 0u);
+  EXPECT_GT(*R.Result.memberU64("vulnerability"), 0u);
+
+  Reply Bad = C.call("counts", "{\"target\":\"nonesuch\"}");
+  EXPECT_FALSE(Bad.Ok);
+  EXPECT_EQ(Bad.Code, ErrorCode::BadTarget);
+}
+
+TEST(Loopback, InternReportsStructuredLineAndColumn) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+
+  // Column 3 = the mnemonic, line 2 of the source text.
+  Reply Bad = C.call(
+      "intern", "{\"name\":\"bad.s\",\"asm\":\"main:\\n  frobnicate t9\\n\"}");
+  ASSERT_FALSE(Bad.Ok);
+  EXPECT_EQ(Bad.Code, ErrorCode::BadAsm);
+  const std::vector<JsonValue> *Diags =
+      Bad.ErrorData.member("diags")->asArray();
+  ASSERT_NE(Diags, nullptr);
+  ASSERT_FALSE(Diags->empty());
+  EXPECT_EQ((*Diags)[0].memberU64("line"), 2u);
+  EXPECT_EQ((*Diags)[0].memberU64("col"), 3u);
+  EXPECT_NE(Diags->front().memberString("message")->find("unknown mnemonic"),
+            std::string::npos);
+
+  // Good source interns and is analyzable under its name.
+  Reply Good = C.call(
+      "intern",
+      "{\"name\":\"tiny.s\",\"asm\":\"main:\\n  li a0, 1\\n  out a0\\n  ret\\n\"}");
+  ASSERT_TRUE(Good.Ok) << Good.Message;
+  EXPECT_EQ(*Good.Result.memberU64("instrs"), 3u);
+  EXPECT_FALSE(Good.Result.memberString("content_key")->empty());
+
+  Reply An = C.call("analyze", "{\"targets\":[\"tiny.s\"]}");
+  ASSERT_TRUE(An.Ok) << An.Message;
+  EXPECT_NE(An.Result.memberString("output")->find("tiny.s"),
+            std::string::npos);
+
+  // Names must not shadow bundled workloads.
+  Reply Shadow =
+      C.call("intern", "{\"name\":\"BitCount\",\"asm\":\"main:\\n  ret\\n\"}");
+  EXPECT_FALSE(Shadow.Ok);
+  EXPECT_EQ(Shadow.Code, ErrorCode::InvalidParams);
+}
+
+TEST(Loopback, StatsSeeCrossClientCacheHits) {
+  Service Svc;
+  Client A = Client::loopback(Svc);
+  Client B = Client::loopback(Svc);
+
+  ASSERT_TRUE(A.call("analyze", "{\"targets\":[\"bitcount\"]}").Ok);
+  Reply S1 = A.call("stats");
+  ASSERT_TRUE(S1.Ok);
+  uint64_t Misses1 = *S1.Result.member("session")->memberU64("misses");
+
+  // The second client's identical request is served from the pool: no
+  // new misses, new hits.
+  ASSERT_TRUE(B.call("analyze", "{\"targets\":[\"bitcount\"]}").Ok);
+  Reply S2 = B.call("stats");
+  ASSERT_TRUE(S2.Ok);
+  EXPECT_EQ(*S2.Result.member("session")->memberU64("misses"), Misses1);
+  EXPECT_GT(*S2.Result.member("session")->memberU64("hits"), 0u);
+  EXPECT_EQ(*S2.Result.member("session")->memberU64("shards"), 1u);
+  EXPECT_GE(*S2.Result.memberU64("requests"), 4u);
+}
+
+TEST(Loopback, BadParamsAndUnknownTargets) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  EXPECT_EQ(C.call("analyze", "{\"targets\":\"bitcount\"}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("analyze", "{\"targets\":[7]}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("analyze", "{\"format\":\"xml\"}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("analyze", "{\"targets\":[\"nonesuch\"]}").Code,
+            ErrorCode::BadTarget);
+  EXPECT_EQ(C.call("campaign", "{\"plan\":\"quantum\"}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("harden", "{\"budgets\":[]}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("harden", "{\"budgets\":[-1]}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("intern", "{\"name\":\"x\"}").Code,
+            ErrorCode::InvalidParams);
+}
+
+TEST(Loopback, ShutdownRefusesFurtherRequests) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  EXPECT_FALSE(Svc.isShuttingDown());
+  Reply R = C.call("shutdown");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Result.member("ok")->asBool(), true);
+  EXPECT_TRUE(Svc.isShuttingDown());
+  Reply After = C.call("version");
+  EXPECT_FALSE(After.Ok);
+  EXPECT_EQ(After.Code, ErrorCode::ShuttingDown);
+}
+
+//===----------------------------------------------------------------------===//
+// TCP server
+//===----------------------------------------------------------------------===//
+
+TEST(SocketServer, RoundTripAndGracefulShutdown) {
+  ServerFixture F;
+  Client C = F.connect();
+  EXPECT_EQ(C.serverHandshake().ApiVersion, BEC_API_VERSION_STRING);
+
+  Reply V = C.call("version");
+  ASSERT_TRUE(V.Ok) << V.Message;
+  Reply An = C.call("analyze", "{\"targets\":[\"bitcount\"]}");
+  ASSERT_TRUE(An.Ok) << An.Message;
+
+  // An idle second client must be unblocked by another client's shutdown.
+  Client Idle = F.connect();
+  Reply Sd = C.call("shutdown");
+  ASSERT_TRUE(Sd.Ok) << Sd.Message;
+  F.Runner.join(); // run() returns on its own after the drain.
+  F.Runner = std::thread([] {});
+  Reply AfterShutdown = Idle.call("version");
+  EXPECT_FALSE(AfterShutdown.Ok);
+  EXPECT_EQ(AfterShutdown.Code, ErrorCode::TransportError);
+}
+
+TEST(SocketServer, MalformedFrameKeepsConnectionAlive) {
+  ServerFixture F;
+  std::string Err;
+  std::optional<Socket> Conn = connectTo("127.0.0.1", F.Srv.port(), Err);
+  ASSERT_TRUE(Conn.has_value()) << Err;
+  std::string Line;
+  ASSERT_EQ(Conn->recvLine(Line, MaxFrameBytes, Err),
+            Socket::RecvStatus::Line); // Handshake.
+
+  ASSERT_TRUE(Conn->sendAll("garbage\n", Err));
+  ASSERT_EQ(Conn->recvLine(Line, MaxFrameBytes, Err),
+            Socket::RecvStatus::Line);
+  EXPECT_NE(Line.find("parse_error"), std::string::npos);
+
+  // Same connection still serves valid requests.
+  ASSERT_TRUE(Conn->sendAll("{\"id\":5,\"method\":\"version\"}\n", Err));
+  ASSERT_EQ(Conn->recvLine(Line, MaxFrameBytes, Err),
+            Socket::RecvStatus::Line);
+  EXPECT_NE(Line.find("\"id\":5"), std::string::npos);
+  EXPECT_NE(Line.find("result"), std::string::npos);
+}
+
+TEST(SocketServer, ConcurrentClientsAreBitIdenticalToSerial) {
+  // Serial reference: one loopback service, one client.
+  Service Reference;
+  Client Ref = Client::loopback(Reference);
+  const char *Workloads[] = {"bitcount", "crc32", "sha", "dijkstra"};
+  std::map<std::string, std::string> Expected;
+  for (const char *W : Workloads) {
+    Reply R = Ref.call("analyze", std::string("{\"targets\":[\"") + W +
+                                      "\"],\"format\":\"json\"}");
+    ASSERT_TRUE(R.Ok) << R.Message;
+    Expected[W] = *R.Result.memberString("output");
+  }
+
+  ServerFixture F(/*Jobs=*/4);
+  constexpr int NumClients = 4, Rounds = 3;
+  std::atomic<int> Failures{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumClients; ++T)
+    Threads.emplace_back([&, T] {
+      Client C = F.connect();
+      for (int R = 0; R < Rounds; ++R)
+        for (int W = 0; W < 4; ++W) {
+          // Stagger the per-client order so rounds genuinely interleave.
+          const char *Name = Workloads[(W + T) % 4];
+          Reply Rep = C.call("analyze", std::string("{\"targets\":[\"") +
+                                            Name +
+                                            "\"],\"format\":\"json\"}");
+          if (!Rep.Ok || *Rep.Result.memberString("output") != Expected[Name])
+            ++Failures;
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Failures.load(), 0);
+
+  // All four contents were computed at most once; the rest were hits.
+  Client C = F.connect();
+  Reply St = C.call("stats");
+  ASSERT_TRUE(St.Ok);
+  EXPECT_EQ(*St.Result.member("session")->memberU64("shards"), 4u);
+  EXPECT_GT(*St.Result.member("session")->memberU64("hits"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver integration
+//===----------------------------------------------------------------------===//
+
+TEST(DriverServe, VersionFlagAndSubcommand) {
+  for (const char *Spelling : {"--version", "version"}) {
+    DriverRun R = runLocal({Spelling});
+    EXPECT_EQ(R.Status, tool::ExitSuccess);
+    EXPECT_NE(R.Out.find("bec " BEC_API_VERSION_STRING), std::string::npos);
+    EXPECT_NE(R.Out.find("protocol"), std::string::npos);
+  }
+}
+
+TEST(DriverServe, RemoteSubcommandsAreByteIdentical) {
+  ServerFixture F;
+  const std::string Remote = F.remoteFlag();
+
+  // analyze / campaign / harden over every bundled workload (the
+  // campaign window is truncated to keep sanitizer runs fast; both sides
+  // see the same truncation).
+  std::vector<std::vector<std::string>> Commands = {
+      {"analyze", "--all"},
+      {"analyze", "--all", "--format", "json"},
+      {"campaign", "--all", "--max-cycles", "300"},
+      {"harden", "--all"},
+      {"schedule", "--workload", "bitcount", "--format", "json"},
+      {"report", "--workload", "bitcount", "--max-cycles", "300"},
+  };
+  for (const std::vector<std::string> &Cmd : Commands) {
+    DriverRun Local = runLocal(Cmd);
+    std::vector<std::string> RemoteCmd = Cmd;
+    RemoteCmd.push_back("--remote");
+    RemoteCmd.push_back(Remote);
+    DriverRun Rem = runLocal(RemoteCmd);
+    EXPECT_EQ(Rem.Status, Local.Status) << Cmd[0];
+    // Campaign and report outputs carry a measured wall-clock value;
+    // everything else must match to the byte.
+    bool Timed = Cmd[0] == "campaign" || Cmd[0] == "report";
+    EXPECT_EQ(Timed ? maskSeconds(Rem.Out) : Rem.Out,
+              Timed ? maskSeconds(Local.Out) : Local.Out)
+        << Cmd[0];
+    EXPECT_EQ(Rem.Err, Local.Err) << Cmd[0];
+  }
+}
+
+TEST(DriverServe, ClientSubcommandMatchesLocal) {
+  ServerFixture F;
+  DriverRun Local = runLocal({"analyze", "--workload", "bitcount"});
+  DriverRun Rem = runLocal(
+      {"client", "analyze", "bitcount", "--remote", F.remoteFlag()});
+  EXPECT_EQ(Rem.Status, Local.Status);
+  EXPECT_EQ(Rem.Out, Local.Out);
+
+  DriverRun Counts =
+      runLocal({"client", "counts", "bitcount", "--remote", F.remoteFlag()});
+  EXPECT_EQ(Counts.Status, tool::ExitSuccess) << Counts.Err;
+  EXPECT_NE(Counts.Out.find("\"name\":\"bitcount\""), std::string::npos);
+
+  DriverRun Unknown =
+      runLocal({"client", "bogus", "--remote", F.remoteFlag()});
+  EXPECT_EQ(Unknown.Status, tool::ExitUsage);
+}
+
+TEST(DriverServe, RemoteAsmFileMatchesLocal) {
+  // Dump a workload to disk and analyze it as an external file.
+  std::string Path = testing::TempDir() + "/serve_crc32.s";
+  {
+    std::ofstream OutFile(Path);
+    OutFile << loadWorkload(*findWorkloadAnyCase("crc32")).toString();
+  }
+  ServerFixture F;
+  DriverRun Local = runLocal({"analyze", "--asm", Path});
+  DriverRun Rem =
+      runLocal({"analyze", "--asm", Path, "--remote", F.remoteFlag()});
+  EXPECT_EQ(Rem.Status, Local.Status);
+  EXPECT_EQ(Rem.Out, Local.Out);
+  EXPECT_EQ(Rem.Err, Local.Err);
+
+  // A broken file produces the local diagnostic shape, with line/col.
+  std::string BadPath = testing::TempDir() + "/serve_bad.s";
+  {
+    std::ofstream OutFile(BadPath);
+    OutFile << "main:\n  frobnicate t0\n  ret\n";
+  }
+  DriverRun LocalBad = runLocal({"analyze", "--asm", BadPath});
+  DriverRun RemBad =
+      runLocal({"analyze", "--asm", BadPath, "--remote", F.remoteFlag()});
+  EXPECT_EQ(RemBad.Status, LocalBad.Status);
+  EXPECT_EQ(RemBad.Err, LocalBad.Err);
+  EXPECT_NE(RemBad.Err.find("line 2, col 3"), std::string::npos);
+}
+
+TEST(DriverServe, ServeCommandEndToEnd) {
+  std::string PortFile = testing::TempDir() + "/becd_port.txt";
+  std::remove(PortFile.c_str());
+  std::ostringstream ServeOut, ServeErr;
+  std::thread ServerThread([&] {
+    tool::runDriver({"serve", "--port", "0", "--port-file", PortFile},
+                    ServeOut, ServeErr);
+  });
+
+  // Wait for the port file (write-then-rename makes reads atomic).
+  std::string Port;
+  for (int Tries = 0; Tries < 400 && Port.empty(); ++Tries) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    std::ifstream In(PortFile);
+    std::getline(In, Port);
+  }
+  ASSERT_FALSE(Port.empty()) << ServeErr.str();
+
+  const std::string Remote = "127.0.0.1:" + Port;
+  DriverRun Local = runLocal({"harden", "--workload", "bitcount"});
+  DriverRun Rem = runLocal(
+      {"harden", "--workload", "bitcount", "--remote", Remote});
+  EXPECT_EQ(Rem.Status, Local.Status);
+  EXPECT_EQ(Rem.Out, Local.Out);
+
+  DriverRun Stats = runLocal({"client", "stats", "--remote", Remote});
+  EXPECT_EQ(Stats.Status, tool::ExitSuccess) << Stats.Err;
+  EXPECT_NE(Stats.Out.find("\"session\""), std::string::npos);
+
+  DriverRun Shutdown = runLocal({"client", "shutdown", "--remote", Remote});
+  EXPECT_EQ(Shutdown.Status, tool::ExitSuccess) << Shutdown.Err;
+  ServerThread.join();
+  EXPECT_NE(ServeOut.str().find("becd listening on 127.0.0.1:" + Port),
+            std::string::npos);
+  EXPECT_NE(ServeOut.str().find("becd: shut down"), std::string::npos);
+  std::remove(PortFile.c_str());
+}
+
+} // namespace

@@ -22,7 +22,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <map>
 #include <regex>
+#include <thread>
 
 using namespace bec;
 
@@ -352,6 +355,90 @@ TEST(SessionEquivalence, ReportColdEqualsWarm) {
   EXPECT_EQ(Cold, Warm);
   EXPECT_NE(Cold.find("\"sound\":true"), std::string::npos);
   EXPECT_EQ(Cold.find("\"sound\":false"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent session sharing (the becd pool's load pattern)
+//===----------------------------------------------------------------------===//
+
+// N threads hammer one session with a mixed query workload over shared
+// shards — the exact pattern the becd server's connection handlers
+// produce. Every concurrent answer must be bit-identical to a serial
+// session's, and each (shard, query) pair must be computed exactly once
+// (same-epoch queries return the identical cached object).
+TEST(SessionConcurrency, MixedQueriesMatchSerialExecution) {
+  const char *Names[] = {"bitcount", "crc32", "sha", "dijkstra"};
+  constexpr int NumThreads = 8, Rounds = 3;
+  constexpr uint64_t MaxCycles = 200;
+
+  // Serial reference, fresh session.
+  struct Expected {
+    uint64_t Vuln;
+    uint64_t BitLevelRuns;
+    uint64_t CampaignRuns;
+    std::string AnalyzeRow;
+  };
+  std::map<std::string, Expected> Reference;
+  {
+    AnalysisSession Serial;
+    for (const char *Name : Names) {
+      auto T = Serial.addWorkload(Name);
+      ASSERT_TRUE(T.has_value()) << Name;
+      Expected E;
+      E.Vuln = *Serial.get<VulnQuery>(*T);
+      E.BitLevelRuns = Serial.get<CountsQuery>(*T)->BitLevelRuns;
+      E.CampaignRuns =
+          Serial.get<CampaignQuery>(*T, {PlanKind::BitLevel, MaxCycles})->Runs;
+      E.AnalyzeRow = renderCountsJson(Serial.name(*T),
+                                      *Serial.get<AnalyzeQuery>(*T));
+      Reference[Name] = E;
+    }
+  }
+
+  AnalysisSession Shared;
+  std::vector<CachedProgramPtr> Shards;
+  for (const char *Name : Names)
+    Shards.push_back(Shared.intern(loadWorkload(*findWorkloadAnyCase(Name))));
+
+  std::atomic<int> Mismatches{0};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int R = 0; R < Rounds; ++R)
+        for (int W = 0; W < 4; ++W) {
+          // Stagger the order per thread so computations genuinely race.
+          size_t Pick = size_t((W + T + R) % 4);
+          const CachedProgramPtr &P = Shards[Pick];
+          const Expected &E = Reference[Names[Pick]];
+          bool Ok =
+              *Shared.get<VulnQuery>(P) == E.Vuln &&
+              Shared.get<CountsQuery>(P)->BitLevelRuns == E.BitLevelRuns &&
+              Shared
+                      .get<CampaignQuery>(P, {PlanKind::BitLevel, MaxCycles})
+                      ->Runs == E.CampaignRuns &&
+              renderCountsJson(findWorkloadAnyCase(Names[Pick])->Name,
+                               *Shared.get<AnalyzeQuery>(P)) == E.AnalyzeRow;
+          if (!Ok)
+            ++Mismatches;
+        }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(Mismatches.load(), 0);
+
+  // Compute-once: every get() past the first per (shard, query) was a
+  // cache hit, and all threads saw the identical result objects.
+  SessionStats St = Shared.stats();
+  EXPECT_GT(St.Hits, 0u);
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    auto A = Shared.get<VulnQuery>(Shards[I]);
+    auto B = Shared.get<VulnQuery>(Shards[I]);
+    EXPECT_EQ(A.get(), B.get());
+  }
+  // Misses are bounded by the distinct (shard, query) pairs the threads
+  // could request (4 shards x 4 top-level queries plus their nested
+  // sub-analyses), independent of thread and round count.
+  EXPECT_LE(St.Misses, 4u * 10u);
 }
 
 } // namespace

@@ -2,6 +2,7 @@
 
 #include "support/BitUtils.h"
 #include "support/Json.h"
+#include "support/JsonParse.h"
 #include "support/Table.h"
 #include "support/ThreadPool.h"
 #include "support/UnionFind.h"
@@ -209,6 +210,64 @@ TEST(TableRender, AlignsAndSeparates) {
   EXPECT_NE(Out.find("1 234"), std::string::npos);
   // Header, separator, two rows.
   EXPECT_EQ(std::count(Out.begin(), Out.end(), '\n'), 4);
+}
+
+TEST(JsonParse, ParsesTheFullValueGrammar) {
+  std::string Err;
+  std::optional<JsonValue> V = parseJson(
+      R"({"s":"a\"b\u0041\n","n":-42,"d":2.5,"big":1e3,"t":true,)"
+      R"("nul":null,"arr":[1,[2]],"obj":{"k":"v"}})",
+      &Err);
+  ASSERT_TRUE(V.has_value()) << Err;
+  EXPECT_EQ(*V->memberString("s"), "a\"bA\n");
+  EXPECT_EQ(V->member("n")->asI64(), -42);
+  EXPECT_EQ(V->member("d")->asDouble(), 2.5);
+  EXPECT_EQ(V->member("big")->asDouble(), 1000.0);
+  EXPECT_EQ(V->member("big")->asI64(), std::nullopt); // Not an int literal.
+  EXPECT_EQ(V->member("t")->asBool(), true);
+  EXPECT_TRUE(V->member("nul")->isNull());
+  const std::vector<JsonValue> *Arr = V->member("arr")->asArray();
+  ASSERT_NE(Arr, nullptr);
+  EXPECT_EQ((*Arr)[0].asU64(), 1u);
+  EXPECT_EQ((*(*Arr)[1].asArray())[0].asU64(), 2u);
+  EXPECT_EQ(*V->member("obj")->memberString("k"), "v");
+  EXPECT_EQ(V->member("missing"), nullptr);
+  EXPECT_EQ(V->member("n")->asU64(), std::nullopt); // Negative.
+}
+
+TEST(JsonParse, RoundTripsThroughTheWriter) {
+  const char *Doc =
+      "{\"a\":[1,2.5,\"x\"],\"b\":{\"c\":true,\"d\":null},\"e\":-7}";
+  std::optional<JsonValue> V = parseJson(Doc);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->toJson(), Doc);
+}
+
+TEST(JsonParse, RejectsMalformedDocuments) {
+  const char *Bad[] = {
+      "",           "{",       "[1,",       "{\"a\"}",   "{\"a\":}",
+      "{a:1}",      "[1 2]",   "tru",       "01x",       "1.2.3",
+      "\"unterminated", "\"bad\\q\"", "{\"a\":1}extra", "\"\\u12\"",
+      "\"\\ud800\"", // Unpaired surrogate.
+  };
+  for (const char *Doc : Bad) {
+    std::string Err;
+    EXPECT_FALSE(parseJson(Doc, &Err).has_value()) << Doc;
+    EXPECT_FALSE(Err.empty()) << Doc;
+  }
+  // The depth guard refuses pathological nesting instead of overflowing.
+  std::string Deep(1000, '[');
+  Deep += std::string(1000, ']');
+  EXPECT_FALSE(parseJson(Deep).has_value());
+}
+
+TEST(JsonParse, KeepsIntegerPrecision) {
+  std::optional<JsonValue> V =
+      parseJson("{\"id\":9007199254740993,\"neg\":-9007199254740993}");
+  ASSERT_TRUE(V.has_value());
+  // 2^53 + 1 survives exactly (a double would round it).
+  EXPECT_EQ(V->memberU64("id"), 9007199254740993ull);
+  EXPECT_EQ(V->member("neg")->asI64(), -9007199254740993ll);
 }
 
 } // namespace

@@ -3,25 +3,36 @@
 // The driver is a thin shell over api/Api.h: it parses the command line,
 // loads targets into an AnalysisSession, fans the per-target subcommand
 // queries out on a thread pool (Session::evaluateAll), and renders the
-// result objects as tables or — through the shared api/Serialize.h
-// serializer — as JSON. All pipeline logic lives behind the session.
+// result objects through the shared api/Serialize.h serializer (tables or
+// JSON). All pipeline logic lives behind the session.
+//
+// With `--remote host:port` the analysis subcommands offload to a becd
+// server (src/serve/) instead: local argument parsing, remote execution
+// against the server's shared session pool, byte-identical output. `bec
+// serve` runs that server; `bec client` speaks the raw method table.
 //
 //===----------------------------------------------------------------------===//
 
 #include "Driver.h"
 
 #include "api/Api.h"
+#include "serve/Client.h"
+#include "serve/Service.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <string_view>
+#include <thread>
 
 using namespace bec;
 using namespace bec::tool;
@@ -44,6 +55,13 @@ Subcommands:
              program fails validation.
   report     Full pipeline: metrics + bit-level campaign + soundness
              validation. Exits 3 if any target validates unsound.
+  serve      Run the becd analysis server: a shared, cached session pool
+             behind a newline-delimited JSON-RPC protocol over TCP.
+  client     Speak the becd method table directly:
+               bec client [--remote H:P] <method> [targets...] [options]
+             Methods: version stats shutdown counts intern analyze
+             campaign schedule harden report.
+  version    Print the API version and build type (also: --version).
 
 Target selection (default: all bundled workloads):
   --workload NAME   Add one bundled workload (case-insensitive; repeatable).
@@ -68,12 +86,21 @@ Options:
                     (default text).
   --max-cycles N    Truncate campaign/validation windows to N cycles
                     (0 = whole trace; default 0).
+  --remote H:P      Run this subcommand on a becd server instead of
+                    in-process (output is byte-identical). Also selects
+                    the server for `bec client` (default 127.0.0.1:4690).
+  --host ADDR       serve only: bind address (default 127.0.0.1).
+  --port N          serve only: TCP port; 0 picks an ephemeral port
+                    (default 4690).
+  --port-file FILE  serve only: write the bound port to FILE once
+                    listening (for scripts using --port 0).
   -h, --help        Print this help and exit.
 
 Exit codes: 0 success, 1 usage error, 2 bad input, 3 unsound validation.
 )";
 
-enum class Command { Analyze, Campaign, Schedule, Harden, Report };
+enum class Command { Analyze, Campaign, Schedule, Harden, Report, Serve,
+                     Client };
 enum class OutputFormat { Text, Json };
 
 struct DriverOptions {
@@ -82,6 +109,7 @@ struct DriverOptions {
   std::vector<std::string> AsmFiles;
   bool AllWorkloads = false;
   unsigned Jobs = 1;
+  bool JobsExplicit = false;
   PlanKind Plan = PlanKind::BitLevel;
   SchedulePolicy EmitPolicy = SchedulePolicy::BestReliability;
   std::string EmitPath;
@@ -89,7 +117,32 @@ struct DriverOptions {
   /// harden: budgets to evaluate (one entry unless --sweep is given).
   std::vector<double> Budgets = {10.0};
   OutputFormat Format = OutputFormat::Text;
+  /// --remote: offload to a becd server.
+  bool Remote = false;
+  std::string RemoteHost = "127.0.0.1";
+  uint16_t RemotePort = serve::DefaultPort;
+  /// serve options.
+  std::string ServeHost = "127.0.0.1";
+  uint16_t ServePort = serve::DefaultPort;
+  std::string PortFile;
+  bool ServeFlagsUsed = false;
+  /// client: method name followed by its positional arguments.
+  std::vector<std::string> ClientArgs;
 };
+
+/// Parses "host:port" (the --remote spelling). False on bad input.
+bool parseHostPort(const std::string &S, std::string &Host, uint16_t &Port) {
+  size_t Colon = S.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 || Colon + 1 >= S.size())
+    return false;
+  char *End = nullptr;
+  unsigned long P = std::strtoul(S.c_str() + Colon + 1, &End, 10);
+  if (End != S.c_str() + S.size() || P == 0 || P > 65535)
+    return false;
+  Host = S.substr(0, Colon);
+  Port = static_cast<uint16_t>(P);
+  return true;
+}
 
 /// Parses a full-string unsigned decimal; nullopt on any trailing garbage.
 std::optional<uint64_t> parseUnsigned(const std::string &S) {
@@ -126,6 +179,11 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     Out << UsageText;
     return -1; // Sentinel: handled, exit 0.
   }
+  if (Sub == "version" || Sub == "--version") {
+    Out << "bec " << BEC_API_VERSION_STRING << " (" << buildType()
+        << ", protocol " << serve::ProtocolVersion << ")\n";
+    return -1;
+  }
   if (Sub == "analyze")
     Opts.Cmd = Command::Analyze;
   else if (Sub == "campaign")
@@ -136,6 +194,10 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     Opts.Cmd = Command::Harden;
   else if (Sub == "report")
     Opts.Cmd = Command::Report;
+  else if (Sub == "serve")
+    Opts.Cmd = Command::Serve;
+  else if (Sub == "client")
+    Opts.Cmd = Command::Client;
   else {
     Err << "bec: unknown subcommand '" << Sub << "'\n" << UsageText;
     return ExitUsage;
@@ -179,7 +241,10 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
         Err << "bec: --jobs wants a number, got '" << *V << "'\n";
         return ExitUsage;
       }
-      Opts.Jobs = ThreadPool::clampJobs(static_cast<unsigned>(*N));
+      // Kept unclamped: CPU pools clamp to the core count at use sites,
+      // while `serve` sizes an I/O-bound connection pool from it.
+      Opts.Jobs = static_cast<unsigned>(*N);
+      Opts.JobsExplicit = true;
     } else if (Arg == "--max-cycles") {
       auto V = Value(Arg);
       if (!V)
@@ -271,6 +336,41 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
         Err << "bec: unknown --format '" << *V << "' (want text | json)\n";
         return ExitUsage;
       }
+    } else if (Arg == "--remote") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      if (!parseHostPort(*V, Opts.RemoteHost, Opts.RemotePort)) {
+        Err << "bec: --remote wants host:port, got '" << *V << "'\n";
+        return ExitUsage;
+      }
+      Opts.Remote = true;
+    } else if (Arg == "--host") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.ServeHost = *V;
+      Opts.ServeFlagsUsed = true;
+    } else if (Arg == "--port") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N || *N > 65535) {
+        Err << "bec: --port wants a number in 0..65535, got '" << *V << "'\n";
+        return ExitUsage;
+      }
+      Opts.ServePort = static_cast<uint16_t>(*N);
+      Opts.ServeFlagsUsed = true;
+    } else if (Arg == "--port-file") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.PortFile = *V;
+      Opts.ServeFlagsUsed = true;
+    } else if (Opts.Cmd == Command::Client && !Arg.empty() && Arg[0] != '-') {
+      // Client grammar: the method, then its positional target names.
+      Opts.ClientArgs.push_back(Arg);
     } else {
       Err << "bec: unknown option '" << Arg << "'\n" << UsageText;
       return ExitUsage;
@@ -284,6 +384,31 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
   if (Opts.Cmd == Command::Harden && !Opts.EmitPath.empty() &&
       Opts.Budgets.size() != 1) {
     Err << "bec: harden --emit requires a single --budget\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd == Command::Serve && Opts.Remote) {
+    Err << "bec: --remote does not combine with serve\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd != Command::Serve && Opts.ServeFlagsUsed) {
+    // Silently ignoring these would let `bec client shutdown --port N`
+    // address a different server than the user meant; --remote host:port
+    // is the client-side spelling.
+    Err << "bec: --host/--port/--port-file are only valid with serve "
+           "(clients use --remote host:port)\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd == Command::Client && Opts.ClientArgs.empty()) {
+    Err << "bec: client needs a method, e.g. `bec client analyze bitcount`\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd == Command::Client &&
+      (Opts.AllWorkloads || !Opts.WorkloadNames.empty() ||
+       !Opts.AsmFiles.empty())) {
+    // These select targets for local sessions; silently ignoring them
+    // would run the wrong scope on the server.
+    Err << "bec: client takes positional target names, not "
+           "--workload/--all/--asm\n";
     return ExitUsage;
   }
   return ExitSuccess;
@@ -327,146 +452,10 @@ int collectTargets(const DriverOptions &Opts, AnalysisSession &S,
 }
 
 //===----------------------------------------------------------------------===//
-// Table rendering
+// Shared epilogue
 //===----------------------------------------------------------------------===//
 
 template <class R> using ResultVec = std::vector<std::shared_ptr<const R>>;
-
-void renderAnalyze(const AnalysisSession &S,
-                   const ResultVec<AnalyzeResult> &Results,
-                   std::ostream &Out) {
-  Table Tbl({"Workload", "Instrs", "Cycles", "Fault space", "Value-level",
-             "Bit-level", "Masked", "Inferrable", "Pruned", "Vuln (bits)"});
-  for (size_t I = 0; I < Results.size(); ++I) {
-    const AnalyzeResult &R = *Results[I];
-    if (!R.Error.empty())
-      continue;
-    Tbl.row()
-        .cell(S.name(I))
-        .cell(uint64_t(R.Instrs))
-        .cell(R.Cycles)
-        .cell(R.Counts.TotalFaultSpace)
-        .cell(R.Counts.ValueLevelRuns)
-        .cell(R.Counts.BitLevelRuns)
-        .cell(R.Counts.MaskedBits)
-        .cell(R.Counts.InferrableBits)
-        .cell(Table::percent(R.Counts.prunedFraction()))
-        .cell(R.Vulnerability);
-  }
-  Out << Tbl.render();
-}
-
-void renderCampaign(const AnalysisSession &S,
-                    const ResultVec<CampaignCmdResult> &Results,
-                    const DriverOptions &Opts, std::ostream &Out) {
-  const char *PlanName = Opts.Plan == PlanKind::Exhaustive ? "exhaustive"
-                         : Opts.Plan == PlanKind::ValueLevel
-                             ? "value-level"
-                             : "bit-level";
-  Out << "Campaign plan: " << PlanName << "\n";
-  Table Tbl({"Workload", "Runs", "Masked", "Benign", "SDC", "Trap", "Hang",
-             "Distinct", "Seconds"});
-  for (size_t I = 0; I < Results.size(); ++I) {
-    const CampaignCmdResult &R = *Results[I];
-    if (!R.Error.empty())
-      continue;
-    const auto &E = R.Campaign.EffectCounts;
-    Tbl.row()
-        .cell(S.name(I))
-        .cell(R.Campaign.Runs)
-        .cell(E[size_t(FaultEffect::Masked)])
-        .cell(E[size_t(FaultEffect::Benign)])
-        .cell(E[size_t(FaultEffect::SDC)])
-        .cell(E[size_t(FaultEffect::Trap)])
-        .cell(E[size_t(FaultEffect::Hang)])
-        .cell(R.Campaign.DistinctTraces)
-        .cell(R.Campaign.Seconds, 2);
-  }
-  Out << Tbl.render();
-}
-
-void renderSchedule(const AnalysisSession &S,
-                    const ResultVec<ScheduleCmdResult> &Results,
-                    std::ostream &Out) {
-  Table Tbl({"Workload", "Source vuln", "Best vuln", "Worst vuln",
-             "Best vs source"});
-  for (size_t I = 0; I < Results.size(); ++I) {
-    const ScheduleCmdResult &R = *Results[I];
-    if (!R.Error.empty())
-      continue;
-    // Positive delta = the best-reliability schedule shrinks the surface.
-    double Delta =
-        R.PolicyVuln[0] == 0
-            ? 0.0
-            : 1.0 - double(R.PolicyVuln[1]) / double(R.PolicyVuln[0]);
-    Tbl.row()
-        .cell(S.name(I))
-        .cell(R.PolicyVuln[0])
-        .cell(R.PolicyVuln[1])
-        .cell(R.PolicyVuln[2])
-        .cell((Delta >= 0 ? "-" : "+") + Table::percent(std::fabs(Delta)));
-  }
-  Out << Tbl.render();
-}
-
-void renderHarden(const AnalysisSession &S,
-                  const ResultVec<HardenCmdResult> &Results,
-                  const DriverOptions &Opts, std::ostream &Out) {
-  Table Tbl({"Workload", "Budget", "Cost", "Base vuln", "Residual vuln",
-             "Reduction", "Dup", "Narrow", "Probes", "Valid"});
-  for (size_t I = 0; I < Results.size(); ++I) {
-    const HardenCmdResult &R = *Results[I];
-    if (!R.Error.empty())
-      continue;
-    for (size_t B = 0; B < Opts.Budgets.size(); ++B) {
-      const HardenResult &H = R.Points[B].Harden;
-      const HardenValidation &V = R.Points[B].Check;
-      Tbl.row()
-          .cell(S.name(I))
-          .cell(Table::percent(Opts.Budgets[B] / 100.0))
-          .cell(Table::percent(H.costPercent() / 100.0))
-          .cell(H.BaselineVuln)
-          .cell(H.ResidualVuln)
-          .cell("-" + Table::percent(H.reduction()))
-          .cell(uint64_t(H.NumDuplicated))
-          .cell(uint64_t(H.NumNarrowed))
-          .cell(std::to_string(V.DetectionsCaught) + "/" +
-                std::to_string(V.DetectionProbes))
-          .cell(V.ok() ? "ok" : "FAIL");
-    }
-  }
-  Out << Tbl.render();
-}
-
-void renderReport(const AnalysisSession &S,
-                  const ResultVec<ReportCmdResult> &Results,
-                  std::ostream &Out) {
-  Table Tbl({"Workload", "Bit-level runs", "Pruned", "SDC", "Trap", "Hang",
-             "Sound+precise", "Sound+imprecise", "Unsound", "Verdict"});
-  for (size_t I = 0; I < Results.size(); ++I) {
-    const ReportCmdResult &R = *Results[I];
-    if (!R.Error.empty())
-      continue;
-    const auto &E = R.Campaign.EffectCounts;
-    const ValidationResult &V = R.Validation;
-    Tbl.row()
-        .cell(S.name(I))
-        .cell(R.Counts.BitLevelRuns)
-        .cell(Table::percent(R.Counts.prunedFraction()))
-        .cell(E[size_t(FaultEffect::SDC)])
-        .cell(E[size_t(FaultEffect::Trap)])
-        .cell(E[size_t(FaultEffect::Hang)])
-        .cell(V.SoundPrecisePairs)
-        .cell(V.SoundImprecisePairs)
-        .cell(V.UnsoundPairs + V.MaskedViolations + V.CrossViolations)
-        .cell(V.sound() ? "sound" : "UNSOUND");
-  }
-  Out << Tbl.render();
-}
-
-//===----------------------------------------------------------------------===//
-// Shared epilogue
-//===----------------------------------------------------------------------===//
 
 std::vector<std::string> targetNames(const AnalysisSession &S) {
   std::vector<std::string> Names;
@@ -499,6 +488,337 @@ int emitAssembly(const std::string &Asm, const DriverOptions &Opts,
   return ExitSuccess;
 }
 
+//===----------------------------------------------------------------------===//
+// becd: serve, client, --remote
+//===----------------------------------------------------------------------===//
+
+const char *commandMethod(Command C) {
+  switch (C) {
+  case Command::Analyze:
+    return "analyze";
+  case Command::Campaign:
+    return "campaign";
+  case Command::Schedule:
+    return "schedule";
+  case Command::Harden:
+    return "harden";
+  case Command::Report:
+    return "report";
+  default:
+    return "";
+  }
+}
+
+std::optional<Command> subcommandForMethod(const std::string &M) {
+  if (M == "analyze")
+    return Command::Analyze;
+  if (M == "campaign")
+    return Command::Campaign;
+  if (M == "schedule")
+    return Command::Schedule;
+  if (M == "harden")
+    return Command::Harden;
+  if (M == "report")
+    return Command::Report;
+  return std::nullopt;
+}
+
+/// Serializes the params of one subcommand method from the parsed command
+/// line, for \p Targets (empty = the server's default, all workloads).
+std::string subcommandParams(Command Which, const DriverOptions &Opts,
+                             const std::vector<std::string> &Targets,
+                             bool WithEmit) {
+  JsonWriter W;
+  W.beginObject();
+  if (!Targets.empty()) {
+    W.key("targets").beginArray();
+    for (const std::string &T : Targets)
+      W.value(T);
+    W.endArray();
+  }
+  W.key("format").value(Opts.Format == OutputFormat::Json ? "json" : "text");
+  if (Opts.Jobs != 1)
+    W.key("jobs").value(uint64_t(std::min(Opts.Jobs, 1u << 16)));
+  switch (Which) {
+  case Command::Campaign:
+    W.key("plan").value(Opts.Plan == PlanKind::Exhaustive    ? "exhaustive"
+                        : Opts.Plan == PlanKind::ValueLevel  ? "value"
+                                                             : "bit");
+    W.key("max_cycles").value(Opts.MaxCycles);
+    break;
+  case Command::Schedule:
+    if (WithEmit)
+      W.key("emit").value(
+          Opts.EmitPolicy == SchedulePolicy::SourceOrder        ? "source"
+          : Opts.EmitPolicy == SchedulePolicy::BestReliability  ? "best"
+                                                                : "worst");
+    break;
+  case Command::Harden:
+    W.key("budgets").beginArray();
+    for (double B : Opts.Budgets)
+      W.value(B);
+    W.endArray();
+    if (WithEmit)
+      W.key("emit").value(true);
+    break;
+  case Command::Report:
+    W.key("max_cycles").value(Opts.MaxCycles);
+    break;
+  default:
+    break;
+  }
+  W.endObject();
+  return W.take();
+}
+
+/// Prints a server error reply as CLI diagnostics (expanding structured
+/// assembler diagnostics the way the local path prints them).
+void reportReplyError(const serve::Reply &R, const std::string &AsmPath,
+                      std::ostream &Err) {
+  if (R.Code == serve::ErrorCode::BadAsm) {
+    if (const JsonValue *Diags = R.ErrorData.member("diags")) {
+      // Mirrors AnalysisSession::addAsmFile's local diagnostic shape.
+      Err << "bec: " << AsmPath << " failed to assemble:\n";
+      if (const auto *Arr = Diags->asArray())
+        for (const JsonValue &D : *Arr) {
+          uint64_t Line = D.memberU64("line").value_or(0);
+          uint64_t Col = D.memberU64("col").value_or(0);
+          const std::string *Msg = D.memberString("message");
+          Err << "line " << Line;
+          if (Col != 0)
+            Err << ", col " << Col;
+          Err << ": " << (Msg ? *Msg : std::string()) << "\n";
+        }
+      // The local path prints "bec: <error>\n" where the error itself
+      // ends in a newline; keep the trailing blank line identical.
+      Err << "\n";
+      return;
+    }
+  }
+  Err << "bec: " << R.errorText() << "\n";
+}
+
+/// The canonical target list the local path would have produced: deduped
+/// workload canonical names, then external asm file paths.
+int remoteTargetList(const DriverOptions &Opts,
+                     std::vector<std::string> &Targets, std::ostream &Err) {
+  auto Add = [&](const std::string &Name) {
+    for (const std::string &T : Targets)
+      if (T == Name)
+        return;
+    Targets.push_back(Name);
+  };
+  bool Selected = Opts.AllWorkloads || !Opts.WorkloadNames.empty() ||
+                  !Opts.AsmFiles.empty();
+  if (Opts.AllWorkloads || !Selected)
+    for (const Workload &W : allWorkloads())
+      Add(W.Name);
+  for (const std::string &Name : Opts.WorkloadNames) {
+    const Workload *W = findWorkloadAnyCase(Name);
+    if (!W) {
+      Err << "bec: unknown workload '" << Name
+          << "'; --list-workloads prints the bundled names\n";
+      return ExitBadInput;
+    }
+    Add(W->Name);
+  }
+  for (const std::string &Path : Opts.AsmFiles)
+    Add(Path);
+  return ExitSuccess;
+}
+
+/// Reads \p Path into `intern` method params ({"name","asm"}); nullopt
+/// with a diagnostic when the file cannot be read.
+std::optional<std::string> internParamsForFile(const std::string &Path,
+                                               std::ostream &Err) {
+  std::ifstream In(Path);
+  if (!In) {
+    Err << "bec: cannot open '" << Path << "'\n";
+    return std::nullopt;
+  }
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  JsonWriter P;
+  P.beginObject();
+  P.key("name").value(Path);
+  P.key("asm").value(Buf.str());
+  P.endObject();
+  return P.take();
+}
+
+/// Pools \p Path on the server under its path name.
+int internAsmFile(serve::Client &C, const std::string &Path,
+                  std::ostream &Err) {
+  std::optional<std::string> Params = internParamsForFile(Path, Err);
+  if (!Params)
+    return ExitBadInput;
+  serve::Reply R = C.call("intern", *Params);
+  if (!R.Ok) {
+    reportReplyError(R, Path, Err);
+    return ExitBadInput;
+  }
+  return ExitSuccess;
+}
+
+/// Executes one already-parsed subcommand method reply: print output and
+/// diagnostics, honor --emit, adopt the server's exit code.
+int consumeSubcommandReply(const serve::Reply &R, const DriverOptions &Opts,
+                           bool WithEmit, std::ostream &Out,
+                           std::ostream &Err) {
+  const std::string *Output = R.Result.memberString("output");
+  std::optional<uint64_t> Exit = R.Result.memberU64("exit");
+  if (!Output || !Exit || *Exit > ExitUnsound) {
+    Err << "bec: malformed result from server\n";
+    return ExitBadInput;
+  }
+  Out << *Output;
+  if (const std::string *Diag = R.Result.memberString("diag"))
+    Err << *Diag;
+  int Status = static_cast<int>(*Exit);
+  if (Status == ExitSuccess && WithEmit) {
+    const std::string *Emit = R.Result.memberString("emit");
+    if (!Emit) {
+      Err << "bec: server returned no emitted assembly\n";
+      return ExitBadInput;
+    }
+    Status = emitAssembly(*Emit, Opts, Err);
+  }
+  return Status;
+}
+
+/// `bec <subcommand> --remote host:port`: transparent offload.
+int runRemote(const DriverOptions &Opts, std::ostream &Out,
+              std::ostream &Err) {
+  std::vector<std::string> Targets;
+  if (int Status = remoteTargetList(Opts, Targets, Err))
+    return Status;
+  bool WithEmit = !Opts.EmitPath.empty();
+  if (WithEmit && Targets.size() != 1) {
+    Err << "bec: --emit requires exactly one selected target\n";
+    return ExitUsage;
+  }
+
+  std::string ConnErr;
+  std::optional<serve::Client> C =
+      serve::Client::connect(Opts.RemoteHost, Opts.RemotePort, ConnErr);
+  if (!C) {
+    Err << "bec: " << ConnErr << "\n";
+    return ExitBadInput;
+  }
+  for (const std::string &Path : Opts.AsmFiles)
+    if (int Status = internAsmFile(*C, Path, Err))
+      return Status;
+
+  serve::Reply R = C->call(commandMethod(Opts.Cmd),
+                           subcommandParams(Opts.Cmd, Opts, Targets, WithEmit));
+  if (!R.Ok) {
+    Err << "bec: " << R.errorText() << "\n";
+    return ExitBadInput;
+  }
+  return consumeSubcommandReply(R, Opts, WithEmit, Out, Err);
+}
+
+/// `bec serve`: run the becd server until a shutdown request.
+int runServe(const DriverOptions &Opts, std::ostream &Out,
+             std::ostream &Err) {
+  serve::Service Svc;
+  serve::Server::Options SO;
+  SO.Host = Opts.ServeHost;
+  SO.Port = Opts.ServePort;
+  // For a server, --jobs bounds concurrent connections; default to a
+  // small pool rather than the CLI's serial default.
+  SO.Jobs = Opts.JobsExplicit ? Opts.Jobs : 4;
+  serve::Server Srv(Svc, SO);
+  std::string BindErr;
+  if (!Srv.start(BindErr)) {
+    Err << "bec: serve: " << BindErr << "\n";
+    return ExitBadInput;
+  }
+  Out << "becd listening on " << SO.Host << ":" << Srv.port() << " (api "
+      << BEC_API_VERSION_STRING << ", protocol " << serve::ProtocolVersion
+      << ")\n";
+  Out.flush();
+  if (!Opts.PortFile.empty()) {
+    // Write-then-rename so pollers never observe a partial file.
+    std::string Tmp = Opts.PortFile + ".tmp";
+    {
+      std::ofstream PF(Tmp);
+      if (!PF) {
+        Err << "bec: cannot write '" << Opts.PortFile << "'\n";
+        return ExitBadInput;
+      }
+      PF << Srv.port() << "\n";
+    }
+    std::rename(Tmp.c_str(), Opts.PortFile.c_str());
+  }
+  Srv.run();
+  Out << "becd: shut down\n";
+  return ExitSuccess;
+}
+
+/// `bec client <method> ...`: one raw method call.
+int runClient(const DriverOptions &Opts, std::ostream &Out,
+              std::ostream &Err) {
+  const std::string &Method = Opts.ClientArgs[0];
+  std::vector<std::string> Positional(Opts.ClientArgs.begin() + 1,
+                                      Opts.ClientArgs.end());
+
+  // Build params before connecting so usage errors stay local.
+  std::string Params;
+  std::optional<Command> Sub = subcommandForMethod(Method);
+  std::string AsmPath;
+  if (Sub) {
+    Params = subcommandParams(*Sub, Opts, Positional, /*WithEmit=*/false);
+  } else if (Method == "version" || Method == "stats" ||
+             Method == "shutdown") {
+    if (!Positional.empty()) {
+      Err << "bec: client " << Method << " takes no arguments\n";
+      return ExitUsage;
+    }
+  } else if (Method == "counts") {
+    if (Positional.size() != 1) {
+      Err << "bec: client counts needs exactly one target\n";
+      return ExitUsage;
+    }
+    JsonWriter W;
+    W.beginObject();
+    W.key("target").value(Positional[0]);
+    W.endObject();
+    Params = W.take();
+  } else if (Method == "intern") {
+    if (Positional.size() != 1) {
+      Err << "bec: client intern needs exactly one assembly file\n";
+      return ExitUsage;
+    }
+    AsmPath = Positional[0];
+    std::optional<std::string> InternParams =
+        internParamsForFile(AsmPath, Err);
+    if (!InternParams)
+      return ExitBadInput;
+    Params = *InternParams;
+  } else {
+    Err << "bec: unknown client method '" << Method << "'\n";
+    return ExitUsage;
+  }
+
+  std::string ConnErr;
+  std::optional<serve::Client> C =
+      serve::Client::connect(Opts.RemoteHost, Opts.RemotePort, ConnErr);
+  if (!C) {
+    Err << "bec: " << ConnErr << "\n";
+    return ExitBadInput;
+  }
+  serve::Reply R = C->call(Method, Params);
+  if (!R.Ok) {
+    reportReplyError(R, AsmPath, Err);
+    return ExitBadInput;
+  }
+  if (Sub)
+    return consumeSubcommandReply(R, Opts, /*WithEmit=*/false, Out, Err);
+  Out << R.Result.toJson() << "\n";
+  return ExitSuccess;
+}
+
 } // namespace
 
 //===----------------------------------------------------------------------===//
@@ -514,6 +834,13 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
   if (ParseStatus != ExitSuccess)
     return ParseStatus;
 
+  if (Opts.Cmd == Command::Serve)
+    return runServe(Opts, Out, Err);
+  if (Opts.Cmd == Command::Client)
+    return runClient(Opts, Out, Err);
+  if (Opts.Remote)
+    return runRemote(Opts, Out, Err);
+
   AnalysisSession S;
   if (int Status = collectTargets(Opts, S, Err))
     return Status;
@@ -524,35 +851,29 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
 
   std::vector<std::string> Names = targetNames(S);
   bool Json = Opts.Format == OutputFormat::Json;
-  ThreadPool Pool(Opts.Jobs);
+  ThreadPool Pool(ThreadPool::clampJobs(Opts.Jobs));
   int Status = ExitSuccess;
 
   switch (Opts.Cmd) {
   case Command::Analyze: {
     auto Results = S.evaluateAll<AnalyzeQuery>({}, Pool);
-    if (Json)
-      Out << renderAnalyzeJson(Names, Results);
-    else
-      renderAnalyze(S, Results, Out);
+    Out << (Json ? renderAnalyzeJson(Names, Results)
+                 : renderAnalyzeText(Names, Results));
     Status = reportErrors(S, Results, Err);
     break;
   }
   case Command::Campaign: {
     auto Results =
         S.evaluateAll<CampaignCmdQuery>({Opts.Plan, Opts.MaxCycles}, Pool);
-    if (Json)
-      Out << renderCampaignJson(Names, Results, Opts.Plan);
-    else
-      renderCampaign(S, Results, Opts, Out);
+    Out << (Json ? renderCampaignJson(Names, Results, Opts.Plan)
+                 : renderCampaignText(Names, Results, Opts.Plan));
     Status = reportErrors(S, Results, Err);
     break;
   }
   case Command::Schedule: {
     auto Results = S.evaluateAll<ScheduleCmdQuery>({}, Pool);
-    if (Json)
-      Out << renderScheduleJson(Names, Results);
-    else
-      renderSchedule(S, Results, Out);
+    Out << (Json ? renderScheduleJson(Names, Results)
+                 : renderScheduleText(Names, Results));
     Status = reportErrors(S, Results, Err);
     if (Status == ExitSuccess && !Opts.EmitPath.empty()) {
       size_t Policy = Opts.EmitPolicy == SchedulePolicy::SourceOrder ? 0
@@ -567,10 +888,8 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
     HardenCmdQuery::Options HO;
     HO.Budgets = Opts.Budgets;
     auto Results = S.evaluateAll<HardenCmdQuery>(HO, Pool);
-    if (Json)
-      Out << renderHardenJson(Names, Results, Opts.Budgets);
-    else
-      renderHarden(S, Results, Opts, Out);
+    Out << (Json ? renderHardenJson(Names, Results, Opts.Budgets)
+                 : renderHardenText(Names, Results, Opts.Budgets));
     Status = reportErrors(S, Results, Err);
     if (Status == ExitSuccess)
       for (size_t I = 0; I < Results.size(); ++I)
@@ -587,10 +906,8 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
   }
   case Command::Report: {
     auto Results = S.evaluateAll<ReportCmdQuery>({Opts.MaxCycles}, Pool);
-    if (Json)
-      Out << renderReportJson(Names, Results);
-    else
-      renderReport(S, Results, Out);
+    Out << (Json ? renderReportJson(Names, Results)
+                 : renderReportText(Names, Results));
     Status = reportErrors(S, Results, Err);
     if (Status == ExitSuccess)
       for (const auto &R : Results)
@@ -598,6 +915,9 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
           Status = ExitUnsound;
     break;
   }
+  case Command::Serve:
+  case Command::Client:
+    break; // Dispatched before target loading.
   }
   return Status;
 }
