@@ -1,0 +1,224 @@
+//===- bench/CampaignScale.cpp - Campaign engine scaling benchmark --------===//
+///
+/// \file
+/// Measures the three levers the campaign engine offers over the naive
+/// exhaustive baseline, on a fixed golden-trace window so the exhaustive
+/// mode stays tractable:
+///
+///   * exhaustive — every bit of the register file at every window cycle
+///     (the Table I baseline);
+///   * pruned     — the BEC bit-level plan over the same window: one run
+///     per non-masked equivalence class per dynamic segment;
+///   * sampled    — a stratified 2048-run sample of the exhaustive
+///     window with Wilson confidence intervals.
+///
+/// Each mode runs at 1 / 4 / 16 engine threads through the work-stealing
+/// scheduler. Two invariants are asserted, matching the acceptance bar of
+/// the engine:
+///
+///   * equal verdicts: every run the pruned plan keeps classifies
+///     identically to the exhaustive run at the same (cycle, reg, bit)
+///     site — pruning changes cost, never outcomes;
+///   * pruned is >= 5x faster than exhaustive at equal thread count.
+///
+/// Emits BENCH_campaign.json (path = argv[1], default ./BENCH_campaign
+/// .json) next to BENCH_session.json and BENCH_serve.json.
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/Api.h"
+
+#include "fi/Engine.h"
+#include "support/Debug.h"
+#include "support/Json.h"
+#include "support/Table.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+using namespace bec;
+
+namespace {
+
+constexpr const char *Names[] = {"bitcount", "CRC32"};
+constexpr uint64_t WindowCycles = 64;
+constexpr uint64_t SampleRuns = 2048;
+constexpr uint64_t SampleSeed = 42;
+constexpr unsigned ThreadLevels[] = {1, 4, 16};
+
+struct ModeRun {
+  std::string Mode;
+  unsigned Threads = 0;
+  uint64_t Runs = 0;
+  double Seconds = 0;
+  double SpeedupVsExhaustive = 0; ///< Same thread count.
+};
+
+uint64_t siteKey(const PlannedRun &R) {
+  return (R.AfterCycle << 16) | (uint64_t(R.R) << 8) | R.Bit;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_campaign.json";
+  std::printf("campaign engine scaling: exhaustive vs. BEC-pruned vs. "
+              "sampled over a %llu-cycle window, 1/4/16 threads\n\n",
+              (unsigned long long)WindowCycles);
+
+  AnalysisSession S;
+  Table Tbl({"workload", "mode", "threads", "runs", "seconds", "runs/s",
+             "vs exhaustive"});
+  JsonWriter J;
+  J.beginObject();
+  J.key("bench").value("CampaignScale");
+  J.key("api_version").value(BEC_API_VERSION_STRING);
+  J.key("window_cycles").value(WindowCycles);
+  J.key("sample_runs").value(SampleRuns);
+  J.key("workloads").beginArray();
+
+  double WorstPrunedSpeedup1T = 1e100;
+  bool VerdictsEqual = true;
+
+  for (const char *Name : Names) {
+    auto T = S.addWorkload(Name);
+    if (!T)
+      reportFatalError("unknown benchmark workload");
+    std::shared_ptr<const BECAnalysis> A = S.get<BECQuery>(*T);
+    std::shared_ptr<const Trace> Golden = S.get<TraceQuery>(*T);
+    const Program &Prog = S.program(*T);
+
+    // The three plans. The pruned window is one cycle shorter because
+    // segment plans inject *after* the accessing cycle: every pruned
+    // site then has an exhaustive twin for the verdict comparison.
+    PlanOptions ExhaustiveOpts;
+    ExhaustiveOpts.Kind = PlanKind::Exhaustive;
+    ExhaustiveOpts.MaxCycles = WindowCycles;
+    PlanOptions PrunedOpts;
+    PrunedOpts.Kind = PlanKind::BitLevel;
+    PrunedOpts.MaxCycles = WindowCycles - 1;
+    PlanOptions SampledOpts = ExhaustiveOpts;
+    SampledOpts.SampleSize = SampleRuns;
+    SampledOpts.SampleSeed = SampleSeed;
+
+    struct Mode {
+      const char *Label;
+      CampaignPlan Plan;
+    } Modes[] = {
+        {"exhaustive", CampaignPlan::build(*A, *Golden, ExhaustiveOpts)},
+        {"pruned", CampaignPlan::build(*A, *Golden, PrunedOpts)},
+        {"sampled", CampaignPlan::build(*A, *Golden, SampledOpts)},
+    };
+
+    std::vector<ModeRun> Results;
+    std::map<unsigned, double> ExhaustiveSeconds;
+    std::map<uint64_t, FaultEffect> ExhaustiveVerdicts;
+
+    for (const Mode &M : Modes) {
+      for (unsigned Threads : ThreadLevels) {
+        CampaignExecOptions Exec;
+        Exec.Threads = Threads;
+        CampaignResult R = runCampaign(Prog, *Golden, M.Plan, Exec);
+        if (!R.Error.empty())
+          reportFatalError("campaign engine failed");
+
+        ModeRun MR;
+        MR.Mode = M.Label;
+        MR.Threads = Threads;
+        MR.Runs = R.Runs;
+        MR.Seconds = R.Seconds;
+        if (M.Label == std::string("exhaustive")) {
+          ExhaustiveSeconds[Threads] = R.Seconds;
+          MR.SpeedupVsExhaustive = 1.0;
+          if (Threads == 1)
+            for (size_t I = 0; I < M.Plan.runs().size(); ++I)
+              ExhaustiveVerdicts[siteKey(M.Plan.runs()[I])] = R.Effects[I];
+        } else {
+          MR.SpeedupVsExhaustive =
+              R.Seconds > 0 ? ExhaustiveSeconds[Threads] / R.Seconds : 0;
+        }
+        if (M.Label == std::string("pruned")) {
+          if (Threads == 1 && MR.SpeedupVsExhaustive < WorstPrunedSpeedup1T)
+            WorstPrunedSpeedup1T = MR.SpeedupVsExhaustive;
+          // Equal verdicts: a kept representative classifies exactly as
+          // the exhaustive run at the same fault site did.
+          for (size_t I = 0; I < M.Plan.runs().size(); ++I) {
+            auto It = ExhaustiveVerdicts.find(siteKey(M.Plan.runs()[I]));
+            if (It == ExhaustiveVerdicts.end() ||
+                It->second != R.Effects[I]) {
+              VerdictsEqual = false;
+              break;
+            }
+          }
+        }
+
+        char Sec[32], Thr[32], Speed[32];
+        std::snprintf(Sec, sizeof Sec, "%.3f", MR.Seconds);
+        std::snprintf(Thr, sizeof Thr, "%.0f",
+                      MR.Seconds > 0 ? double(MR.Runs) / MR.Seconds : 0);
+        std::snprintf(Speed, sizeof Speed, "%.1fx", MR.SpeedupVsExhaustive);
+        Tbl.row()
+            .cell(Name)
+            .cell(MR.Mode)
+            .cell(uint64_t(MR.Threads))
+            .cell(MR.Runs)
+            .cell(std::string(Sec))
+            .cell(std::string(Thr))
+            .cell(std::string(Speed));
+        Results.push_back(MR);
+      }
+    }
+
+    J.beginObject();
+    J.key("name").value(Name);
+    J.key("trace_cycles").value(Golden->Cycles);
+    J.key("modes").beginArray();
+    for (const ModeRun &MR : Results) {
+      J.beginObject();
+      J.key("mode").value(MR.Mode);
+      J.key("threads").value(uint64_t(MR.Threads));
+      J.key("runs").value(MR.Runs);
+      J.key("seconds").value(MR.Seconds);
+      J.key("throughput_runs_s")
+          .value(MR.Seconds > 0 ? double(MR.Runs) / MR.Seconds : 0.0);
+      J.key("speedup_vs_exhaustive").value(MR.SpeedupVsExhaustive);
+      J.endObject();
+    }
+    J.endArray();
+    J.endObject();
+  }
+
+  std::printf("%s\n", Tbl.render().c_str());
+  std::printf("pruned verdicts equal exhaustive at every kept site: %s\n",
+              VerdictsEqual ? "yes" : "NO");
+  std::printf("worst pruned-vs-exhaustive speedup at 1 thread: %.1fx\n",
+              WorstPrunedSpeedup1T);
+
+  // The engine's contract (ISSUE 5 acceptance): pruning must buy at
+  // least 5x at equal verdicts. Fail loudly if either ever regresses.
+  if (!VerdictsEqual)
+    reportFatalError("pruned campaign verdicts diverge from exhaustive");
+  if (WorstPrunedSpeedup1T < 5.0)
+    reportFatalError("pruned campaign is less than 5x faster than "
+                     "exhaustive");
+
+  J.endArray();
+  J.key("asserts").beginObject();
+  J.key("verdicts_equal").value(VerdictsEqual);
+  J.key("worst_pruned_speedup_1t").value(WorstPrunedSpeedup1T);
+  J.endObject();
+  J.endObject();
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath);
+    return 1;
+  }
+  Out << J.take() << "\n";
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

@@ -117,7 +117,22 @@ RankQuery::Result RankQuery::compute(AnalysisSession &S,
 }
 
 std::string CampaignQuery::fingerprint(const Options &O) {
-  return fpNum(static_cast<uint64_t>(O.Plan)) + "," + fpNum(O.MaxCycles);
+  std::string F = fpNum(static_cast<uint64_t>(O.Plan)) + "," +
+                  fpNum(O.MaxCycles);
+  if (O.SampleSize)
+    F += ",s" + fpNum(O.SampleSize) + "," + fpNum(O.SampleSeed);
+  // Exec knobs that can change the cached *value* key separate entries:
+  // the checkpoint path (I/O failures become the result's Error; resume
+  // changes ResumedShards), an interruption limit (partial results),
+  // and the shard geometry (the Shards field). Threads and the progress
+  // callback never change the value and stay excluded — any thread
+  // count shares one entry.
+  if (!O.Exec.CheckpointPath.empty() || O.Exec.StopAfterShards ||
+      O.Exec.ShardSize)
+    F += ",x" + fpNum(O.Exec.ShardSize) + "," +
+         fpNum(O.Exec.StopAfterShards) + (O.Exec.Resume ? ",r," : ",-,") +
+         O.Exec.CheckpointPath;
+  return F;
 }
 
 CampaignQuery::Result CampaignQuery::compute(AnalysisSession &S,
@@ -125,8 +140,13 @@ CampaignQuery::Result CampaignQuery::compute(AnalysisSession &S,
                                              const Options &O) {
   std::shared_ptr<const BECAnalysis> A = S.get<BECQuery>(P);
   std::shared_ptr<const Trace> G = S.get<TraceQuery>(P);
-  std::vector<PlannedRun> Plan = planCampaign(*A, *G, O.Plan, O.MaxCycles);
-  return runCampaign(P->program(), *G, std::move(Plan));
+  PlanOptions PO;
+  PO.Kind = O.Plan;
+  PO.MaxCycles = O.MaxCycles;
+  PO.SampleSize = O.SampleSize;
+  PO.SampleSeed = O.SampleSeed;
+  CampaignPlan Plan = CampaignPlan::build(*A, *G, PO);
+  return runCampaign(P->program(), *G, Plan, O.Exec);
 }
 
 std::string ValidationQuery::fingerprint(const Options &O) {
@@ -181,6 +201,9 @@ CampaignCmdQuery::Result CampaignCmdQuery::compute(AnalysisSession &S,
   if (!commonPrefix(S, P, R))
     return R;
   R.Campaign = *S.get<CampaignQuery>(P, O);
+  // Engine-level failures (unwritable or incompatible checkpoint) become
+  // the subcommand's error, like any other per-target failure.
+  R.Error = R.Campaign.Error;
   return R;
 }
 

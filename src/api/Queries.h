@@ -33,6 +33,7 @@
 #include "api/AnalysisSession.h"
 #include "core/Metrics.h"
 #include "fi/Campaign.h"
+#include "fi/Engine.h"
 #include "fi/Validation.h"
 #include "harden/Harden.h"
 #include "harden/VulnerabilityRank.h"
@@ -134,12 +135,27 @@ struct RankQuery {
                         const Options &);
 };
 
-/// Plans and executes one fault-injection campaign.
+/// Plans and executes one fault-injection campaign through the sharded
+/// engine (fi/Engine.h), reusing the session's cached BEC analysis and
+/// golden trace for pruning.
 struct CampaignQuery {
   using Result = CampaignResult;
   struct Options {
     PlanKind Plan = PlanKind::BitLevel;
     uint64_t MaxCycles = 0;
+    /// Stratified sampling of the enumerated plan (0 = execute it all);
+    /// the result then carries per-effect Wilson confidence intervals.
+    uint64_t SampleSize = 0;
+    uint64_t SampleSeed = 1;
+    /// Execution-side knobs (threads, sharding, checkpoint/resume,
+    /// progress). Threads and the progress callback are NOT
+    /// fingerprinted — they never change the result value, so any
+    /// thread count hits the same cache entry; checkpointing,
+    /// interruption limits and shard geometry ARE, because they can
+    /// surface in the result (Error, Interrupted, Shards). Corollary:
+    /// a cache hit skips execution entirely, including its checkpoint
+    /// writes and progress callbacks.
+    CampaignExecOptions Exec;
   };
   static constexpr const char *Name = "campaign";
   static std::string fingerprint(const Options &O);

@@ -39,6 +39,29 @@ void jsonCampaign(JsonWriter &W, const CampaignResult &C) {
     W.key(toLowerAscii(faultEffectName(FaultEffect(E))))
         .value(C.EffectCounts[E]);
   W.endObject();
+  // Per-class breakdown as fractions of the executed runs: what the
+  // counts alone make every consumer recompute.
+  W.key("rates").beginObject();
+  for (unsigned E = 0; E < NumFaultEffects; ++E)
+    W.key(toLowerAscii(faultEffectName(FaultEffect(E))))
+        .value(C.Runs ? double(C.EffectCounts[E]) / double(C.Runs) : 0.0);
+  W.endObject();
+  if (C.Sample) {
+    const SampleSummary &S = *C.Sample;
+    W.key("sample").beginObject();
+    W.key("runs").value(S.SampleRuns);
+    W.key("population").value(S.PopulationRuns);
+    W.key("seed").value(S.Seed);
+    W.key("ci95").beginObject();
+    for (unsigned E = 0; E < NumFaultEffects; ++E) {
+      W.key(toLowerAscii(faultEffectName(FaultEffect(E)))).beginObject();
+      W.key("lo").value(S.CI[E].Lo);
+      W.key("hi").value(S.CI[E].Hi);
+      W.endObject();
+    }
+    W.endObject();
+    W.endObject();
+  }
   W.key("distinct_traces").value(C.DistinctTraces);
   W.key("seconds").value(C.Seconds);
   W.endObject();
@@ -221,12 +244,17 @@ std::string bec::renderCampaignText(
     PlanKind Plan) {
   std::string Out = "Campaign plan: " + std::string(planName(Plan)) + "\n";
   Table Tbl({"Workload", "Runs", "Masked", "Benign", "SDC", "Trap", "Hang",
-             "Distinct", "Seconds"});
+             "SDC rate", "Trap rate", "Distinct", "Seconds"});
   for (size_t I = 0; I < Results.size(); ++I) {
     const CampaignCmdResult &R = *Results[I];
     if (!R.Error.empty())
       continue;
     const auto &E = R.Campaign.EffectCounts;
+    auto Rate = [&](FaultEffect F) {
+      return R.Campaign.Runs
+                 ? double(E[size_t(F)]) / double(R.Campaign.Runs)
+                 : 0.0;
+    };
     Tbl.row()
         .cell(Names[I])
         .cell(R.Campaign.Runs)
@@ -235,10 +263,28 @@ std::string bec::renderCampaignText(
         .cell(E[size_t(FaultEffect::SDC)])
         .cell(E[size_t(FaultEffect::Trap)])
         .cell(E[size_t(FaultEffect::Hang)])
+        .cell(Table::percent(Rate(FaultEffect::SDC)))
+        .cell(Table::percent(Rate(FaultEffect::Trap)))
         .cell(R.Campaign.DistinctTraces)
         .cell(R.Campaign.Seconds, 2);
   }
-  return Out + Tbl.render();
+  Out += Tbl.render();
+  // Sampled campaigns: what the sample supports about its population.
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const CampaignCmdResult &R = *Results[I];
+    if (!R.Error.empty() || !R.Campaign.Sample)
+      continue;
+    const SampleSummary &S = *R.Campaign.Sample;
+    auto CI = [&](FaultEffect F) {
+      const RateInterval &V = S.CI[size_t(F)];
+      return Table::percent(V.Lo) + "-" + Table::percent(V.Hi);
+    };
+    Out += Names[I] + ": sampled " + std::to_string(S.SampleRuns) + " of " +
+           std::to_string(S.PopulationRuns) + " planned runs (seed " +
+           std::to_string(S.Seed) + "); 95% CI SDC " +
+           CI(FaultEffect::SDC) + ", trap " + CI(FaultEffect::Trap) + "\n";
+  }
+  return Out;
 }
 
 std::string bec::renderScheduleText(

@@ -1,12 +1,16 @@
-//===- fi/Campaign.cpp - Fault-injection campaign engine -------------------===//
+//===- fi/Campaign.cpp - Campaign vocabulary and fault-space enumeration --===//
+//
+// Execution lives in fi/Engine.cpp (the sharded, resumable executor);
+// sampling and fingerprints in fi/CampaignPlan.cpp. This file keeps the
+// shared vocabulary and the three raw plan enumerations.
+//
+//===----------------------------------------------------------------------===//
 
 #include "fi/Campaign.h"
 
 #include "support/Debug.h"
 
 #include <algorithm>
-#include <chrono>
-#include <unordered_map>
 
 using namespace bec;
 
@@ -88,68 +92,4 @@ std::vector<PlannedRun> bec::planCampaign(const BECAnalysis &A,
     }
   }
   return Plan;
-}
-
-CampaignResult bec::runCampaign(const Program &Prog, const Trace &Golden,
-                                std::vector<PlannedRun> Plan) {
-  auto Start = std::chrono::steady_clock::now();
-  CampaignResult Result;
-  Result.Runs = Plan.size();
-  Result.TraceHashes.resize(Plan.size());
-  Result.Effects.resize(Plan.size());
-
-  // Sort run order by injection cycle but keep result slots stable.
-  std::vector<uint32_t> Order(Plan.size());
-  for (uint32_t I = 0; I < Plan.size(); ++I)
-    Order[I] = I;
-  std::stable_sort(Order.begin(), Order.end(), [&](uint32_t X, uint32_t Y) {
-    return Plan[X].AfterCycle < Plan[Y].AfterCycle;
-  });
-
-  RunOptions Opts;
-  Opts.Record = false;
-  Opts.MaxCycles = Golden.Cycles * 16 + 4096;
-
-  std::unordered_map<uint64_t, uint64_t> Archive; // hash -> byte size
-  Archive.emplace(Golden.TraceHash, Golden.approxByteSize());
-
-  Interpreter Walker(Prog, Opts);
-  for (size_t K = 0; K < Order.size();) {
-    uint64_t Cycle = Plan[Order[K]].AfterCycle;
-    Walker.runToCycle(Cycle);
-    // All runs injecting at this cycle share the snapshot.
-    while (K < Order.size() && Plan[Order[K]].AfterCycle == Cycle) {
-      const PlannedRun &Run = Plan[Order[K]];
-      Interpreter Forked = Walker;
-      Forked.machine().flipRegBit(Run.R, Run.Bit);
-      Forked.run();
-      Trace T = Forked.takeTrace();
-
-      FaultEffect Effect;
-      if (T.TraceHash == Golden.TraceHash)
-        Effect = FaultEffect::Masked;
-      else if (T.End == Outcome::Trap)
-        Effect = FaultEffect::Trap;
-      else if (T.End == Outcome::Hang)
-        Effect = FaultEffect::Hang;
-      else if (T.ObservableHash == Golden.ObservableHash)
-        Effect = FaultEffect::Benign;
-      else
-        Effect = FaultEffect::SDC;
-
-      Result.TraceHashes[Order[K]] = T.TraceHash;
-      Result.Effects[Order[K]] = Effect;
-      ++Result.EffectCounts[static_cast<unsigned>(Effect)];
-      Archive.emplace(T.TraceHash, T.approxByteSize());
-      ++K;
-    }
-  }
-
-  Result.DistinctTraces = Archive.size();
-  for (const auto &[Hash, Bytes] : Archive)
-    Result.ArchiveBytes += Bytes;
-  Result.Seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
-          .count();
-  return Result;
 }

@@ -15,6 +15,17 @@
 ///                    equivalence class per dynamic segment ("Live in
 ///                    bits").
 ///
+/// This header holds the shared vocabulary (PlannedRun, FaultEffect,
+/// CampaignResult) plus the classic serial entry points. The scalable
+/// engine is layered on top:
+///
+///   * fi/CampaignPlan.h — one-shot fault-space enumeration, stratified
+///     sampling with Wilson confidence intervals, plan fingerprints;
+///   * fi/Checkpoint.h   — JSONL per-shard result batches so campaigns
+///     survive interruption;
+///   * fi/Engine.h       — the sharded, work-stealing, resumable
+///     executor (runCampaign over a CampaignPlan).
+///
 /// Runs are executed with per-cycle machine snapshots so each run costs
 /// only the suffix of the program after its injection point.
 ///
@@ -26,6 +37,9 @@
 #include "core/BECAnalysis.h"
 #include "sim/Interpreter.h"
 
+#include <array>
+#include <optional>
+#include <string>
 #include <vector>
 
 namespace bec {
@@ -46,8 +60,9 @@ struct PlannedRun {
 enum class PlanKind { Exhaustive, ValueLevel, BitLevel };
 
 /// Builds the run list of \p Kind for \p Golden (the fault-free trace of
-/// the analyzed program). \p MaxCycles limits exhaustive plans to a window
-/// of the trace (0 = no limit).
+/// the analyzed program). \p MaxCycles limits plans to a window of the
+/// trace (0 = no limit). CampaignPlan::build is the richer front end
+/// (sampling, fingerprints); this is the raw enumeration.
 std::vector<PlannedRun> planCampaign(const BECAnalysis &A, const Trace &Golden,
                                      PlanKind Kind, uint64_t MaxCycles = 0);
 
@@ -63,23 +78,61 @@ inline constexpr unsigned NumFaultEffects = 5;
 
 const char *faultEffectName(FaultEffect E);
 
+/// A closed rate interval (95% Wilson score; see wilsonInterval).
+struct RateInterval {
+  double Lo = 0;
+  double Hi = 0;
+};
+
+/// Statistics of a sampled campaign: the per-effect point estimates and
+/// confidence intervals the sample supports about its population.
+struct SampleSummary {
+  uint64_t SampleRuns = 0;     ///< Runs actually executed.
+  uint64_t PopulationRuns = 0; ///< Size of the enumerated fault space.
+  uint64_t Seed = 0;           ///< The sample's PRNG seed.
+  /// Per-effect observed rate in the sample (point estimate of the
+  /// population rate), indexed by FaultEffect.
+  std::array<double, NumFaultEffects> Rate{};
+  /// Per-effect 95% Wilson interval around Rate.
+  std::array<RateInterval, NumFaultEffects> CI{};
+};
+
 /// Aggregate result of an executed campaign.
 struct CampaignResult {
+  /// Non-empty when the engine could not run at all (unwritable or
+  /// incompatible checkpoint); every other field is then unset.
+  std::string Error;
   uint64_t Runs = 0;
   std::array<uint64_t, NumFaultEffects> EffectCounts{};
   /// Number of distinguishable traces (distinct hashes) and the bytes an
   /// archive of them would occupy (Table I's disk-space column).
   uint64_t DistinctTraces = 0;
   uint64_t ArchiveBytes = 0;
-  /// Wall-clock seconds spent executing runs.
+  /// Wall-clock seconds spent executing runs (this invocation only; a
+  /// resumed campaign does not accumulate previous sessions).
   double Seconds = 0;
   /// Per-run trace hashes, parallel to the plan (for validation).
   std::vector<uint64_t> TraceHashes;
   /// Per-run effects, parallel to the plan.
   std::vector<FaultEffect> Effects;
+
+  /// Shard accounting of the engine run (both zero for the classic
+  /// serial entry point when the plan is empty).
+  uint64_t Shards = 0;
+  uint64_t ResumedShards = 0; ///< Shards replayed from a checkpoint.
+  /// True when execution stopped before every shard completed (the
+  /// StopAfterShards interruption hook); aggregate fields then cover the
+  /// completed shards only and per-run slots of unfinished shards are
+  /// unset.
+  bool Interrupted = false;
+
+  /// Engaged iff the executed plan was a sample of a larger population.
+  std::optional<SampleSummary> Sample;
 };
 
-/// Executes \p Plan (sorted or unsorted) and classifies every run.
+/// Executes \p Plan (sorted or unsorted) serially and classifies every
+/// run. Equivalent to the engine at one thread with no checkpointing;
+/// kept as the simple entry point for tests and small plans.
 CampaignResult runCampaign(const Program &Prog, const Trace &Golden,
                            std::vector<PlannedRun> Plan);
 

@@ -1,0 +1,88 @@
+//===- fi/Checkpoint.h - Resumable campaign checkpoints (JSONL) -----------===//
+///
+/// \file
+/// Durable per-shard result batches for the campaign engine. A checkpoint
+/// file is JSON Lines: one header record followed by one record per
+/// completed shard, appended and flushed as shards finish, so a campaign
+/// killed at any point loses at most the shards that were still in
+/// flight. The format is documented in docs/campaigns.md:
+///
+///   {"bec_campaign_checkpoint":1,"plan_fingerprint":"<hex64>",
+///    "runs":N,"shards":S,"shard_size":Z}
+///   {"shard":3,"effects":[0,2,...],"hashes":["<hex64>",...],
+///    "bytes":[120,96,...]}
+///
+/// Trace hashes are hex *strings* because they are full-range uint64
+/// values and JSON number parsing is only int64-precise. Loading is
+/// deliberately forgiving about damage a crash can cause — a torn final
+/// line or a record with inconsistent array lengths is skipped — and
+/// deliberately strict about identity: a header whose plan fingerprint or
+/// shard geometry differs from the resuming campaign is an error, never a
+/// silent partial reuse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_FI_CHECKPOINT_H
+#define BEC_FI_CHECKPOINT_H
+
+#include "fi/Campaign.h"
+
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bec {
+
+/// Identity of the campaign a checkpoint belongs to.
+struct CheckpointHeader {
+  uint64_t PlanFingerprint = 0; ///< CampaignPlan::fingerprint().
+  uint64_t Runs = 0;            ///< Total planned runs.
+  uint64_t Shards = 0;          ///< Total shards of the partition.
+  uint64_t ShardSize = 0;       ///< Runs per shard (last may be short).
+};
+
+/// One completed shard's results, in execution order within the shard.
+struct ShardRecord {
+  uint64_t Shard = 0;
+  std::vector<FaultEffect> Effects;
+  std::vector<uint64_t> Hashes;
+  std::vector<uint64_t> Bytes; ///< approxByteSize() per corrupted trace.
+};
+
+/// Append-only checkpoint writer; writeShard is thread-safe and flushes
+/// each record so an interrupted campaign keeps every finished shard.
+class CheckpointWriter {
+public:
+  /// Opens \p Path. Fresh campaigns truncate and write the header;
+  /// resumed campaigns (\p Append) reopen for appending without touching
+  /// existing records. False with a diagnostic on I/O failure.
+  bool open(const std::string &Path, const CheckpointHeader &H, bool Append,
+            std::string &Err);
+
+  bool isOpen() const { return Out.is_open(); }
+
+  /// Appends one shard record and flushes. Thread-safe.
+  bool writeShard(const ShardRecord &R, std::string &Err);
+
+private:
+  std::mutex Mutex;
+  std::ofstream Out;
+  std::string Path;
+};
+
+/// Loads the checkpoint at \p Path: every well-formed shard record whose
+/// geometry is consistent with \p Expect is appended to \p Records (in
+/// file order; duplicates possible if a shard was re-run, last wins at
+/// the caller). Returns false with \p Err when the file exists but its
+/// header does not match \p Expect — never a silent partial reuse. A
+/// missing file is NOT an error: it loads zero shards, so `--resume` is
+/// idempotent from scratch. Torn or malformed trailing records are
+/// skipped silently (they are what a crash leaves behind).
+bool loadCheckpoint(const std::string &Path, const CheckpointHeader &Expect,
+                    std::vector<ShardRecord> &Records, std::string &Err);
+
+} // namespace bec
+
+#endif // BEC_FI_CHECKPOINT_H

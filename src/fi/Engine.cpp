@@ -1,0 +1,380 @@
+//===- fi/Engine.cpp - Sharded, work-stealing, resumable executor ---------===//
+
+#include "fi/Engine.h"
+
+#include "fi/Checkpoint.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+using namespace bec;
+
+namespace {
+
+FaultEffect classifyRun(const Trace &T, const Trace &Golden) {
+  if (T.TraceHash == Golden.TraceHash)
+    return FaultEffect::Masked;
+  if (T.End == Outcome::Trap)
+    return FaultEffect::Trap;
+  if (T.End == Outcome::Hang)
+    return FaultEffect::Hang;
+  if (T.ObservableHash == Golden.ObservableHash)
+    return FaultEffect::Benign;
+  return FaultEffect::SDC;
+}
+
+/// Work-stealing shard scheduler: one deque per worker, seeded with a
+/// contiguous block of shard ids (contiguous = nondecreasing injection
+/// cycles, so the owner's interpreter snapshot advances monotonically).
+/// Owners pop from the front; an idle worker steals from the *back* of
+/// the fullest victim, taking the victim's farthest-out work so the two
+/// keep disjoint, mostly-monotone cycle ranges. Shard-granular work is
+/// coarse enough that one mutex is cheaper than per-deque CAS traffic.
+class StealScheduler {
+public:
+  explicit StealScheduler(unsigned Workers) : Queues(Workers) {}
+
+  void seed(unsigned Worker, uint64_t ShardLo, uint64_t ShardHi) {
+    for (uint64_t S = ShardLo; S < ShardHi; ++S)
+      Queues[Worker].push_back(S);
+  }
+
+  std::optional<uint64_t> next(unsigned Me) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (!Queues[Me].empty()) {
+      uint64_t S = Queues[Me].front();
+      Queues[Me].pop_front();
+      return S;
+    }
+    size_t Victim = Queues.size(), Best = 0;
+    for (size_t V = 0; V < Queues.size(); ++V)
+      if (Queues[V].size() > Best) {
+        Best = Queues[V].size();
+        Victim = V;
+      }
+    if (Victim == Queues.size())
+      return std::nullopt;
+    uint64_t S = Queues[Victim].back();
+    Queues[Victim].pop_back();
+    return S;
+  }
+
+private:
+  std::mutex Mutex;
+  std::vector<std::deque<uint64_t>> Queues;
+};
+
+/// Everything shared by the workers of one campaign.
+struct EngineState {
+  const Program *Prog;
+  const Trace *Golden;
+  const std::vector<PlannedRun> *Runs;
+  /// Plan indices in execution order (stable-sorted by injection cycle);
+  /// shard S covers Order[S*ShardSize, ...).
+  std::vector<uint32_t> Order;
+  uint64_t ShardSize = 0;
+  uint64_t NumShards = 0;
+  RunOptions RunOpts;
+
+  /// Per-run result slots, addressed by *plan* index (not execution
+  /// order), so the assembled result is independent of scheduling.
+  std::vector<FaultEffect> Effects;
+  std::vector<uint64_t> Hashes;
+  std::vector<uint64_t> Bytes;
+  /// Shard completion flags: 1 = resumed, 2 = executed here. Written by
+  /// exactly one worker per shard, read after the pool joins.
+  std::vector<uint8_t> Done;
+
+  CheckpointWriter Writer;
+  std::atomic<bool> Stop{false};
+  std::atomic<uint64_t> NewShardsDone{0};
+  uint64_t StopAfterShards = 0;
+
+  std::mutex ProgressMutex;
+  CampaignProgress Progress;
+  std::function<void(const CampaignProgress &)> OnProgress;
+
+  std::mutex ErrorMutex;
+  std::string Error;
+
+  void failShard(std::string Message) {
+    std::lock_guard<std::mutex> Lock(ErrorMutex);
+    if (Error.empty())
+      Error = std::move(Message);
+    Stop.store(true);
+  }
+
+  std::pair<uint64_t, uint64_t> shardRange(uint64_t Shard) const {
+    uint64_t Lo = Shard * ShardSize;
+    return {Lo, std::min<uint64_t>(Order.size(), Lo + ShardSize)};
+  }
+};
+
+/// Executes one shard: advances this worker's walker to each injection
+/// cycle, forks, flips, runs to completion and classifies.
+void executeShard(EngineState &St, uint64_t Shard,
+                  std::optional<Interpreter> &Walker) {
+  auto [Lo, Hi] = St.shardRange(Shard);
+  uint64_t FirstCycle = (*St.Runs)[St.Order[Lo]].AfterCycle;
+  // A stolen out-of-order shard may sit before this worker's snapshot;
+  // only then does it pay a prefix re-simulation.
+  if (!Walker || FirstCycle < Walker->cycle())
+    Walker.emplace(*St.Prog, St.RunOpts);
+  for (uint64_t K = Lo; K < Hi; ++K) {
+    uint32_t Idx = St.Order[K];
+    const PlannedRun &Run = (*St.Runs)[Idx];
+    Walker->runToCycle(Run.AfterCycle);
+    Interpreter Forked = *Walker;
+    Forked.machine().flipRegBit(Run.R, Run.Bit);
+    Forked.run();
+    Trace T = Forked.takeTrace();
+    St.Effects[Idx] = classifyRun(T, *St.Golden);
+    St.Hashes[Idx] = T.TraceHash;
+    St.Bytes[Idx] = T.approxByteSize();
+  }
+  St.Done[Shard] = 2;
+
+  if (St.Writer.isOpen()) {
+    ShardRecord Rec;
+    Rec.Shard = Shard;
+    for (uint64_t K = Lo; K < Hi; ++K) {
+      uint32_t Idx = St.Order[K];
+      Rec.Effects.push_back(St.Effects[Idx]);
+      Rec.Hashes.push_back(St.Hashes[Idx]);
+      Rec.Bytes.push_back(St.Bytes[Idx]);
+    }
+    std::string Err;
+    if (!St.Writer.writeShard(Rec, Err))
+      St.failShard(std::move(Err));
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(St.ProgressMutex);
+    ++St.Progress.ShardsDone;
+    St.Progress.RunsDone += Hi - Lo;
+    if (St.OnProgress)
+      St.OnProgress(St.Progress);
+  }
+  uint64_t DoneNow = St.NewShardsDone.fetch_add(1) + 1;
+  if (St.StopAfterShards && DoneNow >= St.StopAfterShards)
+    St.Stop.store(true);
+}
+
+void workerLoop(EngineState &St, StealScheduler &Sched, unsigned Me) {
+  std::optional<Interpreter> Walker;
+  while (!St.Stop.load()) {
+    std::optional<uint64_t> Shard = Sched.next(Me);
+    if (!Shard)
+      return;
+    executeShard(St, *Shard, Walker);
+  }
+}
+
+CampaignResult runShardedImpl(const Program &Prog, const Trace &Golden,
+                              const std::vector<PlannedRun> &Runs,
+                              uint64_t PlanFingerprint,
+                              const CampaignPlan *Plan,
+                              const CampaignExecOptions &Exec) {
+  auto Start = std::chrono::steady_clock::now();
+  CampaignResult Result;
+  uint64_t N = Runs.size();
+
+  EngineState St;
+  St.Prog = &Prog;
+  St.Golden = &Golden;
+  St.Runs = &Runs;
+  St.ShardSize = campaignShardSize(N, Exec.ShardSize);
+  St.NumShards = N ? (N + St.ShardSize - 1) / St.ShardSize : 0;
+  St.RunOpts.Record = false;
+  St.RunOpts.MaxCycles = Golden.Cycles * 16 + 4096;
+  St.Effects.resize(N);
+  St.Hashes.resize(N);
+  St.Bytes.resize(N);
+  St.Done.assign(St.NumShards, 0);
+  St.StopAfterShards = Exec.StopAfterShards;
+  St.OnProgress = Exec.OnProgress;
+  St.Progress.TotalShards = St.NumShards;
+  St.Progress.TotalRuns = N;
+
+  // Execution order: stable-sorted by injection cycle. Plans built by
+  // CampaignPlan are already in trace order; arbitrary caller-built run
+  // lists (tests) are not. The sort is deterministic, which is what lets
+  // a checkpoint written by one invocation be replayed by another.
+  St.Order.resize(N);
+  for (uint32_t I = 0; I < N; ++I)
+    St.Order[I] = I;
+  std::stable_sort(St.Order.begin(), St.Order.end(),
+                   [&](uint32_t X, uint32_t Y) {
+                     return Runs[X].AfterCycle < Runs[Y].AfterCycle;
+                   });
+
+  CheckpointHeader Header;
+  Header.PlanFingerprint = PlanFingerprint;
+  Header.Runs = N;
+  Header.Shards = St.NumShards;
+  Header.ShardSize = St.ShardSize;
+
+  uint64_t ResumedShards = 0;
+  if (!Exec.CheckpointPath.empty()) {
+    if (Exec.Resume) {
+      std::vector<ShardRecord> Records;
+      std::string Err;
+      if (!loadCheckpoint(Exec.CheckpointPath, Header, Records, Err)) {
+        Result.Error = Err;
+        return Result;
+      }
+      for (const ShardRecord &Rec : Records) {
+        auto [Lo, Hi] = St.shardRange(Rec.Shard);
+        for (uint64_t K = Lo; K < Hi; ++K) {
+          uint32_t Idx = St.Order[K];
+          St.Effects[Idx] = Rec.Effects[K - Lo];
+          St.Hashes[Idx] = Rec.Hashes[K - Lo];
+          St.Bytes[Idx] = Rec.Bytes[K - Lo];
+        }
+        if (St.Done[Rec.Shard] == 0)
+          ++ResumedShards;
+        St.Done[Rec.Shard] = 1;
+      }
+    }
+    std::string Err;
+    bool Append = Exec.Resume && ResumedShards > 0;
+    if (!St.Writer.open(Exec.CheckpointPath, Header, Append, Err)) {
+      Result.Error = Err;
+      return Result;
+    }
+  }
+  St.Progress.ShardsDone = ResumedShards;
+  for (uint64_t S = 0; S < St.NumShards; ++S)
+    if (St.Done[S]) {
+      auto [Lo, Hi] = St.shardRange(S);
+      St.Progress.RunsDone += Hi - Lo;
+    }
+
+  // Seed the scheduler with the pending shards, split into contiguous
+  // blocks (one per worker) so each worker starts on a distinct stretch
+  // of the golden trace.
+  std::vector<uint64_t> Pending;
+  for (uint64_t S = 0; S < St.NumShards; ++S)
+    if (!St.Done[S])
+      Pending.push_back(S);
+  unsigned Workers = std::max(1u, Exec.Threads);
+  if (Pending.size() < Workers)
+    Workers = std::max<size_t>(1, Pending.size());
+  StealScheduler Sched(Workers);
+  uint64_t Block = (Pending.size() + Workers - 1) / std::max(1u, Workers);
+  {
+    uint64_t Next = 0;
+    for (unsigned W = 0; W < Workers && Next < Pending.size(); ++W) {
+      uint64_t Hi = std::min<uint64_t>(Pending.size(), Next + Block);
+      for (uint64_t K = Next; K < Hi; ++K)
+        Sched.seed(W, Pending[K], Pending[K] + 1);
+      Next = Hi;
+    }
+  }
+
+  if (Workers <= 1 || Pending.empty()) {
+    workerLoop(St, Sched, 0);
+  } else {
+    ThreadPool Pool(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Pool.submit([&St, &Sched, W] { workerLoop(St, Sched, W); });
+    Pool.wait();
+  }
+
+  if (!St.Error.empty()) {
+    Result.Error = St.Error;
+    return Result;
+  }
+
+  // Assemble the report from the per-run slots, in plan order: identical
+  // bytes whatever the thread count, steal order or interruption history.
+  uint64_t CompletedShards = 0;
+  for (uint64_t S = 0; S < St.NumShards; ++S)
+    CompletedShards += St.Done[S] != 0;
+  Result.Interrupted = CompletedShards != St.NumShards;
+  Result.Shards = St.NumShards;
+  Result.ResumedShards = ResumedShards;
+
+  std::vector<uint8_t> RunDone(N, 0);
+  for (uint64_t S = 0; S < St.NumShards; ++S)
+    if (St.Done[S]) {
+      auto [Lo, Hi] = St.shardRange(S);
+      for (uint64_t K = Lo; K < Hi; ++K)
+        RunDone[St.Order[K]] = 1;
+    }
+
+  Result.Effects.resize(N);
+  Result.TraceHashes.resize(N);
+  std::unordered_map<uint64_t, uint64_t> Archive; // hash -> byte size
+  Archive.emplace(Golden.TraceHash, Golden.approxByteSize());
+  for (uint64_t I = 0; I < N; ++I) {
+    if (!RunDone[I])
+      continue;
+    Result.Effects[I] = St.Effects[I];
+    Result.TraceHashes[I] = St.Hashes[I];
+    ++Result.Runs;
+    ++Result.EffectCounts[static_cast<unsigned>(St.Effects[I])];
+    Archive.emplace(St.Hashes[I], St.Bytes[I]);
+  }
+  Result.DistinctTraces = Archive.size();
+  for (const auto &[Hash, SizeBytes] : Archive)
+    Result.ArchiveBytes += SizeBytes;
+
+  if (Plan && Plan->sampled() && !Result.Interrupted)
+    Result.Sample =
+        summarizeSample(Result.EffectCounts, Result.Runs,
+                        Plan->populationRuns(), Plan->options().SampleSeed);
+
+  Result.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Result;
+}
+
+} // namespace
+
+std::function<void(const CampaignProgress &)>
+bec::throttledProgress(std::function<void(const CampaignProgress &)> Consumer) {
+  // Engine invocations serialize OnProgress calls, so plain shared
+  // state suffices.
+  auto Last = std::make_shared<uint64_t>(0);
+  return [Last, Consumer = std::move(Consumer)](const CampaignProgress &P) {
+    if (!progressDue(*Last, P))
+      return;
+    *Last = P.ShardsDone;
+    Consumer(P);
+  };
+}
+
+uint64_t bec::campaignShardSize(uint64_t PlanRuns, uint64_t Requested) {
+  if (Requested)
+    return Requested;
+  if (PlanRuns == 0)
+    return 1;
+  // Aim for ~64 shards: fine enough to balance and to bound re-work on
+  // interruption, coarse enough that checkpoint and scheduling overhead
+  // stay negligible. Never a function of the thread count, so any
+  // --threads can resume any checkpoint.
+  uint64_t Auto = (PlanRuns + 63) / 64;
+  return std::clamp<uint64_t>(Auto, 32, 2048);
+}
+
+CampaignResult bec::runCampaign(const Program &Prog, const Trace &Golden,
+                                const CampaignPlan &Plan,
+                                const CampaignExecOptions &Exec) {
+  return runShardedImpl(Prog, Golden, Plan.runs(), Plan.fingerprint(), &Plan,
+                        Exec);
+}
+
+CampaignResult bec::runCampaign(const Program &Prog, const Trace &Golden,
+                                std::vector<PlannedRun> Plan) {
+  return runShardedImpl(Prog, Golden, Plan, /*PlanFingerprint=*/0,
+                        /*Plan=*/nullptr, CampaignExecOptions{});
+}

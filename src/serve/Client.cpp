@@ -17,18 +17,25 @@ bool SocketTransport::greeting(std::string &Line, std::string &Err) {
   return Conn.recvLine(Line, MaxFrameBytes, Err) == Socket::RecvStatus::Line;
 }
 
-bool SocketTransport::roundTrip(const std::string &RequestFrame,
-                                std::string &ResponseLine, std::string &Err) {
+bool SocketTransport::exchange(
+    const std::string &RequestFrame,
+    const std::function<bool(std::string_view Line)> &OnFrame,
+    std::string &Err) {
   if (!Conn.sendAll(RequestFrame, Err))
     return false;
-  Socket::RecvStatus St = Conn.recvLine(ResponseLine, MaxFrameBytes, Err);
-  if (St == Socket::RecvStatus::Line)
-    return true;
-  if (Err.empty())
-    Err = St == Socket::RecvStatus::TooLong
-              ? "response frame too large"
-              : "connection closed by server";
-  return false;
+  std::string Line;
+  for (;;) {
+    Socket::RecvStatus St = Conn.recvLine(Line, MaxFrameBytes, Err);
+    if (St != Socket::RecvStatus::Line) {
+      if (Err.empty())
+        Err = St == Socket::RecvStatus::TooLong
+                  ? "response frame too large"
+                  : "connection closed by server";
+      return false;
+    }
+    if (!OnFrame(Line))
+      return true;
+  }
 }
 
 bool LoopbackTransport::greeting(std::string &Line, std::string &Err) {
@@ -39,18 +46,28 @@ bool LoopbackTransport::greeting(std::string &Line, std::string &Err) {
   return true;
 }
 
-bool LoopbackTransport::roundTrip(const std::string &RequestFrame,
-                                  std::string &ResponseLine,
-                                  std::string &Err) {
+bool LoopbackTransport::exchange(
+    const std::string &RequestFrame,
+    const std::function<bool(std::string_view Line)> &OnFrame,
+    std::string &Err) {
   (void)Err;
-  // handleFrame takes the line without framing newline, like the server's
-  // connection loop after recvLine.
+  // handleFrameStreaming takes the line without framing newline, like
+  // the server's connection loop after recvLine.
   std::string_view Line = RequestFrame;
   if (!Line.empty() && Line.back() == '\n')
     Line.remove_suffix(1);
-  ResponseLine = Svc.handleFrame(Line);
-  if (!ResponseLine.empty() && ResponseLine.back() == '\n')
-    ResponseLine.pop_back();
+  std::vector<std::string> Intermediate;
+  std::string Final = Svc.handleFrameStreaming(
+      Line, [&](const std::string &Frame) { Intermediate.push_back(Frame); });
+  auto StripNewline = [](std::string_view F) {
+    if (!F.empty() && F.back() == '\n')
+      F.remove_suffix(1);
+    return F;
+  };
+  for (const std::string &Frame : Intermediate)
+    if (!OnFrame(StripNewline(Frame)))
+      return true;
+  OnFrame(StripNewline(Final));
   return true;
 }
 
@@ -109,19 +126,39 @@ Client Client::loopback(Service &Svc) {
 }
 
 Reply Client::call(std::string_view Method, std::string_view ParamsJson) {
+  return callStreaming(Method, ParamsJson, nullptr);
+}
+
+Reply Client::callStreaming(
+    std::string_view Method, std::string_view ParamsJson,
+    const std::function<void(const JsonValue &)> &OnProgress) {
   Reply R;
   uint64_t Id = NextId++;
   std::string Frame = makeRequestFrame(Id, Method, ParamsJson);
-  std::string Line, Err;
-  if (!T->roundTrip(Frame, Line, Err)) {
+  std::string Err, FrameErr;
+  std::optional<Response> Resp;
+  bool Transported = T->exchange(
+      Frame,
+      [&](std::string_view Line) {
+        // Progress frames (matched by id) keep the exchange open; any
+        // other frame is the final response.
+        if (std::optional<ProgressFrame> P = parseProgressFrame(Line)) {
+          if (P->Id == Id && OnProgress)
+            OnProgress(P->Progress);
+          return true;
+        }
+        Resp = parseResponseFrame(Line, FrameErr);
+        return false;
+      },
+      Err);
+  if (!Transported) {
     R.Code = ErrorCode::TransportError;
     R.Message = Err;
     return R;
   }
-  std::optional<Response> Resp = parseResponseFrame(Line, Err);
   if (!Resp) {
     R.Code = ErrorCode::TransportError;
-    R.Message = Err;
+    R.Message = FrameErr.empty() ? "no response frame" : FrameErr;
     return R;
   }
   if (Resp->Id != Id) {

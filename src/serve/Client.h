@@ -21,6 +21,7 @@
 #include "serve/Protocol.h"
 #include "serve/Socket.h"
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -32,15 +33,21 @@ namespace serve {
 class Service;
 
 /// One request/response channel. greeting() must be called (and checked)
-/// once before the first roundTrip.
+/// once before the first exchange.
 class Transport {
 public:
   virtual ~Transport() = default;
   /// Receives the server's handshake frame (without trailing newline).
   virtual bool greeting(std::string &Line, std::string &Err) = 0;
-  /// Sends one request frame, receives one response line.
-  virtual bool roundTrip(const std::string &RequestFrame,
-                         std::string &ResponseLine, std::string &Err) = 0;
+  /// Sends one request frame, then delivers response lines (without
+  /// trailing newline) to \p OnFrame until it returns false — the
+  /// caller's signal that the final frame of the exchange arrived.
+  /// Streaming methods deliver any progress frames first; unary methods
+  /// deliver exactly one line.
+  virtual bool
+  exchange(const std::string &RequestFrame,
+           const std::function<bool(std::string_view Line)> &OnFrame,
+           std::string &Err) = 0;
 };
 
 /// Blocking TCP transport owning its socket.
@@ -48,20 +55,25 @@ class SocketTransport : public Transport {
 public:
   explicit SocketTransport(Socket Conn) : Conn(std::move(Conn)) {}
   bool greeting(std::string &Line, std::string &Err) override;
-  bool roundTrip(const std::string &RequestFrame, std::string &ResponseLine,
-                 std::string &Err) override;
+  bool exchange(const std::string &RequestFrame,
+                const std::function<bool(std::string_view Line)> &OnFrame,
+                std::string &Err) override;
 
 private:
   Socket Conn;
 };
 
-/// In-process transport calling Service::handleFrame directly.
+/// In-process transport calling Service::handleFrameStreaming directly.
+/// Progress frames are buffered and replayed to OnFrame in emission
+/// order before the final frame (the engine runs to completion inside
+/// the call), preserving the wire ordering contract deterministically.
 class LoopbackTransport : public Transport {
 public:
   explicit LoopbackTransport(Service &Svc) : Svc(Svc) {}
   bool greeting(std::string &Line, std::string &Err) override;
-  bool roundTrip(const std::string &RequestFrame, std::string &ResponseLine,
-                 std::string &Err) override;
+  bool exchange(const std::string &RequestFrame,
+                const std::function<bool(std::string_view Line)> &OnFrame,
+                std::string &Err) override;
 
 private:
   Service &Svc;
@@ -98,6 +110,14 @@ public:
   /// Calls \p Method. \p ParamsJson must be a serialized JSON object, or
   /// empty for no params.
   Reply call(std::string_view Method, std::string_view ParamsJson = {});
+
+  /// Calls a streaming method: progress frames matching this request's
+  /// id are handed to \p OnProgress (in order, before callStreaming
+  /// returns), the final frame becomes the Reply. With a null callback
+  /// progress frames are consumed silently, so a streaming method called
+  /// through call() behaves exactly like its unary sibling.
+  Reply callStreaming(std::string_view Method, std::string_view ParamsJson,
+                      const std::function<void(const JsonValue &)> &OnProgress);
 
   const Handshake &serverHandshake() const { return HS; }
 

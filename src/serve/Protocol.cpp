@@ -131,6 +131,21 @@ bec::serve::parseResponseFrame(std::string_view Line, std::string &Err) {
   return R;
 }
 
+std::optional<ProgressFrame>
+bec::serve::parseProgressFrame(std::string_view Line) {
+  std::optional<JsonValue> Doc = parseJson(Line);
+  if (!Doc || !Doc->isObject())
+    return std::nullopt;
+  std::optional<uint64_t> Id = Doc->memberU64("id");
+  const JsonValue *Progress = Doc->member("progress");
+  if (!Id || !Progress || !Progress->isObject())
+    return std::nullopt;
+  ProgressFrame P;
+  P.Id = *Id;
+  P.Progress = *Progress;
+  return P;
+}
+
 //===----------------------------------------------------------------------===//
 // Frame builders
 //===----------------------------------------------------------------------===//
@@ -187,6 +202,14 @@ std::string bec::serve::makeErrorFrame(std::optional<uint64_t> Id, ErrorCode C,
     Out += "}}";
   }
   Out += '\n';
+  return Out;
+}
+
+std::string bec::serve::makeProgressFrame(uint64_t Id,
+                                          std::string_view ProgressJson) {
+  std::string Out = "{\"id\":" + std::to_string(Id) + ",\"progress\":";
+  Out += ProgressJson.empty() ? std::string_view("{}") : ProgressJson;
+  Out += "}\n";
   return Out;
 }
 

@@ -17,6 +17,12 @@
 ///                               "message":"...","data":...}}
 ///              — exactly one of result/error; data is optional
 ///                structured detail (e.g. assembler diagnostics).
+///   progress   {"id":7,"progress":{...}}
+///              — zero or more may precede the response of a *streaming*
+///                method (currently only `campaign/run`, and only when
+///                its params request progress), echoing the request id.
+///                Additive in revision 1: a client never receives one
+///                unless it asked a streaming method for it.
 ///
 /// Error codes follow JSON-RPC 2.0 for protocol-level failures and use a
 /// positive becd range for domain failures; see ErrorCode. The full
@@ -100,6 +106,16 @@ struct Response {
 std::optional<Response> parseResponseFrame(std::string_view Line,
                                            std::string &Err);
 
+/// One parsed progress frame of a streaming method (client side).
+struct ProgressFrame {
+  uint64_t Id = 0;
+  JsonValue Progress;
+};
+
+/// nullopt when \p Line is not a progress frame (it may still be a valid
+/// response frame; callers probe progress first).
+std::optional<ProgressFrame> parseProgressFrame(std::string_view Line);
+
 // Frame builders. All return complete frames including the trailing
 // newline. *Json arguments must already be serialized JSON values.
 std::string makeRequestFrame(uint64_t Id, std::string_view Method,
@@ -108,6 +124,7 @@ std::string makeResultFrame(uint64_t Id, std::string_view ResultJson);
 std::string makeErrorFrame(std::optional<uint64_t> Id, ErrorCode C,
                            std::string_view Message,
                            std::string_view DataJson = {});
+std::string makeProgressFrame(uint64_t Id, std::string_view ProgressJson);
 
 /// The server's greeting.
 struct Handshake {

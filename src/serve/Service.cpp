@@ -91,8 +91,8 @@ namespace {
 bool isKnownMethod(const std::string &M) {
   static const char *const Known[] = {"version",  "stats",   "shutdown",
                                       "intern",   "counts",  "analyze",
-                                      "campaign", "schedule", "harden",
-                                      "report"};
+                                      "campaign", "campaign/run",
+                                      "schedule", "harden",  "report"};
   for (const char *K : Known)
     if (M == K)
       return true;
@@ -102,6 +102,11 @@ bool isKnownMethod(const std::string &M) {
 } // namespace
 
 std::string Service::handleFrame(std::string_view Line) {
+  return handleFrameStreaming(Line, nullptr);
+}
+
+std::string Service::handleFrameStreaming(std::string_view Line,
+                                          const FrameSink &Sink) {
   ParsedFrame F = parseRequestFrame(Line);
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
@@ -121,7 +126,7 @@ std::string Service::handleFrame(std::string_view Line) {
     O = fail(ErrorCode::ShuttingDown, "server is shutting down");
   } else {
     try {
-      O = dispatch(R);
+      O = dispatch(R, Sink);
     } catch (const std::exception &E) {
       O = fail(ErrorCode::InternalError,
                std::string("method '") + R.Method + "' failed: " + E.what());
@@ -138,7 +143,7 @@ std::string Service::handleFrame(std::string_view Line) {
                   : makeResultFrame(R.Id, O.ResultJson);
 }
 
-Service::Outcome Service::dispatch(const Request &R) {
+Service::Outcome Service::dispatch(const Request &R, const FrameSink &Sink) {
   const JsonValue &P = R.Params;
   if (R.Method == "version")
     return methodVersion();
@@ -153,7 +158,9 @@ Service::Outcome Service::dispatch(const Request &R) {
   if (R.Method == "analyze")
     return methodAnalyze(P);
   if (R.Method == "campaign")
-    return methodCampaign(P);
+    return methodCampaign(P, R.Id, /*Sink=*/nullptr);
+  if (R.Method == "campaign/run")
+    return methodCampaign(P, R.Id, Sink);
   if (R.Method == "schedule")
     return methodSchedule(P);
   if (R.Method == "harden")
@@ -440,7 +447,8 @@ Service::Outcome Service::methodAnalyze(const JsonValue &Params) {
   return O;
 }
 
-Service::Outcome Service::methodCampaign(const JsonValue &Params) {
+Service::Outcome Service::methodCampaign(const JsonValue &Params, uint64_t Id,
+                                         const FrameSink &Sink) {
   Targets T;
   Outcome Err;
   if (!resolveTargets(Params, T, Err))
@@ -474,8 +482,76 @@ Service::Outcome Service::methodCampaign(const JsonValue &Params) {
                   "'max_cycles' must be an unsigned integer");
     Opts.MaxCycles = *N;
   }
+  if (const JsonValue *SV = Params.member("sample")) {
+    std::optional<uint64_t> N = SV->asU64();
+    if (!N)
+      return fail(ErrorCode::InvalidParams,
+                  "'sample' must be an unsigned integer");
+    Opts.SampleSize = *N;
+  }
+  if (const JsonValue *SV = Params.member("seed")) {
+    std::optional<uint64_t> N = SV->asU64();
+    if (!N)
+      return fail(ErrorCode::InvalidParams,
+                  "'seed' must be an unsigned integer");
+    Opts.SampleSeed = *N;
+  }
+  if (const JsonValue *TV = Params.member("threads")) {
+    std::optional<uint64_t> N = TV->asU64();
+    if (!N || *N > 1u << 16)
+      return fail(ErrorCode::InvalidParams,
+                  "'threads' must be a small unsigned integer");
+    // CPU-bound engine pool: clamp to the core count like every other
+    // analysis pool (0 = hardware concurrency).
+    Opts.Exec.Threads = ThreadPool::clampJobs(static_cast<unsigned>(*N));
+  }
+  if (const JsonValue *SV = Params.member("shard_size")) {
+    std::optional<uint64_t> N = SV->asU64();
+    if (!N || *N == 0)
+      return fail(ErrorCode::InvalidParams,
+                  "'shard_size' must be a positive integer");
+    Opts.Exec.ShardSize = *N;
+  }
+  bool WantProgress = false;
+  if (const JsonValue *PV = Params.member("progress")) {
+    std::optional<bool> B = PV->asBool();
+    if (!B)
+      return fail(ErrorCode::InvalidParams, "'progress' must be a boolean");
+    WantProgress = *B;
+  }
 
-  auto Results = evalOver<CampaignCmdQuery>(S, T.Progs, Opts, Jobs);
+  // Per-target evaluation (target order preserved) with an optional
+  // progress stream. Campaign options differing only in Exec fingerprint
+  // identically, so this shares cache entries with the plain `campaign`
+  // method. Progress frames are serialized: transports see one frame at
+  // a time, and none after the final result is returned.
+  std::vector<std::shared_ptr<const CampaignCmdResult>> Results(
+      T.Progs.size());
+  std::mutex SinkMutex;
+  ThreadPool Pool(T.Progs.size() > 1 ? ThreadPool::clampJobs(Jobs) : 1);
+  for (size_t I = 0; I < T.Progs.size(); ++I)
+    Pool.submit([&, I] {
+      CampaignCmdQuery::Options O = Opts;
+      if (WantProgress && Sink) {
+        std::string Target = T.Names[I];
+        O.Exec.OnProgress =
+            throttledProgress([&, Target](const CampaignProgress &P) {
+              JsonWriter W;
+              W.beginObject();
+              W.key("target").value(Target);
+              W.key("shards_done").value(P.ShardsDone);
+              W.key("shards").value(P.TotalShards);
+              W.key("runs_done").value(P.RunsDone);
+              W.key("runs").value(P.TotalRuns);
+              W.endObject();
+              std::lock_guard<std::mutex> Lock(SinkMutex);
+              Sink(makeProgressFrame(Id, W.take()));
+            });
+      }
+      Results[I] = S.get<CampaignCmdQuery>(T.Progs[I], O);
+    });
+  Pool.wait();
+
   std::string Output = Json ? renderCampaignJson(T.Names, Results, Opts.Plan)
                             : renderCampaignText(T.Names, Results, Opts.Plan);
   std::string Diag;
@@ -718,8 +794,16 @@ void Server::serveConnection(Socket &Conn) {
     }
     if (St != Socket::RecvStatus::Line)
       break; // EOF or transport error.
-    std::string Response = Svc.handleFrame(Line);
-    if (!Conn.sendAll(Response, Err))
+    // Streaming methods emit progress frames straight onto the wire as
+    // the engine completes shards; the final frame follows them. The
+    // service serializes sink calls, so writes never interleave.
+    bool SendFailed = false;
+    std::string Response =
+        Svc.handleFrameStreaming(Line, [&](const std::string &Frame) {
+          if (!SendFailed && !Conn.sendAll(Frame, Err))
+            SendFailed = true;
+        });
+    if (SendFailed || !Conn.sendAll(Response, Err))
       break;
     if (Svc.isShuttingDown()) {
       // This connection carried the shutdown request: begin the drain.

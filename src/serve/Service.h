@@ -25,6 +25,11 @@
 ///   analyze | campaign | schedule | harden | report
 ///             the five `bec` subcommands over named targets, rendered
 ///             through api/Serialize.h — byte-identical to local output
+///   campaign/run
+///             the campaign subcommand as a *streaming* method: when its
+///             params set "progress":true, per-shard progress frames are
+///             emitted before the final (identical) result. The one
+///             method that uses handleFrameStreaming's sink.
 ///   counts    one target's Table-III counts as a structured object
 ///   intern    assemble inline asm text and pool it under a client name
 ///   stats     server counters + session cache statistics
@@ -42,6 +47,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -71,7 +77,19 @@ public:
 
   /// Maps one request frame to one response frame (both '\n'-terminated).
   /// Never throws; internal failures become error responses. Thread-safe.
+  /// Streaming methods run but emit no intermediate frames.
   std::string handleFrame(std::string_view Line);
+
+  /// Delivers a streaming method's intermediate frames ('\n'-terminated,
+  /// in order, serialized by the service) to \p Sink.
+  using FrameSink = std::function<void(const std::string &Frame)>;
+
+  /// Like handleFrame, but a streaming method's progress frames go to
+  /// \p Sink (may be null) before the final frame is returned. \p Sink
+  /// may be invoked from worker threads, but never concurrently and
+  /// never after handleFrameStreaming returns.
+  std::string handleFrameStreaming(std::string_view Line,
+                                   const FrameSink &Sink);
 
   /// True once a `shutdown` request has been accepted. Transports must
   /// stop reading and drain.
@@ -104,7 +122,7 @@ private:
     std::vector<CachedProgramPtr> Progs;
   };
 
-  Outcome dispatch(const Request &R);
+  Outcome dispatch(const Request &R, const FrameSink &Sink);
   /// Resolves params["targets"] (default: all bundled workloads),
   /// collapsing duplicates as the CLI does. False on unknown names, with
   /// \p Err filled.
@@ -119,7 +137,10 @@ private:
   Outcome methodIntern(const JsonValue &Params);
   Outcome methodCounts(const JsonValue &Params);
   Outcome methodAnalyze(const JsonValue &Params);
-  Outcome methodCampaign(const JsonValue &Params);
+  /// One implementation serves both `campaign` (no sink) and
+  /// `campaign/run` (progress frames for request \p Id through \p Sink).
+  Outcome methodCampaign(const JsonValue &Params, uint64_t Id,
+                         const FrameSink &Sink);
   Outcome methodSchedule(const JsonValue &Params);
   Outcome methodHarden(const JsonValue &Params);
   Outcome methodReport(const JsonValue &Params);

@@ -2,11 +2,19 @@
 
 #include "core/Metrics.h"
 #include "fi/Campaign.h"
+#include "fi/CampaignPlan.h"
+#include "fi/Checkpoint.h"
+#include "fi/Engine.h"
 #include "fi/Validation.h"
 #include "ir/AsmParser.h"
 #include "sim/Interpreter.h"
+#include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
 
 using namespace bec;
 
@@ -167,6 +175,313 @@ main:
   EXPECT_TRUE(R.sound());
   EXPECT_GT(R.CrossChecked, 0u);
   EXPECT_EQ(R.CrossViolations, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// The sharded engine (fi/Engine.h)
+//===----------------------------------------------------------------------===//
+
+/// Everything deterministic about a result (all but Seconds).
+void expectSameResult(const CampaignResult &A, const CampaignResult &B) {
+  EXPECT_EQ(A.Runs, B.Runs);
+  EXPECT_EQ(A.EffectCounts, B.EffectCounts);
+  EXPECT_EQ(A.DistinctTraces, B.DistinctTraces);
+  EXPECT_EQ(A.ArchiveBytes, B.ArchiveBytes);
+  EXPECT_EQ(A.Effects, B.Effects);
+  EXPECT_EQ(A.TraceHashes, B.TraceHashes);
+}
+
+TEST(CampaignEngine, ShardedMatchesSerialAtEveryThreadCount) {
+  Program Prog = parseAsmOrDie(SmallLoop, "loop");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  CampaignResult Serial = runCampaign(
+      Prog, Golden, planCampaign(A, Golden, PlanKind::ValueLevel));
+
+  PlanOptions PO;
+  PO.Kind = PlanKind::ValueLevel;
+  CampaignPlan Plan = CampaignPlan::build(A, Golden, PO);
+  for (unsigned Threads : {1u, 2u, 7u}) {
+    CampaignExecOptions Exec;
+    Exec.Threads = Threads;
+    Exec.ShardSize = 8; // Many shards: exercise stealing.
+    CampaignResult R = runCampaign(Prog, Golden, Plan, Exec);
+    EXPECT_TRUE(R.Error.empty()) << R.Error;
+    EXPECT_FALSE(R.Interrupted);
+    expectSameResult(Serial, R);
+  }
+}
+
+TEST(CampaignEngine, UnsortedPlanExecutesBySortedOrderSlotsByPlanOrder) {
+  Program Prog = parseAsmOrDie(SmallLoop, "loop");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  std::vector<PlannedRun> Forward =
+      planCampaign(A, Golden, PlanKind::ValueLevel);
+  std::vector<PlannedRun> Reversed(Forward.rbegin(), Forward.rend());
+  CampaignResult F = runCampaign(Prog, Golden, Forward);
+  CampaignResult R = runCampaign(Prog, Golden, Reversed);
+  ASSERT_EQ(F.Runs, R.Runs);
+  // Slot i of the reversed result is slot N-1-i of the forward one.
+  for (size_t I = 0; I < Forward.size(); ++I) {
+    EXPECT_EQ(R.Effects[I], F.Effects[Forward.size() - 1 - I]);
+    EXPECT_EQ(R.TraceHashes[I], F.TraceHashes[Forward.size() - 1 - I]);
+  }
+  EXPECT_EQ(F.EffectCounts, R.EffectCounts);
+}
+
+/// Interrupt a checkpointed campaign after K shards, resume it (with a
+/// different thread count), and require the final result bit-identical
+/// to the uninterrupted baseline.
+void checkInterruptResume(const Program &Prog, const Trace &Golden,
+                          const CampaignPlan &Plan, uint64_t StopAfter,
+                          const CampaignResult &Baseline) {
+  std::string Path = testing::TempDir() + "/campaign_resume_" +
+                     std::to_string(StopAfter) + ".jsonl";
+  std::remove(Path.c_str());
+
+  // One thread for the interrupted phase: the stop is then checked
+  // before every dispatch, so *exactly* StopAfter shards complete (a
+  // second worker's in-flight shard could otherwise finish the whole
+  // campaign when stopping one short of the end).
+  CampaignExecOptions Partial;
+  Partial.Threads = 1;
+  Partial.ShardSize = 16;
+  Partial.CheckpointPath = Path;
+  Partial.StopAfterShards = StopAfter;
+  CampaignResult Interrupted = runCampaign(Prog, Golden, Plan, Partial);
+  ASSERT_TRUE(Interrupted.Error.empty()) << Interrupted.Error;
+  ASSERT_TRUE(Interrupted.Interrupted);
+  EXPECT_LT(Interrupted.Runs, Baseline.Runs);
+  // The aggregate of the completed shards is consistent on its own.
+  uint64_t Sum = 0;
+  for (uint64_t C : Interrupted.EffectCounts)
+    Sum += C;
+  EXPECT_EQ(Sum, Interrupted.Runs);
+
+  CampaignExecOptions ResumeExec;
+  ResumeExec.Threads = 3; // Any thread count may resume any checkpoint.
+  ResumeExec.ShardSize = 16;
+  ResumeExec.CheckpointPath = Path;
+  ResumeExec.Resume = true;
+  CampaignResult Resumed = runCampaign(Prog, Golden, Plan, ResumeExec);
+  ASSERT_TRUE(Resumed.Error.empty()) << Resumed.Error;
+  EXPECT_FALSE(Resumed.Interrupted);
+  EXPECT_GT(Resumed.ResumedShards, 0u);
+  EXPECT_LT(Resumed.ResumedShards, Resumed.Shards);
+  expectSameResult(Baseline, Resumed);
+  std::remove(Path.c_str());
+}
+
+TEST(CampaignEngine, InterruptAndResumeIsBitIdentical) {
+  const Workload *W = findWorkload("bitcount");
+  ASSERT_NE(W, nullptr);
+  Program Prog = loadWorkload(*W);
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  PlanOptions PO;
+  PO.Kind = PlanKind::BitLevel;
+  PO.MaxCycles = 120;
+  CampaignPlan Plan = CampaignPlan::build(A, Golden, PO);
+  uint64_t Shards = (Plan.runs().size() + 15) / 16;
+  ASSERT_GT(Shards, 4u);
+
+  CampaignExecOptions Full;
+  Full.ShardSize = 16;
+  CampaignResult Baseline = runCampaign(Prog, Golden, Plan, Full);
+  ASSERT_TRUE(Baseline.Error.empty()) << Baseline.Error;
+
+  // Kill after the first shard, around the middle, and one short of the
+  // end: resume must reconstruct the identical report every time.
+  for (uint64_t StopAfter : {uint64_t(1), Shards / 2, Shards - 1})
+    checkInterruptResume(Prog, Golden, Plan, StopAfter, Baseline);
+}
+
+TEST(CampaignEngine, ResumeRejectsCheckpointOfDifferentPlan) {
+  Program Prog = parseAsmOrDie(SmallLoop, "loop");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  std::string Path = testing::TempDir() + "/campaign_foreign.jsonl";
+  std::remove(Path.c_str());
+
+  PlanOptions ValueOpts;
+  ValueOpts.Kind = PlanKind::ValueLevel;
+  CampaignPlan Value = CampaignPlan::build(A, Golden, ValueOpts);
+  CampaignExecOptions Exec;
+  Exec.CheckpointPath = Path;
+  ASSERT_TRUE(runCampaign(Prog, Golden, Value, Exec).Error.empty());
+
+  PlanOptions BitOpts;
+  BitOpts.Kind = PlanKind::BitLevel;
+  CampaignPlan Bit = CampaignPlan::build(A, Golden, BitOpts);
+  Exec.Resume = true;
+  CampaignResult R = runCampaign(Prog, Golden, Bit, Exec);
+  EXPECT_NE(R.Error.find("different campaign plan"), std::string::npos)
+      << R.Error;
+  std::remove(Path.c_str());
+}
+
+TEST(CampaignEngine, TornTrailingCheckpointRecordIsIgnored) {
+  Program Prog = parseAsmOrDie(SmallLoop, "loop");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  PlanOptions PO;
+  PO.Kind = PlanKind::ValueLevel;
+  CampaignPlan Plan = CampaignPlan::build(A, Golden, PO);
+  CampaignResult Baseline = runCampaign(Prog, Golden, Plan, {});
+
+  std::string Path = testing::TempDir() + "/campaign_torn.jsonl";
+  std::remove(Path.c_str());
+  CampaignExecOptions Exec;
+  Exec.ShardSize = 8;
+  Exec.CheckpointPath = Path;
+  Exec.StopAfterShards = 2;
+  ASSERT_TRUE(runCampaign(Prog, Golden, Plan, Exec).Error.empty());
+  {
+    // What a kill mid-write leaves behind: a half record, no newline.
+    std::ofstream Torn(Path, std::ios::app);
+    Torn << "{\"shard\":3,\"effects\":[0,1";
+  }
+  CampaignExecOptions ResumeExec;
+  ResumeExec.ShardSize = 8;
+  ResumeExec.CheckpointPath = Path;
+  ResumeExec.Resume = true;
+  CampaignResult Resumed = runCampaign(Prog, Golden, Plan, ResumeExec);
+  ASSERT_TRUE(Resumed.Error.empty()) << Resumed.Error;
+  EXPECT_FALSE(Resumed.Interrupted);
+  expectSameResult(Baseline, Resumed);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// Stratified sampling (fi/CampaignPlan.h)
+//===----------------------------------------------------------------------===//
+
+TEST(CampaignPlan, StratifiedSampleIsDeterministicSortedAndSized) {
+  Program Prog = parseAsmOrDie(SmallLoop, "loop");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  PlanOptions PO;
+  PO.Kind = PlanKind::ValueLevel;
+  PO.SampleSize = 40;
+  PO.SampleSeed = 7;
+  CampaignPlan S1 = CampaignPlan::build(A, Golden, PO);
+  CampaignPlan S2 = CampaignPlan::build(A, Golden, PO);
+  ASSERT_EQ(S1.runs().size(), 40u);
+  EXPECT_GT(S1.populationRuns(), 40u);
+  EXPECT_EQ(S1.fingerprint(), S2.fingerprint());
+  for (size_t I = 0; I < S1.runs().size(); ++I) {
+    EXPECT_EQ(S1.runs()[I].AfterCycle, S2.runs()[I].AfterCycle);
+    EXPECT_EQ(S1.runs()[I].R, S2.runs()[I].R);
+    EXPECT_EQ(S1.runs()[I].Bit, S2.runs()[I].Bit);
+    if (I)
+      EXPECT_LE(S1.runs()[I - 1].AfterCycle, S1.runs()[I].AfterCycle);
+  }
+  PO.SampleSeed = 8;
+  CampaignPlan S3 = CampaignPlan::build(A, Golden, PO);
+  EXPECT_NE(S1.fingerprint(), S3.fingerprint());
+}
+
+TEST(CampaignPlan, FingerprintSeparatesKindWindowAndSeed) {
+  Program Prog = parseAsmOrDie(SmallLoop, "loop");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  PlanOptions Base;
+  Base.Kind = PlanKind::ValueLevel;
+  uint64_t FP = CampaignPlan::build(A, Golden, Base).fingerprint();
+  PlanOptions Bit = Base;
+  Bit.Kind = PlanKind::BitLevel;
+  EXPECT_NE(FP, CampaignPlan::build(A, Golden, Bit).fingerprint());
+  PlanOptions Window = Base;
+  Window.MaxCycles = 5;
+  EXPECT_NE(FP, CampaignPlan::build(A, Golden, Window).fingerprint());
+}
+
+TEST(CampaignPlan, WilsonIntervalBehavesAtBoundaries) {
+  RateInterval Zero = wilsonInterval(0, 100);
+  EXPECT_EQ(Zero.Lo, 0.0);
+  EXPECT_GT(Zero.Hi, 0.0);
+  EXPECT_LT(Zero.Hi, 0.05);
+  RateInterval One = wilsonInterval(100, 100);
+  EXPECT_EQ(One.Hi, 1.0);
+  EXPECT_GT(One.Lo, 0.95);
+  RateInterval Half = wilsonInterval(50, 100);
+  EXPECT_LT(Half.Lo, 0.5);
+  EXPECT_GT(Half.Hi, 0.5);
+  RateInterval Empty = wilsonInterval(0, 0);
+  EXPECT_EQ(Empty.Lo, 0.0);
+  EXPECT_EQ(Empty.Hi, 0.0);
+}
+
+TEST(CampaignSampling, CIBoundsContainExhaustiveRateOnAllWorkloads) {
+  // The engine's statistical contract: on every bundled workload, the
+  // 95% Wilson intervals of a stratified sample contain the rate an
+  // exhaustive execution of the same enumerated fault space measures.
+  // (Deterministic: fixed seed, fixed plans. Stratification plus
+  // without-replacement draws make the real coverage comfortably above
+  // the nominal 95%.)
+  for (const Workload &W : allWorkloads()) {
+    Program Prog = loadWorkload(W);
+    BECAnalysis A = BECAnalysis::run(Prog);
+    Trace Golden = simulate(Prog);
+
+    PlanOptions FullOpts;
+    FullOpts.Kind = PlanKind::ValueLevel;
+    FullOpts.MaxCycles = 120;
+    CampaignPlan Full = CampaignPlan::build(A, Golden, FullOpts);
+    CampaignResult Exhaustive = runCampaign(Prog, Golden, Full, {});
+    ASSERT_TRUE(Exhaustive.Error.empty());
+    ASSERT_GT(Exhaustive.Runs, 800u) << W.Name;
+
+    PlanOptions SampleOpts = FullOpts;
+    SampleOpts.SampleSize = 800;
+    SampleOpts.SampleSeed = 1;
+    CampaignPlan Sampled = CampaignPlan::build(A, Golden, SampleOpts);
+    CampaignResult R = runCampaign(Prog, Golden, Sampled, {});
+    ASSERT_TRUE(R.Error.empty());
+    ASSERT_TRUE(R.Sample.has_value()) << W.Name;
+    EXPECT_EQ(R.Sample->PopulationRuns, Exhaustive.Runs) << W.Name;
+
+    for (FaultEffect E : {FaultEffect::SDC, FaultEffect::Trap}) {
+      double TrueRate = double(Exhaustive.EffectCounts[size_t(E)]) /
+                        double(Exhaustive.Runs);
+      const RateInterval &CI = R.Sample->CI[size_t(E)];
+      EXPECT_LE(CI.Lo, TrueRate)
+          << W.Name << " " << faultEffectName(E) << " sample rate "
+          << R.Sample->Rate[size_t(E)];
+      EXPECT_GE(CI.Hi, TrueRate)
+          << W.Name << " " << faultEffectName(E) << " sample rate "
+          << R.Sample->Rate[size_t(E)];
+    }
+  }
+}
+
+TEST(CampaignRun, PrunedVerdictsEqualExhaustivePerRepresentative) {
+  // Every representative the BEC plan keeps must classify exactly as the
+  // exhaustive run at the same (cycle, reg, bit) site: pruning changes
+  // campaign cost, never a verdict.
+  Program Prog = parseAsmOrDie(SmallLoop, "loop");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  std::vector<PlannedRun> ExPlan =
+      planCampaign(A, Golden, PlanKind::Exhaustive);
+  CampaignResult Ex = runCampaign(Prog, Golden, ExPlan);
+  std::map<uint64_t, FaultEffect> BySite;
+  for (size_t I = 0; I < ExPlan.size(); ++I)
+    BySite[(ExPlan[I].AfterCycle << 16) | (uint64_t(ExPlan[I].R) << 8) |
+           ExPlan[I].Bit] = Ex.Effects[I];
+
+  std::vector<PlannedRun> BitPlan =
+      planCampaign(A, Golden, PlanKind::BitLevel, Golden.Cycles - 1);
+  ASSERT_FALSE(BitPlan.empty());
+  CampaignResult Bit = runCampaign(Prog, Golden, BitPlan);
+  for (size_t I = 0; I < BitPlan.size(); ++I) {
+    uint64_t Key = (BitPlan[I].AfterCycle << 16) |
+                   (uint64_t(BitPlan[I].R) << 8) | BitPlan[I].Bit;
+    auto It = BySite.find(Key);
+    ASSERT_NE(It, BySite.end());
+    EXPECT_EQ(It->second, Bit.Effects[I]) << "site " << Key;
+  }
 }
 
 } // namespace

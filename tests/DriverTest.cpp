@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 
@@ -76,6 +77,95 @@ TEST(Driver, CampaignBitcountBitLevelPlan) {
   EXPECT_NE(R.Out.find("bit-level"), std::string::npos);
   EXPECT_NE(R.Out.find("Runs"), std::string::npos);
   EXPECT_NE(R.Out.find("SDC"), std::string::npos);
+  // The per-class breakdown: rate columns next to the raw counts.
+  EXPECT_NE(R.Out.find("SDC rate"), std::string::npos);
+  EXPECT_NE(R.Out.find("Trap rate"), std::string::npos);
+}
+
+/// The campaign's wall-clock column is the one measured (not computed)
+/// value; mask it before comparing two runs' reports.
+std::string maskCampaignSeconds(std::string S) {
+  size_t Pos = 0;
+  while ((Pos = S.find_first_of("0123456789", Pos)) != std::string::npos) {
+    size_t End = S.find_first_not_of("0123456789.", Pos);
+    size_t LineEnd = S.find('\n', Pos);
+    std::string Tok = S.substr(Pos, (End == std::string::npos ? S.size()
+                                                              : End) - Pos);
+    // A x.yz token at end of line is the Seconds cell.
+    if (End == LineEnd && Tok.find('.') != std::string::npos) {
+      S.replace(Pos, Tok.size(), "#");
+      Pos += 1;
+    } else {
+      Pos = End == std::string::npos ? S.size() : End;
+    }
+  }
+  return S;
+}
+
+TEST(Driver, CampaignCheckpointResumeReportIsByteIdentical) {
+  std::string Path = testing::TempDir() + "/driver_campaign_ck.jsonl";
+  std::remove(Path.c_str());
+  std::vector<std::string> Base = {"campaign",     "--workload",
+                                   "bitcount",     "--max-cycles",
+                                   "120",          "--checkpoint",
+                                   Path};
+  DriverRun Full = run(Base);
+  EXPECT_EQ(Full.Status, tool::ExitSuccess) << Full.Err;
+
+  std::vector<std::string> ResumeCmd = Base;
+  ResumeCmd.push_back("--resume");
+  DriverRun Resumed = run(ResumeCmd);
+  EXPECT_EQ(Resumed.Status, tool::ExitSuccess) << Resumed.Err;
+  EXPECT_EQ(maskCampaignSeconds(Full.Out), maskCampaignSeconds(Resumed.Out));
+  EXPECT_NE(Resumed.Err.find("resumed"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, CampaignSampledReportsConfidenceIntervals) {
+  DriverRun R = run({"campaign", "--workload", "bitcount", "--max-cycles",
+                     "120", "--sample", "300", "--seed", "9"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("sampled 300 of"), std::string::npos);
+  EXPECT_NE(R.Out.find("95% CI"), std::string::npos);
+
+  DriverRun J = run({"campaign", "--workload", "bitcount", "--max-cycles",
+                     "120", "--sample", "300", "--seed", "9", "--format",
+                     "json"});
+  EXPECT_EQ(J.Status, tool::ExitSuccess) << J.Err;
+  EXPECT_NE(J.Out.find("\"sample\":"), std::string::npos);
+  EXPECT_NE(J.Out.find("\"ci95\":"), std::string::npos);
+  EXPECT_NE(J.Out.find("\"rates\":"), std::string::npos);
+}
+
+TEST(Driver, CampaignProgressNarratesShards) {
+  DriverRun R = run({"campaign", "--workload", "bitcount", "--max-cycles",
+                     "120", "--threads", "2", "--progress"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess);
+  EXPECT_NE(R.Err.find("bec: campaign: bitcount:"), std::string::npos);
+  EXPECT_NE(R.Err.find("shards"), std::string::npos);
+}
+
+TEST(Driver, CampaignEngineUsageErrors) {
+  // Campaign-engine flags belong to campaign (or client campaign calls).
+  EXPECT_EQ(run({"analyze", "--sample", "10"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"report", "--progress"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"harden", "--checkpoint", "x.jsonl"}).Status,
+            tool::ExitUsage);
+  EXPECT_EQ(run({"campaign", "--sample", "many"}).Status, tool::ExitUsage);
+  // Engine flags on a non-campaign client method would silently run a
+  // different request than asked.
+  EXPECT_EQ(run({"client", "analyze", "bitcount", "--threads", "2"}).Status,
+            tool::ExitUsage);
+  EXPECT_EQ(run({"campaign", "--shard-size", "0"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"campaign", "--resume"}).Status, tool::ExitUsage);
+  // One checkpoint file describes one campaign.
+  EXPECT_EQ(run({"campaign", "--all", "--checkpoint", "x.jsonl"}).Status,
+            tool::ExitUsage);
+  // Checkpoints are local state; the server cannot write them.
+  EXPECT_EQ(run({"campaign", "--workload", "bitcount", "--checkpoint",
+                 "x.jsonl", "--remote", "127.0.0.1:1"})
+                .Status,
+            tool::ExitUsage);
 }
 
 TEST(Driver, ScheduleBitcountReportsAllPolicies) {

@@ -330,6 +330,104 @@ TEST(Loopback, BadParamsAndUnknownTargets) {
             ErrorCode::InvalidParams);
 }
 
+//===----------------------------------------------------------------------===//
+// campaign/run: the streaming method
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, ProgressFrameRoundTrips) {
+  std::string Frame = makeProgressFrame(7, "{\"shards_done\":3}");
+  ASSERT_FALSE(Frame.empty());
+  EXPECT_EQ(Frame.back(), '\n');
+  std::optional<ProgressFrame> P =
+      parseProgressFrame(std::string_view(Frame).substr(0, Frame.size() - 1));
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->Id, 7u);
+  EXPECT_EQ(P->Progress.memberU64("shards_done"), 3u);
+  // Response frames are not progress frames and vice versa.
+  EXPECT_FALSE(parseProgressFrame("{\"id\":7,\"result\":{}}").has_value());
+  std::string Err;
+  EXPECT_FALSE(
+      parseResponseFrame("{\"id\":7,\"progress\":{}}", Err).has_value());
+}
+
+TEST(Loopback, CampaignRunStreamsProgressAndMatchesCampaign) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  const char *Params =
+      "{\"targets\":[\"bitcount\"],\"max_cycles\":300,\"progress\":true}";
+
+  std::vector<uint64_t> ShardsSeen;
+  uint64_t TotalShards = 0;
+  Reply Streamed = C.callStreaming(
+      "campaign/run", Params, [&](const JsonValue &P) {
+        ASSERT_EQ(*P.memberString("target"), "bitcount");
+        ShardsSeen.push_back(P.memberU64("shards_done").value_or(0));
+        TotalShards = P.memberU64("shards").value_or(0);
+        EXPECT_LE(ShardsSeen.back(), TotalShards);
+      });
+  ASSERT_TRUE(Streamed.Ok) << Streamed.Message;
+  ASSERT_GE(ShardsSeen.size(), 2u);
+  for (size_t I = 1; I < ShardsSeen.size(); ++I)
+    EXPECT_LT(ShardsSeen[I - 1], ShardsSeen[I]);
+  // The last progress frame reports completion.
+  EXPECT_EQ(ShardsSeen.back(), TotalShards);
+
+  // The unary sibling returns the same document (its Seconds may vary).
+  Reply Unary =
+      C.call("campaign", "{\"targets\":[\"bitcount\"],\"max_cycles\":300}");
+  ASSERT_TRUE(Unary.Ok);
+  EXPECT_EQ(maskSeconds(*Streamed.Result.memberString("output")),
+            maskSeconds(*Unary.Result.memberString("output")));
+  EXPECT_EQ(Streamed.Result.memberU64("exit"), Unary.Result.memberU64("exit"));
+}
+
+TEST(Loopback, CampaignRunWithoutProgressSendsNoFrames) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  size_t Frames = 0;
+  Reply R = C.callStreaming(
+      "campaign/run", "{\"targets\":[\"bitcount\"],\"max_cycles\":200}",
+      [&](const JsonValue &) { ++Frames; });
+  ASSERT_TRUE(R.Ok) << R.Message;
+  EXPECT_EQ(Frames, 0u);
+}
+
+TEST(Loopback, CampaignSamplingParamsValidatedAndServed) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  EXPECT_EQ(C.call("campaign", "{\"sample\":\"many\"}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("campaign", "{\"seed\":-1}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("campaign/run", "{\"threads\":\"x\"}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("campaign/run", "{\"progress\":3}").Code,
+            ErrorCode::InvalidParams);
+  Reply R = C.call("campaign/run",
+                   "{\"targets\":[\"bitcount\"],\"max_cycles\":200,"
+                   "\"sample\":250,\"seed\":5,\"format\":\"json\"}");
+  ASSERT_TRUE(R.Ok) << R.Message;
+  const std::string *Out = R.Result.memberString("output");
+  ASSERT_NE(Out, nullptr);
+  EXPECT_NE(Out->find("\"sample\":"), std::string::npos);
+  EXPECT_NE(Out->find("\"population\":"), std::string::npos);
+}
+
+TEST(DriverServe, RemoteCampaignProgressStreamsOverTcp) {
+  ServerFixture F;
+  DriverRun R = runLocal({"campaign", "--workload", "bitcount",
+                          "--max-cycles", "300", "--progress", "--remote",
+                          F.remoteFlag()});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Err.find("bec: campaign: bitcount:"), std::string::npos);
+  EXPECT_NE(R.Err.find("shards"), std::string::npos);
+  // The report itself matches the local run (Seconds masked), progress
+  // notwithstanding.
+  DriverRun Local = runLocal(
+      {"campaign", "--workload", "bitcount", "--max-cycles", "300"});
+  EXPECT_EQ(maskSeconds(R.Out), maskSeconds(Local.Out));
+}
+
 TEST(Loopback, ShutdownRefusesFurtherRequests) {
   Service Svc;
   Client C = Client::loopback(Svc);

@@ -28,6 +28,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <ostream>
 #include <sstream>
@@ -60,7 +62,7 @@ Subcommands:
   client     Speak the becd method table directly:
                bec client [--remote H:P] <method> [targets...] [options]
              Methods: version stats shutdown counts intern analyze
-             campaign schedule harden report.
+             campaign campaign/run schedule harden report.
   version    Print the API version and build type (also: --version).
 
 Target selection (default: all bundled workloads):
@@ -73,6 +75,26 @@ Options:
   --jobs N          Evaluate independent targets on N pool threads
                     (default 1; 0 = hardware concurrency).
   --plan KIND       campaign plan: exhaustive | value | bit (default bit).
+  --sample N        campaign: execute a stratified sample of N runs of
+                    the planned fault space and report 95% confidence
+                    intervals on the effect rates (0 = run everything;
+                    default 0).
+  --seed S          campaign: PRNG seed of --sample (default 1; same
+                    plan + same seed = same sample).
+  --threads N       campaign: worker threads of the sharded injection
+                    engine, per target (default 1; 0 = hardware
+                    concurrency). Never changes the report.
+  --shard-size N    campaign: runs per engine shard (default: picked
+                    from the plan size). Checkpoints record it.
+  --checkpoint FILE campaign: stream per-shard result batches to FILE
+                    (JSONL) so an interrupted campaign can be resumed.
+                    Requires exactly one selected target; local only.
+  --resume          campaign: load completed shards from --checkpoint
+                    and execute only the remainder. The final report is
+                    byte-identical to an uninterrupted run.
+  --progress        campaign: print shard progress to stderr while the
+                    engine runs (works with --remote via the streaming
+                    campaign/run method).
   --policy KIND     schedule policy for --emit: best | worst | source
                     (default best).
   --emit FILE       schedule: write the scheduled program of the single
@@ -111,6 +133,16 @@ struct DriverOptions {
   unsigned Jobs = 1;
   bool JobsExplicit = false;
   PlanKind Plan = PlanKind::BitLevel;
+  /// campaign: sampling, engine parallelism, checkpointing, progress.
+  uint64_t SampleSize = 0;
+  uint64_t SampleSeed = 1;
+  unsigned CampaignThreads = 1;
+  bool CampaignThreadsExplicit = false;
+  uint64_t ShardSize = 0;
+  std::string CheckpointPath;
+  bool Resume = false;
+  bool Progress = false;
+  bool SeedExplicit = false;
   SchedulePolicy EmitPolicy = SchedulePolicy::BestReliability;
   std::string EmitPath;
   uint64_t MaxCycles = 0;
@@ -271,6 +303,58 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
             << "' (want exhaustive | value | bit)\n";
         return ExitUsage;
       }
+    } else if (Arg == "--sample") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N) {
+        Err << "bec: --sample wants a number, got '" << *V << "'\n";
+        return ExitUsage;
+      }
+      Opts.SampleSize = *N;
+    } else if (Arg == "--seed") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N) {
+        Err << "bec: --seed wants a number, got '" << *V << "'\n";
+        return ExitUsage;
+      }
+      Opts.SampleSeed = *N;
+      Opts.SeedExplicit = true;
+    } else if (Arg == "--threads") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N || *N > 1u << 16) {
+        Err << "bec: --threads wants a small number, got '" << *V << "'\n";
+        return ExitUsage;
+      }
+      Opts.CampaignThreads = static_cast<unsigned>(*N);
+      Opts.CampaignThreadsExplicit = true;
+    } else if (Arg == "--shard-size") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N || *N == 0) {
+        Err << "bec: --shard-size wants a positive number, got '" << *V
+            << "'\n";
+        return ExitUsage;
+      }
+      Opts.ShardSize = *N;
+    } else if (Arg == "--checkpoint") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.CheckpointPath = *V;
+    } else if (Arg == "--resume") {
+      Opts.Resume = true;
+    } else if (Arg == "--progress") {
+      Opts.Progress = true;
     } else if (Arg == "--policy") {
       auto V = Value(Arg);
       if (!V)
@@ -381,6 +465,38 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     Err << "bec: --emit is only valid with schedule or harden\n";
     return ExitUsage;
   }
+  // Campaign-engine flags: --sample/--seed/--threads/--shard-size and
+  // --progress shape campaign execution (and are forwarded by `client`
+  // for campaign methods — silently ignoring them on other methods
+  // would run a different campaign than the user asked for);
+  // checkpointing is campaign-local state.
+  if (Opts.SampleSize || Opts.SeedExplicit || Opts.ShardSize ||
+      Opts.CampaignThreadsExplicit || Opts.Progress) {
+    bool ClientCampaign =
+        Opts.Cmd == Command::Client && !Opts.ClientArgs.empty() &&
+        (Opts.ClientArgs[0] == "campaign" ||
+         Opts.ClientArgs[0] == "campaign/run");
+    if (Opts.Cmd != Command::Campaign && !ClientCampaign) {
+      Err << "bec: --sample/--seed/--threads/--shard-size/--progress are "
+             "only valid with campaign (or client campaign methods)\n";
+      return ExitUsage;
+    }
+  }
+  if ((!Opts.CheckpointPath.empty() || Opts.Resume) &&
+      Opts.Cmd != Command::Campaign) {
+    Err << "bec: --checkpoint/--resume are only valid with campaign\n";
+    return ExitUsage;
+  }
+  if (Opts.Resume && Opts.CheckpointPath.empty()) {
+    Err << "bec: --resume requires --checkpoint FILE\n";
+    return ExitUsage;
+  }
+  if (!Opts.CheckpointPath.empty() && Opts.Remote) {
+    // The checkpoint would describe a campaign executing on the server;
+    // resuming it locally later would silently re-run everything.
+    Err << "bec: --checkpoint/--resume run locally; drop --remote\n";
+    return ExitUsage;
+  }
   if (Opts.Cmd == Command::Harden && !Opts.EmitPath.empty() &&
       Opts.Budgets.size() != 1) {
     Err << "bec: harden --emit requires a single --budget\n";
@@ -477,6 +593,15 @@ int reportErrors(const AnalysisSession &S, const ResultVec<R> &Results,
   return Status;
 }
 
+/// One --progress line, shared verbatim by the local engine callback and
+/// the remote campaign/run progress-frame printer.
+std::string progressLine(const std::string &Target, uint64_t ShardsDone,
+                         uint64_t Shards, uint64_t RunsDone, uint64_t Runs) {
+  return "bec: campaign: " + Target + ": " + std::to_string(ShardsDone) +
+         "/" + std::to_string(Shards) + " shards, " +
+         std::to_string(RunsDone) + "/" + std::to_string(Runs) + " runs\n";
+}
+
 int emitAssembly(const std::string &Asm, const DriverOptions &Opts,
                  std::ostream &Err) {
   std::ofstream OutFile(Opts.EmitPath);
@@ -512,7 +637,7 @@ const char *commandMethod(Command C) {
 std::optional<Command> subcommandForMethod(const std::string &M) {
   if (M == "analyze")
     return Command::Analyze;
-  if (M == "campaign")
+  if (M == "campaign" || M == "campaign/run")
     return Command::Campaign;
   if (M == "schedule")
     return Command::Schedule;
@@ -545,6 +670,16 @@ std::string subcommandParams(Command Which, const DriverOptions &Opts,
                         : Opts.Plan == PlanKind::ValueLevel  ? "value"
                                                              : "bit");
     W.key("max_cycles").value(Opts.MaxCycles);
+    if (Opts.SampleSize) {
+      W.key("sample").value(Opts.SampleSize);
+      W.key("seed").value(Opts.SampleSeed);
+    }
+    if (Opts.CampaignThreadsExplicit)
+      W.key("threads").value(uint64_t(Opts.CampaignThreads));
+    if (Opts.ShardSize)
+      W.key("shard_size").value(Opts.ShardSize);
+    if (Opts.Progress)
+      W.key("progress").value(true);
     break;
   case Command::Schedule:
     if (WithEmit)
@@ -686,6 +821,17 @@ int consumeSubcommandReply(const serve::Reply &R, const DriverOptions &Opts,
   return Status;
 }
 
+/// Prints one campaign/run progress frame exactly as the local engine's
+/// --progress callback would have.
+void printProgress(const JsonValue &P, std::ostream &Err) {
+  const std::string *Target = P.memberString("target");
+  Err << progressLine(Target ? *Target : std::string("?"),
+                      P.memberU64("shards_done").value_or(0),
+                      P.memberU64("shards").value_or(0),
+                      P.memberU64("runs_done").value_or(0),
+                      P.memberU64("runs").value_or(0));
+}
+
 /// `bec <subcommand> --remote host:port`: transparent offload.
 int runRemote(const DriverOptions &Opts, std::ostream &Out,
               std::ostream &Err) {
@@ -709,8 +855,17 @@ int runRemote(const DriverOptions &Opts, std::ostream &Out,
     if (int Status = internAsmFile(*C, Path, Err))
       return Status;
 
-  serve::Reply R = C->call(commandMethod(Opts.Cmd),
-                           subcommandParams(Opts.Cmd, Opts, Targets, WithEmit));
+  std::string Params = subcommandParams(Opts.Cmd, Opts, Targets, WithEmit);
+  serve::Reply R;
+  if (Opts.Cmd == Command::Campaign) {
+    // Campaigns offload through the streaming method so a long remote
+    // run narrates itself; without --progress no frames are sent and
+    // the exchange is byte-for-byte the unary `campaign` method's.
+    R = C->callStreaming("campaign/run", Params,
+                         [&](const JsonValue &P) { printProgress(P, Err); });
+  } else {
+    R = C->call(commandMethod(Opts.Cmd), Params);
+  }
   if (!R.Ok) {
     Err << "bec: " << R.errorText() << "\n";
     return ExitBadInput;
@@ -808,7 +963,11 @@ int runClient(const DriverOptions &Opts, std::ostream &Out,
     Err << "bec: " << ConnErr << "\n";
     return ExitBadInput;
   }
-  serve::Reply R = C->call(Method, Params);
+  serve::Reply R =
+      Method == "campaign/run"
+          ? C->callStreaming(Method, Params,
+                             [&](const JsonValue &P) { printProgress(P, Err); })
+          : C->call(Method, Params);
   if (!R.Ok) {
     reportReplyError(R, AsmPath, Err);
     return ExitBadInput;
@@ -848,6 +1007,11 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
     Err << "bec: --emit requires exactly one selected target\n";
     return ExitUsage;
   }
+  if (!Opts.CheckpointPath.empty() && S.numTargets() != 1) {
+    // One checkpoint file describes one campaign.
+    Err << "bec: --checkpoint requires exactly one selected target\n";
+    return ExitUsage;
+  }
 
   std::vector<std::string> Names = targetNames(S);
   bool Json = Opts.Format == OutputFormat::Json;
@@ -863,11 +1027,45 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
     break;
   }
   case Command::Campaign: {
-    auto Results =
-        S.evaluateAll<CampaignCmdQuery>({Opts.Plan, Opts.MaxCycles}, Pool);
+    CampaignCmdQuery::Options Base;
+    Base.Plan = Opts.Plan;
+    Base.MaxCycles = Opts.MaxCycles;
+    Base.SampleSize = Opts.SampleSize;
+    Base.SampleSeed = Opts.SampleSeed;
+    Base.Exec.Threads = ThreadPool::clampJobs(Opts.CampaignThreads);
+    Base.Exec.ShardSize = Opts.ShardSize;
+    Base.Exec.CheckpointPath = Opts.CheckpointPath;
+    Base.Exec.Resume = Opts.Resume;
+    // Per-target options (identical fingerprints, so the cache shape
+    // matches evaluateAll): only the progress callback differs, needing
+    // the target's name.
+    std::vector<std::shared_ptr<const CampaignCmdResult>> Results(
+        S.numTargets());
+    std::mutex ProgressMutex;
+    for (size_t I = 0; I < S.numTargets(); ++I)
+      Pool.submit([&, I] {
+        CampaignCmdQuery::Options O = Base;
+        if (Opts.Progress) {
+          std::string Target = S.name(I);
+          O.Exec.OnProgress = throttledProgress(
+              [&Err, &ProgressMutex, Target](const CampaignProgress &P) {
+                std::lock_guard<std::mutex> Lock(ProgressMutex);
+                Err << progressLine(Target, P.ShardsDone, P.TotalShards,
+                                    P.RunsDone, P.TotalRuns);
+              });
+        }
+        Results[I] =
+            S.get<CampaignCmdQuery>(static_cast<AnalysisSession::TargetId>(I),
+                                    O);
+      });
+    Pool.wait();
     Out << (Json ? renderCampaignJson(Names, Results, Opts.Plan)
                  : renderCampaignText(Names, Results, Opts.Plan));
     Status = reportErrors(S, Results, Err);
+    if (Status == ExitSuccess && Opts.Resume)
+      Err << "bec: campaign: resumed " << Results[0]->Campaign.ResumedShards
+          << " of " << Results[0]->Campaign.Shards << " shards from '"
+          << Opts.CheckpointPath << "'\n";
     break;
   }
   case Command::Schedule: {
