@@ -1,0 +1,173 @@
+//===- bench/FuzzThroughput.cpp - Differential fuzzing throughput ---------===//
+///
+/// \file
+/// Measures the `bec fuzz` pipeline at scale (docs/fuzzing.md): how many
+/// generated programs per second the differential oracle stack sustains,
+/// and how the campaign scales across worker threads. Three stages are
+/// timed separately:
+///
+///   * generate — the seeded program generator alone;
+///   * oracles  — one program through the full oracle stack (round trip,
+///     exhaustive-vs-pruned differential, fates, engine, harden, session);
+///   * campaign — the end-to-end fuzz run at 1 / 4 / 8 threads.
+///
+/// The campaign stage doubles as a soundness gate: any oracle mismatch on
+/// the seeded corpus aborts the benchmark, so a perf run can never paper
+/// over a pruning bug. Emits BENCH_fuzz.json (path = argv[1], default
+/// ./BENCH_fuzz.json) next to the other BENCH_*.json artifacts.
+///
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+#include "support/Debug.h"
+#include "support/Json.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+using namespace bec;
+using namespace bec::fuzz;
+
+namespace {
+
+constexpr uint64_t CorpusSeed = 1;
+constexpr uint64_t GenOnlyCount = 2000;
+constexpr uint64_t CampaignCount = 64;
+constexpr unsigned ThreadLevels[] = {1, 4, 8};
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *OutPath = Argc > 1 ? Argv[1] : "BENCH_fuzz.json";
+  std::printf("differential fuzzing throughput: %llu-program campaign "
+              "(seed %llu), 1/4/8 threads\n\n",
+              (unsigned long long)CampaignCount,
+              (unsigned long long)CorpusSeed);
+
+  JsonWriter J;
+  J.beginObject();
+  J.key("bench").value("FuzzThroughput");
+  J.key("corpus_seed").value(CorpusSeed);
+
+  // Stage 1: the generator alone.
+  auto GenStart = std::chrono::steady_clock::now();
+  uint64_t GenInstrs = 0;
+  for (uint64_t I = 0; I < GenOnlyCount; ++I) {
+    GeneratedProgram G = generateProgram(programSeed(CorpusSeed, I));
+    if (!G.Error.empty())
+      reportFatalError("generator emitted an illegal program");
+    GenInstrs += G.Prog.size();
+  }
+  double GenSeconds = secondsSince(GenStart);
+  std::printf("generate: %llu programs (%llu instrs) in %.3fs — %.0f "
+              "programs/s\n",
+              (unsigned long long)GenOnlyCount,
+              (unsigned long long)GenInstrs, GenSeconds,
+              GenOnlyCount / GenSeconds);
+  J.key("generate").beginObject();
+  J.key("programs").value(GenOnlyCount);
+  J.key("instructions").value(GenInstrs);
+  J.key("seconds").value(GenSeconds);
+  J.key("programs_per_s").value(GenOnlyCount / GenSeconds);
+  J.endObject();
+
+  // Stage 2: one program through the full oracle stack, serially.
+  auto OrStart = std::chrono::steady_clock::now();
+  uint64_t OrPrograms = 16, OrRuns = 0;
+  for (uint64_t I = 0; I < OrPrograms; ++I) {
+    GeneratedProgram G = generateProgram(programSeed(CorpusSeed, I));
+    OracleReport R = runOracles(G.Prog);
+    if (!R.ok())
+      reportFatalError("oracle mismatch on the seeded corpus");
+    OrRuns += R.ExhaustiveRuns + R.PrunedRuns;
+  }
+  double OrSeconds = secondsSince(OrStart);
+  std::printf("oracles:  %llu programs (%llu injection runs) in %.3fs — "
+              "%.1f programs/s\n",
+              (unsigned long long)OrPrograms, (unsigned long long)OrRuns,
+              OrSeconds, OrPrograms / OrSeconds);
+  J.key("oracles").beginObject();
+  J.key("programs").value(OrPrograms);
+  J.key("injection_runs").value(OrRuns);
+  J.key("seconds").value(OrSeconds);
+  J.key("programs_per_s").value(OrPrograms / OrSeconds);
+  J.endObject();
+
+  // Stage 3: the end-to-end campaign across thread levels. The report
+  // must be identical at every level; only Seconds may move.
+  Table Tbl({"threads", "programs", "exhaustive", "pruned", "mismatches",
+             "seconds", "programs/s"});
+  J.key("campaign").beginArray();
+  FuzzResult Reference;
+  for (unsigned Threads : ThreadLevels) {
+    FuzzOptions O;
+    O.Seed = CorpusSeed;
+    O.Count = CampaignCount;
+    O.Threads = Threads;
+    FuzzResult R = runFuzz(O);
+    if (!R.Error.empty())
+      reportFatalError("fuzz campaign failed");
+    if (!R.Mismatches.empty())
+      reportFatalError("oracle mismatch on the seeded corpus");
+    if (Threads == ThreadLevels[0])
+      Reference = R;
+    else if (R.ExhaustiveRuns != Reference.ExhaustiveRuns ||
+             R.PrunedRuns != Reference.PrunedRuns ||
+             R.PrunedEffects != Reference.PrunedEffects)
+      reportFatalError("fuzz report varies with thread count");
+
+    char Sec[32], Thr[32];
+    std::snprintf(Sec, sizeof Sec, "%.3f", R.Seconds);
+    std::snprintf(Thr, sizeof Thr, "%.1f",
+                  R.Seconds > 0 ? CampaignCount / R.Seconds : 0);
+    Tbl.row()
+        .cell(uint64_t(Threads))
+        .cell(R.Programs)
+        .cell(R.ExhaustiveRuns)
+        .cell(R.PrunedRuns)
+        .cell(uint64_t(R.Mismatches.size()))
+        .cell(std::string(Sec))
+        .cell(std::string(Thr));
+
+    J.beginObject();
+    J.key("threads").value(uint64_t(Threads));
+    J.key("programs").value(R.Programs);
+    J.key("exhaustive_runs").value(R.ExhaustiveRuns);
+    J.key("pruned_runs").value(R.PrunedRuns);
+    J.key("mismatches").value(uint64_t(R.Mismatches.size()));
+    J.key("seconds").value(R.Seconds);
+    J.key("programs_per_s")
+        .value(R.Seconds > 0 ? CampaignCount / R.Seconds : 0.0);
+    J.endObject();
+  }
+  J.endArray();
+  std::printf("\n%s\n", Tbl.render().c_str());
+  std::printf("pruning ratio over the corpus: %.1fx fewer runs than "
+              "exhaustive\n",
+              Reference.PrunedRuns
+                  ? double(Reference.ExhaustiveRuns) / Reference.PrunedRuns
+                  : 0.0);
+
+  J.key("pruning_ratio")
+      .value(Reference.PrunedRuns
+                 ? double(Reference.ExhaustiveRuns) / Reference.PrunedRuns
+                 : 0.0);
+  J.endObject();
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "cannot write %s\n", OutPath);
+    return 1;
+  }
+  Out << J.take() << "\n";
+  std::printf("wrote %s\n", OutPath);
+  return 0;
+}

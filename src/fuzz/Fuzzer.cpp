@@ -1,0 +1,383 @@
+//===- fuzz/Fuzzer.cpp - The differential fuzzing campaign ----------------===//
+//
+// Determinism invariants (asserted by FuzzTest and DriverTest):
+//   - the selected corpus is a pure function of Seed/Count/Budget/Gen/
+//     Oracle (the budget pre-pass walks programs in index order and takes
+//     the maximal affordable prefix);
+//   - per-program verdicts are pure functions of the program, so the
+//     aggregate totals are order-independent sums and identical under any
+//     thread count;
+//   - the checkpoint stores per-program records addressed by index; a
+//     resumed campaign trusts clean records, re-runs mismatching ones
+//     (to regenerate details and reproducers), and converges on the same
+//     aggregate as an uninterrupted run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Fuzzer.h"
+
+#include "fuzz/Minimizer.h"
+#include "sim/Interpreter.h"
+#include "support/Json.h"
+#include "support/JsonParse.h"
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+
+using namespace bec;
+using namespace bec::fuzz;
+
+namespace {
+
+std::string hex16(uint64_t V) {
+  static const char *Digits = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I, V >>= 4)
+    S[static_cast<size_t>(I)] = Digits[V & 0xf];
+  return S;
+}
+
+/// Fingerprint over every option that can change a verdict or the
+/// selected corpus. Threads, checkpointing, interruption, banking and
+/// minimization are execution-side and deliberately excluded (same rule
+/// as the campaign engine's plan fingerprint).
+uint64_t optionsFingerprint(const FuzzOptions &O) {
+  TraceHasher H;
+  H.absorb(0xbecf077e00000001ull);
+  H.absorb(O.Seed);
+  H.absorb(O.Count);
+  H.absorb(O.Budget);
+  H.absorb(O.Gen.MinBlocks);
+  H.absorb(O.Gen.MaxBlocks);
+  H.absorb(O.Gen.MinLoopIters);
+  H.absorb(O.Gen.MaxLoopIters);
+  H.absorb((uint64_t(O.Gen.AllowMemory) << 1) | O.Gen.AllowMulDiv);
+  H.absorb(O.Gen.Widths.size());
+  for (unsigned W : O.Gen.Widths)
+    H.absorb(W);
+  H.absorb(O.Oracle.MaxCycles);
+  H.absorb((uint64_t(O.Oracle.CheckRoundTrip) << 4) |
+           (uint64_t(O.Oracle.CheckFates) << 3) |
+           (uint64_t(O.Oracle.CheckEngine) << 2) |
+           (uint64_t(O.Oracle.CheckHarden) << 1) |
+           uint64_t(O.Oracle.CheckSession));
+  H.absorb(static_cast<uint64_t>(O.Oracle.HardenBudget * 1000.0));
+  return H.value();
+}
+
+/// The deterministic budget pre-pass: programs in index order, maximal
+/// affordable prefix, at least one program.
+struct CorpusSelection {
+  std::vector<uint64_t> Seeds; ///< Seeds[i] = programSeed(Seed, i).
+  uint64_t Skipped = 0;
+  std::array<uint64_t, NumOpcodes> OpcodeCount{};
+  std::array<uint64_t, NumIdioms> IdiomCount{};
+};
+
+CorpusSelection selectCorpus(const FuzzOptions &O) {
+  CorpusSelection Sel;
+  uint64_t Spent = 0;
+  for (uint64_t I = 0; I < O.Count; ++I) {
+    uint64_t Seed = programSeed(O.Seed, I);
+    GeneratedProgram G = generateProgram(Seed, O.Gen);
+    uint64_t Cost = 0;
+    if (G.Error.empty()) {
+      // Exhaustive plan size of this program's oracle window — the exact
+      // cost formula of planCampaign(Exhaustive).
+      Trace Golden = simulate(G.Prog);
+      uint64_t Limit = O.Oracle.MaxCycles
+                           ? std::min<uint64_t>(O.Oracle.MaxCycles,
+                                                Golden.Cycles)
+                           : Golden.Cycles;
+      Cost = Limit * NumRegs * G.Prog.Width;
+    }
+    if (O.Budget && !Sel.Seeds.empty() && Spent + Cost > O.Budget) {
+      Sel.Skipped = O.Count - I;
+      break;
+    }
+    Spent += Cost;
+    Sel.Seeds.push_back(Seed);
+    for (unsigned Op = 0; Op < NumOpcodes; ++Op)
+      Sel.OpcodeCount[Op] += G.OpcodeCount[Op];
+    for (unsigned Id = 0; Id < NumIdioms; ++Id)
+      Sel.IdiomCount[Id] += G.IdiomCount[Id];
+  }
+  return Sel;
+}
+
+/// One finished program's durable record.
+struct ProgramRecord {
+  uint64_t ExRuns = 0;
+  uint64_t BitRuns = 0;
+  std::array<uint64_t, NumFaultEffects> Effects{};
+  uint64_t Mismatches = 0;
+};
+
+std::string recordLine(uint64_t Index, uint64_t Seed,
+                       const ProgramRecord &R) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("program").value(Index);
+  W.key("seed").value(hex16(Seed));
+  W.key("ex_runs").value(R.ExRuns);
+  W.key("bit_runs").value(R.BitRuns);
+  W.key("effects").beginArray();
+  for (uint64_t E : R.Effects)
+    W.value(E);
+  W.endArray();
+  W.key("mismatches").value(R.Mismatches);
+  W.endObject();
+  return W.take() + "\n";
+}
+
+std::string headerLine(uint64_t Fingerprint, uint64_t Programs) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("bec_fuzz_checkpoint").value(uint64_t(1));
+  W.key("fingerprint").value(hex16(Fingerprint));
+  W.key("programs").value(Programs);
+  W.endObject();
+  return W.take() + "\n";
+}
+
+/// Loads a fuzz checkpoint. Missing file: OK, zero records. Existing file
+/// whose header disagrees with this campaign: an error, never a silent
+/// partial reuse. Torn or malformed lines (what a kill leaves behind) are
+/// skipped.
+bool loadFuzzCheckpoint(const std::string &Path, uint64_t Fingerprint,
+                        const std::vector<uint64_t> &Seeds,
+                        std::map<uint64_t, ProgramRecord> &Records,
+                        bool &HadHeader, std::string &Err) {
+  HadHeader = false;
+  std::ifstream In(Path);
+  if (!In.is_open())
+    return true;
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::optional<JsonValue> V = parseJson(Line);
+    if (!V || !V->isObject())
+      continue; // torn trailing line
+    if (V->member("bec_fuzz_checkpoint")) {
+      const std::string *FP = V->memberString("fingerprint");
+      std::optional<uint64_t> Programs = V->memberU64("programs");
+      if (!FP || *FP != hex16(Fingerprint) || !Programs ||
+          *Programs != Seeds.size()) {
+        Err = "checkpoint '" + Path + "' belongs to a different fuzz "
+              "campaign (fingerprint or corpus size mismatch)";
+        return false;
+      }
+      HadHeader = true;
+      continue;
+    }
+    if (!HadHeader) {
+      Err = "checkpoint '" + Path + "' has no fuzz header";
+      return false;
+    }
+    std::optional<uint64_t> Index = V->memberU64("program");
+    const std::string *Seed = V->memberString("seed");
+    std::optional<uint64_t> Ex = V->memberU64("ex_runs");
+    std::optional<uint64_t> Bit = V->memberU64("bit_runs");
+    std::optional<uint64_t> Mismatches = V->memberU64("mismatches");
+    const JsonValue *Effects = V->member("effects");
+    if (!Index || *Index >= Seeds.size() || !Seed ||
+        *Seed != hex16(Seeds[*Index]) || !Ex || !Bit || !Mismatches ||
+        !Effects || !Effects->isArray() ||
+        Effects->asArray()->size() != NumFaultEffects)
+      continue; // malformed record
+    ProgramRecord R;
+    R.ExRuns = *Ex;
+    R.BitRuns = *Bit;
+    R.Mismatches = *Mismatches;
+    bool Good = true;
+    for (unsigned E = 0; E < NumFaultEffects; ++E) {
+      std::optional<uint64_t> C = (*Effects->asArray())[E].asU64();
+      if (!C) {
+        Good = false;
+        break;
+      }
+      R.Effects[E] = *C;
+    }
+    if (Good)
+      Records[*Index] = R; // duplicates: last wins
+  }
+  return true;
+}
+
+} // namespace
+
+FuzzResult bec::fuzz::runFuzz(const FuzzOptions &O) {
+  auto Start = std::chrono::steady_clock::now();
+  FuzzResult Result;
+
+  CorpusSelection Sel = selectCorpus(O);
+  Result.Programs = Sel.Seeds.size();
+  Result.SkippedByBudget = Sel.Skipped;
+  Result.OpcodeCount = Sel.OpcodeCount;
+  Result.IdiomCount = Sel.IdiomCount;
+
+  uint64_t Fingerprint = optionsFingerprint(O);
+
+  // Resume: trust clean records; mismatching records re-run so their
+  // details and reproducers are regenerated.
+  std::map<uint64_t, ProgramRecord> Trusted;
+  bool HadHeader = false;
+  if (!O.CheckpointPath.empty() && O.Resume) {
+    std::map<uint64_t, ProgramRecord> Records;
+    if (!loadFuzzCheckpoint(O.CheckpointPath, Fingerprint, Sel.Seeds, Records,
+                            HadHeader, Result.Error))
+      return Result;
+    for (auto &[Index, R] : Records)
+      if (R.Mismatches == 0)
+        Trusted.emplace(Index, R);
+  }
+
+  if (!O.BankDir.empty()) {
+    std::error_code EC;
+    std::filesystem::create_directories(O.BankDir, EC);
+    if (EC) {
+      Result.Error = "cannot create bank directory '" + O.BankDir +
+                     "': " + EC.message();
+      return Result;
+    }
+  }
+
+  std::ofstream Checkpoint;
+  if (!O.CheckpointPath.empty()) {
+    bool Append = O.Resume && HadHeader;
+    Checkpoint.open(O.CheckpointPath, Append ? std::ios::app
+                                             : std::ios::trunc);
+    if (!Checkpoint.is_open()) {
+      Result.Error = "cannot open checkpoint '" + O.CheckpointPath + "'";
+      return Result;
+    }
+    if (!Append) {
+      Checkpoint << headerLine(Fingerprint, Sel.Seeds.size());
+      Checkpoint.flush();
+    }
+  }
+
+  for (const auto &[Index, R] : Trusted) {
+    (void)Index;
+    ++Result.Resumed;
+    Result.ExhaustiveRuns += R.ExRuns;
+    Result.PrunedRuns += R.BitRuns;
+    for (unsigned E = 0; E < NumFaultEffects; ++E)
+      Result.PrunedEffects[E] += R.Effects[E];
+  }
+
+  std::vector<uint64_t> ToRun;
+  for (uint64_t I = 0; I < Sel.Seeds.size(); ++I)
+    if (!Trusted.count(I))
+      ToRun.push_back(I);
+  if (O.StopAfterPrograms && O.StopAfterPrograms < ToRun.size()) {
+    ToRun.resize(O.StopAfterPrograms);
+    Result.Interrupted = true;
+  }
+
+  std::mutex Mutex; // guards Result, Checkpoint, progress
+  uint64_t Done = 0;
+  ThreadPool Pool(O.Threads);
+  for (uint64_t Index : ToRun)
+    Pool.submit([&, Index] {
+      uint64_t Seed = Sel.Seeds[Index];
+      GeneratedProgram G = generateProgram(Seed, O.Gen);
+      ProgramRecord R;
+      std::optional<FuzzMismatch> Bad;
+      if (!G.Error.empty()) {
+        R.Mismatches = 1;
+        Bad = FuzzMismatch{Index,  Seed,  "generator", G.Error,
+                           1,      G.Asm, G.Asm,       ""};
+      } else {
+        OracleReport Report = runOracles(G.Prog, O.Oracle);
+        R.ExRuns = Report.ExhaustiveRuns;
+        R.BitRuns = Report.PrunedRuns;
+        R.Effects = Report.PrunedEffects;
+        R.Mismatches = Report.Mismatches.size();
+        if (!Report.ok()) {
+          Bad = FuzzMismatch{Index,
+                             Seed,
+                             Report.Mismatches[0].Oracle,
+                             Report.Mismatches[0].Detail,
+                             Report.Mismatches.size(),
+                             G.Asm,
+                             G.Asm,
+                             ""};
+          if (O.Minimize) {
+            MinimizeOptions MO;
+            MO.MaxTests = O.MinimizeMaxTests;
+            MinimizeResult Min = minimizeProgram(
+                G.Asm, G.Name,
+                [&](const Program &P) { return !runOracles(P, O.Oracle).ok(); },
+                MO);
+            Bad->MinimizedAsm = Min.Asm;
+          }
+          if (!O.BankDir.empty()) {
+            std::string Path =
+                O.BankDir + "/repro_" + hex16(Seed) + ".s";
+            std::ofstream Out(Path, std::ios::trunc);
+            Out << "# bec fuzz reproducer\n"
+                << "# seed 0x" << hex16(Seed) << " (program " << Index
+                << " of corpus seed " << O.Seed << ")\n"
+                << "# oracle: " << Bad->Oracle << "\n"
+                << "# detail: " << Bad->Detail << "\n"
+                << Bad->MinimizedAsm;
+            if (Out.good())
+              Bad->BankedPath = Path;
+          }
+        }
+      }
+      std::lock_guard<std::mutex> Lock(Mutex);
+      ++Result.Executed;
+      Result.ExhaustiveRuns += R.ExRuns;
+      Result.PrunedRuns += R.BitRuns;
+      for (unsigned E = 0; E < NumFaultEffects; ++E)
+        Result.PrunedEffects[E] += R.Effects[E];
+      if (Bad)
+        Result.Mismatches.push_back(std::move(*Bad));
+      if (Checkpoint.is_open()) {
+        Checkpoint << recordLine(Index, Seed, R);
+        Checkpoint.flush();
+      }
+      ++Done;
+      if (O.OnProgress)
+        O.OnProgress({Done, ToRun.size(),
+                      static_cast<uint64_t>(Result.Mismatches.size())});
+    });
+  Pool.wait();
+
+  std::sort(Result.Mismatches.begin(), Result.Mismatches.end(),
+            [](const FuzzMismatch &A, const FuzzMismatch &B) {
+              return A.Index < B.Index;
+            });
+  Result.Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+  return Result;
+}
+
+std::string bec::fuzz::emitCorpus(const FuzzOptions &O,
+                                  const std::string &Dir) {
+  std::error_code EC;
+  std::filesystem::create_directories(Dir, EC);
+  if (EC)
+    return "cannot create corpus directory '" + Dir + "': " + EC.message();
+  CorpusSelection Sel = selectCorpus(O);
+  for (uint64_t Seed : Sel.Seeds) {
+    GeneratedProgram G = generateProgram(Seed, O.Gen);
+    if (!G.Error.empty())
+      return "seed " + hex16(Seed) + " does not generate: " + G.Error;
+    std::string Path = Dir + "/seed_" + hex16(Seed) + ".s";
+    std::ofstream Out(Path, std::ios::trunc);
+    Out << G.Asm;
+    if (!Out.good())
+      return "cannot write '" + Path + "'";
+  }
+  return {};
+}

@@ -1,0 +1,123 @@
+//===- fuzz/Minimizer.cpp - Delta-debugging reproducer minimizer ----------===//
+//
+// ddmin (Zeller & Hildebrandt) over the line list, followed by a
+// single-line-removal fixpoint sweep for 1-minimality. Directive and
+// label lines participate like any other line: removing a label that is
+// still branched to simply fails to assemble, which counts as "does not
+// reproduce" and keeps the candidate out.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include "ir/AsmParser.h"
+
+#include <vector>
+
+using namespace bec;
+using namespace bec::fuzz;
+
+namespace {
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t End = Text.find('\n', Pos);
+    if (End == std::string::npos)
+      End = Text.size();
+    Lines.push_back(Text.substr(Pos, End - Pos));
+    Pos = End + 1;
+  }
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines,
+                      const std::vector<bool> &Keep) {
+  std::string Out;
+  for (size_t I = 0; I < Lines.size(); ++I)
+    if (Keep[I]) {
+      Out += Lines[I];
+      Out += '\n';
+    }
+  return Out;
+}
+
+} // namespace
+
+MinimizeResult bec::fuzz::minimizeProgram(const std::string &Asm,
+                                          std::string_view Name,
+                                          const FailurePredicate &Fails,
+                                          const MinimizeOptions &O) {
+  MinimizeResult Result;
+  std::vector<std::string> Lines = splitLines(Asm);
+  std::vector<bool> Keep(Lines.size(), true);
+  Result.LinesBefore = Lines.size();
+
+  size_t KeptCount = Lines.size();
+  auto StillFails = [&](const std::vector<bool> &Candidate) {
+    if (Result.Tests >= O.MaxTests)
+      return false;
+    AsmParseResult Res = parseAsm(joinLines(Lines, Candidate), Name);
+    if (!Res.succeeded())
+      return false; // illegal candidates never count as reproducers
+    ++Result.Tests;
+    return Fails(*Res.Prog);
+  };
+
+  // ddmin: try removing chunks of decreasing size until the chunk size
+  // reaches one line.
+  size_t Chunk = (KeptCount + 1) / 2;
+  while (Chunk >= 1 && Result.Tests < O.MaxTests) {
+    bool Removed = false;
+    size_t Start = 0;
+    while (Start < Lines.size()) {
+      // The chunk covers the next `Chunk` *kept* lines from Start.
+      std::vector<bool> Candidate = Keep;
+      size_t Marked = 0, End = Start;
+      while (End < Lines.size() && Marked < Chunk) {
+        if (Candidate[End]) {
+          Candidate[End] = false;
+          ++Marked;
+        }
+        ++End;
+      }
+      if (Marked == 0)
+        break;
+      if (StillFails(Candidate)) {
+        Keep = std::move(Candidate);
+        KeptCount -= Marked;
+        Removed = true;
+      }
+      Start = End;
+    }
+    if (Chunk == 1)
+      break;
+    if (!Removed)
+      Chunk = (Chunk + 1) / 2; // smaller chunks once nothing was removable
+  }
+
+  // 1-minimality sweep: keep removing single lines until a full pass
+  // removes nothing.
+  bool Progress = true;
+  while (Progress && Result.Tests < O.MaxTests) {
+    Progress = false;
+    for (size_t I = 0; I < Lines.size(); ++I) {
+      if (!Keep[I])
+        continue;
+      std::vector<bool> Candidate = Keep;
+      Candidate[I] = false;
+      if (StillFails(Candidate)) {
+        Keep = std::move(Candidate);
+        --KeptCount;
+        Progress = true;
+      }
+    }
+    if (!Progress)
+      Result.OneMinimal = true;
+  }
+
+  Result.Asm = joinLines(Lines, Keep);
+  Result.LinesAfter = KeptCount;
+  return Result;
+}

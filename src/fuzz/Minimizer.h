@@ -1,0 +1,58 @@
+//===- fuzz/Minimizer.h - Delta-debugging reproducer minimizer ------------===//
+///
+/// \file
+/// Classic ddmin over assembly *lines*: given a program whose oracles
+/// disagree, shrink it to a 1-minimal reproducer — removing any single
+/// remaining line either breaks assembly/verification or makes the
+/// mismatch disappear. Candidates are validated through the real
+/// AsmParser, so the minimizer can only ever hand back a verifier-legal
+/// program, and the predicate decides "still failing" (typically by
+/// re-running the oracles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_FUZZ_MINIMIZER_H
+#define BEC_FUZZ_MINIMIZER_H
+
+#include "ir/Program.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace bec {
+namespace fuzz {
+
+/// Returns true when the candidate still exhibits the failure being
+/// minimized. Candidates are always verifier-legal parsed programs.
+using FailurePredicate = std::function<bool(const Program &)>;
+
+struct MinimizeOptions {
+  /// Cap on predicate evaluations (parse failures do not count). The
+  /// ddmin pass stops early once exhausted; the result is still legal
+  /// and still failing, just possibly not 1-minimal.
+  uint64_t MaxTests = 4096;
+};
+
+struct MinimizeResult {
+  /// The minimized assembly (always parses, verifies, and satisfies the
+  /// predicate — in the worst case it is the input itself).
+  std::string Asm;
+  /// Line counts before/after, predicate evaluations spent, and whether
+  /// the pass ran to 1-minimality within MaxTests.
+  uint64_t LinesBefore = 0;
+  uint64_t LinesAfter = 0;
+  uint64_t Tests = 0;
+  bool OneMinimal = false;
+};
+
+/// Minimizes \p Asm (which must parse, verify, and satisfy \p Fails)
+/// under \p Fails. See the file comment for the algorithm.
+MinimizeResult minimizeProgram(const std::string &Asm, std::string_view Name,
+                               const FailurePredicate &Fails,
+                               const MinimizeOptions &O = {});
+
+} // namespace fuzz
+} // namespace bec
+
+#endif // BEC_FUZZ_MINIMIZER_H

@@ -1,0 +1,87 @@
+//===- fuzz/Oracles.h - Differential oracles over one program -------------===//
+///
+/// \file
+/// The judgment half of the fuzzer: given one verifier-legal program,
+/// runOracles() executes the full pipeline several independent ways and
+/// flags every disagreement. The primary oracle is the soundness claim
+/// behind every optimization since PR 3 — the BEC-pruned (BitLevel)
+/// campaign must reproduce the exhaustive ground truth verdict at every
+/// planned site, and masked sites must reproduce the golden trace. The
+/// secondary oracles are cheap cross-checks of the surrounding machinery:
+/// print/parse round trip, fate-taxonomy validation, engine-vs-serial
+/// equality, harden closed loop, and session cold==warm byte equality.
+///
+/// Every oracle is a pure function of the program; a mismatch therefore
+/// reproduces from the banked assembly alone (see docs/fuzzing.md).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_FUZZ_ORACLES_H
+#define BEC_FUZZ_ORACLES_H
+
+#include "fi/Campaign.h"
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bec {
+namespace fuzz {
+
+/// Which oracles to run and how hard. The defaults are what `bec fuzz`
+/// and the corpus test run.
+struct OracleOptions {
+  /// Truncates the campaign/validation window of the golden trace
+  /// (0 = whole trace). Exhaustive cost is linear in this, so the fuzzer
+  /// keeps it small.
+  uint64_t MaxCycles = 48;
+  bool CheckRoundTrip = true;
+  bool CheckFates = true;
+  bool CheckEngine = true;
+  bool CheckHarden = true;
+  bool CheckSession = true;
+  /// Budget of the harden closed-loop check.
+  double HardenBudget = 10.0;
+  /// Thread count of the engine-vs-serial cross-check.
+  unsigned EngineThreads = 2;
+};
+
+/// One oracle disagreement. \c Oracle is a stable short tag ("verdict",
+/// "masked-fate", "round-trip", "fates", "engine", "harden", "session",
+/// "golden", "generator"); \c Detail is human-readable.
+struct OracleMismatch {
+  std::string Oracle;
+  std::string Detail;
+};
+
+/// Everything runOracles learned about one program.
+struct OracleReport {
+  std::vector<OracleMismatch> Mismatches;
+  uint64_t ExhaustiveRuns = 0;
+  uint64_t PrunedRuns = 0;
+  /// Effect counts of the pruned campaign, indexed by FaultEffect.
+  std::array<uint64_t, NumFaultEffects> PrunedEffects{};
+
+  bool ok() const { return Mismatches.empty(); }
+};
+
+/// The primary differential comparison, exposed separately so tests can
+/// feed it corrupted inputs: every pruned run must lie inside the
+/// exhaustive site coverage and reproduce the exhaustive effect at the
+/// same (cycle, reg, bit) site. Appends to \p Mismatches; returns the
+/// number appended. (Masked sites and cross-segment fates are covered by
+/// the validation oracle inside runOracles.)
+size_t compareVerdicts(const std::vector<PlannedRun> &ExPlan,
+                       const std::vector<FaultEffect> &ExEffects,
+                       const std::vector<PlannedRun> &PrunedPlan,
+                       const std::vector<FaultEffect> &PrunedEffects,
+                       std::vector<OracleMismatch> &Mismatches);
+
+/// Runs every enabled oracle over \p Prog (verified, CFG built).
+OracleReport runOracles(const Program &Prog, const OracleOptions &O = {});
+
+} // namespace fuzz
+} // namespace bec
+
+#endif // BEC_FUZZ_ORACLES_H

@@ -110,15 +110,31 @@ std::string Program::toString() const {
   std::string Out;
   Out += "# program: " + Name + "\n";
   Out += ".width " + std::to_string(Width) + "\n";
+  if (MemSize != (uint64_t(1) << 16))
+    Out += ".memsize " + std::to_string(MemSize) + "\n";
+  if (!Data.empty()) {
+    // The data image round-trips as raw bytes; symbolic data labels were
+    // already resolved to absolute addresses at parse time.
+    Out += ".data\n";
+    for (size_t I = 0; I < Data.size(); ++I) {
+      Out += I % 16 == 0 ? ".byte " : ",";
+      Out += std::to_string(Data[I]);
+      if ((I + 1) % 16 == 0 || I + 1 == Data.size())
+        Out += "\n";
+    }
+    Out += ".text\n";
+  }
   std::vector<bool> NeedsLabel(size(), false);
-  if (Entry < size())
-    NeedsLabel[Entry] = true;
   for (const Instruction &I : Instrs)
     if (I.Target != NoTarget)
       NeedsLabel[static_cast<uint32_t>(I.Target)] = true;
   for (uint32_t P = 0; P < size(); ++P) {
     if (NeedsLabel[P])
       Out += ".L" + std::to_string(P) + ":\n";
+    // `main:` pins the entry point; the parser defaults Entry to 0, so a
+    // non-zero entry would otherwise be lost in the round trip.
+    if (P == Entry)
+      Out += "main:\n";
     std::string Label;
     if (Instrs[P].Target != NoTarget)
       Label = ".L" + std::to_string(Instrs[P].Target);

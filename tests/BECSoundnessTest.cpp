@@ -16,6 +16,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "fi/Validation.h"
+#include "fuzz/Generator.h"
 #include "ir/AsmParser.h"
 #include "sim/Interpreter.h"
 #include "support/Xoshiro.h"
@@ -158,5 +159,31 @@ TEST_P(BECSoundnessFuzz, RandomProgramsValidateSound) {
 
 INSTANTIATE_TEST_SUITE_P(Fuzz, BECSoundnessFuzz,
                          ::testing::Range<unsigned>(0, 48));
+
+/// The same soundness property over the `bec fuzz` generator's richer
+/// idiom menu (memory mixes, compare chains, multiple loops — shapes the
+/// local randomProgram above never emits). A seeded sample of 50
+/// programs; the validation window is bounded so the exhaustive ground
+/// truth stays cheap per program.
+class GeneratedCorpusSoundness : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GeneratedCorpusSoundness, ValidatesSound) {
+  fuzz::GeneratedProgram G =
+      fuzz::generateProgram(fuzz::programSeed(0xbec5eed5ull, GetParam()));
+  ASSERT_TRUE(G.Error.empty()) << G.Error << "\n" << G.Asm;
+
+  BECAnalysis A = BECAnalysis::run(G.Prog);
+  Trace Golden = simulate(G.Prog);
+  ASSERT_EQ(Golden.End, Outcome::Finished) << G.Asm;
+
+  ValidationResult R = validateAnalysis(A, Golden, /*MaxCycles=*/48);
+  EXPECT_EQ(R.UnsoundPairs, 0u) << G.Asm;
+  EXPECT_EQ(R.MaskedViolations, 0u) << G.Asm;
+  EXPECT_EQ(R.CrossViolations, 0u) << G.Asm;
+  EXPECT_GT(R.RunsExecuted, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fuzz, GeneratedCorpusSoundness,
+                         ::testing::Range<unsigned>(0, 50));
 
 } // namespace

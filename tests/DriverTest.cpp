@@ -307,6 +307,73 @@ TEST(Driver, HardenAndFormatUsageErrors) {
             tool::ExitUsage);
 }
 
+TEST(Driver, FuzzReportIsDeterministicAndClean) {
+  std::vector<std::string> Args = {"fuzz", "--count", "4", "--seed", "3",
+                                   "--max-cycles", "24"};
+  DriverRun A = run(Args);
+  EXPECT_EQ(A.Status, tool::ExitSuccess) << A.Err;
+  EXPECT_NE(A.Out.find("Fuzz corpus: seed 3, 4 programs"),
+            std::string::npos);
+  EXPECT_NE(A.Out.find("Mismatches"), std::string::npos);
+  EXPECT_NE(A.Out.find("Idiom coverage"), std::string::npos);
+
+  // Same seed, more threads: byte-identical modulo the Seconds cell.
+  std::vector<std::string> Threaded = Args;
+  Threaded.insert(Threaded.end(), {"--threads", "4"});
+  DriverRun B = run(Threaded);
+  EXPECT_EQ(B.Status, tool::ExitSuccess) << B.Err;
+  EXPECT_EQ(maskCampaignSeconds(A.Out), maskCampaignSeconds(B.Out));
+}
+
+TEST(Driver, FuzzJsonReportsTheCampaign) {
+  DriverRun R = run({"fuzz", "--count", "3", "--seed", "3", "--max-cycles",
+                     "24", "--format", "json"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("\"fuzz\":{"), std::string::npos);
+  EXPECT_NE(R.Out.find("\"programs\":3"), std::string::npos);
+  EXPECT_NE(R.Out.find("\"mismatches\":[]"), std::string::npos);
+}
+
+TEST(Driver, FuzzCheckpointResumeReportIsByteIdentical) {
+  std::string Path = testing::TempDir() + "/driver_fuzz_ck.jsonl";
+  std::remove(Path.c_str());
+  std::vector<std::string> Base = {"fuzz", "--count", "4", "--seed", "3",
+                                   "--max-cycles", "24", "--checkpoint",
+                                   Path};
+  DriverRun Full = run(Base);
+  EXPECT_EQ(Full.Status, tool::ExitSuccess) << Full.Err;
+
+  std::vector<std::string> ResumeCmd = Base;
+  ResumeCmd.push_back("--resume");
+  DriverRun Resumed = run(ResumeCmd);
+  EXPECT_EQ(Resumed.Status, tool::ExitSuccess) << Resumed.Err;
+  EXPECT_EQ(maskCampaignSeconds(Full.Out), maskCampaignSeconds(Resumed.Out));
+  EXPECT_NE(Resumed.Err.find("resumed 4 of 4"), std::string::npos)
+      << Resumed.Err;
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, FuzzBudgetBoundsTheCorpus) {
+  DriverRun R = run({"fuzz", "--count", "8", "--seed", "3", "--max-cycles",
+                     "24", "--budget", "30000"});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  EXPECT_NE(R.Out.find("beyond --budget"), std::string::npos);
+}
+
+TEST(Driver, FuzzUsageErrors) {
+  // The fuzzer takes no targets and runs locally.
+  EXPECT_EQ(run({"fuzz", "--workload", "bitcount"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"fuzz", "--all"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"fuzz", "--remote", "h:1"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"fuzz", "--count", "0"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"fuzz", "--budget", "5.5"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"fuzz", "--sample", "5"}).Status, tool::ExitUsage);
+  // Fuzz-only flags stay fuzz-only.
+  EXPECT_EQ(run({"analyze", "--count", "3"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"campaign", "--bank", "d"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"harden", "--emit-corpus", "d"}).Status, tool::ExitUsage);
+}
+
 TEST(Driver, HelpAndListWorkloads) {
   DriverRun Help = run({"--help"});
   EXPECT_EQ(Help.Status, tool::ExitSuccess);

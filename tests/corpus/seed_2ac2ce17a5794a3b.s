@@ -1,0 +1,25 @@
+# fuzz seed 0x2ac2ce17a5794a3b
+.width 8
+main:
+  li t0, 3
+  li t1, 106
+  li t2, 15
+  li t3, 116
+  li t4, 107
+  li t6, 59
+  li s2, 94
+  li s3, 37
+  mv s2, t6
+  add t1, s2, s3
+  remu t2, s2, t3
+  xori t1, t2, 117
+  mul s2, t3, t1
+  mv t6, t2
+  add t1, t4, s2
+  ori s3, t1, 26
+  or t6, t0, t4
+  xori t3, t4, 90
+  out t4
+  out t3
+  mv a0, t1
+  ret

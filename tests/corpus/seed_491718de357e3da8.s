@@ -1,0 +1,32 @@
+# fuzz seed 0x491718de357e3da8
+.width 4
+main:
+  li t0, 6
+  li t1, 4
+  li t2, 3
+  li t3, 0
+  li t4, 6
+  li t6, 6
+  li s2, 3
+  li s3, 1
+  sltu t3, t1, t4
+  sltu t2, t4, t6
+  slt t6, s2, t4
+  not t4, s3
+  neg s2, t0
+  xori s2, s2, 7
+  xori t0, t2, 7
+  slti t0, s2, 1
+  or s2, t3, t2
+  sltu t2, t2, s2
+  or t1, t6, t2
+  li s1, 3
+loop0:
+  slli t6, t6, 1
+  xor t6, t6, t4
+  addi s1, s1, -1
+  bnez s1, loop0
+  out t3
+  out s2
+  mv a0, t3
+  ret

@@ -1,0 +1,37 @@
+# fuzz seed 0x6775dc7701564f61
+.width 32
+.data
+buf:
+  .word 38690
+  .word 56888
+  .word 60760
+  .word 26621
+  .word 6499
+  .word 27867
+  .word 41435
+  .word 8770
+.text
+main:
+  li t0, 43
+  li t1, 120
+  li t2, 213
+  li t3, 253
+  li t4, 137
+  li t6, 9
+  li s2, 228
+  li s3, 214
+  la t5, buf
+  xor t4, t6, s3
+  srai t2, t4, 16
+  andi t0, t3, 63
+  not t0, t4
+  li s1, 3
+loop0:
+  xor t3, t3, t2
+  xor t3, t3, s2
+  addi s1, s1, -1
+  bnez s1, loop0
+  out t2
+  out t3
+  mv a0, t4
+  ret

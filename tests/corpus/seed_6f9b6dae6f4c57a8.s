@@ -1,0 +1,32 @@
+# fuzz seed 0x6f9b6dae6f4c57a8
+.width 4
+main:
+  li t0, 6
+  li t1, 2
+  li t2, 2
+  li t3, 1
+  li t4, 2
+  li t6, 2
+  li s2, 4
+  li s3, 3
+  bgtz t6, skip0
+  add t3, t3, s3
+  xor t6, t1, t6
+  xor t4, t2, t6
+skip0:
+  slt t1, t0, s3
+  and t4, s2, t2
+  or t1, t2, t1
+  slti s3, t3, 1
+  li s1, 3
+loop1:
+  add s2, s2, t2
+  slli s2, s2, 1
+  slli s2, s2, 1
+  slli s2, s2, 1
+  addi s1, s1, -1
+  bnez s1, loop1
+  out t2
+  out t0
+  mv a0, t1
+  ret

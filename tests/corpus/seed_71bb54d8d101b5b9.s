@@ -1,0 +1,23 @@
+# fuzz seed 0x71bb54d8d101b5b9
+.width 8
+main:
+  li t0, 68
+  li t1, 15
+  li t2, 52
+  li t3, 116
+  li t4, 102
+  li t6, 107
+  li s2, 125
+  li s3, 6
+  sll t3, t1, t6
+  or t2, s2, t3
+  xori t1, t4, 44
+  andi t1, t0, 43
+  andi t6, t6, 52
+  andi t6, t1, 120
+  or t0, t3, t3
+  snez t6, t3
+  out s3
+  out t2
+  mv a0, t0
+  ret

@@ -1,0 +1,34 @@
+# fuzz seed 0x71c18690ee42c90b
+.width 4
+main:
+  li t0, 2
+  li t1, 7
+  li t2, 6
+  li t3, 4
+  li t4, 5
+  li t6, 5
+  li s2, 0
+  li s3, 7
+  bne t1, t2, skip0
+  addi t4, s3, 3
+  addi t1, t0, 3
+  add t2, t3, t4
+skip0:
+  li s1, 4
+loop1:
+  addi t2, t2, 7
+  xor t2, t2, s3
+  addi s1, s1, -1
+  bnez s1, loop1
+  srai s3, t1, 0
+  and s2, t6, s3
+  not t6, t4
+  not t1, t1
+  sltiu t1, s2, 7
+  and t6, t2, t2
+  slt s3, t4, t0
+  and t4, t4, t6
+  out s2
+  out t6
+  mv a0, t0
+  ret

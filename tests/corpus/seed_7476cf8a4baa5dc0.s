@@ -1,0 +1,38 @@
+# fuzz seed 0x7476cf8a4baa5dc0
+.width 8
+main:
+  li t0, 104
+  li t1, 2
+  li t2, 43
+  li t3, 15
+  li t4, 42
+  li t6, 101
+  li s2, 56
+  li s3, 41
+  or t3, t4, s2
+  add t1, s3, t1
+  ori t0, s3, 70
+  remu t2, t6, t1
+  mv t3, t6
+  sub s2, t0, s2
+  li s1, 2
+loop0:
+  addi t4, t4, -71
+  add t4, t4, t1
+  xor t4, t4, t4
+  addi s1, s1, -1
+  bnez s1, loop0
+  blez t0, skip1
+  add t2, s3, t0
+skip1:
+  snez t0, t6
+  slti t0, s3, 53
+  or t0, s3, t6
+  and s3, s2, s3
+  not t1, s3
+  andi t1, s2, 83
+  not t0, t2
+  out t2
+  out t0
+  mv a0, s2
+  ret

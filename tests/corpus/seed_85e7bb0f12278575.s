@@ -1,0 +1,31 @@
+# fuzz seed 0x85e7bb0f12278575
+.width 32
+main:
+  li t0, 180
+  li t1, 112
+  li t2, 26
+  li t3, 188
+  li t4, 45
+  li t6, 167
+  li s2, 96
+  li s3, 220
+  li s1, 2
+loop0:
+  add s2, s2, s3
+  addi s2, s2, 211
+  slli s2, s2, 1
+  add s2, s2, t6
+  addi s1, s1, -1
+  bnez s1, loop0
+  slti t2, t4, 155
+  sltu s3, t2, s2
+  slt t3, t3, t6
+  or t3, t6, t2
+  snez s2, t3
+  or t0, t2, t0
+  sltu s2, t0, t0
+  sltu t3, t6, t6
+  out t3
+  out t4
+  mv a0, t6
+  ret

@@ -1,0 +1,30 @@
+# fuzz seed 0x87b341d690d7a28a
+.width 16
+main:
+  li t0, 129
+  li t1, 220
+  li t2, 150
+  li t3, 77
+  li t4, 61
+  li t6, 254
+  li s2, 100
+  li s3, 180
+  remu t6, t3, s2
+  sub t0, t2, t1
+  mv s2, t3
+  slt s3, t3, s3
+  snez t0, t6
+  snez t2, t3
+  and s2, t6, s2
+  sll t3, t6, s2
+  not t4, t0
+  and s3, t2, t4
+  srai t1, s3, 4
+  ori t3, t2, 9
+  div t6, t1, t2
+  addi t0, t2, 44
+  andi t0, s2, 179
+  out t3
+  out t4
+  mv a0, s2
+  ret

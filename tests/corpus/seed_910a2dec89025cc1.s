@@ -1,0 +1,30 @@
+# fuzz seed 0x910a2dec89025cc1
+.width 32
+main:
+  li t0, 169
+  li t1, 81
+  li t2, 204
+  li t3, 29
+  li t4, 4
+  li t6, 27
+  li s2, 168
+  li s3, 13
+  bnez s3, skip0
+  xor s3, t0, t1
+  xor t3, s2, t4
+  add t1, t6, t1
+skip0:
+  blt t6, t4, skip1
+  xor t4, s3, t1
+skip1:
+  li s1, 2
+loop2:
+  slli t6, t6, 1
+  addi t6, t6, 19
+  xor t6, t6, s2
+  addi s1, s1, -1
+  bnez s1, loop2
+  out t2
+  out s2
+  mv a0, t4
+  ret

@@ -1,0 +1,41 @@
+# fuzz seed 0x9afcd44d14cf8bfe
+.width 16
+main:
+  li t0, 233
+  li t1, 29
+  li t2, 250
+  li t3, 255
+  li t4, 128
+  li t6, 7
+  li s2, 255
+  li s3, 185
+  li s1, 3
+loop0:
+  add t6, t6, t0
+  xor t6, t6, t1
+  addi s1, s1, -1
+  bnez s1, loop0
+  li s1, 2
+loop1:
+  add t3, t3, t2
+  add t3, t3, t3
+  addi s1, s1, -1
+  bnez s1, loop1
+  sub s3, t0, t6
+  remu s2, s2, s3
+  and s3, t3, t4
+  bgtz t6, skip2
+  addi t6, t3, 14
+skip2:
+  li s1, 4
+loop3:
+  addi t6, t6, 23
+  slli t6, t6, 1
+  slli t6, t6, 1
+  add t6, t6, s3
+  addi s1, s1, -1
+  bnez s1, loop3
+  out t4
+  out t6
+  mv a0, t6
+  ret

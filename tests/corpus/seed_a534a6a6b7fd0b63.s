@@ -1,0 +1,29 @@
+# fuzz seed 0xa534a6a6b7fd0b63
+.width 8
+main:
+  li t0, 85
+  li t1, 113
+  li t2, 116
+  li t3, 69
+  li t4, 78
+  li t6, 7
+  li s2, 15
+  li s3, 7
+  sltiu t6, t2, 28
+  sltu t1, s2, t0
+  sltu t1, s2, s3
+  snez t3, t1
+  and t0, t1, t0
+  xori s2, t6, 54
+  or s2, t1, t3
+  bltu t4, t1, skip0
+  addi s2, t6, 68
+  addi t2, t1, -34
+skip0:
+  slti t1, t6, 66
+  slti t6, t2, 23
+  sltiu t0, t6, 111
+  out s3
+  out t4
+  mv a0, t3
+  ret

@@ -1,0 +1,32 @@
+# fuzz seed 0xae84379630af89ee
+.width 8
+main:
+  li t0, 20
+  li t1, 75
+  li t2, 77
+  li t3, 46
+  li t4, 30
+  li t6, 118
+  li s2, 116
+  li s3, 57
+  mv t2, t4
+  mul t3, t6, s2
+  mulhu t3, s3, s2
+  divu s3, s2, t1
+  andi t2, t0, 1
+  xor s3, s3, t3
+  sra t2, t4, t0
+  or s2, t0, s2
+  li s1, 2
+loop0:
+  xor t2, t2, t0
+  add t2, t2, t0
+  addi s1, s1, -1
+  bnez s1, loop0
+  bnez t0, skip1
+  add t6, t0, t3
+skip1:
+  out t4
+  out t2
+  mv a0, t0
+  ret

@@ -1,0 +1,27 @@
+# fuzz seed 0xbeeb8da1658eec67
+.width 8
+main:
+  li t0, 59
+  li t1, 83
+  li t2, 103
+  li t3, 93
+  li t4, 50
+  li t6, 87
+  li s2, 91
+  li s3, 61
+  bnez t0, skip0
+  addi t6, s3, 93
+  addi t3, t6, 103
+skip0:
+  blez t2, skip1
+  addi t6, t6, -74
+skip1:
+  sltiu s3, t0, 112
+  sltu t3, s3, t6
+  xori t1, t0, 53
+  andi t3, s3, 58
+  xor t1, s2, t2
+  out s3
+  out t4
+  mv a0, s2
+  ret

@@ -1,0 +1,29 @@
+# fuzz seed 0xc34d0bff90150280
+.width 8
+main:
+  li t0, 9
+  li t1, 29
+  li t2, 73
+  li t3, 104
+  li t4, 117
+  li t6, 12
+  li s2, 68
+  li s3, 11
+  or t1, t3, t6
+  and t6, t0, t1
+  slt t6, t1, t2
+  rem t0, s3, s2
+  divu t2, t2, t4
+  mv s2, t0
+  bnez t1, skip0
+  addi s2, t4, 85
+  addi t2, t1, 52
+skip0:
+  mv t1, t1
+  mv t6, t3
+  or s2, t6, s3
+  add t3, t1, t0
+  out t1
+  out t3
+  mv a0, t0
+  ret

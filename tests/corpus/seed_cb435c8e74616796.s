@@ -1,0 +1,34 @@
+# fuzz seed 0xcb435c8e74616796
+.width 16
+main:
+  li t0, 30
+  li t1, 159
+  li t2, 189
+  li t3, 54
+  li t4, 120
+  li t6, 206
+  li s2, 157
+  li s3, 109
+  div s2, t6, t6
+  mv s2, s2
+  xor t3, t2, t3
+  addi s3, t6, 229
+  rem t4, t6, t0
+  xori t4, t6, 147
+  xori t6, t1, 69
+  mulhu t2, t2, s3
+  add t4, s3, t0
+  mul t6, t3, t1
+  addi t2, t6, 37
+  or t2, t3, s2
+  sltu t3, s2, t6
+  xori t3, t2, 66
+  andi t6, t2, 22
+  neg s2, t1
+  andi t6, s3, 61
+  srli t6, t4, 12
+  neg s3, s2
+  out s2
+  out s3
+  mv a0, t0
+  ret

@@ -1,0 +1,27 @@
+# fuzz seed 0xd0bad0da572baaf1
+.width 32
+main:
+  li t0, 30
+  li t1, 46
+  li t2, 26
+  li t3, 236
+  li t4, 183
+  li t6, 74
+  li s2, 117
+  li s3, 251
+  blez t3, skip0
+  add s2, t3, t6
+skip0:
+  li s1, 5
+loop1:
+  xor t1, t1, s2
+  slli t1, t1, 1
+  addi s1, s1, -1
+  bnez s1, loop1
+  seqz s2, t1
+  sltiu t0, t2, 186
+  or t0, t4, s2
+  out s3
+  out s3
+  mv a0, t1
+  ret

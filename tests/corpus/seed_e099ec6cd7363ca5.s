@@ -1,0 +1,34 @@
+# fuzz seed 0xe099ec6cd7363ca5
+.width 8
+main:
+  li t0, 79
+  li t1, 88
+  li t2, 107
+  li t3, 12
+  li t4, 78
+  li t6, 66
+  li s2, 39
+  li s3, 104
+  li s1, 4
+loop0:
+  add t2, t2, t6
+  add t2, t2, s3
+  addi s1, s1, -1
+  bnez s1, loop0
+  li s1, 5
+loop1:
+  addi s2, s2, -9
+  xor s2, s2, t6
+  addi s1, s1, -1
+  bnez s1, loop1
+  li s1, 2
+loop2:
+  slli s3, s3, 1
+  xor s3, s3, t2
+  add s3, s3, s3
+  addi s1, s1, -1
+  bnez s1, loop2
+  out t3
+  out t0
+  mv a0, t4
+  ret

@@ -1,0 +1,47 @@
+# fuzz seed 0xe263183773ef6508
+.width 32
+.data
+buf:
+  .word 14469
+  .word 56879
+  .word 11964
+  .word 7053
+  .word 784
+  .word 25747
+  .word 61229
+  .word 3127
+.text
+main:
+  li t0, 63
+  li t1, 162
+  li t2, 19
+  li t3, 32
+  li t4, 46
+  li t6, 230
+  li s2, 101
+  li s3, 194
+  la t5, buf
+  li s1, 2
+loop0:
+  add s2, s2, s2
+  add s2, s2, s2
+  addi s1, s1, -1
+  bnez s1, loop0
+  andi s2, t6, 245
+  remu t2, t3, s2
+  and t2, t0, t2
+  mv s2, s2
+  andi s2, t2, 232
+  divu t0, t4, t0
+  divu s3, t6, t3
+  ori t1, s2, -220
+  and t0, t3, t0
+  xor t4, t4, t1
+  xori t0, t2, 183
+  xor s2, t1, t1
+  mv t1, t6
+  mulhu t1, t3, s3
+  out t0
+  out s3
+  mv a0, t4
+  ret

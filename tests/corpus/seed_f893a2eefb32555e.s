@@ -1,0 +1,35 @@
+# fuzz seed 0xf893a2eefb32555e
+.width 8
+main:
+  li t0, 20
+  li t1, 44
+  li t2, 21
+  li t3, 20
+  li t4, 42
+  li t6, 124
+  li s2, 102
+  li s3, 17
+  li s1, 3
+loop0:
+  addi t4, t4, 33
+  xor t4, t4, t0
+  add t4, t4, t3
+  addi s1, s1, -1
+  bnez s1, loop0
+  li s1, 3
+loop1:
+  addi t6, t6, 108
+  addi t6, t6, 10
+  addi t6, t6, 58
+  addi t6, t6, 26
+  addi s1, s1, -1
+  bnez s1, loop1
+  bltu s3, t2, skip2
+  add s3, t0, s3
+  addi t0, t1, 108
+  add t2, s2, t6
+skip2:
+  out t6
+  out t4
+  mv a0, t0
+  ret

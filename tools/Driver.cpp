@@ -16,6 +16,7 @@
 #include "Driver.h"
 
 #include "api/Api.h"
+#include "fuzz/Fuzzer.h"
 #include "serve/Client.h"
 #include "serve/Service.h"
 #include "support/Json.h"
@@ -57,6 +58,13 @@ Subcommands:
              program fails validation.
   report     Full pipeline: metrics + bit-level campaign + soundness
              validation. Exits 3 if any target validates unsound.
+  fuzz       Differential soundness fuzzing: generate a seeded corpus of
+             verifier-legal programs and cross-check the BEC-pruned
+             campaign against exhaustive injection, plus print/parse
+             round-trip, fate-validation, engine-determinism, harden and
+             session oracles. Mismatching programs are delta-debugged to
+             1-minimal reproducers. Takes no targets; local only.
+             Exits 3 on any mismatch.
   serve      Run the becd analysis server: a shared, cached session pool
              behind a newline-delimited JSON-RPC protocol over TCP.
   client     Speak the becd method table directly:
@@ -81,33 +89,50 @@ Options:
                     default 0).
   --seed S          campaign: PRNG seed of --sample (default 1; same
                     plan + same seed = same sample).
+                    fuzz: the corpus seed — same seed + same options =
+                    byte-identical corpus and report.
   --threads N       campaign: worker threads of the sharded injection
                     engine, per target (default 1; 0 = hardware
                     concurrency). Never changes the report.
+                    fuzz: oracle workers, same guarantee.
   --shard-size N    campaign: runs per engine shard (default: picked
                     from the plan size). Checkpoints record it.
   --checkpoint FILE campaign: stream per-shard result batches to FILE
                     (JSONL) so an interrupted campaign can be resumed.
                     Requires exactly one selected target; local only.
+                    fuzz: per-program result records, same conventions.
   --resume          campaign: load completed shards from --checkpoint
                     and execute only the remainder. The final report is
                     byte-identical to an uninterrupted run.
+                    fuzz: skip programs the checkpoint already settled.
   --progress        campaign: print shard progress to stderr while the
                     engine runs (works with --remote via the streaming
                     campaign/run method).
+                    fuzz: print per-program progress to stderr.
+  --count N         fuzz: number of generated programs (default 100).
+  --bank DIR        fuzz: write minimized reproducers of mismatching
+                    programs into DIR as repro_<seed>.s files.
+  --emit-corpus DIR fuzz: write the selected corpus into DIR as
+                    seed_<seed>.s files and exit without running any
+                    oracle (regenerates tests/corpus/).
   --policy KIND     schedule policy for --emit: best | worst | source
                     (default best).
   --emit FILE       schedule: write the scheduled program of the single
                     selected target to FILE as assembly.
                     harden: write the hardened program instead.
-  --budget P        harden only: max extra dynamic instructions in percent
+  --budget P        harden: max extra dynamic instructions in percent
                     of the baseline run (default 10).
+                    fuzz: cap on the cumulative exhaustive fault-space
+                    size of the corpus; programs are kept in index
+                    order until the budget is spent (0 = unlimited;
+                    the CI smoke job bounds its cost this way).
   --sweep A,B,..    harden only: evaluate several budgets per target and
                     print the full cost-vs-vulnerability table.
   --format KIND     output format of any subcommand: text | json
                     (default text).
   --max-cycles N    Truncate campaign/validation windows to N cycles
-                    (0 = whole trace; default 0).
+                    (0 = whole trace; default 0). fuzz: the oracle
+                    injection window (0 keeps the default of 48).
   --remote H:P      Run this subcommand on a becd server instead of
                     in-process (output is byte-identical). Also selects
                     the server for `bec client` (default 127.0.0.1:4690).
@@ -121,8 +146,8 @@ Options:
 Exit codes: 0 success, 1 usage error, 2 bad input, 3 unsound validation.
 )";
 
-enum class Command { Analyze, Campaign, Schedule, Harden, Report, Serve,
-                     Client };
+enum class Command { Analyze, Campaign, Schedule, Harden, Report, Fuzz,
+                     Serve, Client };
 enum class OutputFormat { Text, Json };
 
 struct DriverOptions {
@@ -148,6 +173,13 @@ struct DriverOptions {
   uint64_t MaxCycles = 0;
   /// harden: budgets to evaluate (one entry unless --sweep is given).
   std::vector<double> Budgets = {10.0};
+  /// fuzz: corpus size, exhaustive-run budget, reproducer bank,
+  /// corpus-emission directory.
+  uint64_t FuzzCount = 100;
+  uint64_t FuzzBudget = 0;
+  std::string BankDir;
+  std::string EmitCorpusDir;
+  bool FuzzFlagsUsed = false;
   OutputFormat Format = OutputFormat::Text;
   /// --remote: offload to a becd server.
   bool Remote = false;
@@ -226,6 +258,8 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     Opts.Cmd = Command::Harden;
   else if (Sub == "report")
     Opts.Cmd = Command::Report;
+  else if (Sub == "fuzz")
+    Opts.Cmd = Command::Fuzz;
   else if (Sub == "serve")
     Opts.Cmd = Command::Serve;
   else if (Sub == "client")
@@ -380,13 +414,49 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
       auto V = Value(Arg);
       if (!V)
         return ExitUsage;
-      std::optional<double> B = parseBudget(*V);
-      if (!B) {
-        Err << "bec: --budget wants a non-negative number, got '" << *V
-            << "'\n";
+      // The subcommand is parsed before any flag, so --budget can mean
+      // two things: harden's percentage and fuzz's run count.
+      if (Opts.Cmd == Command::Fuzz) {
+        std::optional<uint64_t> N = parseUnsigned(*V);
+        if (!N) {
+          Err << "bec: fuzz --budget wants a number of exhaustive runs, "
+                 "got '" << *V << "'\n";
+          return ExitUsage;
+        }
+        Opts.FuzzBudget = *N;
+        Opts.FuzzFlagsUsed = true;
+      } else {
+        std::optional<double> B = parseBudget(*V);
+        if (!B) {
+          Err << "bec: --budget wants a non-negative number, got '" << *V
+              << "'\n";
+          return ExitUsage;
+        }
+        Opts.Budgets = {*B};
+      }
+    } else if (Arg == "--count") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N || *N == 0) {
+        Err << "bec: --count wants a positive number, got '" << *V << "'\n";
         return ExitUsage;
       }
-      Opts.Budgets = {*B};
+      Opts.FuzzCount = *N;
+      Opts.FuzzFlagsUsed = true;
+    } else if (Arg == "--bank") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.BankDir = *V;
+      Opts.FuzzFlagsUsed = true;
+    } else if (Arg == "--emit-corpus") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.EmitCorpusDir = *V;
+      Opts.FuzzFlagsUsed = true;
     } else if (Arg == "--sweep") {
       auto V = Value(Arg);
       if (!V)
@@ -468,23 +538,47 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
   // Campaign-engine flags: --sample/--seed/--threads/--shard-size and
   // --progress shape campaign execution (and are forwarded by `client`
   // for campaign methods — silently ignoring them on other methods
-  // would run a different campaign than the user asked for);
-  // checkpointing is campaign-local state.
-  if (Opts.SampleSize || Opts.SeedExplicit || Opts.ShardSize ||
-      Opts.CampaignThreadsExplicit || Opts.Progress) {
-    bool ClientCampaign =
-        Opts.Cmd == Command::Client && !Opts.ClientArgs.empty() &&
-        (Opts.ClientArgs[0] == "campaign" ||
-         Opts.ClientArgs[0] == "campaign/run");
-    if (Opts.Cmd != Command::Campaign && !ClientCampaign) {
-      Err << "bec: --sample/--seed/--threads/--shard-size/--progress are "
-             "only valid with campaign (or client campaign methods)\n";
-      return ExitUsage;
-    }
+  // would run a different campaign than the user asked for); `fuzz`
+  // reuses the seed/threads/progress/checkpoint vocabulary with the
+  // same determinism contract.
+  bool ClientCampaign =
+      Opts.Cmd == Command::Client && !Opts.ClientArgs.empty() &&
+      (Opts.ClientArgs[0] == "campaign" ||
+       Opts.ClientArgs[0] == "campaign/run");
+  if ((Opts.SampleSize || Opts.ShardSize) &&
+      Opts.Cmd != Command::Campaign && !ClientCampaign) {
+    Err << "bec: --sample/--shard-size are only valid with campaign "
+           "(or client campaign methods)\n";
+    return ExitUsage;
+  }
+  if ((Opts.SeedExplicit || Opts.CampaignThreadsExplicit || Opts.Progress) &&
+      Opts.Cmd != Command::Campaign && Opts.Cmd != Command::Fuzz &&
+      !ClientCampaign) {
+    Err << "bec: --seed/--threads/--progress are only valid with campaign "
+           "or fuzz (or client campaign methods)\n";
+    return ExitUsage;
   }
   if ((!Opts.CheckpointPath.empty() || Opts.Resume) &&
-      Opts.Cmd != Command::Campaign) {
-    Err << "bec: --checkpoint/--resume are only valid with campaign\n";
+      Opts.Cmd != Command::Campaign && Opts.Cmd != Command::Fuzz) {
+    Err << "bec: --checkpoint/--resume are only valid with campaign or "
+           "fuzz\n";
+    return ExitUsage;
+  }
+  if (Opts.FuzzFlagsUsed && Opts.Cmd != Command::Fuzz) {
+    Err << "bec: --count/--bank/--emit-corpus are only valid with fuzz\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd == Command::Fuzz &&
+      (Opts.AllWorkloads || !Opts.WorkloadNames.empty() ||
+       !Opts.AsmFiles.empty())) {
+    // The fuzzer generates its own corpus from the seed; target flags
+    // would silently select nothing.
+    Err << "bec: fuzz generates its own programs and takes no "
+           "--workload/--all/--asm targets\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd == Command::Fuzz && Opts.Remote) {
+    Err << "bec: fuzz runs locally; drop --remote\n";
     return ExitUsage;
   }
   if (Opts.Resume && Opts.CheckpointPath.empty()) {
@@ -611,6 +705,145 @@ int emitAssembly(const std::string &Asm, const DriverOptions &Opts,
   }
   OutFile << Asm;
   return ExitSuccess;
+}
+
+//===----------------------------------------------------------------------===//
+// bec fuzz
+//===----------------------------------------------------------------------===//
+
+/// Program seeds render as fixed-width hex everywhere (reports, banked
+/// reproducer names, checkpoints) so they can be grepped across all
+/// three.
+std::string seedHex(uint64_t Seed) {
+  char Buf[19];
+  std::snprintf(Buf, sizeof(Buf), "0x%016llx",
+                static_cast<unsigned long long>(Seed));
+  return Buf;
+}
+
+std::string renderFuzzText(const fuzz::FuzzResult &R, uint64_t Seed) {
+  std::string Out = "Fuzz corpus: seed " + std::to_string(Seed) + ", " +
+                    std::to_string(R.Programs) + " programs";
+  if (R.SkippedByBudget)
+    Out += " (" + std::to_string(R.SkippedByBudget) + " beyond --budget)";
+  if (R.Interrupted)
+    Out += " [interrupted]";
+  Out += "\n";
+
+  Table Tbl({"Programs", "Exhaustive", "Pruned", "Masked", "Benign", "SDC",
+             "Trap", "Hang", "Mismatches", "Seconds"});
+  Tbl.row()
+      .cell(R.Programs)
+      .cell(R.ExhaustiveRuns)
+      .cell(R.PrunedRuns)
+      .cell(R.PrunedEffects[size_t(FaultEffect::Masked)])
+      .cell(R.PrunedEffects[size_t(FaultEffect::Benign)])
+      .cell(R.PrunedEffects[size_t(FaultEffect::SDC)])
+      .cell(R.PrunedEffects[size_t(FaultEffect::Trap)])
+      .cell(R.PrunedEffects[size_t(FaultEffect::Hang)])
+      .cell(uint64_t(R.Mismatches.size()))
+      .cell(R.Seconds, 2);
+  Out += Tbl.render();
+
+  Out += "Idiom coverage:";
+  for (size_t I = 0; I < fuzz::NumIdioms; ++I)
+    Out += std::string(" ") + fuzz::idiomName(fuzz::Idiom(I)) + " " +
+           std::to_string(R.IdiomCount[I]);
+  Out += "\n";
+
+  for (const fuzz::FuzzMismatch &M : R.Mismatches) {
+    Out += "mismatch: program " + std::to_string(M.Index) + " (seed " +
+           seedHex(M.Seed) + "): [" + M.Oracle + "] " + M.Detail + "\n";
+    if (!M.BankedPath.empty())
+      Out += "  reproducer: " + M.BankedPath + "\n";
+  }
+  return Out;
+}
+
+std::string renderFuzzJson(const fuzz::FuzzResult &R, uint64_t Seed) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("fuzz").beginObject();
+  W.key("seed").value(Seed);
+  W.key("programs").value(R.Programs);
+  W.key("skipped_by_budget").value(R.SkippedByBudget);
+  W.key("executed").value(R.Executed);
+  W.key("resumed").value(R.Resumed);
+  W.key("interrupted").value(R.Interrupted);
+  W.key("exhaustive_runs").value(R.ExhaustiveRuns);
+  W.key("pruned_runs").value(R.PrunedRuns);
+  W.key("pruned_effects").beginObject();
+  for (size_t I = 0; I < NumFaultEffects; ++I)
+    W.key(toLowerAscii(faultEffectName(FaultEffect(I))))
+        .value(R.PrunedEffects[I]);
+  W.endObject();
+  W.key("idioms").beginObject();
+  for (size_t I = 0; I < fuzz::NumIdioms; ++I)
+    W.key(fuzz::idiomName(fuzz::Idiom(I))).value(R.IdiomCount[I]);
+  W.endObject();
+  W.key("mismatches").beginArray();
+  for (const fuzz::FuzzMismatch &M : R.Mismatches) {
+    W.beginObject();
+    W.key("program").value(M.Index);
+    W.key("seed").value(seedHex(M.Seed));
+    W.key("oracle").value(M.Oracle);
+    W.key("detail").value(M.Detail);
+    W.key("num_mismatches").value(M.NumMismatches);
+    if (!M.BankedPath.empty())
+      W.key("reproducer").value(M.BankedPath);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("seconds").value(R.Seconds);
+  W.endObject();
+  W.endObject();
+  std::string Out = W.take();
+  Out += "\n";
+  return Out;
+}
+
+/// `bec fuzz`: run (or emit) the differential fuzzing corpus.
+int runFuzzCommand(const DriverOptions &Opts, std::ostream &Out,
+                   std::ostream &Err) {
+  fuzz::FuzzOptions FO;
+  FO.Seed = Opts.SampleSeed;
+  FO.Count = Opts.FuzzCount;
+  FO.Budget = Opts.FuzzBudget;
+  FO.Threads = ThreadPool::clampJobs(Opts.CampaignThreads);
+  FO.CheckpointPath = Opts.CheckpointPath;
+  FO.Resume = Opts.Resume;
+  FO.BankDir = Opts.BankDir;
+  if (Opts.MaxCycles)
+    FO.Oracle.MaxCycles = Opts.MaxCycles;
+
+  if (!Opts.EmitCorpusDir.empty()) {
+    std::string Error = fuzz::emitCorpus(FO, Opts.EmitCorpusDir);
+    if (!Error.empty()) {
+      Err << "bec: fuzz: " << Error << "\n";
+      return ExitBadInput;
+    }
+    Out << "bec: fuzz: corpus written to '" << Opts.EmitCorpusDir << "'\n";
+    return ExitSuccess;
+  }
+
+  if (Opts.Progress)
+    FO.OnProgress = [&Err](const fuzz::FuzzProgress &P) {
+      // Called under the fuzzer's aggregation lock; no extra mutex.
+      Err << "bec: fuzz: " << P.Done << "/" << P.Total << " programs, "
+          << P.Mismatches << " mismatches\n";
+    };
+
+  fuzz::FuzzResult R = fuzz::runFuzz(FO);
+  if (!R.Error.empty()) {
+    Err << "bec: fuzz: " << R.Error << "\n";
+    return ExitBadInput;
+  }
+  Out << (Opts.Format == OutputFormat::Json ? renderFuzzJson(R, FO.Seed)
+                                            : renderFuzzText(R, FO.Seed));
+  if (Opts.Resume)
+    Err << "bec: fuzz: resumed " << R.Resumed << " of " << R.Programs
+        << " programs from '" << Opts.CheckpointPath << "'\n";
+  return R.Mismatches.empty() ? ExitSuccess : ExitUnsound;
 }
 
 //===----------------------------------------------------------------------===//
@@ -997,6 +1230,8 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
     return runServe(Opts, Out, Err);
   if (Opts.Cmd == Command::Client)
     return runClient(Opts, Out, Err);
+  if (Opts.Cmd == Command::Fuzz)
+    return runFuzzCommand(Opts, Out, Err);
   if (Opts.Remote)
     return runRemote(Opts, Out, Err);
 
@@ -1113,6 +1348,7 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
           Status = ExitUnsound;
     break;
   }
+  case Command::Fuzz:
   case Command::Serve:
   case Command::Client:
     break; // Dispatched before target loading.
