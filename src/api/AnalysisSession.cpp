@@ -230,11 +230,15 @@ void AnalysisSession::invalidateKey(CachedProgram &Shard,
 }
 
 void AnalysisSession::countHit() {
+  static const obs::Counter Hits("session.query.hit");
+  Hits.add();
   std::lock_guard<std::mutex> Lock(StatsMutex);
   ++Stats.Hits;
 }
 
 void AnalysisSession::countMiss() {
+  static const obs::Counter Misses("session.query.miss");
+  Misses.add();
   std::lock_guard<std::mutex> Lock(StatsMutex);
   ++Stats.Misses;
 }

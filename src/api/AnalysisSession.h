@@ -51,6 +51,8 @@
 #define BEC_API_ANALYSISSESSION_H
 
 #include "ir/Program.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/ThreadPool.h"
 
 #include <cstdint>
@@ -278,6 +280,10 @@ private:
     noteDependency(*P, Key);
     std::lock_guard<std::mutex> Lock(E->ComputeMutex);
     if (!E->Ready) {
+      static const obs::Histogram ComputeUs("session.compute.us");
+      obs::ScopedTimerUs Timer(ComputeUs);
+      obs::Span SpanCompute(obs::traceActive() ? "query:" + Key
+                                               : std::string());
       ComputeFrame Frame(this, P.get(), Key);
       E->Result = std::make_shared<const R>(Q::compute(*this, P, Opts));
       E->Ready = true;

@@ -120,6 +120,12 @@ struct CampaignResult {
   /// serial entry point when the plan is empty).
   uint64_t Shards = 0;
   uint64_t ResumedShards = 0; ///< Shards replayed from a checkpoint.
+  /// Scheduler telemetry: shards taken from another worker's deque, and
+  /// interpreter snapshots rebuilt from cycle 0 (each one a prefix
+  /// re-simulation — the scaling tax). Not rendered into reports, so
+  /// report bytes stay schedule-independent.
+  uint64_t Steals = 0;
+  uint64_t SnapshotRebuilds = 0;
   /// True when execution stopped before every shard completed (the
   /// StopAfterShards interruption hook); aggregate fields then cover the
   /// completed shards only and per-run slots of unfinished shards are

@@ -3,6 +3,8 @@
 #include "fi/Engine.h"
 
 #include "fi/Checkpoint.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -46,7 +48,11 @@ public:
       Queues[Worker].push_back(S);
   }
 
-  std::optional<uint64_t> next(unsigned Me) {
+  /// \p Stolen reports whether the shard came from another worker's
+  /// deque — the engine counts those, because each one risks a snapshot
+  /// rebuild and together they explain flat thread scaling.
+  std::optional<uint64_t> next(unsigned Me, bool &Stolen) {
+    Stolen = false;
     std::lock_guard<std::mutex> Lock(Mutex);
     if (!Queues[Me].empty()) {
       uint64_t S = Queues[Me].front();
@@ -63,6 +69,7 @@ public:
       return std::nullopt;
     uint64_t S = Queues[Victim].back();
     Queues[Victim].pop_back();
+    Stolen = true;
     return S;
   }
 
@@ -97,6 +104,13 @@ struct EngineState {
   std::atomic<uint64_t> NewShardsDone{0};
   uint64_t StopAfterShards = 0;
 
+  /// Scheduler telemetry for this invocation, written by workers with
+  /// relaxed adds and folded into progress reports and the result.
+  std::chrono::steady_clock::time_point StartTime;
+  std::atomic<uint64_t> ExecutedRuns{0};
+  std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> SnapshotRebuilds{0};
+
   std::mutex ProgressMutex;
   CampaignProgress Progress;
   std::function<void(const CampaignProgress &)> OnProgress;
@@ -117,16 +131,38 @@ struct EngineState {
   }
 };
 
+/// Per-worker scheduler telemetry, folded into EngineState atomics and
+/// the worker's trace span when the loop exits.
+struct WorkerStats {
+  uint64_t Runs = 0;
+  uint64_t Shards = 0;
+  uint64_t Steals = 0;
+  uint64_t Rebuilds = 0;
+  uint64_t IdleUs = 0;
+};
+
 /// Executes one shard: advances this worker's walker to each injection
 /// cycle, forks, flips, runs to completion and classifies.
 void executeShard(EngineState &St, uint64_t Shard,
-                  std::optional<Interpreter> &Walker) {
+                  std::optional<Interpreter> &Walker, bool Stolen,
+                  WorkerStats &WS) {
+  static const obs::Histogram ShardUs("engine.shard.us");
+  obs::ScopedTimerUs Timer(ShardUs);
+
   auto [Lo, Hi] = St.shardRange(Shard);
   uint64_t FirstCycle = (*St.Runs)[St.Order[Lo]].AfterCycle;
+  obs::Span SpanShard("fi.shard", {{"shard", Shard},
+                                   {"runs", Hi - Lo},
+                                   {"stolen", uint64_t(Stolen)}});
   // A stolen out-of-order shard may sit before this worker's snapshot;
   // only then does it pay a prefix re-simulation.
-  if (!Walker || FirstCycle < Walker->cycle())
+  if (!Walker || FirstCycle < Walker->cycle()) {
+    obs::Span SpanRebuild("fi.snapshot.rebuild",
+                          {{"first_cycle", FirstCycle}});
     Walker.emplace(*St.Prog, St.RunOpts);
+    ++WS.Rebuilds;
+    St.SnapshotRebuilds.fetch_add(1, std::memory_order_relaxed);
+  }
   for (uint64_t K = Lo; K < Hi; ++K) {
     uint32_t Idx = St.Order[K];
     const PlannedRun &Run = (*St.Runs)[Idx];
@@ -155,10 +191,23 @@ void executeShard(EngineState &St, uint64_t Shard,
       St.failShard(std::move(Err));
   }
 
+  WS.Runs += Hi - Lo;
+  ++WS.Shards;
+  St.ExecutedRuns.fetch_add(Hi - Lo, std::memory_order_relaxed);
+
   {
     std::lock_guard<std::mutex> Lock(St.ProgressMutex);
     ++St.Progress.ShardsDone;
     St.Progress.RunsDone += Hi - Lo;
+    St.Progress.ExecutedRuns =
+        St.ExecutedRuns.load(std::memory_order_relaxed);
+    St.Progress.Steals = St.Steals.load(std::memory_order_relaxed);
+    St.Progress.SnapshotRebuilds =
+        St.SnapshotRebuilds.load(std::memory_order_relaxed);
+    St.Progress.ElapsedSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      St.StartTime)
+            .count();
     if (St.OnProgress)
       St.OnProgress(St.Progress);
   }
@@ -168,13 +217,49 @@ void executeShard(EngineState &St, uint64_t Shard,
 }
 
 void workerLoop(EngineState &St, StealScheduler &Sched, unsigned Me) {
+  static const obs::Counter CtrRuns("engine.runs");
+  static const obs::Counter CtrShards("engine.shards");
+  static const obs::Counter CtrSteals("engine.steals");
+  static const obs::Counter CtrRebuilds("engine.snapshot_rebuilds");
+  static const obs::Counter CtrIdleUs("engine.idle.us");
+
+  if (obs::traceActive())
+    obs::setTraceThreadName("fi-worker-" + std::to_string(Me));
+  obs::Span SpanWorker(obs::traceActive()
+                           ? "fi.worker-" + std::to_string(Me)
+                           : std::string());
+
+  WorkerStats WS;
   std::optional<Interpreter> Walker;
   while (!St.Stop.load()) {
-    std::optional<uint64_t> Shard = Sched.next(Me);
+    // Time spent waiting on the scheduler lock or finding a victim is
+    // the other half of the scaling story next to rebuilds.
+    auto IdleStart = std::chrono::steady_clock::now();
+    bool Stolen = false;
+    std::optional<uint64_t> Shard = Sched.next(Me, Stolen);
+    auto IdleUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - IdleStart)
+                      .count();
+    WS.IdleUs += IdleUs < 0 ? 0 : uint64_t(IdleUs);
     if (!Shard)
-      return;
-    executeShard(St, *Shard, Walker);
+      break;
+    if (Stolen) {
+      ++WS.Steals;
+      St.Steals.fetch_add(1, std::memory_order_relaxed);
+    }
+    executeShard(St, *Shard, Walker, Stolen, WS);
   }
+
+  CtrRuns.add(WS.Runs);
+  CtrShards.add(WS.Shards);
+  CtrSteals.add(WS.Steals);
+  CtrRebuilds.add(WS.Rebuilds);
+  CtrIdleUs.add(WS.IdleUs);
+  SpanWorker.arg("runs", WS.Runs);
+  SpanWorker.arg("shards", WS.Shards);
+  SpanWorker.arg("steals", WS.Steals);
+  SpanWorker.arg("snapshot_rebuilds", WS.Rebuilds);
+  SpanWorker.arg("idle_us", WS.IdleUs);
 }
 
 CampaignResult runShardedImpl(const Program &Prog, const Trace &Golden,
@@ -187,6 +272,7 @@ CampaignResult runShardedImpl(const Program &Prog, const Trace &Golden,
   uint64_t N = Runs.size();
 
   EngineState St;
+  St.StartTime = Start;
   St.Prog = &Prog;
   St.Golden = &Golden;
   St.Runs = &Runs;
@@ -301,6 +387,8 @@ CampaignResult runShardedImpl(const Program &Prog, const Trace &Golden,
   Result.Interrupted = CompletedShards != St.NumShards;
   Result.Shards = St.NumShards;
   Result.ResumedShards = ResumedShards;
+  Result.Steals = St.Steals.load(std::memory_order_relaxed);
+  Result.SnapshotRebuilds = St.SnapshotRebuilds.load(std::memory_order_relaxed);
 
   std::vector<uint8_t> RunDone(N, 0);
   for (uint64_t S = 0; S < St.NumShards; ++S)

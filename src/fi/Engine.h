@@ -30,11 +30,22 @@ namespace bec {
 
 /// Execution progress at a shard boundary (what the server's
 /// `campaign/run` streams and the CLI's `--progress` prints).
+///
+/// RunsDone counts resumed + executed runs (progress toward the plan);
+/// ExecutedRuns only the runs executed by *this* invocation, which
+/// together with ElapsedSeconds gives the true throughput and ETA.
+/// Steals and SnapshotRebuilds say *why* scaling flattens: every steal
+/// risks a snapshot rebuild, and every rebuild is a prefix
+/// re-simulation of the golden trace.
 struct CampaignProgress {
   uint64_t ShardsDone = 0;
   uint64_t TotalShards = 0;
   uint64_t RunsDone = 0;
   uint64_t TotalRuns = 0;
+  uint64_t ExecutedRuns = 0;
+  uint64_t Steals = 0;
+  uint64_t SnapshotRebuilds = 0;
+  double ElapsedSeconds = 0; ///< Monotonic, since this invocation began.
 };
 
 /// Execution-side knobs. None of them changes the computed result value

@@ -9,6 +9,7 @@
 #include "fi/Engine.h"
 #include "fi/Validation.h"
 #include "ir/AsmParser.h"
+#include "obs/Trace.h"
 #include "sim/Interpreter.h"
 
 #include <map>
@@ -83,6 +84,7 @@ OracleReport bec::fuzz::runOracles(const Program &Prog,
   // covers instructions, width, memory image and entry point) and the
   // printer must be idempotent over the round trip.
   if (O.CheckRoundTrip) {
+    obs::Span Span("fuzz.oracle.round-trip");
     std::string Printed = Prog.toString();
     AsmParseResult Re = parseAsm(Printed, Prog.Name);
     if (!Re.succeeded()) {
@@ -102,7 +104,10 @@ OracleReport bec::fuzz::runOracles(const Program &Prog,
 
   // The golden run. Generated programs terminate by construction; a
   // non-finishing golden run is a generator bug worth reporting.
-  Trace Golden = simulate(Prog);
+  Trace Golden = [&] {
+    obs::Span Span("fuzz.oracle.golden");
+    return simulate(Prog);
+  }();
   if (Golden.End != Outcome::Finished) {
     mismatch(Report.Mismatches, "golden",
              std::string("golden run ended in ") + outcomeName(Golden.End));
@@ -116,13 +121,18 @@ OracleReport bec::fuzz::runOracles(const Program &Prog,
   // Primary oracle: BEC-pruned verdicts vs exhaustive ground truth. The
   // bit-level window is one cycle short of the exhaustive window so every
   // pruned injection cycle (C + 1) lies inside exhaustive coverage.
-  std::vector<PlannedRun> ExPlan =
-      planCampaign(A, Golden, PlanKind::Exhaustive, Limit);
-  CampaignResult Ex = runCampaign(Prog, Golden, ExPlan);
+  std::vector<PlannedRun> ExPlan;
+  CampaignResult Ex;
+  {
+    obs::Span Span("fuzz.oracle.exhaustive");
+    ExPlan = planCampaign(A, Golden, PlanKind::Exhaustive, Limit);
+    Ex = runCampaign(Prog, Golden, ExPlan);
+  }
   Report.ExhaustiveRuns = Ex.Runs;
   std::vector<PlannedRun> BitPlan;
   CampaignResult Bit;
   if (Limit > 1) {
+    obs::Span Span("fuzz.oracle.bit-level");
     BitPlan = planCampaign(A, Golden, PlanKind::BitLevel, Limit - 1);
     Bit = runCampaign(Prog, Golden, BitPlan);
     Report.PrunedRuns = Bit.Runs;
@@ -136,6 +146,7 @@ OracleReport bec::fuzz::runOracles(const Program &Prog,
   // and the cross-segment ToOutput chains the verdict comparison cannot
   // see.
   if (O.CheckFates) {
+    obs::Span Span("fuzz.oracle.fates");
     ValidationResult V = validateAnalysis(A, Golden, Limit);
     if (!V.sound())
       mismatch(Report.Mismatches, "fates",
@@ -148,6 +159,7 @@ OracleReport bec::fuzz::runOracles(const Program &Prog,
   // Engine oracle: the sharded executor must be byte-equivalent to the
   // serial one on the same plan (any thread count; we use a small one).
   if (O.CheckEngine && Limit > 1) {
+    obs::Span Span("fuzz.oracle.engine");
     PlanOptions PO;
     PO.Kind = PlanKind::BitLevel;
     PO.MaxCycles = Limit - 1;
@@ -167,6 +179,7 @@ OracleReport bec::fuzz::runOracles(const Program &Prog,
   // golden run finishes — hardened output identical, vulnerability not
   // increased, every detection probe caught.
   if (O.CheckHarden) {
+    obs::Span Span("fuzz.oracle.harden");
     AnalysisSession S;
     CachedProgramPtr P = S.intern(Prog);
     HardenOptions HO;
@@ -189,6 +202,7 @@ OracleReport bec::fuzz::runOracles(const Program &Prog,
   // Session oracle: cached results must render byte-identically to cold
   // ones, across repeated queries and across fresh sessions.
   if (O.CheckSession) {
+    obs::Span Span("fuzz.oracle.session");
     std::vector<std::string> Names = {Prog.Name};
     auto Render = [&](AnalysisSession &S, AnalysisSession::TargetId T) {
       std::vector<std::shared_ptr<const AnalyzeResult>> Results = {

@@ -1,0 +1,123 @@
+//===- obs/Prometheus.cpp - Text exposition of a metrics snapshot ---------===//
+
+#include "obs/Prometheus.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace bec;
+using namespace bec::obs;
+
+namespace {
+
+/// "serve.method.us{method=\"analyze\"}" -> base "serve.method.us",
+/// labels "method=\"analyze\"".
+void splitName(const std::string &Name, std::string &Base,
+               std::string &Labels) {
+  size_t Brace = Name.find('{');
+  if (Brace == std::string::npos) {
+    Base = Name;
+    Labels.clear();
+    return;
+  }
+  Base = Name.substr(0, Brace);
+  size_t End = Name.rfind('}');
+  Labels = End != std::string::npos && End > Brace
+               ? Name.substr(Brace + 1, End - Brace - 1)
+               : std::string();
+}
+
+std::string promName(const std::string &Base) {
+  std::string Out = "bec_";
+  for (char C : Base)
+    Out += (C >= 'a' && C <= 'z') || (C >= 'A' && C <= 'Z') ||
+                   (C >= '0' && C <= '9') || C == '_'
+               ? C
+               : '_';
+  return Out;
+}
+
+std::string withLabels(const std::string &Name, const std::string &Labels,
+                       const std::string &Extra = {}) {
+  if (Labels.empty() && Extra.empty())
+    return Name;
+  std::string Out = Name + "{" + Labels;
+  if (!Labels.empty() && !Extra.empty())
+    Out += ',';
+  Out += Extra;
+  Out += '}';
+  return Out;
+}
+
+const char *kindName(MetricKind K) {
+  switch (K) {
+  case MetricKind::Counter:
+    return "counter";
+  case MetricKind::Gauge:
+    return "gauge";
+  case MetricKind::Histogram:
+    return "histogram";
+  }
+  return "untyped";
+}
+
+} // namespace
+
+std::string bec::obs::renderPrometheus(const MetricsSnapshot &S) {
+  // Group by family (prom name), keeping label variants together; sort
+  // families for a deterministic exposition.
+  struct Entry {
+    std::string Labels;
+    const MetricValue *M;
+  };
+  std::map<std::string, std::pair<MetricKind, std::vector<Entry>>> Families;
+  for (const MetricValue &M : S.Metrics) {
+    std::string Base, Labels;
+    splitName(M.Name, Base, Labels);
+    std::string P = promName(Base);
+    if (M.Kind == MetricKind::Counter)
+      P += "_total";
+    auto &F = Families[P];
+    F.first = M.Kind;
+    F.second.push_back({Labels, &M});
+  }
+
+  std::string Out;
+  for (auto &[Name, Family] : Families) {
+    auto &[Kind, Entries] = Family;
+    std::sort(Entries.begin(), Entries.end(),
+              [](const Entry &A, const Entry &B) { return A.Labels < B.Labels; });
+    Out += "# TYPE " + Name + " " + kindName(Kind) + "\n";
+    for (const Entry &E : Entries) {
+      switch (Kind) {
+      case MetricKind::Counter:
+        Out += withLabels(Name, E.Labels) + " " + std::to_string(E.M->Value) +
+               "\n";
+        break;
+      case MetricKind::Gauge:
+        Out += withLabels(Name, E.Labels) + " " +
+               std::to_string(E.M->GaugeValue) + "\n";
+        break;
+      case MetricKind::Histogram: {
+        uint64_t Cum = 0;
+        for (unsigned B = 0; B < NumHistogramBuckets; ++B) {
+          Cum += E.M->Hist.Buckets[B];
+          std::string Le =
+              B + 1 == NumHistogramBuckets
+                  ? std::string("+Inf")
+                  : std::to_string(histogramBucketBound(B));
+          Out += withLabels(Name + "_bucket", E.Labels,
+                            "le=\"" + Le + "\"") +
+                 " " + std::to_string(Cum) + "\n";
+        }
+        Out += withLabels(Name + "_sum", E.Labels) + " " +
+               std::to_string(E.M->Hist.SumUs) + "\n";
+        Out += withLabels(Name + "_count", E.Labels) + " " +
+               std::to_string(E.M->Hist.Count) + "\n";
+        break;
+      }
+      }
+    }
+  }
+  return Out;
+}

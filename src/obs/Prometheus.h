@@ -1,0 +1,30 @@
+//===- obs/Prometheus.h - Text exposition of a metrics snapshot -----------===//
+///
+/// \file
+/// Renders an obs::MetricsSnapshot in the Prometheus text exposition
+/// format (version 0.0.4): `# TYPE` headers, `_total` counters, gauges,
+/// and full `_bucket{le=...}`/`_sum`/`_count` histograms. Metric names
+/// map `engine.runs` -> `bec_engine_runs_total`; a registry name's
+/// embedded label set (`serve.method.us{method="analyze"}`) becomes the
+/// line's label set. Families are sorted by name so the exposition is
+/// deterministic given the same values — the becd `metrics` RPC returns
+/// exactly this text, and the CI serve smoke validates every line of it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_OBS_PROMETHEUS_H
+#define BEC_OBS_PROMETHEUS_H
+
+#include "obs/Metrics.h"
+
+#include <string>
+
+namespace bec {
+namespace obs {
+
+std::string renderPrometheus(const MetricsSnapshot &S);
+
+} // namespace obs
+} // namespace bec
+
+#endif // BEC_OBS_PROMETHEUS_H

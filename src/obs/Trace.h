@@ -1,0 +1,116 @@
+//===- obs/Trace.h - Span tracer emitting Chrome trace_event JSON ---------===//
+///
+/// \file
+/// The tracing half of the bec observability layer (obs/Metrics.h is the
+/// metrics half). A process-global span tracer producing Chrome
+/// trace_event JSON — the `{"traceEvents":[...]}` dialect that
+/// chrome://tracing and Perfetto load directly. The driver's
+/// `--trace-out=FILE` wraps any subcommand in traceBegin()/writeTrace();
+/// instrumented layers create RAII Spans that cost one branch when no
+/// trace is active.
+///
+/// Model:
+///  * traceBegin() arms the tracer and starts the clock; Span
+///    constructors emit "B" (begin) events and destructors the matching
+///    "E", into per-thread buffers (no locks on the hot path).
+///  * Spans carry deterministic names ("fi.shard", "query:cmd.analyze")
+///    and optional small integer args; nondeterminism lives only in the
+///    timestamps (microseconds since traceBegin, steady clock).
+///  * setTraceThreadName() labels the calling thread in the viewer
+///    (rendered as a thread_name metadata event).
+///  * traceEnd()/writeTrace() disarm the tracer and render the JSON.
+///    Contract: every span must be closed and instrumented work joined
+///    before calling it (the driver traces the full subcommand, whose
+///    pools are all scoped inside).
+///
+/// Under BEC_OBS_DISABLED everything compiles to no-ops and traceEnd()
+/// renders an empty-but-valid trace.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_OBS_TRACE_H
+#define BEC_OBS_TRACE_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace bec {
+namespace obs {
+
+/// One "k":v integer argument of a span.
+using SpanArg = std::pair<const char *, uint64_t>;
+
+#ifndef BEC_OBS_DISABLED
+
+/// True while a trace is being collected. Instrumentation that must
+/// build a dynamic span name checks this first so inactive runs never
+/// pay the string construction.
+bool traceActive();
+
+/// Arms the tracer: clears previous events, restarts the clock. Nested
+/// traces are not supported (second call re-arms).
+void traceBegin();
+
+/// Disarms the tracer and renders everything collected as a Chrome
+/// trace_event JSON document. Requires all spans closed (see file
+/// comment).
+std::string traceEnd();
+
+/// traceEnd() straight into \p Path. False with \p Err filled when the
+/// file cannot be written.
+bool writeTrace(const std::string &Path, std::string &Err);
+
+/// Labels the calling thread in the trace viewer ("fi-worker-3").
+void setTraceThreadName(const std::string &Name);
+
+/// RAII span: emits B at construction and E at destruction when a trace
+/// is active. An empty name makes the span inert, which is the idiom
+/// for conditional dynamic names:
+///   obs::Span S(obs::traceActive() ? "query:" + Key : std::string());
+class Span {
+public:
+  Span() = default;
+  explicit Span(std::string Name);
+  Span(std::string Name, std::initializer_list<SpanArg> Args);
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  ~Span();
+
+  /// Attaches an integer argument, emitted on the closing E event (the
+  /// viewer merges B and E args). For values only known at scope end.
+  void arg(const char *Key, uint64_t V);
+
+private:
+  bool Live = false;
+  uint64_t Gen = 0;
+  std::string Name;
+  std::string EndArgs; ///< Pre-rendered {"k":v,...} for the E event.
+};
+
+#else // BEC_OBS_DISABLED
+
+inline bool traceActive() { return false; }
+inline void traceBegin() {}
+inline std::string traceEnd() { return "{\"traceEvents\":[]}\n"; }
+bool writeTrace(const std::string &Path, std::string &Err);
+inline void setTraceThreadName(const std::string &) {}
+
+class Span {
+public:
+  Span() = default;
+  explicit Span(std::string) {}
+  Span(std::string, std::initializer_list<SpanArg>) {}
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+  void arg(const char *, uint64_t) {}
+};
+
+#endif // BEC_OBS_DISABLED
+
+} // namespace obs
+} // namespace bec
+
+#endif // BEC_OBS_TRACE_H

@@ -4,6 +4,9 @@
 
 #include "api/Api.h"
 #include "ir/AsmParser.h"
+#include "obs/Metrics.h"
+#include "obs/Prometheus.h"
+#include "obs/Trace.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 #include "workloads/Workloads.h"
@@ -92,11 +95,29 @@ bool isKnownMethod(const std::string &M) {
   static const char *const Known[] = {"version",  "stats",   "shutdown",
                                       "intern",   "counts",  "analyze",
                                       "campaign", "campaign/run",
-                                      "schedule", "harden",  "report"};
+                                      "schedule", "harden",  "report",
+                                      "metrics"};
   for (const char *K : Known)
     if (M == K)
       return true;
   return false;
+}
+
+/// The per-method latency histogram, keyed by sanitized method name (the
+/// known list plus "unknown", so the metric family stays bounded like
+/// PerMethod). Handles are cached: registration cost is paid once per
+/// method, not per request.
+const obs::Histogram &methodHistogram(const std::string &Method) {
+  static std::mutex Mu;
+  static std::map<std::string, obs::Histogram> Hists;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Hists.find(Method);
+  if (It == Hists.end())
+    It = Hists
+             .emplace(Method, obs::Histogram("serve.method.us{method=\"" +
+                                             Method + "\"}"))
+             .first;
+  return It->second; // Map node references are stable.
 }
 
 } // namespace
@@ -107,20 +128,34 @@ std::string Service::handleFrame(std::string_view Line) {
 
 std::string Service::handleFrameStreaming(std::string_view Line,
                                           const FrameSink &Sink) {
+  static const obs::Counter CtrRequests("serve.requests");
+  static const obs::Counter CtrErrors("serve.errors");
+  static const obs::Gauge GaugeInflight("serve.requests.inflight");
+
+  CtrRequests.add();
+  GaugeInflight.add(1);
   ParsedFrame F = parseRequestFrame(Line);
+  const std::string StatName =
+      F.Req ? (isKnownMethod(F.Req->Method) ? F.Req->Method : "unknown")
+            : "unknown";
+  obs::ScopedTimerUs Timer(methodHistogram(StatName));
   {
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Requests;
     if (F.Req)
-      ++PerMethod[isKnownMethod(F.Req->Method) ? F.Req->Method : "unknown"];
+      ++PerMethod[StatName];
   }
   if (!F.Req) {
+    CtrErrors.add();
+    GaugeInflight.add(-1);
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Errors;
     return makeErrorFrame(F.Id, F.Code, F.Message);
   }
 
   const Request &R = *F.Req;
+  obs::Span SpanHandle(obs::traceActive() ? "serve." + StatName
+                                          : std::string());
   Outcome O;
   if (Shutdown.load()) {
     O = fail(ErrorCode::ShuttingDown, "server is shutting down");
@@ -136,9 +171,11 @@ std::string Service::handleFrameStreaming(std::string_view Line,
     }
   }
   if (O.Failed) {
+    CtrErrors.add();
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Errors;
   }
+  GaugeInflight.add(-1);
   return O.Failed ? makeErrorFrame(R.Id, O.Code, O.Message, O.DataJson)
                   : makeResultFrame(R.Id, O.ResultJson);
 }
@@ -149,6 +186,8 @@ Service::Outcome Service::dispatch(const Request &R, const FrameSink &Sink) {
     return methodVersion();
   if (R.Method == "stats")
     return methodStats();
+  if (R.Method == "metrics")
+    return methodMetrics();
   if (R.Method == "shutdown")
     return methodShutdown();
   if (R.Method == "intern")
@@ -334,6 +373,7 @@ Service::Outcome Service::methodStats() {
     std::lock_guard<std::mutex> Lock(PoolMutex);
     Programs = NamedPrograms.size();
   }
+  obs::MetricsSnapshot Snap = obs::snapshotMetrics();
   JsonWriter W;
   W.beginObject();
   W.key("connections").value(C.Connections);
@@ -343,13 +383,49 @@ Service::Outcome Service::methodStats() {
   for (const auto &[Method, Count] : C.PerMethod)
     W.key(Method).value(Count);
   W.endObject();
+  // Per-method latency distributions from the obs registry (empty object
+  // under BEC_OBS_DISABLED). Purely additive next to "methods".
+  W.key("latency").beginObject();
+  for (const obs::MetricValue &M : Snap.Metrics) {
+    constexpr std::string_view Prefix = "serve.method.us{method=\"";
+    if (M.Kind != obs::MetricKind::Histogram ||
+        M.Name.rfind(Prefix, 0) != 0 || M.Hist.Count == 0)
+      continue;
+    std::string Method =
+        M.Name.substr(Prefix.size(), M.Name.size() - Prefix.size() - 2);
+    W.key(Method).beginObject();
+    W.key("count").value(M.Hist.Count);
+    W.key("p50_us").value(M.Hist.quantileUs(0.50));
+    W.key("p99_us").value(M.Hist.quantileUs(0.99));
+    W.key("mean_us").value(M.Hist.meanUs());
+    W.endObject();
+  }
+  W.endObject();
+  W.key("gauges").beginObject();
+  for (const obs::MetricValue &M : Snap.Metrics)
+    if (M.Kind == obs::MetricKind::Gauge)
+      W.key(M.Name).value(int64_t(M.GaugeValue));
+  W.endObject();
   W.key("session").beginObject();
   W.key("hits").value(SS.Hits);
   W.key("misses").value(SS.Misses);
+  // 0/0 renders as null (the writer maps non-finite doubles to null).
+  W.key("hit_rate").value(double(SS.Hits) / double(SS.Hits + SS.Misses));
   W.key("interned").value(SS.Interned);
   W.key("shards").value(SS.Shards);
   W.endObject();
   W.key("programs").value(uint64_t(Programs));
+  W.endObject();
+  Outcome O;
+  O.ResultJson = W.take();
+  return O;
+}
+
+Service::Outcome Service::methodMetrics() {
+  JsonWriter W;
+  W.beginObject();
+  W.key("content_type").value("text/plain; version=0.0.4");
+  W.key("text").value(obs::renderPrometheus(obs::snapshotMetrics()));
   W.endObject();
   Outcome O;
   O.ResultJson = W.take();
@@ -543,6 +619,13 @@ Service::Outcome Service::methodCampaign(const JsonValue &Params, uint64_t Id,
               W.key("shards").value(P.TotalShards);
               W.key("runs_done").value(P.RunsDone);
               W.key("runs").value(P.TotalRuns);
+              // Engine telemetry (additive; absent in older servers):
+              // executed runs + elapsed give throughput, steals/rebuilds
+              // explain flat thread scaling.
+              W.key("executed_runs").value(P.ExecutedRuns);
+              W.key("elapsed_s").value(P.ElapsedSeconds);
+              W.key("steals").value(P.Steals);
+              W.key("snapshot_rebuilds").value(P.SnapshotRebuilds);
               W.endObject();
               std::lock_guard<std::mutex> Lock(SinkMutex);
               Sink(makeProgressFrame(Id, W.take()));
@@ -749,8 +832,24 @@ void Server::run() {
       OpenConns.insert(Conn->fd());
     }
     Svc.noteConnection();
+    static const obs::Gauge GaugeOpen("serve.connections.open");
+    static const obs::Gauge GaugeQueued("serve.queue.depth");
+    static const obs::Histogram QueueUs("serve.queue.us");
+    GaugeOpen.add(1);
+    GaugeQueued.add(1);
+    auto Accepted = std::chrono::steady_clock::now();
     auto Shared = std::make_shared<Socket>(std::move(*Conn));
-    Pool.submit([this, Shared] { serveConnection(*Shared); });
+    Pool.submit([this, Shared, Accepted] {
+      // Time between accept and a handler picking the connection up: the
+      // queue-wait clients see when all handler slots are busy.
+      auto WaitUs = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - Accepted)
+                        .count();
+      QueueUs.observeUs(WaitUs < 0 ? 0 : uint64_t(WaitUs));
+      GaugeQueued.add(-1);
+      serveConnection(*Shared);
+      GaugeOpen.add(-1);
+    });
   }
   requestStop(); // Idempotent: unblocks any still-draining connections.
   Pool.wait();
@@ -797,13 +896,19 @@ void Server::serveConnection(Socket &Conn) {
     // Streaming methods emit progress frames straight onto the wire as
     // the engine completes shards; the final frame follows them. The
     // service serializes sink calls, so writes never interleave.
+    static const obs::Histogram WriteUs("serve.write.us");
     bool SendFailed = false;
     std::string Response =
         Svc.handleFrameStreaming(Line, [&](const std::string &Frame) {
           if (!SendFailed && !Conn.sendAll(Frame, Err))
             SendFailed = true;
         });
-    if (SendFailed || !Conn.sendAll(Response, Err))
+    bool Sent;
+    {
+      obs::ScopedTimerUs Timer(WriteUs);
+      Sent = !SendFailed && Conn.sendAll(Response, Err);
+    }
+    if (!Sent)
       break;
     if (Svc.isShuttingDown()) {
       // This connection carried the shutdown request: begin the drain.

@@ -32,7 +32,12 @@
 ///             method that uses handleFrameStreaming's sink.
 ///   counts    one target's Table-III counts as a structured object
 ///   intern    assemble inline asm text and pool it under a client name
-///   stats     server counters + session cache statistics
+///   stats     server counters, per-method latency histograms (count /
+///             p50 / p99 / mean), live gauges, and session cache
+///             statistics including the hit rate
+///   metrics   every obs-registry metric in the Prometheus text
+///             exposition format (counters, gauges, full histograms) —
+///             the daemon's scrape endpoint
 ///   shutdown  begin graceful shutdown
 ///
 //===----------------------------------------------------------------------===//
@@ -133,6 +138,7 @@ private:
 
   Outcome methodVersion();
   Outcome methodStats();
+  Outcome methodMetrics();
   Outcome methodShutdown();
   Outcome methodIntern(const JsonValue &Params);
   Outcome methodCounts(const JsonValue &Params);

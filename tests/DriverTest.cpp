@@ -5,6 +5,7 @@
 #include "core/BECAnalysis.h"
 #include "core/Metrics.h"
 #include "sim/Interpreter.h"
+#include "support/JsonParse.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
@@ -12,6 +13,8 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 
 using namespace bec;
@@ -211,6 +214,136 @@ TEST(Driver, UsageErrors) {
   EXPECT_NE(Unknown.Err.find("nonesuch"), std::string::npos);
 
   EXPECT_EQ(run({"analyze", "--asm", "/nonexistent/x.s"}).Status,
+            tool::ExitBadInput);
+}
+
+/// Reads a file into a string (empty when missing).
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+TEST(Driver, TraceOutWritesABalancedChromeTraceAndSameReport) {
+  std::string Path = testing::TempDir() + "/driver_trace.json";
+  std::remove(Path.c_str());
+
+  DriverRun Plain = run({"analyze", "--workload", "bitcount"});
+  ASSERT_EQ(Plain.Status, tool::ExitSuccess) << Plain.Err;
+  DriverRun Traced =
+      run({"analyze", "--workload", "bitcount", "--trace-out=" + Path});
+  ASSERT_EQ(Traced.Status, tool::ExitSuccess) << Traced.Err;
+  // Tracing never changes the printed report.
+  EXPECT_EQ(Plain.Out, Traced.Out);
+
+  std::string Doc = slurp(Path);
+  ASSERT_FALSE(Doc.empty());
+  std::string JsonErr;
+  std::optional<JsonValue> V = parseJson(Doc, &JsonErr);
+  ASSERT_TRUE(V.has_value()) << JsonErr;
+  const std::vector<JsonValue> *Events = V->member("traceEvents")->asArray();
+  ASSERT_NE(Events, nullptr);
+  ASSERT_FALSE(Events->empty());
+
+  // Balanced, properly nested B/E per thread; the root span wraps the
+  // subcommand; session queries appear under deterministic names.
+  std::map<uint64_t, std::vector<std::string>> Stacks;
+  std::set<std::string> Names;
+  for (const JsonValue &E : *Events) {
+    const std::string &Ph = *E.memberString("ph");
+    uint64_t Tid = *E.memberU64("tid");
+    const std::string &Name = *E.memberString("name");
+    if (Ph == "B") {
+      Stacks[Tid].push_back(Name);
+      Names.insert(Name);
+    } else if (Ph == "E") {
+      ASSERT_FALSE(Stacks[Tid].empty()) << Name;
+      EXPECT_EQ(Stacks[Tid].back(), Name);
+      Stacks[Tid].pop_back();
+    }
+  }
+  for (const auto &[Tid, Stack] : Stacks)
+    EXPECT_TRUE(Stack.empty()) << "unbalanced spans on tid " << Tid;
+  EXPECT_TRUE(Names.count("bec:analyze"));
+  EXPECT_TRUE(Names.count("query:cmd.analyze"));
+
+  // Span names are deterministic run to run (timestamps are not).
+  std::string Path2 = testing::TempDir() + "/driver_trace2.json";
+  std::remove(Path2.c_str());
+  DriverRun Again =
+      run({"analyze", "--workload", "bitcount", "--trace-out", Path2});
+  ASSERT_EQ(Again.Status, tool::ExitSuccess) << Again.Err;
+  std::optional<JsonValue> V2 = parseJson(slurp(Path2));
+  ASSERT_TRUE(V2.has_value());
+  std::set<std::string> Names2;
+  for (const JsonValue &E : *V2->member("traceEvents")->asArray())
+    if (*E.memberString("ph") == "B")
+      Names2.insert(*E.memberString("name"));
+  EXPECT_EQ(Names, Names2);
+
+  std::remove(Path.c_str());
+  std::remove(Path2.c_str());
+}
+
+TEST(Driver, TraceOutCoversTheEngineWorkers) {
+  std::string Path = testing::TempDir() + "/driver_trace_engine.json";
+  std::remove(Path.c_str());
+  DriverRun R = run({"campaign", "--workload", "bitcount", "--max-cycles",
+                     "120", "--trace-out", Path});
+  ASSERT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+  std::optional<JsonValue> V = parseJson(slurp(Path));
+  ASSERT_TRUE(V.has_value());
+  // Per-worker spans carry the scaling story: runs, steals, snapshot
+  // rebuilds and idle time as closing args.
+  bool SawWorker = false, SawShard = false;
+  for (const JsonValue &E : *V->member("traceEvents")->asArray()) {
+    const std::string &Name = *E.memberString("name");
+    SawShard |= Name == "fi.shard";
+    if (Name.rfind("fi.worker-", 0) != 0 || *E.memberString("ph") != "E")
+      continue;
+    SawWorker = true;
+    const JsonValue *Args = E.member("args");
+    ASSERT_NE(Args, nullptr);
+    EXPECT_NE(Args->member("runs"), nullptr);
+    EXPECT_NE(Args->member("steals"), nullptr);
+    EXPECT_NE(Args->member("snapshot_rebuilds"), nullptr);
+    EXPECT_NE(Args->member("idle_us"), nullptr);
+  }
+  EXPECT_TRUE(SawWorker);
+  EXPECT_TRUE(SawShard);
+  std::remove(Path.c_str());
+}
+
+TEST(Driver, StatsSubcommandAndObservabilityUsageGates) {
+  // Local stats: always exits 0; after the driver runs above, this
+  // process's registry has session metrics to print.
+  ASSERT_EQ(run({"analyze", "--workload", "bitcount"}).Status,
+            tool::ExitSuccess);
+  DriverRun Local = run({"stats"});
+  EXPECT_EQ(Local.Status, tool::ExitSuccess) << Local.Err;
+  EXPECT_NE(Local.Out.find("session.query.miss"), std::string::npos);
+
+  // --metrics switches to the Prometheus exposition.
+  DriverRun Prom = run({"stats", "--metrics"});
+  EXPECT_EQ(Prom.Status, tool::ExitSuccess) << Prom.Err;
+  EXPECT_NE(Prom.Out.find("# TYPE bec_session_query_miss_total counter"),
+            std::string::npos);
+
+  // The observability flags are gated to the subcommands they modify.
+  EXPECT_EQ(run({"analyze", "--watch", "5"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"analyze", "--metrics"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"stats", "--watch"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"stats", "--watch", "0"}).Status, tool::ExitUsage);
+  EXPECT_EQ(run({"stats", "--workload", "bitcount"}).Status,
+            tool::ExitUsage);
+  EXPECT_EQ(run({"analyze", "--trace-out"}).Status, tool::ExitUsage);
+  // Boolean flags refuse --flag=value.
+  EXPECT_EQ(run({"stats", "--metrics=yes"}).Status, tool::ExitUsage);
+  // Unwritable trace path: the subcommand runs, the trace write fails.
+  EXPECT_EQ(run({"analyze", "--workload", "bitcount",
+                 "--trace-out=/nonexistent/dir/t.json"})
+                .Status,
             tool::ExitBadInput);
 }
 

@@ -309,6 +309,90 @@ TEST(Loopback, StatsSeeCrossClientCacheHits) {
   EXPECT_GE(*S2.Result.memberU64("requests"), 4u);
 }
 
+TEST(Loopback, StatsExposesLatencyHistogramsAndHitRate) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  ASSERT_TRUE(C.call("analyze", "{\"targets\":[\"bitcount\"]}").Ok);
+  ASSERT_TRUE(C.call("analyze", "{\"targets\":[\"bitcount\"]}").Ok);
+
+  Reply S1 = C.call("stats");
+  ASSERT_TRUE(S1.Ok);
+  // Per-method latency: count, p50 <= p99, a finite mean. (The obs
+  // registry is process-global, so counts here are >= this service's own
+  // request counts and only ever grow.)
+  const JsonValue *Latency = S1.Result.member("latency");
+  ASSERT_NE(Latency, nullptr);
+  const JsonValue *An = Latency->member("analyze");
+  ASSERT_NE(An, nullptr);
+  uint64_t Count1 = *An->memberU64("count");
+  EXPECT_GE(Count1, 2u);
+  EXPECT_LE(*An->memberU64("p50_us"), *An->memberU64("p99_us"));
+  EXPECT_GE(*An->member("mean_us")->asDouble(), 0.0);
+
+  // The session block carries the derived hit rate once hits+misses > 0.
+  const JsonValue *Session = S1.Result.member("session");
+  ASSERT_NE(Session, nullptr);
+  const JsonValue *Rate = Session->member("hit_rate");
+  ASSERT_NE(Rate, nullptr);
+  EXPECT_GE(*Rate->asDouble(), 0.0);
+  EXPECT_LE(*Rate->asDouble(), 1.0);
+
+  // Gauges are live levels; inflight counts this very stats request.
+  const JsonValue *Gauges = S1.Result.member("gauges");
+  ASSERT_NE(Gauges, nullptr);
+  EXPECT_GE(*Gauges->member("serve.requests.inflight")->asI64(), 0);
+
+  // Histogram counts are monotone across requests.
+  ASSERT_TRUE(C.call("analyze", "{\"targets\":[\"bitcount\"]}").Ok);
+  Reply S2 = C.call("stats");
+  ASSERT_TRUE(S2.Ok);
+  EXPECT_GE(*S2.Result.member("latency")->member("analyze")->memberU64(
+                "count"),
+            Count1 + 1);
+}
+
+TEST(Loopback, MetricsMethodRendersPrometheusExposition) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  ASSERT_TRUE(C.call("analyze", "{\"targets\":[\"bitcount\"]}").Ok);
+  Reply R = C.call("metrics");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(*R.Result.memberString("content_type"),
+            "text/plain; version=0.0.4");
+  const std::string *Text = R.Result.memberString("text");
+  ASSERT_NE(Text, nullptr);
+  EXPECT_NE(Text->find("# TYPE bec_serve_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(Text->find("bec_serve_method_us_bucket{method=\"analyze\","),
+            std::string::npos);
+
+  // Every line is "# TYPE name kind" or "name[{labels}] value", and
+  // cumulative le= buckets never decrease within a family.
+  std::istringstream In(*Text);
+  std::string Line;
+  std::map<std::string, uint64_t> LastBucket; // family+labels -> count
+  while (std::getline(In, Line)) {
+    ASSERT_FALSE(Line.empty());
+    if (Line.rfind("# TYPE ", 0) == 0)
+      continue;
+    ASSERT_EQ(Line[0] == '#', false) << Line;
+    size_t Sp = Line.rfind(' ');
+    ASSERT_NE(Sp, std::string::npos) << Line;
+    std::string Name = Line.substr(0, Sp);
+    ASSERT_EQ(Name.rfind("bec_", 0), 0u) << Line;
+    size_t Le = Name.find("le=\"");
+    if (Le == std::string::npos)
+      continue;
+    uint64_t Count = std::stoull(Line.substr(Sp + 1));
+    std::string Series = Name.substr(0, Le); // family + leading labels
+    auto It = LastBucket.find(Series);
+    if (It != LastBucket.end())
+      EXPECT_GE(Count, It->second) << Line;
+    LastBucket[Series] = Count;
+  }
+  EXPECT_FALSE(LastBucket.empty());
+}
+
 TEST(Loopback, BadParamsAndUnknownTargets) {
   Service Svc;
   Client C = Client::loopback(Svc);

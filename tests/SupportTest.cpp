@@ -11,6 +11,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <set>
 
 using namespace bec;
@@ -193,6 +195,24 @@ TEST(JsonWriter, EscapesAndNests) {
   EXPECT_EQ(W.take(),
             "{\"name\":\"a\\\"b\\\\c\\nd\",\"count\":42,\"ok\":true,"
             "\"ratio\":0.25,\"items\":[1,2],\"empty\":{}}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  // JSON has no NaN/Infinity literals; the writer must degrade to null
+  // (and the result must stay parseable) rather than emit "nan"/"inf".
+  JsonWriter W;
+  W.beginObject();
+  W.key("nan").value(std::nan(""));
+  W.key("inf").value(std::numeric_limits<double>::infinity());
+  W.key("ninf").value(-std::numeric_limits<double>::infinity());
+  W.key("fine").value(1.5);
+  W.endObject();
+  std::string Doc = W.take();
+  EXPECT_EQ(Doc, "{\"nan\":null,\"inf\":null,\"ninf\":null,\"fine\":1.5}");
+  std::optional<JsonValue> V = parseJson(Doc);
+  ASSERT_TRUE(V.has_value());
+  EXPECT_TRUE(V->member("nan")->isNull());
+  EXPECT_EQ(V->member("fine")->asDouble(), 1.5);
 }
 
 TEST(TableRender, AlignsAndSeparates) {

@@ -17,14 +17,19 @@
 
 #include "api/Api.h"
 #include "fuzz/Fuzzer.h"
+#include "obs/Metrics.h"
+#include "obs/Prometheus.h"
+#include "obs/Trace.h"
 #include "serve/Client.h"
 #include "serve/Service.h"
 #include "support/Json.h"
+#include "support/JsonParse.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "workloads/Workloads.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -69,8 +74,11 @@ Subcommands:
              behind a newline-delimited JSON-RPC protocol over TCP.
   client     Speak the becd method table directly:
                bec client [--remote H:P] <method> [targets...] [options]
-             Methods: version stats shutdown counts intern analyze
-             campaign campaign/run schedule harden report.
+             Methods: version stats metrics shutdown counts intern
+             analyze campaign campaign/run schedule harden report.
+  stats      Print this process's observability metrics, or — with
+             --remote H:P — a live becd server's counters, per-method
+             latency percentiles, cache hit rates and gauges.
   version    Print the API version and build type (also: --version).
 
 Target selection (default: all bundled workloads):
@@ -135,7 +143,18 @@ Options:
                     injection window (0 keeps the default of 48).
   --remote H:P      Run this subcommand on a becd server instead of
                     in-process (output is byte-identical). Also selects
-                    the server for `bec client` (default 127.0.0.1:4690).
+                    the server for `bec client` and `bec stats`
+                    (default 127.0.0.1:4690).
+  --trace-out FILE  Write a Chrome trace_event JSON file covering this
+                    invocation (load in Perfetto or chrome://tracing):
+                    session query evaluation, engine workers (runs,
+                    steals, snapshot rebuilds, idle time), serve request
+                    handling, fuzz oracle stages. Valid with every
+                    subcommand; never changes the printed output.
+  --watch SEC       stats: re-print every SEC seconds until interrupted.
+  --metrics         stats: print the raw Prometheus text exposition
+                    instead of the human table (the scrape format the
+                    becd `metrics` method returns).
   --host ADDR       serve only: bind address (default 127.0.0.1).
   --port N          serve only: TCP port; 0 picks an ephemeral port
                     (default 4690).
@@ -147,7 +166,7 @@ Exit codes: 0 success, 1 usage error, 2 bad input, 3 unsound validation.
 )";
 
 enum class Command { Analyze, Campaign, Schedule, Harden, Report, Fuzz,
-                     Serve, Client };
+                     Serve, Client, Stats };
 enum class OutputFormat { Text, Json };
 
 struct DriverOptions {
@@ -192,6 +211,12 @@ struct DriverOptions {
   bool ServeFlagsUsed = false;
   /// client: method name followed by its positional arguments.
   std::vector<std::string> ClientArgs;
+  /// --trace-out: write a Chrome trace of this invocation to FILE.
+  std::string TraceOutPath;
+  /// stats options.
+  uint64_t WatchSeconds = 0;
+  bool StatsMetrics = false;
+  bool StatsFlagsUsed = false;
 };
 
 /// Parses "host:port" (the --remote spelling). False on bad input.
@@ -264,12 +289,22 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     Opts.Cmd = Command::Serve;
   else if (Sub == "client")
     Opts.Cmd = Command::Client;
+  else if (Sub == "stats")
+    Opts.Cmd = Command::Stats;
   else {
     Err << "bec: unknown subcommand '" << Sub << "'\n" << UsageText;
     return ExitUsage;
   }
 
+  // Both `--flag value` and `--flag=value` are accepted: InlineValue
+  // holds the part after '=' until the flag's branch consumes it.
+  std::optional<std::string> InlineValue;
   auto Value = [&](const std::string &Flag) -> std::optional<std::string> {
+    if (InlineValue) {
+      std::string V = std::move(*InlineValue);
+      InlineValue.reset();
+      return V;
+    }
     if (I >= Args.size()) {
       Err << "bec: " << Flag << " requires a value\n";
       return std::nullopt;
@@ -279,6 +314,14 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
 
   while (I < Args.size()) {
     std::string Arg = Args[I++];
+    InlineValue.reset();
+    if (Arg.size() > 2 && Arg[0] == '-' && Arg[1] == '-') {
+      size_t Eq = Arg.find('=');
+      if (Eq != std::string::npos) {
+        InlineValue = Arg.substr(Eq + 1);
+        Arg.resize(Eq);
+      }
+    }
     if (Arg == "-h" || Arg == "--help") {
       Out << UsageText;
       return -1;
@@ -522,11 +565,36 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
         return ExitUsage;
       Opts.PortFile = *V;
       Opts.ServeFlagsUsed = true;
+    } else if (Arg == "--trace-out") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.TraceOutPath = *V;
+    } else if (Arg == "--watch") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N || *N == 0 || *N > 86400) {
+        Err << "bec: --watch wants seconds in 1..86400, got '" << *V
+            << "'\n";
+        return ExitUsage;
+      }
+      Opts.WatchSeconds = *N;
+      Opts.StatsFlagsUsed = true;
+    } else if (Arg == "--metrics") {
+      Opts.StatsMetrics = true;
+      Opts.StatsFlagsUsed = true;
     } else if (Opts.Cmd == Command::Client && !Arg.empty() && Arg[0] != '-') {
       // Client grammar: the method, then its positional target names.
       Opts.ClientArgs.push_back(Arg);
     } else {
       Err << "bec: unknown option '" << Arg << "'\n" << UsageText;
+      return ExitUsage;
+    }
+    if (InlineValue) {
+      // A flag that takes no value left the `=value` unconsumed.
+      Err << "bec: " << Arg << " takes no value\n";
       return ExitUsage;
     }
   }
@@ -606,6 +674,17 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     // is the client-side spelling.
     Err << "bec: --host/--port/--port-file are only valid with serve "
            "(clients use --remote host:port)\n";
+    return ExitUsage;
+  }
+  if (Opts.StatsFlagsUsed && Opts.Cmd != Command::Stats) {
+    Err << "bec: --watch/--metrics are only valid with stats\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd == Command::Stats &&
+      (Opts.AllWorkloads || !Opts.WorkloadNames.empty() ||
+       !Opts.AsmFiles.empty())) {
+    // Stats describes a process (this one or a server), not targets.
+    Err << "bec: stats takes no --workload/--all/--asm targets\n";
     return ExitUsage;
   }
   if (Opts.Cmd == Command::Client && Opts.ClientArgs.empty()) {
@@ -688,12 +767,35 @@ int reportErrors(const AnalysisSession &S, const ResultVec<R> &Results,
 }
 
 /// One --progress line, shared verbatim by the local engine callback and
-/// the remote campaign/run progress-frame printer.
+/// the remote campaign/run progress-frame printer. The base counts are
+/// followed by live engine telemetry (throughput from the monotonic
+/// clock, ETA, and the steal/rebuild counts that explain flat thread
+/// scaling); the telemetry block is omitted when the frame carries none
+/// (an older remote server).
 std::string progressLine(const std::string &Target, uint64_t ShardsDone,
-                         uint64_t Shards, uint64_t RunsDone, uint64_t Runs) {
-  return "bec: campaign: " + Target + ": " + std::to_string(ShardsDone) +
-         "/" + std::to_string(Shards) + " shards, " +
-         std::to_string(RunsDone) + "/" + std::to_string(Runs) + " runs\n";
+                         uint64_t Shards, uint64_t RunsDone, uint64_t Runs,
+                         uint64_t ExecutedRuns, double ElapsedSeconds,
+                         uint64_t Steals, uint64_t Rebuilds) {
+  std::string Line = "bec: campaign: " + Target + ": " +
+                     std::to_string(ShardsDone) + "/" +
+                     std::to_string(Shards) + " shards, " +
+                     std::to_string(RunsDone) + "/" + std::to_string(Runs) +
+                     " runs";
+  if (ElapsedSeconds > 0 && ExecutedRuns) {
+    double Rate = double(ExecutedRuns) / ElapsedSeconds;
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), " | %.0f runs/s, %.1fs elapsed", Rate,
+                  ElapsedSeconds);
+    Line += Buf;
+    if (Runs > RunsDone && Rate > 0) {
+      std::snprintf(Buf, sizeof(Buf), ", eta %.1fs",
+                    double(Runs - RunsDone) / Rate);
+      Line += Buf;
+    }
+    Line += ", " + std::to_string(Steals) + " steals, " +
+            std::to_string(Rebuilds) + " rebuilds";
+  }
+  return Line + "\n";
 }
 
 int emitAssembly(const std::string &Asm, const DriverOptions &Opts,
@@ -1058,11 +1160,17 @@ int consumeSubcommandReply(const serve::Reply &R, const DriverOptions &Opts,
 /// --progress callback would have.
 void printProgress(const JsonValue &P, std::ostream &Err) {
   const std::string *Target = P.memberString("target");
+  double Elapsed = 0;
+  if (const JsonValue *E = P.member("elapsed_s"))
+    Elapsed = E->asDouble().value_or(0);
   Err << progressLine(Target ? *Target : std::string("?"),
                       P.memberU64("shards_done").value_or(0),
                       P.memberU64("shards").value_or(0),
                       P.memberU64("runs_done").value_or(0),
-                      P.memberU64("runs").value_or(0));
+                      P.memberU64("runs").value_or(0),
+                      P.memberU64("executed_runs").value_or(0), Elapsed,
+                      P.memberU64("steals").value_or(0),
+                      P.memberU64("snapshot_rebuilds").value_or(0));
 }
 
 /// `bec <subcommand> --remote host:port`: transparent offload.
@@ -1144,6 +1252,141 @@ int runServe(const DriverOptions &Opts, std::ostream &Out,
   return ExitSuccess;
 }
 
+//===----------------------------------------------------------------------===//
+// bec stats
+//===----------------------------------------------------------------------===//
+
+/// Renders a becd `stats` reply as the human-facing summary table.
+std::string renderRemoteStatsText(const JsonValue &R) {
+  std::string Out = "becd: " +
+                    std::to_string(R.memberU64("connections").value_or(0)) +
+                    " connections, " +
+                    std::to_string(R.memberU64("requests").value_or(0)) +
+                    " requests, " +
+                    std::to_string(R.memberU64("errors").value_or(0)) +
+                    " errors, " +
+                    std::to_string(R.memberU64("programs").value_or(0)) +
+                    " programs\n";
+  if (const JsonValue *S = R.member("session")) {
+    uint64_t Hits = S->memberU64("hits").value_or(0);
+    uint64_t Misses = S->memberU64("misses").value_or(0);
+    Out += "session: " + std::to_string(Hits) + " hits, " +
+           std::to_string(Misses) + " misses";
+    if (Hits + Misses)
+      Out += " (hit rate " +
+             Table::percent(double(Hits) / double(Hits + Misses)) + ")";
+    Out += ", " + std::to_string(S->memberU64("interned").value_or(0)) +
+           " interned, " +
+           std::to_string(S->memberU64("shards").value_or(0)) + " shards\n";
+  }
+
+  const JsonValue *Methods = R.member("methods");
+  const JsonValue *Latency = R.member("latency");
+  if (Methods && !Methods->objectMembers().empty()) {
+    Table Tbl({"Method", "Count", "p50 (us)", "p99 (us)", "Mean (us)"});
+    for (const auto &[Method, Count] : Methods->objectMembers()) {
+      Tbl.row().cell(Method).cell(Count.asU64().value_or(0));
+      const JsonValue *L = Latency ? Latency->member(Method) : nullptr;
+      if (L) {
+        Tbl.cell(L->memberU64("p50_us").value_or(0));
+        Tbl.cell(L->memberU64("p99_us").value_or(0));
+        double Mean = 0;
+        if (const JsonValue *M = L->member("mean_us"))
+          Mean = M->asDouble().value_or(0);
+        Tbl.cell(Mean, 1);
+      } else {
+        Tbl.cell("-").cell("-").cell("-");
+      }
+    }
+    Out += Tbl.render();
+  }
+
+  if (const JsonValue *Gauges = R.member("gauges"))
+    if (!Gauges->objectMembers().empty()) {
+      Out += "gauges:";
+      for (const auto &[Name, V] : Gauges->objectMembers())
+        Out += " " + Name + "=" + std::to_string(V.asI64().value_or(0));
+      Out += "\n";
+    }
+  return Out;
+}
+
+/// Renders this process's own registry (the no---remote mode; mostly
+/// interesting after library code ran in-process, and the debug surface
+/// for the metric catalog itself).
+std::string renderLocalStatsText(const obs::MetricsSnapshot &Snap) {
+  if (Snap.Metrics.empty())
+    return "bec: stats: no metrics recorded in this process (build with "
+           "observability enabled and run a subcommand; --remote H:P reads "
+           "a live becd server)\n";
+  Table Tbl({"Metric", "Kind", "Value", "p50 (us)", "p99 (us)"});
+  for (const obs::MetricValue &M : Snap.Metrics) {
+    switch (M.Kind) {
+    case obs::MetricKind::Counter:
+      Tbl.row().cell(M.Name).cell("counter").cell(M.Value).cell("-").cell(
+          "-");
+      break;
+    case obs::MetricKind::Gauge:
+      Tbl.row().cell(M.Name).cell("gauge").cell(
+          std::to_string(M.GaugeValue));
+      Tbl.cell("-").cell("-");
+      break;
+    case obs::MetricKind::Histogram:
+      Tbl.row().cell(M.Name).cell("histogram").cell(M.Hist.Count);
+      Tbl.cell(M.Hist.quantileUs(0.50)).cell(M.Hist.quantileUs(0.99));
+      break;
+    }
+  }
+  return Tbl.render();
+}
+
+/// One `bec stats` poll (one iteration of --watch).
+int statsOnce(const DriverOptions &Opts, std::ostream &Out,
+              std::ostream &Err) {
+  if (!Opts.Remote) {
+    obs::MetricsSnapshot Snap = obs::snapshotMetrics();
+    Out << (Opts.StatsMetrics ? obs::renderPrometheus(Snap)
+                              : renderLocalStatsText(Snap));
+    return ExitSuccess;
+  }
+  std::string ConnErr;
+  std::optional<serve::Client> C =
+      serve::Client::connect(Opts.RemoteHost, Opts.RemotePort, ConnErr);
+  if (!C) {
+    Err << "bec: " << ConnErr << "\n";
+    return ExitBadInput;
+  }
+  serve::Reply R = C->call(Opts.StatsMetrics ? "metrics" : "stats");
+  if (!R.Ok) {
+    Err << "bec: " << R.errorText() << "\n";
+    return ExitBadInput;
+  }
+  if (Opts.StatsMetrics) {
+    const std::string *Text = R.Result.memberString("text");
+    if (!Text) {
+      Err << "bec: malformed metrics reply from server\n";
+      return ExitBadInput;
+    }
+    Out << *Text;
+    return ExitSuccess;
+  }
+  Out << renderRemoteStatsText(R.Result);
+  return ExitSuccess;
+}
+
+/// `bec stats [--remote H:P] [--metrics] [--watch SEC]`.
+int runStats(const DriverOptions &Opts, std::ostream &Out,
+             std::ostream &Err) {
+  for (;;) {
+    if (int Status = statsOnce(Opts, Out, Err))
+      return Status;
+    if (!Opts.WatchSeconds)
+      return ExitSuccess;
+    Out.flush();
+    std::this_thread::sleep_for(std::chrono::seconds(Opts.WatchSeconds));
+  }
+}
+
 /// `bec client <method> ...`: one raw method call.
 int runClient(const DriverOptions &Opts, std::ostream &Out,
               std::ostream &Err) {
@@ -1158,7 +1401,7 @@ int runClient(const DriverOptions &Opts, std::ostream &Out,
   if (Sub) {
     Params = subcommandParams(*Sub, Opts, Positional, /*WithEmit=*/false);
   } else if (Method == "version" || Method == "stats" ||
-             Method == "shutdown") {
+             Method == "metrics" || Method == "shutdown") {
     if (!Positional.empty()) {
       Err << "bec: client " << Method << " takes no arguments\n";
       return ExitUsage;
@@ -1211,27 +1454,45 @@ int runClient(const DriverOptions &Opts, std::ostream &Out,
   return ExitSuccess;
 }
 
-} // namespace
+/// The subcommand's name, for the root trace span ("bec:analyze").
+const char *commandName(Command C) {
+  switch (C) {
+  case Command::Analyze:
+    return "analyze";
+  case Command::Campaign:
+    return "campaign";
+  case Command::Schedule:
+    return "schedule";
+  case Command::Harden:
+    return "harden";
+  case Command::Report:
+    return "report";
+  case Command::Fuzz:
+    return "fuzz";
+  case Command::Serve:
+    return "serve";
+  case Command::Client:
+    return "client";
+  case Command::Stats:
+    return "stats";
+  }
+  return "bec";
+}
 
-//===----------------------------------------------------------------------===//
-// Entry point
-//===----------------------------------------------------------------------===//
-
-int bec::tool::runDriver(const std::vector<std::string> &Args,
-                         std::ostream &Out, std::ostream &Err) {
-  DriverOptions Opts;
-  int ParseStatus = parseArgs(Args, Opts, Out, Err);
-  if (ParseStatus == -1)
-    return ExitSuccess; // --help / --list-workloads.
-  if (ParseStatus != ExitSuccess)
-    return ParseStatus;
-
+/// Everything after argument parsing: subcommand dispatch. Split out so
+/// runDriver can scope the root trace span around exactly this.
+int runParsed(const DriverOptions &Opts, std::ostream &Out,
+              std::ostream &Err) {
   if (Opts.Cmd == Command::Serve)
     return runServe(Opts, Out, Err);
   if (Opts.Cmd == Command::Client)
     return runClient(Opts, Out, Err);
   if (Opts.Cmd == Command::Fuzz)
     return runFuzzCommand(Opts, Out, Err);
+  // stats handles --remote itself (it is the one subcommand whose remote
+  // form is not a mirrored server method call over targets).
+  if (Opts.Cmd == Command::Stats)
+    return runStats(Opts, Out, Err);
   if (Opts.Remote)
     return runRemote(Opts, Out, Err);
 
@@ -1286,7 +1547,9 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
               [&Err, &ProgressMutex, Target](const CampaignProgress &P) {
                 std::lock_guard<std::mutex> Lock(ProgressMutex);
                 Err << progressLine(Target, P.ShardsDone, P.TotalShards,
-                                    P.RunsDone, P.TotalRuns);
+                                    P.RunsDone, P.TotalRuns, P.ExecutedRuns,
+                                    P.ElapsedSeconds, P.Steals,
+                                    P.SnapshotRebuilds);
               });
         }
         Results[I] =
@@ -1351,7 +1614,43 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
   case Command::Fuzz:
   case Command::Serve:
   case Command::Client:
+  case Command::Stats:
     break; // Dispatched before target loading.
+  }
+  return Status;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Entry point
+//===----------------------------------------------------------------------===//
+
+int bec::tool::runDriver(const std::vector<std::string> &Args,
+                         std::ostream &Out, std::ostream &Err) {
+  DriverOptions Opts;
+  int ParseStatus = parseArgs(Args, Opts, Out, Err);
+  if (ParseStatus == -1)
+    return ExitSuccess; // --help / --list-workloads.
+  if (ParseStatus != ExitSuccess)
+    return ParseStatus;
+
+  if (!Opts.TraceOutPath.empty())
+    obs::traceBegin();
+  int Status;
+  {
+    obs::Span Root(obs::traceActive()
+                       ? std::string("bec:") + commandName(Opts.Cmd)
+                       : std::string());
+    Status = runParsed(Opts, Out, Err);
+  }
+  if (!Opts.TraceOutPath.empty()) {
+    std::string TraceErr;
+    if (!obs::writeTrace(Opts.TraceOutPath, TraceErr)) {
+      Err << "bec: " << TraceErr << "\n";
+      if (Status == ExitSuccess)
+        Status = ExitBadInput;
+    }
   }
   return Status;
 }
