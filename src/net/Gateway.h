@@ -1,0 +1,163 @@
+//===- net/Gateway.h - Consistent-hashing becd gateway --------------------===//
+///
+/// \file
+/// `bec gateway`: horizontal scale-out for becd. The gateway speaks the
+/// exact becd wire protocol to clients (same handshake, same frames — a
+/// client cannot tell it from a single becd) and forwards each request to
+/// one of N becd backends chosen by *consistent hashing* of the request's
+/// program content key: the interned-program / workload name that a
+/// request targets. Same name, same backend — so every backend's
+/// content-addressed session cache holds its stable shard of the
+/// program space, and adding a backend remaps only ~1/N of the keys.
+///
+/// Around that core:
+///  * health checks — a `version` probe per backend every interval;
+///    unhealthy backends are skipped by routing until a probe revives
+///    them;
+///  * draining — `gateway/drain` takes a backend out of routing without
+///    killing it (and `gateway/undrain` puts it back);
+///  * failover — transport failures mark the backend unhealthy and the
+///    request retries on the ring's next backend (every becd method is
+///    idempotent: analyses are pure functions of interned content);
+///  * intern replay — `intern` params are journaled, and before any
+///    request for an interned program is forwarded, backends that have
+///    not seen that intern get it replayed, so failover and remapping
+///    keep responses byte-identical;
+///  * aggregation — `stats` fans out to every healthy backend and merges
+///    (per-backend health plus summed counters and a merged latency
+///    snapshot), `metrics` serves the gateway's own registry.
+///
+/// Forwarded exchanges use Client::forwardRaw with the downstream
+/// request id, so response and progress frames are relayed byte-for-byte.
+/// The gateway runs on the same net::EventServer core as becd; its
+/// handleFrame is the FrameHandler (worker threads, blocking upstream
+/// calls are fine there).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_NET_GATEWAY_H
+#define BEC_NET_GATEWAY_H
+
+#include "net/EventLoop.h"
+#include "serve/Client.h"
+#include "serve/Protocol.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace bec {
+namespace net {
+
+class Gateway {
+public:
+  struct Options {
+    /// Backend addresses, "host:port" each.
+    std::vector<std::string> Backends;
+    /// Virtual nodes per backend on the hash ring.
+    unsigned VirtualNodes = 64;
+    /// Health-probe cadence.
+    unsigned HealthIntervalMs = 2000;
+  };
+
+  explicit Gateway(Options O);
+  Gateway(const Gateway &) = delete;
+  Gateway &operator=(const Gateway &) = delete;
+  ~Gateway();
+
+  /// Parses backend addresses, builds the ring, probes every backend
+  /// once (so routing works immediately) and starts the health-check
+  /// thread. False with a diagnostic on a malformed address.
+  bool start(std::string &Err);
+
+  /// Stops the health-check thread (idempotent; the destructor calls it).
+  void stop();
+
+  /// The becd handshake — clients cannot tell the gateway from a becd.
+  std::string handshakeFrame() const { return serve::makeHandshakeFrame(); }
+
+  /// The FrameHandler for the EventServer: maps one request line to the
+  /// response frame, forwarding through the ring. Thread-safe.
+  std::string handleFrame(std::string_view Line, const FrameSink &Sink);
+
+  /// True once a `shutdown` request was accepted (wire to the event
+  /// server's drain check). Shuts down the *gateway* only, never the
+  /// backends.
+  bool isDraining() const { return Draining.load(); }
+
+  size_t backendCount() const { return Backends.size(); }
+
+  /// The ring's backend index for \p Key (exposed for tests; routing
+  /// also skips unhealthy/drained backends, which this does not).
+  size_t backendIndexFor(std::string_view Key) const;
+
+private:
+  struct Backend {
+    std::string Address;
+    std::string Host;
+    uint16_t Port = 0;
+    std::atomic<bool> Healthy{false};
+    std::atomic<bool> AdminDrained{false};
+    std::atomic<uint64_t> Forwarded{0};
+    std::atomic<uint64_t> Failovers{0};
+    std::mutex PoolMutex;
+    std::vector<serve::Client> Idle; ///< Pooled upstream connections.
+    std::mutex SentMutex;
+    /// Intern-journal generation this backend has seen, per name.
+    std::map<std::string, uint64_t> Sent;
+  };
+
+  /// Distinct backend indices in ring-successor order for \p Key.
+  std::vector<size_t> candidatesFor(std::string_view Key) const;
+  /// The routing key of \p R: the single target/intern name when there
+  /// is one, the joined target list otherwise ("" for default-targets).
+  static std::string routeKey(const serve::Request &R);
+
+  /// Pops a pooled upstream client or connects a fresh one.
+  std::unique_ptr<serve::Client> acquire(Backend &B, std::string &Err);
+  void release(Backend &B, std::unique_ptr<serve::Client> C);
+  void markUnhealthy(Backend &B);
+
+  /// Replays journaled interns this backend has not seen for every
+  /// interned name \p R references. False when replay fails (backend
+  /// marked unhealthy).
+  bool replayInterns(Backend &B, serve::Client &C, const serve::Request &R);
+
+  std::string forward(const serve::Request &R, const std::string &ParamsJson,
+                      const FrameSink &Sink);
+  std::string methodStats(const serve::Request &R);
+  std::string methodMetrics(const serve::Request &R);
+  std::string methodBackends(const serve::Request &R);
+  std::string methodDrain(const serve::Request &R, bool Drain);
+
+  void healthCheckMain();
+  void probe(Backend &B);
+
+  Options Opts;
+  std::vector<std::unique_ptr<Backend>> Backends;
+  std::map<uint64_t, size_t> Ring; ///< hash -> backend index.
+
+  std::mutex JournalMutex;
+  uint64_t JournalGen = 0;
+  /// Interned name -> (intern params JSON, journal generation).
+  std::map<std::string, std::pair<std::string, uint64_t>, std::less<>>
+      Journal;
+
+  std::atomic<bool> Draining{false};
+  std::thread HealthThread;
+  std::mutex HealthMutex;
+  std::condition_variable HealthCv;
+  bool HealthStop = false;
+};
+
+} // namespace net
+} // namespace bec
+
+#endif // BEC_NET_GATEWAY_H

@@ -132,8 +132,22 @@ Reply Client::call(std::string_view Method, std::string_view ParamsJson) {
 Reply Client::callStreaming(
     std::string_view Method, std::string_view ParamsJson,
     const std::function<void(const JsonValue &)> &OnProgress) {
+  return forwardRaw(
+      NextId++, Method, ParamsJson,
+      [&](std::string_view Raw) {
+        if (!OnProgress)
+          return;
+        if (std::optional<ProgressFrame> P = parseProgressFrame(Raw))
+          OnProgress(P->Progress);
+      },
+      nullptr);
+}
+
+Reply Client::forwardRaw(
+    uint64_t Id, std::string_view Method, std::string_view ParamsJson,
+    const std::function<void(std::string_view RawFrame)> &OnProgressFrame,
+    std::string *FinalFrame) {
   Reply R;
-  uint64_t Id = NextId++;
   std::string Frame = makeRequestFrame(Id, Method, ParamsJson);
   std::string Err, FrameErr;
   std::optional<Response> Resp;
@@ -143,11 +157,13 @@ Reply Client::callStreaming(
         // Progress frames (matched by id) keep the exchange open; any
         // other frame is the final response.
         if (std::optional<ProgressFrame> P = parseProgressFrame(Line)) {
-          if (P->Id == Id && OnProgress)
-            OnProgress(P->Progress);
+          if (P->Id == Id && OnProgressFrame)
+            OnProgressFrame(Line);
           return true;
         }
         Resp = parseResponseFrame(Line, FrameErr);
+        if (Resp && FinalFrame)
+          *FinalFrame = Line;
         return false;
       },
       Err);

@@ -119,6 +119,20 @@ public:
   Reply callStreaming(std::string_view Method, std::string_view ParamsJson,
                       const std::function<void(const JsonValue &)> &OnProgress);
 
+  /// The gateway's forwarding primitive: issues \p Method under the
+  /// caller-chosen request \p Id and hands every received frame —
+  /// progress frames and the final response, each without its trailing
+  /// newline — to \p OnRawFrame verbatim, so a proxy that picked Id to
+  /// match its downstream request can relay the exact upstream bytes.
+  /// The parsed Reply is still returned for routing decisions: Ok,
+  /// server error codes, or a synthesized TransportError (in which case
+  /// no final frame was delivered and the caller may fail over).
+  Reply forwardRaw(uint64_t Id, std::string_view Method,
+                   std::string_view ParamsJson,
+                   const std::function<void(std::string_view RawFrame)>
+                       &OnProgressFrame,
+                   std::string *FinalFrame);
+
   const Handshake &serverHandshake() const { return HS; }
 
 private:

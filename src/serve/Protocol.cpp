@@ -30,6 +30,12 @@ const char *bec::serve::errorCodeName(ErrorCode C) {
     return "shutting_down";
   case ErrorCode::TransportError:
     return "transport_error";
+  case ErrorCode::Overloaded:
+    return "overloaded";
+  case ErrorCode::Draining:
+    return "draining";
+  case ErrorCode::NoBackend:
+    return "no_backend";
   }
   return "unknown";
 }

@@ -68,6 +68,9 @@ enum class ErrorCode : int {
   BadAsm = 102,          ///< `intern` source failed to assemble.
   ShuttingDown = 103,    ///< Server is draining; request refused.
   TransportError = 104,  ///< Connection-level failure (client-side).
+  Overloaded = 105,      ///< Admission control: worker queue full.
+  Draining = 106,        ///< Connection draining; queued request refused.
+  NoBackend = 107,       ///< Gateway: no healthy backend for the request.
 };
 
 /// Stable snake_case name of \p C (part of the wire format).

@@ -835,8 +835,19 @@ void Server::run() {
     static const obs::Gauge GaugeOpen("serve.connections.open");
     static const obs::Gauge GaugeQueued("serve.queue.depth");
     static const obs::Histogram QueueUs("serve.queue.us");
+    static const obs::Counter RejOverload("serve.rejected.overload");
+    if (Active.load() >= connectionJobs(Opts.Jobs) &&
+        Queued.load() >= Opts.MaxQueued) {
+      // Every handler is busy and the wait line is full: typed
+      // backpressure instead of an unbounded queue (error table in
+      // docs/serve.md).
+      RejOverload.add();
+      rejectOverloaded(std::move(*Conn));
+      continue;
+    }
     GaugeOpen.add(1);
     GaugeQueued.add(1);
+    Queued.fetch_add(1);
     auto Accepted = std::chrono::steady_clock::now();
     auto Shared = std::make_shared<Socket>(std::move(*Conn));
     Pool.submit([this, Shared, Accepted] {
@@ -847,7 +858,10 @@ void Server::run() {
                         .count();
       QueueUs.observeUs(WaitUs < 0 ? 0 : uint64_t(WaitUs));
       GaugeQueued.add(-1);
+      Queued.fetch_sub(1);
+      Active.fetch_add(1);
       serveConnection(*Shared);
+      Active.fetch_sub(1);
       GaugeOpen.add(-1);
     });
   }
@@ -870,6 +884,30 @@ void Server::closeConnection(Socket &Conn) {
   std::lock_guard<std::mutex> Lock(ConnMutex);
   OpenConns.erase(Conn.fd());
   Conn.close();
+}
+
+void Server::rejectOverloaded(Socket Conn) {
+  // Runs inline on the acceptor: send the handshake, wait briefly for
+  // the first request (so the client's call() sees a proper error
+  // response with its request id, not a bare close), answer 105 and
+  // close. The short timeout keeps a slow client from wedging accepts.
+  struct timeval Tv;
+  Tv.tv_sec = 2;
+  Tv.tv_usec = 0;
+  ::setsockopt(Conn.fd(), SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  std::string Err, Line;
+  if (Conn.sendAll(Svc.handshakeFrame(), Err) &&
+      Conn.recvLine(Line, MaxFrameBytes, Err) == Socket::RecvStatus::Line) {
+    ParsedFrame P = parseRequestFrame(Line);
+    std::optional<uint64_t> Id =
+        P.Req ? std::optional<uint64_t>(P.Req->Id) : P.Id;
+    Conn.sendAll(makeErrorFrame(Id, ErrorCode::Overloaded,
+                                "server overloaded; all " +
+                                    std::to_string(connectionJobs(Opts.Jobs)) +
+                                    " handlers busy and queue full"),
+                 Err);
+  }
+  closeConnection(Conn);
 }
 
 void Server::serveConnection(Socket &Conn) {

@@ -178,6 +178,11 @@ public:
     /// cap 64 — I/O-bound, deliberately not clamped to the core count).
     /// Further connections queue until a handler frees up.
     unsigned Jobs = 4;
+    /// Admission control: with every handler busy, at most this many
+    /// accepted connections may wait for one; the next connection gets
+    /// its first request answered with error 105 `overloaded` and is
+    /// closed (typed backpressure instead of an unbounded queue).
+    unsigned MaxQueued = 128;
   };
 
   Server(Service &Svc, Options Opts);
@@ -202,12 +207,18 @@ private:
   /// Deregisters and closes under the registry lock (so requestStop never
   /// touches a recycled descriptor).
   void closeConnection(Socket &Conn);
+  /// Saturation path: answers the connection's first request with
+  /// `overloaded` (inline on the acceptor, short read timeout) and
+  /// closes it.
+  void rejectOverloaded(Socket Conn);
 
   Service &Svc;
   Options Opts;
   ListenSocket Listener;
   ThreadPool Pool;
   std::atomic<bool> Stopping{false};
+  std::atomic<unsigned> Active{0}; ///< Handlers serving a connection.
+  std::atomic<unsigned> Queued{0}; ///< Accepted, waiting for a handler.
   std::mutex ConnMutex;
   std::set<int> OpenConns; ///< Live connection fds, for shutdown wakeup.
 };

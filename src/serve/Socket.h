@@ -79,6 +79,10 @@ public:
   /// The actually bound port (resolves port-0 requests).
   uint16_t boundPort() const { return Port; }
 
+  /// The raw listening descriptor (for event loops that poll and accept
+  /// it themselves; see net/EventLoop.h). -1 when not listening.
+  int fd() const { return FD; }
+
   enum class WaitStatus { Ready, Timeout, Error };
 
   /// Polls for a pending connection for up to \p TimeoutMs. Acceptor

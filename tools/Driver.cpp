@@ -17,6 +17,8 @@
 
 #include "api/Api.h"
 #include "fuzz/Fuzzer.h"
+#include "net/EventLoop.h"
+#include "net/Gateway.h"
 #include "obs/Metrics.h"
 #include "obs/Prometheus.h"
 #include "obs/Trace.h"
@@ -72,10 +74,22 @@ Subcommands:
              Exits 3 on any mismatch.
   serve      Run the becd analysis server: a shared, cached session pool
              behind a newline-delimited JSON-RPC protocol over TCP.
+             Default engine: a poll() event loop with a bounded worker
+             pool (connections decoupled from threads, pipelining, typed
+             overload errors); --engine threads keeps the legacy
+             thread-per-connection server.
+  gateway    Front N becd backends behind one becd-indistinguishable
+             endpoint: requests route by consistent hashing of their
+             program name, so each backend's session cache holds a
+             stable shard of the program space. Health-checks, drains
+             (gateway/drain) and fails over between backends; `stats
+             --remote` through it aggregates every backend.
   client     Speak the becd method table directly:
                bec client [--remote H:P] <method> [targets...] [options]
              Methods: version stats metrics shutdown counts intern
              analyze campaign campaign/run schedule harden report.
+             Against a gateway also: gateway/backends,
+             gateway/drain H:P, gateway/undrain H:P.
   stats      Print this process's observability metrics, or — with
              --remote H:P — a live becd server's counters, per-method
              latency percentiles, cache hit rates and gauges.
@@ -155,18 +169,29 @@ Options:
   --metrics         stats: print the raw Prometheus text exposition
                     instead of the human table (the scrape format the
                     becd `metrics` method returns).
-  --host ADDR       serve only: bind address (default 127.0.0.1).
-  --port N          serve only: TCP port; 0 picks an ephemeral port
+  --host ADDR       serve/gateway: bind address (default 127.0.0.1).
+  --port N          serve/gateway: TCP port; 0 picks an ephemeral port
                     (default 4690).
-  --port-file FILE  serve only: write the bound port to FILE once
+  --port-file FILE  serve/gateway: write the bound port to FILE once
                     listening (for scripts using --port 0).
+  --engine KIND     serve: loop (poll() event loop + worker pool, the
+                    default) | threads (legacy thread-per-connection).
+  --queue-depth N   serve --engine loop: admitted requests that may wait
+                    for a worker before the next is answered with error
+                    105 `overloaded` (default 256).
+  --backends LIST   gateway only (required): comma-separated becd
+                    backends, host:port each.
+  --health-interval SEC
+                    gateway: seconds between per-backend `version`
+                    health probes (default 2).
   -h, --help        Print this help and exit.
 
 Exit codes: 0 success, 1 usage error, 2 bad input, 3 unsound validation.
 )";
 
 enum class Command { Analyze, Campaign, Schedule, Harden, Report, Fuzz,
-                     Serve, Client, Stats };
+                     Serve, Gateway, Client, Stats };
+enum class ServeEngine { Loop, Threads };
 enum class OutputFormat { Text, Json };
 
 struct DriverOptions {
@@ -204,11 +229,19 @@ struct DriverOptions {
   bool Remote = false;
   std::string RemoteHost = "127.0.0.1";
   uint16_t RemotePort = serve::DefaultPort;
-  /// serve options.
+  /// serve/gateway options (--host/--port/--port-file are shared; the
+  /// engine and queue knobs are serve-only, the backend list and health
+  /// cadence gateway-only).
   std::string ServeHost = "127.0.0.1";
   uint16_t ServePort = serve::DefaultPort;
   std::string PortFile;
   bool ServeFlagsUsed = false;
+  ServeEngine Engine = ServeEngine::Loop;
+  size_t QueueDepth = 256;
+  bool EngineFlagsUsed = false;
+  std::vector<std::string> GatewayBackends;
+  unsigned HealthIntervalMs = 2000;
+  bool GatewayFlagsUsed = false;
   /// client: method name followed by its positional arguments.
   std::vector<std::string> ClientArgs;
   /// --trace-out: write a Chrome trace of this invocation to FILE.
@@ -287,6 +320,8 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     Opts.Cmd = Command::Fuzz;
   else if (Sub == "serve")
     Opts.Cmd = Command::Serve;
+  else if (Sub == "gateway")
+    Opts.Cmd = Command::Gateway;
   else if (Sub == "client")
     Opts.Cmd = Command::Client;
   else if (Sub == "stats")
@@ -565,6 +600,65 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
         return ExitUsage;
       Opts.PortFile = *V;
       Opts.ServeFlagsUsed = true;
+    } else if (Arg == "--engine") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::string K = toLowerAscii(*V);
+      if (K == "loop")
+        Opts.Engine = ServeEngine::Loop;
+      else if (K == "threads")
+        Opts.Engine = ServeEngine::Threads;
+      else {
+        Err << "bec: unknown --engine '" << *V << "' (want loop | threads)\n";
+        return ExitUsage;
+      }
+      Opts.EngineFlagsUsed = true;
+    } else if (Arg == "--queue-depth") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N || *N > 1u << 20) {
+        Err << "bec: --queue-depth wants a number in 0..1048576, got '" << *V
+            << "'\n";
+        return ExitUsage;
+      }
+      Opts.QueueDepth = static_cast<size_t>(*N);
+      Opts.EngineFlagsUsed = true;
+    } else if (Arg == "--backends") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::string Item;
+      std::stringstream Stream(*V);
+      while (std::getline(Stream, Item, ',')) {
+        std::string H;
+        uint16_t P = 0;
+        if (!parseHostPort(Item, H, P)) {
+          Err << "bec: --backends wants comma-separated host:port entries, "
+                 "got '" << Item << "'\n";
+          return ExitUsage;
+        }
+        Opts.GatewayBackends.push_back(Item);
+      }
+      if (Opts.GatewayBackends.empty()) {
+        Err << "bec: --backends needs at least one host:port\n";
+        return ExitUsage;
+      }
+      Opts.GatewayFlagsUsed = true;
+    } else if (Arg == "--health-interval") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<uint64_t> N = parseUnsigned(*V);
+      if (!N || *N == 0 || *N > 3600) {
+        Err << "bec: --health-interval wants seconds in 1..3600, got '" << *V
+            << "'\n";
+        return ExitUsage;
+      }
+      Opts.HealthIntervalMs = static_cast<unsigned>(*N * 1000);
+      Opts.GatewayFlagsUsed = true;
     } else if (Arg == "--trace-out") {
       auto V = Value(Arg);
       if (!V)
@@ -664,16 +758,37 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
     Err << "bec: harden --emit requires a single --budget\n";
     return ExitUsage;
   }
-  if (Opts.Cmd == Command::Serve && Opts.Remote) {
-    Err << "bec: --remote does not combine with serve\n";
+  if ((Opts.Cmd == Command::Serve || Opts.Cmd == Command::Gateway) &&
+      Opts.Remote) {
+    Err << "bec: --remote does not combine with serve or gateway\n";
     return ExitUsage;
   }
-  if (Opts.Cmd != Command::Serve && Opts.ServeFlagsUsed) {
+  if (Opts.Cmd != Command::Serve && Opts.Cmd != Command::Gateway &&
+      Opts.ServeFlagsUsed) {
     // Silently ignoring these would let `bec client shutdown --port N`
     // address a different server than the user meant; --remote host:port
     // is the client-side spelling.
-    Err << "bec: --host/--port/--port-file are only valid with serve "
-           "(clients use --remote host:port)\n";
+    Err << "bec: --host/--port/--port-file are only valid with serve or "
+           "gateway (clients use --remote host:port)\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd != Command::Serve && Opts.EngineFlagsUsed) {
+    Err << "bec: --engine/--queue-depth are only valid with serve\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd != Command::Gateway && Opts.GatewayFlagsUsed) {
+    Err << "bec: --backends/--health-interval are only valid with gateway\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd == Command::Gateway && Opts.GatewayBackends.empty()) {
+    Err << "bec: gateway requires --backends H:P[,H:P...]\n";
+    return ExitUsage;
+  }
+  if (Opts.Cmd == Command::Gateway &&
+      (Opts.AllWorkloads || !Opts.WorkloadNames.empty() ||
+       !Opts.AsmFiles.empty())) {
+    // The gateway forwards; its backends own the targets.
+    Err << "bec: gateway takes no --workload/--all/--asm targets\n";
     return ExitUsage;
   }
   if (Opts.StatsFlagsUsed && Opts.Cmd != Command::Stats) {
@@ -1214,41 +1329,126 @@ int runRemote(const DriverOptions &Opts, std::ostream &Out,
   return consumeSubcommandReply(R, Opts, WithEmit, Out, Err);
 }
 
-/// `bec serve`: run the becd server until a shutdown request.
+/// Publishes the bound port for scripts using --port 0. Write-then-rename
+/// so pollers never observe a partial file.
+int writePortFile(const std::string &Path, uint16_t Port, std::ostream &Err) {
+  if (Path.empty())
+    return ExitSuccess;
+  std::string Tmp = Path + ".tmp";
+  {
+    std::ofstream PF(Tmp);
+    if (!PF) {
+      Err << "bec: cannot write '" << Path << "'\n";
+      return ExitBadInput;
+    }
+    PF << Port << "\n";
+  }
+  std::rename(Tmp.c_str(), Path.c_str());
+  return ExitSuccess;
+}
+
+/// `bec serve`: run the becd server until a shutdown request. The
+/// default engine is the net/ event loop; --engine threads keeps the
+/// legacy thread-per-connection server. Both print the same listening
+/// line and answer byte-identically.
 int runServe(const DriverOptions &Opts, std::ostream &Out,
              std::ostream &Err) {
   serve::Service Svc;
-  serve::Server::Options SO;
-  SO.Host = Opts.ServeHost;
-  SO.Port = Opts.ServePort;
-  // For a server, --jobs bounds concurrent connections; default to a
-  // small pool rather than the CLI's serial default.
-  SO.Jobs = Opts.JobsExplicit ? Opts.Jobs : 4;
-  serve::Server Srv(Svc, SO);
+  if (Opts.Engine == ServeEngine::Threads) {
+    serve::Server::Options SO;
+    SO.Host = Opts.ServeHost;
+    SO.Port = Opts.ServePort;
+    // For a server, --jobs bounds concurrent connections; default to a
+    // small pool rather than the CLI's serial default.
+    SO.Jobs = Opts.JobsExplicit ? Opts.Jobs : 4;
+    serve::Server Srv(Svc, SO);
+    std::string BindErr;
+    if (!Srv.start(BindErr)) {
+      Err << "bec: serve: " << BindErr << "\n";
+      return ExitBadInput;
+    }
+    Out << "becd listening on " << SO.Host << ":" << Srv.port() << " (api "
+        << BEC_API_VERSION_STRING << ", protocol " << serve::ProtocolVersion
+        << ")\n";
+    Out.flush();
+    if (int Status = writePortFile(Opts.PortFile, Srv.port(), Err))
+      return Status;
+    Srv.run();
+    Out << "becd: shut down\n";
+    return ExitSuccess;
+  }
+
+  net::EventServer::Options EO;
+  EO.Host = Opts.ServeHost;
+  EO.Port = Opts.ServePort;
+  // --jobs sizes the worker pool executing requests (0 = one per core);
+  // connections are no longer bounded by it.
+  EO.Workers = Opts.JobsExplicit ? Opts.Jobs : 0;
+  EO.QueueDepth = Opts.QueueDepth;
+  net::EventServer Srv(
+      [&Svc](std::string_view Line, const net::FrameSink &Sink) {
+        return Svc.handleFrameStreaming(Line, Sink);
+      },
+      Svc.handshakeFrame(), EO);
+  Srv.setDrainCheck([&Svc] { return Svc.isShuttingDown(); });
+  Srv.setAcceptCallback([&Svc] { Svc.noteConnection(); });
   std::string BindErr;
   if (!Srv.start(BindErr)) {
     Err << "bec: serve: " << BindErr << "\n";
     return ExitBadInput;
   }
-  Out << "becd listening on " << SO.Host << ":" << Srv.port() << " (api "
+  Out << "becd listening on " << EO.Host << ":" << Srv.port() << " (api "
       << BEC_API_VERSION_STRING << ", protocol " << serve::ProtocolVersion
       << ")\n";
   Out.flush();
-  if (!Opts.PortFile.empty()) {
-    // Write-then-rename so pollers never observe a partial file.
-    std::string Tmp = Opts.PortFile + ".tmp";
-    {
-      std::ofstream PF(Tmp);
-      if (!PF) {
-        Err << "bec: cannot write '" << Opts.PortFile << "'\n";
-        return ExitBadInput;
-      }
-      PF << Srv.port() << "\n";
-    }
-    std::rename(Tmp.c_str(), Opts.PortFile.c_str());
-  }
+  if (int Status = writePortFile(Opts.PortFile, Srv.port(), Err))
+    return Status;
   Srv.run();
   Out << "becd: shut down\n";
+  return ExitSuccess;
+}
+
+/// `bec gateway`: front N becd backends behind one becd-compatible
+/// endpoint on the event-loop core; see net/Gateway.h.
+int runGateway(const DriverOptions &Opts, std::ostream &Out,
+               std::ostream &Err) {
+  net::Gateway::Options GO;
+  GO.Backends = Opts.GatewayBackends;
+  GO.HealthIntervalMs = Opts.HealthIntervalMs;
+  net::Gateway GW(GO);
+  std::string GwErr;
+  if (!GW.start(GwErr)) {
+    Err << "bec: gateway: " << GwErr << "\n";
+    return ExitBadInput;
+  }
+
+  net::EventServer::Options EO;
+  EO.Host = Opts.ServeHost;
+  EO.Port = Opts.ServePort;
+  // Gateway workers block on upstream becds (I/O-bound), so default a
+  // small fixed pool rather than one per core.
+  EO.Workers = Opts.JobsExplicit ? Opts.Jobs : 8;
+  net::EventServer Srv(
+      [&GW](std::string_view Line, const net::FrameSink &Sink) {
+        return GW.handleFrame(Line, Sink);
+      },
+      GW.handshakeFrame(), EO);
+  Srv.setDrainCheck([&GW] { return GW.isDraining(); });
+  std::string BindErr;
+  if (!Srv.start(BindErr)) {
+    Err << "bec: gateway: " << BindErr << "\n";
+    return ExitBadInput;
+  }
+  Out << "bec gateway listening on " << EO.Host << ":" << Srv.port()
+      << " (api " << BEC_API_VERSION_STRING << ", protocol "
+      << serve::ProtocolVersion << ") -> " << GW.backendCount()
+      << " backends\n";
+  Out.flush();
+  if (int Status = writePortFile(Opts.PortFile, Srv.port(), Err))
+    return Status;
+  Srv.run();
+  GW.stop();
+  Out << "gateway: shut down\n";
   return ExitSuccess;
 }
 
@@ -1256,9 +1456,39 @@ int runServe(const DriverOptions &Opts, std::ostream &Out,
 // bec stats
 //===----------------------------------------------------------------------===//
 
-/// Renders a becd `stats` reply as the human-facing summary table.
+/// Renders a becd `stats` reply as the human-facing summary table. A
+/// gateway's aggregated reply carries a "gateway" member with per-backend
+/// health, rendered first; the shared counter/latency shape follows.
 std::string renderRemoteStatsText(const JsonValue &R) {
-  std::string Out = "becd: " +
+  std::string Out;
+  if (const JsonValue *G = R.member("gateway")) {
+    const std::vector<JsonValue> *Backends =
+        G->member("backends") ? G->member("backends")->asArray() : nullptr;
+    size_t Total = 0, Healthy = 0;
+    std::string Lines;
+    auto MemberBool = [](const JsonValue &V, std::string_view Key) {
+      const JsonValue *M = V.member(Key);
+      return M && M->asBool().value_or(false);
+    };
+    if (Backends)
+      for (const JsonValue &B : *Backends) {
+        ++Total;
+        bool Up = MemberBool(B, "healthy");
+        bool Drain = MemberBool(B, "draining");
+        if (Up && !Drain)
+          ++Healthy;
+        const std::string *Addr = B.memberString("address");
+        Lines += "  " + (Addr ? *Addr : std::string("?")) + " " +
+                 (Drain ? "draining" : Up ? "healthy" : "unhealthy") +
+                 ", forwarded " +
+                 std::to_string(B.memberU64("forwarded").value_or(0)) +
+                 ", failovers " +
+                 std::to_string(B.memberU64("failovers").value_or(0)) + "\n";
+      }
+    Out += "gateway: " + std::to_string(Healthy) + "/" +
+           std::to_string(Total) + " backends in routing\n" + Lines;
+  }
+  Out += "becd: " +
                     std::to_string(R.memberU64("connections").value_or(0)) +
                     " connections, " +
                     std::to_string(R.memberU64("requests").value_or(0)) +
@@ -1401,11 +1631,23 @@ int runClient(const DriverOptions &Opts, std::ostream &Out,
   if (Sub) {
     Params = subcommandParams(*Sub, Opts, Positional, /*WithEmit=*/false);
   } else if (Method == "version" || Method == "stats" ||
-             Method == "metrics" || Method == "shutdown") {
+             Method == "metrics" || Method == "shutdown" ||
+             Method == "gateway/backends") {
     if (!Positional.empty()) {
       Err << "bec: client " << Method << " takes no arguments\n";
       return ExitUsage;
     }
+  } else if (Method == "gateway/drain" || Method == "gateway/undrain") {
+    if (Positional.size() != 1) {
+      Err << "bec: client " << Method
+          << " needs exactly one backend host:port\n";
+      return ExitUsage;
+    }
+    JsonWriter W;
+    W.beginObject();
+    W.key("backend").value(Positional[0]);
+    W.endObject();
+    Params = W.take();
   } else if (Method == "counts") {
     if (Positional.size() != 1) {
       Err << "bec: client counts needs exactly one target\n";
@@ -1471,6 +1713,8 @@ const char *commandName(Command C) {
     return "fuzz";
   case Command::Serve:
     return "serve";
+  case Command::Gateway:
+    return "gateway";
   case Command::Client:
     return "client";
   case Command::Stats:
@@ -1485,6 +1729,8 @@ int runParsed(const DriverOptions &Opts, std::ostream &Out,
               std::ostream &Err) {
   if (Opts.Cmd == Command::Serve)
     return runServe(Opts, Out, Err);
+  if (Opts.Cmd == Command::Gateway)
+    return runGateway(Opts, Out, Err);
   if (Opts.Cmd == Command::Client)
     return runClient(Opts, Out, Err);
   if (Opts.Cmd == Command::Fuzz)
@@ -1613,6 +1859,7 @@ int runParsed(const DriverOptions &Opts, std::ostream &Out,
   }
   case Command::Fuzz:
   case Command::Serve:
+  case Command::Gateway:
   case Command::Client:
   case Command::Stats:
     break; // Dispatched before target loading.
