@@ -83,6 +83,10 @@ int main(int Argc, char **Argv) {
 
   double WorstPrunedSpeedup1T = 1e100;
   bool VerdictsEqual = true;
+  // Engine scaling profile of the first workload's pruned plan at the
+  // top thread level (ROADMAP open item 1: why is scaling flat?).
+  std::string ProfileJson;
+  std::string ProfileDiagnosis;
 
   for (const char *Name : Names) {
     auto T = S.addWorkload(Name);
@@ -173,6 +177,21 @@ int main(int Argc, char **Argv) {
       }
     }
 
+    if (Name == std::string(Names[0])) {
+      // One extra profiled run (its own cache-free engine invocation, so
+      // the timing rows above stay unperturbed): per-worker wall time
+      // split into run / snapshot-rebuild / steal / idle, plus the
+      // bottleneck verdict. CollectProfile never changes the verdicts.
+      CampaignExecOptions Exec;
+      Exec.Threads = ThreadLevels[2];
+      Exec.CollectProfile = true;
+      CampaignResult R = runCampaign(Prog, *Golden, Modes[1].Plan, Exec);
+      if (R.Error.empty()) {
+        ProfileJson = renderCampaignProfileJson(R.Profile);
+        ProfileDiagnosis = diagnoseCampaignScaling(R.Profile).Verdict;
+      }
+    }
+
     J.beginObject();
     J.key("name").value(Name);
     J.key("trace_cycles").value(Golden->Cycles);
@@ -197,6 +216,9 @@ int main(int Argc, char **Argv) {
               VerdictsEqual ? "yes" : "NO");
   std::printf("worst pruned-vs-exhaustive speedup at 1 thread: %.1fx\n",
               WorstPrunedSpeedup1T);
+  if (!ProfileDiagnosis.empty())
+    std::printf("scaling diagnosis (%s, pruned, %u threads): %s\n", Names[0],
+                ThreadLevels[2], ProfileDiagnosis.c_str());
 
   // The engine's contract (ISSUE 5 acceptance): pruning must buy at
   // least 5x at equal verdicts. Fail loudly if either ever regresses.
@@ -213,12 +235,22 @@ int main(int Argc, char **Argv) {
   J.endObject();
   J.endObject();
 
+  std::string Doc = J.take();
+  if (!ProfileJson.empty()) {
+    // Splice the pre-rendered profile as one more top-level member
+    // (JsonWriter cannot embed raw JSON).
+    Doc.pop_back();
+    Doc += ",\"scaling_profile\":";
+    Doc += ProfileJson;
+    Doc += '}';
+  }
+
   std::ofstream Out(OutPath);
   if (!Out) {
     std::fprintf(stderr, "cannot write %s\n", OutPath);
     return 1;
   }
-  Out << J.take() << "\n";
+  Out << Doc << "\n";
   std::printf("wrote %s\n", OutPath);
   return 0;
 }

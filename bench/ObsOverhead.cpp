@@ -5,8 +5,10 @@
 /// touches: the campaign engine's per-run loop (one histogram observe
 /// per shard, five counter adds per worker exit, plus the per-call-site
 /// enabled() load). The same binary runs the same campaign with metrics
-/// enabled and with the runtime kill switch off (setMetricsEnabled), so
-/// both sides share code generation and the only delta is the obs work.
+/// enabled, with metrics enabled plus the structured logger armed at
+/// Info (the deployed daemon shape: per-shard Debug lines gate but never
+/// emit), and with the runtime kill switch off (setMetricsEnabled), so
+/// all sides share code generation and the only delta is the obs work.
 ///
 /// Method: alternate enabled/disabled repetitions (soaking up thermal /
 /// cache drift evenly), take the best throughput of each side, and
@@ -24,6 +26,7 @@
 #include "api/Api.h"
 
 #include "fi/Engine.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "support/Debug.h"
 #include "support/Json.h"
@@ -48,7 +51,8 @@ constexpr double HardCeiling = 0.05; ///< Fails the bench.
 
 struct Side {
   const char *Label;
-  bool Enabled;
+  bool Enabled;        ///< Metrics on/off (the runtime kill switch).
+  obs::LogLevel Level; ///< Logger gate during the run.
   std::vector<double> RunsPerSec;
   double best() const {
     return RunsPerSec.empty()
@@ -78,7 +82,13 @@ int main(int Argc, char **Argv) {
   PO.MaxCycles = WindowCycles;
   CampaignPlan Plan = CampaignPlan::build(*A, *Golden, PO);
 
-  Side Sides[] = {{"enabled", true, {}, }, {"disabled", false, {}}};
+  // "logging-quiet" is the deployed daemon shape: metrics on AND the
+  // logger armed at Info, so the engine's per-shard Debug lines pay the
+  // logEnabled() gate on every shard but never render or write. The
+  // same hard ceiling applies — logging must stay off-path when quiet.
+  Side Sides[] = {{"enabled", true, obs::LogLevel::Off, {}},
+                  {"logging-quiet", true, obs::LogLevel::Info, {}},
+                  {"disabled", false, obs::LogLevel::Off, {}}};
 
   // One warmup campaign so first-touch effects (page faults, snapshot
   // pools) land outside the measurement.
@@ -91,6 +101,7 @@ int main(int Argc, char **Argv) {
   for (unsigned Rep = 0; Rep < Reps; ++Rep)
     for (Side &Sd : Sides) {
       obs::setMetricsEnabled(Sd.Enabled);
+      obs::setLogLevel(Sd.Level);
       CampaignExecOptions Exec;
       Exec.Threads = 1;
       CampaignResult R = runCampaign(Prog, *Golden, Plan, Exec);
@@ -100,13 +111,19 @@ int main(int Argc, char **Argv) {
                                             : 0.0);
     }
   obs::setMetricsEnabled(true);
+  obs::setLogLevel(obs::LogLevel::Off);
 
   double EnabledBest = Sides[0].best();
-  double DisabledBest = Sides[1].best();
+  double QuietLogBest = Sides[1].best();
+  double DisabledBest = Sides[2].best();
   double Overhead =
       DisabledBest > 0 ? 1.0 - EnabledBest / DisabledBest : 0.0;
   if (Overhead < 0)
     Overhead = 0; // Enabled measured faster: noise, not a speedup.
+  double LogOverhead =
+      DisabledBest > 0 ? 1.0 - QuietLogBest / DisabledBest : 0.0;
+  if (LogOverhead < 0)
+    LogOverhead = 0;
 
   Table Tbl({"side", "best runs/s", "reps"});
   for (const Side &Sd : Sides) {
@@ -120,6 +137,9 @@ int main(int Argc, char **Argv) {
   std::printf("instrumentation overhead: %.2f%% (budget %.0f%%, hard "
               "ceiling %.0f%%)\n",
               Overhead * 100, SoftBudget * 100, HardCeiling * 100);
+  std::printf("logging-quiet overhead:   %.2f%% (same ceiling; gate-only "
+              "cost of an armed logger)\n",
+              LogOverhead * 100);
   if (Overhead >= SoftBudget)
     std::printf("WARNING: over the documented %.0f%% budget\n",
                 SoftBudget * 100);
@@ -127,6 +147,10 @@ int main(int Argc, char **Argv) {
     reportFatalError("obs instrumentation overhead exceeds the hard "
                      "ceiling — a lock or shared cache line crept into "
                      "the hot path");
+  if (LogOverhead >= HardCeiling)
+    reportFatalError("quiet logging overhead exceeds the hard ceiling — "
+                     "an armed-but-silent logger must cost one load and "
+                     "a branch per gated site");
 
   JsonWriter J;
   J.beginObject();
@@ -150,9 +174,11 @@ int main(int Argc, char **Argv) {
   J.endArray();
   J.key("asserts").beginObject();
   J.key("overhead_fraction").value(Overhead);
+  J.key("log_quiet_overhead_fraction").value(LogOverhead);
   J.key("soft_budget").value(SoftBudget);
   J.key("hard_ceiling").value(HardCeiling);
   J.key("within_budget").value(Overhead < SoftBudget);
+  J.key("log_quiet_within_ceiling").value(LogOverhead < HardCeiling);
   J.endObject();
   J.endObject();
 

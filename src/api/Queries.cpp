@@ -132,6 +132,11 @@ std::string CampaignQuery::fingerprint(const Options &O) {
     F += ",x" + fpNum(O.Exec.ShardSize) + "," +
          fpNum(O.Exec.StopAfterShards) + (O.Exec.Resume ? ",r," : ",-,") +
          O.Exec.CheckpointPath;
+  // Profiling surfaces in the result (the Profile member), so a
+  // profiled run keys its own entry; a cache hit could otherwise hand
+  // back an unprofiled result to a --profile run.
+  if (O.Exec.CollectProfile)
+    F += ",p";
   return F;
 }
 

@@ -97,6 +97,42 @@ struct SampleSummary {
   std::array<RateInterval, NumFaultEffects> CI{};
 };
 
+/// One worker's wall-time phase breakdown from a profiled engine run
+/// (CampaignExecOptions::CollectProfile). The four phase buckets
+/// partition the worker's wall time by construction: Idle is the
+/// residual after run, rebuild and steal, so they always sum to Wall.
+struct WorkerPhaseProfile {
+  unsigned Worker = 0;
+  uint64_t WallUs = 0;    ///< Worker loop entry to exit.
+  uint64_t RunUs = 0;     ///< Executing planned runs (fork/flip/classify).
+  uint64_t RebuildUs = 0; ///< Snapshot rebuilds incl. prefix catch-up.
+  uint64_t StealUs = 0;   ///< In the scheduler: lock wait + victim scan.
+  uint64_t IdleUs = 0;    ///< Wall - Run - Rebuild - Steal (clamped).
+  uint64_t Runs = 0;
+  uint64_t Shards = 0;
+  uint64_t Steals = 0;
+  uint64_t Rebuilds = 0;
+};
+
+/// Where one shard's time went and who ran it.
+struct ShardPhaseRecord {
+  uint64_t Shard = 0;
+  unsigned Worker = 0;
+  uint64_t Runs = 0;
+  bool Stolen = false;
+  uint64_t RebuildUs = 0;
+  uint64_t RunUs = 0;
+};
+
+/// The engine scaling profile: why N threads are (or are not) N times
+/// faster. Collected only under CollectProfile; never serialized into
+/// reports, so report bytes stay schedule-independent.
+struct CampaignPhaseProfile {
+  bool Collected = false;
+  std::vector<WorkerPhaseProfile> Workers;
+  std::vector<ShardPhaseRecord> Shards;
+};
+
 /// Aggregate result of an executed campaign.
 struct CampaignResult {
   /// Non-empty when the engine could not run at all (unwritable or
@@ -134,6 +170,11 @@ struct CampaignResult {
 
   /// Engaged iff the executed plan was a sample of a larger population.
   std::optional<SampleSummary> Sample;
+
+  /// Per-worker/per-shard phase breakdown; Collected only when the run
+  /// asked for it (CampaignExecOptions::CollectProfile). Like the
+  /// scheduler telemetry above, never rendered into reports.
+  CampaignPhaseProfile Profile;
 };
 
 /// Executes \p Plan (sorted or unsorted) serially and classifies every

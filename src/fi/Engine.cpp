@@ -3,8 +3,10 @@
 #include "fi/Engine.h"
 
 #include "fi/Checkpoint.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Json.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -115,6 +117,12 @@ struct EngineState {
   CampaignProgress Progress;
   std::function<void(const CampaignProgress &)> OnProgress;
 
+  /// Profile collection (CollectProfile): per-shard records appended by
+  /// workers, per-worker rows folded in when each loop exits.
+  bool CollectProfile = false;
+  std::mutex ProfileMutex;
+  CampaignPhaseProfile Profile;
+
   std::mutex ErrorMutex;
   std::string Error;
 
@@ -138,16 +146,27 @@ struct WorkerStats {
   uint64_t Shards = 0;
   uint64_t Steals = 0;
   uint64_t Rebuilds = 0;
-  uint64_t IdleUs = 0;
+  uint64_t SchedUs = 0;   ///< In Sched.next: lock wait + victim scan.
+  uint64_t RunUs = 0;     ///< Shard execution minus rebuilds.
+  uint64_t RebuildUs = 0; ///< Snapshot rebuilds incl. prefix catch-up.
 };
+
+uint64_t elapsedUs(std::chrono::steady_clock::time_point Since) {
+  auto Us = std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - Since)
+                .count();
+  return Us < 0 ? 0 : uint64_t(Us);
+}
 
 /// Executes one shard: advances this worker's walker to each injection
 /// cycle, forks, flips, runs to completion and classifies.
-void executeShard(EngineState &St, uint64_t Shard,
+void executeShard(EngineState &St, uint64_t Shard, unsigned Me,
                   std::optional<Interpreter> &Walker, bool Stolen,
                   WorkerStats &WS) {
   static const obs::Histogram ShardUs("engine.shard.us");
   obs::ScopedTimerUs Timer(ShardUs);
+  auto ShardStart = std::chrono::steady_clock::now();
+  uint64_t RebuildUs = 0;
 
   auto [Lo, Hi] = St.shardRange(Shard);
   uint64_t FirstCycle = (*St.Runs)[St.Order[Lo]].AfterCycle;
@@ -157,11 +176,19 @@ void executeShard(EngineState &St, uint64_t Shard,
   // A stolen out-of-order shard may sit before this worker's snapshot;
   // only then does it pay a prefix re-simulation.
   if (!Walker || FirstCycle < Walker->cycle()) {
+    auto RebuildStart = std::chrono::steady_clock::now();
     obs::Span SpanRebuild("fi.snapshot.rebuild",
                           {{"first_cycle", FirstCycle}});
     Walker.emplace(*St.Prog, St.RunOpts);
+    // The prefix catch-up to the shard's first injection cycle is the
+    // expensive half of a rebuild; running it here (instead of letting
+    // the first run's runToCycle below absorb it) attributes it to the
+    // rebuild phase. Same simulation either way — results can't change.
+    Walker->runToCycle(FirstCycle);
     ++WS.Rebuilds;
     St.SnapshotRebuilds.fetch_add(1, std::memory_order_relaxed);
+    RebuildUs = elapsedUs(RebuildStart);
+    WS.RebuildUs += RebuildUs;
   }
   for (uint64_t K = Lo; K < Hi; ++K) {
     uint32_t Idx = St.Order[K];
@@ -194,6 +221,22 @@ void executeShard(EngineState &St, uint64_t Shard,
   WS.Runs += Hi - Lo;
   ++WS.Shards;
   St.ExecutedRuns.fetch_add(Hi - Lo, std::memory_order_relaxed);
+
+  uint64_t TotalUs = elapsedUs(ShardStart);
+  uint64_t RunUs = TotalUs > RebuildUs ? TotalUs - RebuildUs : 0;
+  WS.RunUs += RunUs;
+  if (St.CollectProfile) {
+    std::lock_guard<std::mutex> Lock(St.ProfileMutex);
+    St.Profile.Shards.push_back(
+        {Shard, Me, Hi - Lo, Stolen, RebuildUs, RunUs});
+  }
+  if (obs::logEnabled(obs::LogLevel::Debug))
+    obs::log(obs::LogLevel::Debug, "engine.shard.done",
+             {{"shard", Shard},
+              {"runs", Hi - Lo},
+              {"stolen", Stolen},
+              {"rebuild_us", RebuildUs},
+              {"run_us", RunUs}});
 
   {
     std::lock_guard<std::mutex> Lock(St.ProgressMutex);
@@ -230,36 +273,51 @@ void workerLoop(EngineState &St, StealScheduler &Sched, unsigned Me) {
                            : std::string());
 
   WorkerStats WS;
+  auto WallStart = std::chrono::steady_clock::now();
   std::optional<Interpreter> Walker;
   while (!St.Stop.load()) {
     // Time spent waiting on the scheduler lock or finding a victim is
     // the other half of the scaling story next to rebuilds.
-    auto IdleStart = std::chrono::steady_clock::now();
+    auto SchedStart = std::chrono::steady_clock::now();
     bool Stolen = false;
     std::optional<uint64_t> Shard = Sched.next(Me, Stolen);
-    auto IdleUs = std::chrono::duration_cast<std::chrono::microseconds>(
-                      std::chrono::steady_clock::now() - IdleStart)
-                      .count();
-    WS.IdleUs += IdleUs < 0 ? 0 : uint64_t(IdleUs);
+    WS.SchedUs += elapsedUs(SchedStart);
     if (!Shard)
       break;
     if (Stolen) {
       ++WS.Steals;
       St.Steals.fetch_add(1, std::memory_order_relaxed);
     }
-    executeShard(St, *Shard, Walker, Stolen, WS);
+    executeShard(St, *Shard, Me, Walker, Stolen, WS);
   }
 
   CtrRuns.add(WS.Runs);
   CtrShards.add(WS.Shards);
   CtrSteals.add(WS.Steals);
   CtrRebuilds.add(WS.Rebuilds);
-  CtrIdleUs.add(WS.IdleUs);
+  CtrIdleUs.add(WS.SchedUs);
   SpanWorker.arg("runs", WS.Runs);
   SpanWorker.arg("shards", WS.Shards);
   SpanWorker.arg("steals", WS.Steals);
   SpanWorker.arg("snapshot_rebuilds", WS.Rebuilds);
-  SpanWorker.arg("idle_us", WS.IdleUs);
+  SpanWorker.arg("idle_us", WS.SchedUs);
+
+  if (St.CollectProfile) {
+    WorkerPhaseProfile WP;
+    WP.Worker = Me;
+    WP.WallUs = elapsedUs(WallStart);
+    WP.RunUs = WS.RunUs;
+    WP.RebuildUs = WS.RebuildUs;
+    WP.StealUs = WS.SchedUs;
+    uint64_t Busy = WS.RunUs + WS.RebuildUs + WS.SchedUs;
+    WP.IdleUs = WP.WallUs > Busy ? WP.WallUs - Busy : 0;
+    WP.Runs = WS.Runs;
+    WP.Shards = WS.Shards;
+    WP.Steals = WS.Steals;
+    WP.Rebuilds = WS.Rebuilds;
+    std::lock_guard<std::mutex> Lock(St.ProfileMutex);
+    St.Profile.Workers.push_back(WP);
+  }
 }
 
 CampaignResult runShardedImpl(const Program &Prog, const Trace &Golden,
@@ -286,6 +344,7 @@ CampaignResult runShardedImpl(const Program &Prog, const Trace &Golden,
   St.Done.assign(St.NumShards, 0);
   St.StopAfterShards = Exec.StopAfterShards;
   St.OnProgress = Exec.OnProgress;
+  St.CollectProfile = Exec.CollectProfile;
   St.Progress.TotalShards = St.NumShards;
   St.Progress.TotalRuns = N;
 
@@ -390,6 +449,20 @@ CampaignResult runShardedImpl(const Program &Prog, const Trace &Golden,
   Result.Steals = St.Steals.load(std::memory_order_relaxed);
   Result.SnapshotRebuilds = St.SnapshotRebuilds.load(std::memory_order_relaxed);
 
+  if (Exec.CollectProfile) {
+    // Deterministic row order (workers finish in any order).
+    std::sort(St.Profile.Workers.begin(), St.Profile.Workers.end(),
+              [](const WorkerPhaseProfile &X, const WorkerPhaseProfile &Y) {
+                return X.Worker < Y.Worker;
+              });
+    std::sort(St.Profile.Shards.begin(), St.Profile.Shards.end(),
+              [](const ShardPhaseRecord &X, const ShardPhaseRecord &Y) {
+                return X.Shard < Y.Shard;
+              });
+    St.Profile.Collected = true;
+    Result.Profile = std::move(St.Profile);
+  }
+
   std::vector<uint8_t> RunDone(N, 0);
   for (uint64_t S = 0; S < St.NumShards; ++S)
     if (St.Done[S]) {
@@ -452,6 +525,112 @@ uint64_t bec::campaignShardSize(uint64_t PlanRuns, uint64_t Requested) {
   // --threads can resume any checkpoint.
   uint64_t Auto = (PlanRuns + 63) / 64;
   return std::clamp<uint64_t>(Auto, 32, 2048);
+}
+
+CampaignScalingDiagnosis
+bec::diagnoseCampaignScaling(const CampaignPhaseProfile &P) {
+  CampaignScalingDiagnosis D;
+  uint64_t Wall = 0, Run = 0, Rebuild = 0, Steal = 0, Idle = 0;
+  double MaxBusy = 0, SumBusy = 0;
+  for (const WorkerPhaseProfile &W : P.Workers) {
+    Wall += W.WallUs;
+    Run += W.RunUs;
+    Rebuild += W.RebuildUs;
+    Steal += W.StealUs;
+    Idle += W.IdleUs;
+    double Busy = double(W.RunUs) + double(W.RebuildUs);
+    MaxBusy = std::max(MaxBusy, Busy);
+    SumBusy += Busy;
+  }
+  if (Wall == 0 || P.Workers.empty()) {
+    D.DominantPhase = "run";
+    D.Verdict = "empty profile (no workers ran)";
+    return D;
+  }
+  D.RunFraction = double(Run) / double(Wall);
+  D.RebuildFraction = double(Rebuild) / double(Wall);
+  D.StealFraction = double(Steal) / double(Wall);
+  D.IdleFraction = double(Idle) / double(Wall);
+  double MeanBusy = SumBusy / double(P.Workers.size());
+  if (MeanBusy > 0)
+    D.BusyImbalance = MaxBusy / MeanBusy;
+  const struct {
+    const char *Name;
+    double F;
+  } Phases[] = {{"run", D.RunFraction},
+                {"rebuild", D.RebuildFraction},
+                {"steal", D.StealFraction},
+                {"idle", D.IdleFraction}};
+  D.DominantPhase = Phases[0].Name;
+  double BestF = Phases[0].F;
+  for (const auto &Ph : Phases)
+    if (Ph.F > BestF) {
+      BestF = Ph.F;
+      D.DominantPhase = Ph.Name;
+    }
+  // Thresholds pick the first phase large enough to explain flat
+  // scaling; run-bound is the healthy default.
+  if (D.RebuildFraction > 0.25)
+    D.Verdict = "snapshot-rebuild-bound: stolen out-of-order shards pay "
+                "prefix re-simulation; larger shards or stickier "
+                "scheduling would help";
+  else if (D.IdleFraction > 0.25)
+    D.Verdict = "idle-bound: workers starve for shards; more shards "
+                "(smaller --shard-size) or fewer threads would help";
+  else if (D.StealFraction > 0.10)
+    D.Verdict = "steal-contention: the scheduler lock serializes "
+                "workers; coarser shards would help";
+  else
+    D.Verdict = "run-bound: fault-injection compute dominates; if "
+                "speedup is still flat, the limit is outside the "
+                "scheduler (memory bandwidth or shared-snapshot reuse)";
+  return D;
+}
+
+std::string bec::renderCampaignProfileJson(const CampaignPhaseProfile &P) {
+  CampaignScalingDiagnosis D = diagnoseCampaignScaling(P);
+  JsonWriter W;
+  W.beginObject();
+  W.key("collected").value(P.Collected);
+  W.key("workers").beginArray();
+  for (const WorkerPhaseProfile &WP : P.Workers) {
+    W.beginObject();
+    W.key("worker").value(uint64_t(WP.Worker));
+    W.key("wall_us").value(WP.WallUs);
+    W.key("run_us").value(WP.RunUs);
+    W.key("rebuild_us").value(WP.RebuildUs);
+    W.key("steal_us").value(WP.StealUs);
+    W.key("idle_us").value(WP.IdleUs);
+    W.key("runs").value(WP.Runs);
+    W.key("shards").value(WP.Shards);
+    W.key("steals").value(WP.Steals);
+    W.key("rebuilds").value(WP.Rebuilds);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("shards").beginArray();
+  for (const ShardPhaseRecord &SR : P.Shards) {
+    W.beginObject();
+    W.key("shard").value(SR.Shard);
+    W.key("worker").value(uint64_t(SR.Worker));
+    W.key("runs").value(SR.Runs);
+    W.key("stolen").value(SR.Stolen);
+    W.key("rebuild_us").value(SR.RebuildUs);
+    W.key("run_us").value(SR.RunUs);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("diagnosis").beginObject();
+  W.key("run_fraction").value(D.RunFraction);
+  W.key("rebuild_fraction").value(D.RebuildFraction);
+  W.key("steal_fraction").value(D.StealFraction);
+  W.key("idle_fraction").value(D.IdleFraction);
+  W.key("busy_imbalance").value(D.BusyImbalance);
+  W.key("dominant_phase").value(D.DominantPhase);
+  W.key("verdict").value(D.Verdict);
+  W.endObject();
+  W.endObject();
+  return W.take();
 }
 
 CampaignResult bec::runCampaign(const Program &Prog, const Trace &Golden,

@@ -69,7 +69,35 @@ struct CampaignExecOptions {
   /// Called after every completed shard (any worker thread, serialized
   /// by the engine).
   std::function<void(const CampaignProgress &)> OnProgress;
+  /// Collect the per-worker/per-shard phase breakdown into
+  /// CampaignResult::Profile (`bec campaign --profile=FILE`). Phase
+  /// timestamps are taken either way; this only controls whether the
+  /// records are kept.
+  bool CollectProfile = false;
 };
+
+/// Aggregate reading of a CampaignPhaseProfile: where the workers' wall
+/// time went, how evenly the busy work spread, and a one-line verdict
+/// naming the scaling bottleneck.
+struct CampaignScalingDiagnosis {
+  double RunFraction = 0;
+  double RebuildFraction = 0;
+  double StealFraction = 0;
+  double IdleFraction = 0;
+  /// Largest per-worker busy time (run+rebuild) over the mean: 1.0 =
+  /// perfectly balanced.
+  double BusyImbalance = 1.0;
+  std::string DominantPhase; ///< "run" | "rebuild" | "steal" | "idle".
+  std::string Verdict;       ///< Human-readable bottleneck diagnosis.
+};
+
+CampaignScalingDiagnosis
+diagnoseCampaignScaling(const CampaignPhaseProfile &P);
+
+/// The machine-readable profile document `--profile=FILE` writes and
+/// bench_CampaignScale embeds: per-worker phase rows, per-shard records
+/// and the diagnosis.
+std::string renderCampaignProfileJson(const CampaignPhaseProfile &P);
 
 /// Shared emission throttle of progress consumers (the CLI's --progress
 /// and the server's campaign/run stream): report at most ~16 evenly

@@ -2,6 +2,7 @@
 
 #include "net/EventLoop.h"
 
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -113,6 +114,9 @@ void EventServer::workerMain(unsigned Index) {
     obs::Span S("net.request");
     S.arg("wait_us", Wait < 0 ? 0 : uint64_t(Wait));
     uint64_t ConnId = J.ConnId;
+    // Establishes the conn id for every log line the handler emits (the
+    // service layer's scope inherits it; see obs/Log.h).
+    obs::LogRequestScope LogScope(ConnId, {}, {});
     std::string Final = Handler(J.Line, [&](const std::string &Frame) {
       postCompletion(ConnId, Frame, /*Final=*/false);
     });
@@ -166,6 +170,9 @@ void EventServer::pumpConnection(Connection &C) {
     }
     if (InFlight >= size_t(Opts.Workers) + Opts.QueueDepth) {
       RejOverload.add();
+      if (obs::logEnabled(obs::LogLevel::Warn))
+        obs::log(obs::LogLevel::Warn, "net.overload",
+                 {{"conn", C.id()}, {"inflight", uint64_t(InFlight)}});
       rejectFrame(C, Line, ErrorCode::Overloaded,
                   "server overloaded; worker queue full");
       if (C.Dead)
@@ -200,6 +207,10 @@ void EventServer::handleReadable(Connection &C) {
       break;
     if (FS == Connection::FrameStatus::TooLong) {
       Oversized.add();
+      if (obs::logEnabled(obs::LogLevel::Warn))
+        obs::log(obs::LogLevel::Warn, "net.frame.oversized",
+                 {{"conn", C.id()},
+                  {"limit_bytes", uint64_t(serve::MaxFrameBytes)}});
       C.queueWrite(serve::makeErrorFrame(
           std::nullopt, ErrorCode::ParseError,
           "frame exceeds " + std::to_string(serve::MaxFrameBytes) +
@@ -224,6 +235,9 @@ void EventServer::startDrain() {
   if (Draining)
     return;
   Draining = true;
+  obs::log(obs::LogLevel::Info, "net.drain.start",
+           {{"open_conns", uint64_t(Conns.size())},
+            {"inflight", uint64_t(InFlight)}});
   Listener.close();
   for (auto &[Id, C] : Conns) {
     if (C->Dead)
@@ -244,6 +258,8 @@ void EventServer::markDead(Connection &C) {
   // Never erases: callers may hold references up the stack. The entry is
   // reaped by sweepClosable(), or — while a worker still owns its
   // in-flight request — by that request's final completion.
+  if (obs::logEnabled(obs::LogLevel::Debug))
+    obs::log(obs::LogLevel::Debug, "net.conn.close", {{"conn", C.id()}});
   C.Dead = true;
   C.Backlog.clear();
   C.closeNow();
@@ -260,8 +276,12 @@ void EventServer::sweepClosable() {
     }
     if (!C->Backlog.empty() || C->wantsWrite())
       continue;
-    if (C->CloseAfterFlush || C->ReadClosed || Draining)
+    if (C->CloseAfterFlush || C->ReadClosed || Draining) {
+      // Graceful closes skip markDead(), so pair the accept line here.
+      if (obs::logEnabled(obs::LogLevel::Debug))
+        obs::log(obs::LogLevel::Debug, "net.conn.close", {{"conn", Id}});
       Doomed.push_back(Id);
+    }
   }
   for (uint64_t Id : Doomed)
     Conns.erase(Id);
@@ -283,6 +303,8 @@ void EventServer::acceptPending() {
     if (OnAccept)
       OnAccept();
     uint64_t Id = NextConnId++;
+    if (obs::logEnabled(obs::LogLevel::Debug))
+      obs::log(obs::LogLevel::Debug, "net.conn.accept", {{"conn", Id}});
     auto C = std::make_unique<Connection>(FD, Id);
     C->queueWrite(HandshakeFrame);
     std::string Err;

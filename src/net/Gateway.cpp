@@ -2,8 +2,10 @@
 
 #include "net/Gateway.h"
 
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Prometheus.h"
+#include "obs/SpanRing.h"
 #include "obs/Trace.h"
 #include "support/Json.h"
 
@@ -270,6 +272,9 @@ bool Gateway::replayInterns(Backend &B, serve::Client &C,
     if (!Rep.Ok && Rep.Code == ErrorCode::TransportError)
       return false;
     if (Rep.Ok) {
+      if (obs::logEnabled(obs::LogLevel::Info))
+        obs::log(obs::LogLevel::Info, "gateway.intern.replay",
+                 {{"backend", B.Address}, {"name", Name}});
       std::lock_guard<std::mutex> Lock(B.SentMutex);
       B.Sent[Name] = Gen;
     }
@@ -290,6 +295,11 @@ std::string Gateway::handleFrame(std::string_view Line,
   const serve::Request &R = *P.Req;
   Requests.add();
   obs::Span S(obs::traceActive() ? "gateway." + R.Method : std::string());
+  // Adopt the request's distributed-trace context: this hop's span joins
+  // the client's trace, and forwarded requests carry it as their parent.
+  obs::RingSpanScope RingSpan(R.Trace.TraceId, R.Trace.ParentSpan,
+                              "gateway." + R.Method);
+  obs::LogRequestScope LogScope(0, R.Method, R.Trace.TraceId);
   if (Draining.load() && R.Method != "shutdown")
     return serve::makeErrorFrame(R.Id, ErrorCode::ShuttingDown,
                                  "gateway is shutting down");
@@ -301,6 +311,10 @@ std::string Gateway::handleFrame(std::string_view Line,
     return methodMetrics(R);
   if (R.Method == "stats")
     return methodStats(R);
+  if (R.Method == "trace/dump")
+    return methodTraceDump(R);
+  if (R.Method == "log/level")
+    return methodLogLevel(R);
   if (R.Method == "gateway/backends")
     return methodBackends(R);
   if (R.Method == "gateway/drain")
@@ -308,33 +322,54 @@ std::string Gateway::handleFrame(std::string_view Line,
   if (R.Method == "gateway/undrain")
     return methodDrain(R, /*Drain=*/false);
   std::string ParamsJson = R.Params.isNull() ? "" : R.Params.toJson();
-  return forward(R, ParamsJson, Sink);
+  serve::TraceContext Downstream;
+  if (RingSpan.active()) {
+    Downstream.TraceId = R.Trace.TraceId;
+    Downstream.ParentSpan = RingSpan.spanId();
+  }
+  return forward(R, ParamsJson, Downstream, Sink);
 }
 
 std::string Gateway::forward(const serve::Request &R,
                              const std::string &ParamsJson,
+                             const serve::TraceContext &Downstream,
                              const FrameSink &Sink) {
   static const obs::Counter Failovers("gateway.failovers");
   static const obs::Counter Forwarded("gateway.forwarded");
   std::string Key = routeKey(R);
+  auto NoteFailover = [&](Backend &B, const char *Why) {
+    markUnhealthy(B);
+    ++B.Failovers;
+    Failovers.add();
+    if (obs::logEnabled(obs::LogLevel::Warn))
+      obs::log(obs::LogLevel::Warn, "gateway.failover",
+               {{"backend", B.Address}, {"reason", Why}});
+  };
   for (size_t Idx : candidatesFor(Key)) {
     Backend &B = *Backends[Idx];
     if (!B.Healthy.load() || B.AdminDrained.load())
       continue;
+    // One ring span per attempt: failover retries show up as sibling
+    // spans under the gateway's request span, each naming its backend.
+    obs::RingSpanScope Attempt(Downstream.TraceId, Downstream.ParentSpan,
+                               "gateway.attempt");
+    Attempt.arg("backend", std::string_view(B.Address));
     std::string Err;
     std::unique_ptr<serve::Client> C = acquire(B, Err);
     if (!C) {
-      markUnhealthy(B);
-      ++B.Failovers;
-      Failovers.add();
+      Attempt.arg("outcome", "connect_failed");
+      NoteFailover(B, "connect_failed");
       continue;
     }
     if (!replayInterns(B, *C, R)) {
-      markUnhealthy(B);
-      ++B.Failovers;
-      Failovers.add();
+      Attempt.arg("outcome", "replay_failed");
+      NoteFailover(B, "replay_failed");
       continue;
     }
+    // Forwarded frames carry the attempt span as parent, so each
+    // backend's spans nest under the attempt that reached it.
+    if (Attempt.active())
+      C->setTrace({Downstream.TraceId, Attempt.spanId()});
     std::string FinalRaw;
     auto Start = std::chrono::steady_clock::now();
     serve::Reply Rep = C->forwardRaw(
@@ -348,16 +383,17 @@ std::string Gateway::forward(const serve::Request &R,
                   std::chrono::steady_clock::now() - Start)
                   .count();
     forwardHistogram(B.Address).observeUs(Us < 0 ? 0 : uint64_t(Us));
+    C->setTrace({}); // Pooled clients must not leak the context.
     if (FinalRaw.empty()) {
       // No final frame made it back: a transport-level failure. Every
       // becd method is idempotent, so retry on the ring's next backend.
       // (Progress frames already relayed may be re-streamed by the
       // retry; clients treat them as advisory.)
-      markUnhealthy(B);
-      ++B.Failovers;
-      Failovers.add();
+      Attempt.arg("outcome", "transport_error");
+      NoteFailover(B, "transport_error");
       continue;
     }
+    Attempt.arg("outcome", "ok");
     ++B.Forwarded;
     Forwarded.add();
     if (R.Method == "intern") {
@@ -378,6 +414,9 @@ std::string Gateway::forward(const serve::Request &R,
     release(B, std::move(C));
     return FinalRaw + "\n";
   }
+  if (obs::logEnabled(obs::LogLevel::Error))
+    obs::log(obs::LogLevel::Error, "gateway.no_backend",
+             {{"key", Key}});
   return serve::makeErrorFrame(R.Id, ErrorCode::NoBackend,
                                "no healthy backend for request");
 }
@@ -391,6 +430,97 @@ std::string Gateway::methodMetrics(const serve::Request &R) {
   W.beginObject();
   W.key("content_type").value("text/plain; version=0.0.4");
   W.key("text").value(obs::renderPrometheus(obs::snapshotMetrics()));
+  W.endObject();
+  return serve::makeResultFrame(R.Id, W.take());
+}
+
+std::string Gateway::methodTraceDump(const serve::Request &R) {
+  std::string Filter;
+  if (const JsonValue *TV = R.Params.member("trace_id")) {
+    const std::string *Sp = TV->asString();
+    if (!Sp)
+      return serve::makeErrorFrame(R.Id, ErrorCode::InvalidParams,
+                                   "'trace_id' must be a string when present");
+    Filter = *Sp;
+  }
+  std::string Process = obs::spanRingProcess();
+  std::string Out = "{\"process\":";
+  {
+    JsonWriter PW;
+    PW.value(Process);
+    Out += PW.take();
+  }
+  Out += ",\"spans\":[";
+  bool First = true;
+  for (const obs::RingSpan &Sp : obs::spanRingSnapshot(Filter)) {
+    if (!First)
+      Out += ',';
+    First = false;
+    Out += obs::renderRingSpanJson(Sp, Process);
+  }
+  // Merge every healthy backend's dump. Backend spans are re-rendered
+  // with the backend *address* as their process label: all backends
+  // call themselves "becd", and the stitching client needs to tell
+  // shards apart.
+  std::string ParamsJson = R.Params.isNull() ? "" : R.Params.toJson();
+  for (auto &B : Backends) {
+    if (!B->Healthy.load())
+      continue;
+    std::string Err;
+    std::unique_ptr<serve::Client> C = acquire(*B, Err);
+    if (!C)
+      continue;
+    serve::Reply Rep = C->call("trace/dump", ParamsJson);
+    if (!Rep.Ok) {
+      if (Rep.Code == ErrorCode::TransportError)
+        markUnhealthy(*B);
+      continue;
+    }
+    if (const JsonValue *Spans = Rep.Result.member("spans"))
+      if (const std::vector<JsonValue> *Arr = Spans->asArray())
+        for (const JsonValue &SV : *Arr) {
+          obs::RingSpan Sp;
+          if (const std::string *S = SV.memberString("name"))
+            Sp.Name = *S;
+          if (const std::string *S = SV.memberString("trace_id"))
+            Sp.TraceId = *S;
+          if (const std::string *S = SV.memberString("span_id"))
+            Sp.SpanId = *S;
+          if (const std::string *S = SV.memberString("parent_span"))
+            Sp.ParentSpan = *S;
+          Sp.StartUs = SV.memberU64("start_us").value_or(0);
+          Sp.DurUs = SV.memberU64("dur_us").value_or(0);
+          Sp.Tid = SV.memberU64("tid").value_or(0);
+          if (const JsonValue *Args = SV.member("args"))
+            Sp.ArgsJson = Args->toJson();
+          if (!First)
+            Out += ',';
+          First = false;
+          Out += obs::renderRingSpanJson(Sp, B->Address);
+        }
+    release(*B, std::move(C));
+  }
+  Out += "]}";
+  return serve::makeResultFrame(R.Id, Out);
+}
+
+std::string Gateway::methodLogLevel(const serve::Request &R) {
+  if (const JsonValue *LV = R.Params.member("level")) {
+    const std::string *Sp = LV->asString();
+    std::optional<obs::LogLevel> L =
+        Sp ? obs::parseLogLevel(*Sp) : std::nullopt;
+    if (!L)
+      return serve::makeErrorFrame(
+          R.Id, ErrorCode::InvalidParams,
+          "'level' must be one of debug | info | warn | error | off");
+    obs::setLogLevel(*L);
+    obs::log(obs::LogLevel::Info, "log.level.changed",
+             {{"level", std::string_view(obs::logLevelName(*L))}});
+  }
+  JsonWriter W;
+  W.beginObject();
+  W.key("ok").value(true);
+  W.key("level").value(obs::logLevelName(obs::logLevel()));
   W.endObject();
   return serve::makeResultFrame(R.Id, W.take());
 }
@@ -568,7 +698,11 @@ void Gateway::probe(Backend &B) {
   if (std::optional<serve::Client> C =
           serve::Client::connect(B.Host, B.Port, Err))
     Ok = C->call("version").Ok;
-  B.Healthy.store(Ok);
+  bool Was = B.Healthy.exchange(Ok);
+  if (Ok != Was)
+    obs::log(Ok ? obs::LogLevel::Info : obs::LogLevel::Warn,
+             "gateway.backend.health",
+             {{"backend", B.Address}, {"healthy", Ok}});
 }
 
 void Gateway::healthCheckMain() {

@@ -130,10 +130,19 @@ private:
   /// marked unhealthy).
   bool replayInterns(Backend &B, serve::Client &C, const serve::Request &R);
 
+  /// \p Downstream is the trace context forwarded requests carry (the
+  /// gateway's own span as parent); invalid when the request was
+  /// untraced.
   std::string forward(const serve::Request &R, const std::string &ParamsJson,
+                      const serve::TraceContext &Downstream,
                       const FrameSink &Sink);
   std::string methodStats(const serve::Request &R);
   std::string methodMetrics(const serve::Request &R);
+  /// Own ring spans plus every healthy backend's `trace/dump`, merged
+  /// (backend spans re-labelled with the backend address so the client
+  /// can tell shards apart).
+  std::string methodTraceDump(const serve::Request &R);
+  std::string methodLogLevel(const serve::Request &R);
   std::string methodBackends(const serve::Request &R);
   std::string methodDrain(const serve::Request &R, bool Drain);
 

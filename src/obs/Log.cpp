@@ -1,0 +1,335 @@
+//===- obs/Log.cpp - Leveled structured logging (JSONL / logfmt) ----------===//
+
+#include "obs/Log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+
+using namespace bec;
+using namespace bec::obs;
+
+const char *bec::obs::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "off";
+}
+
+std::optional<LogLevel> bec::obs::parseLogLevel(std::string_view S) {
+  if (S == "debug")
+    return LogLevel::Debug;
+  if (S == "info")
+    return LogLevel::Info;
+  if (S == "warn")
+    return LogLevel::Warn;
+  if (S == "error")
+    return LogLevel::Error;
+  if (S == "off")
+    return LogLevel::Off;
+  return std::nullopt;
+}
+
+std::optional<LogFormat> bec::obs::parseLogFormat(std::string_view S) {
+  if (S == "jsonl")
+    return LogFormat::Jsonl;
+  if (S == "logfmt")
+    return LogFormat::Logfmt;
+  return std::nullopt;
+}
+
+#ifndef BEC_OBS_DISABLED
+
+namespace {
+
+/// Ambient per-thread request context, restored on scope exit so nested
+/// scopes (gateway handling its own local method while forwarding) keep
+/// the innermost context.
+struct LogCtx {
+  uint64_t Conn = 0;
+  std::string Method;
+  std::string TraceId;
+  LogCtx *Prev = nullptr;
+};
+
+thread_local LogCtx *TLCtx = nullptr;
+
+struct RateEntry {
+  uint64_t WindowStartUs = 0;
+  uint64_t Emitted = 0;
+  uint64_t Suppressed = 0;
+};
+
+struct LogState {
+  std::atomic<uint8_t> Level{uint8_t(LogLevel::Off)};
+  std::atomic<uint8_t> Format{uint8_t(LogFormat::Jsonl)};
+  std::atomic<uint64_t> RatePerSecond{200};
+
+  std::mutex Mu;             ///< Guards Sink and Rates.
+  std::FILE *Sink = nullptr; ///< nullptr = stderr.
+  std::map<std::string, RateEntry, std::less<>> Rates;
+};
+
+LogState &state() {
+  // Leaked: logging must stay usable during static teardown.
+  static LogState *S = new LogState();
+  return *S;
+}
+
+uint64_t wallNowUs() {
+  return uint64_t(std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::system_clock::now().time_since_epoch())
+                      .count());
+}
+
+void appendJsonEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof Buf, "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+void appendDouble(std::string &Out, double V) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof Buf, "%.6g", V);
+  Out += Buf;
+}
+
+/// JSONL: `"key":value`. Keys are static identifiers, never escaped.
+void appendJsonField(std::string &Out, const char *Key, const LogVal &V) {
+  Out += ",\"";
+  Out += Key;
+  Out += "\":";
+  switch (V.K) {
+  case LogVal::Kind::Str:
+    Out += '"';
+    appendJsonEscaped(Out, V.S);
+    Out += '"';
+    break;
+  case LogVal::Kind::U64:
+    Out += std::to_string(V.U);
+    break;
+  case LogVal::Kind::I64:
+    Out += std::to_string(V.I);
+    break;
+  case LogVal::Kind::F64:
+    appendDouble(Out, V.F);
+    break;
+  case LogVal::Kind::Bool:
+    Out += V.B ? "true" : "false";
+    break;
+  }
+}
+
+/// logfmt: ` key=value`, quoting strings that need it.
+void appendLogfmtField(std::string &Out, const char *Key, const LogVal &V) {
+  Out += ' ';
+  Out += Key;
+  Out += '=';
+  switch (V.K) {
+  case LogVal::Kind::Str: {
+    bool NeedQuote = V.S.empty();
+    for (char C : V.S)
+      NeedQuote |= C == ' ' || C == '"' || C == '=' || C == '\n';
+    if (NeedQuote) {
+      Out += '"';
+      appendJsonEscaped(Out, V.S);
+      Out += '"';
+    } else {
+      Out += V.S;
+    }
+    break;
+  }
+  case LogVal::Kind::U64:
+    Out += std::to_string(V.U);
+    break;
+  case LogVal::Kind::I64:
+    Out += std::to_string(V.I);
+    break;
+  case LogVal::Kind::F64:
+    appendDouble(Out, V.F);
+    break;
+  case LogVal::Kind::Bool:
+    Out += V.B ? "true" : "false";
+    break;
+  }
+}
+
+} // namespace
+
+bool bec::obs::logEnabled(LogLevel L) {
+  return uint8_t(L) >=
+         state().Level.load(std::memory_order_relaxed);
+}
+
+LogLevel bec::obs::logLevel() {
+  return LogLevel(state().Level.load(std::memory_order_relaxed));
+}
+
+void bec::obs::setLogLevel(LogLevel L) {
+  state().Level.store(uint8_t(L), std::memory_order_relaxed);
+}
+
+void bec::obs::setLogFormat(LogFormat F) {
+  state().Format.store(uint8_t(F), std::memory_order_relaxed);
+}
+
+LogFormat bec::obs::logFormat() {
+  return LogFormat(state().Format.load(std::memory_order_relaxed));
+}
+
+bool bec::obs::openLogFile(const std::string &Path, std::string &Err) {
+  std::FILE *F = std::fopen(Path.c_str(), "a");
+  if (!F) {
+    Err = "cannot open log file '" + Path + "'";
+    return false;
+  }
+  LogState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Sink)
+    std::fclose(S.Sink);
+  S.Sink = F;
+  return true;
+}
+
+void bec::obs::closeLogFile() {
+  LogState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  if (S.Sink)
+    std::fclose(S.Sink);
+  S.Sink = nullptr;
+}
+
+void bec::obs::setLogRateLimit(uint64_t PerSecond) {
+  state().RatePerSecond.store(PerSecond, std::memory_order_relaxed);
+}
+
+void bec::obs::log(LogLevel L, std::string_view Event,
+                   std::initializer_list<LogField> Fields) {
+  if (L == LogLevel::Off || !logEnabled(L))
+    return;
+  LogState &S = state();
+  uint64_t TsUs = wallNowUs();
+
+  // Render into a reusable per-thread buffer before taking the sink
+  // lock, so the critical section is one write + the rate-map touch.
+  thread_local std::string Line;
+  Line.clear();
+  LogFormat F = logFormat();
+  if (F == LogFormat::Jsonl) {
+    Line += "{\"ts_us\":";
+    Line += std::to_string(TsUs);
+    Line += ",\"level\":\"";
+    Line += logLevelName(L);
+    Line += "\",\"event\":\"";
+    appendJsonEscaped(Line, Event);
+    Line += '"';
+  } else {
+    Line += "ts_us=";
+    Line += std::to_string(TsUs);
+    Line += " level=";
+    Line += logLevelName(L);
+    Line += " event=";
+    Line += Event;
+  }
+  auto AppendField = [&](const char *Key, const LogVal &V) {
+    if (F == LogFormat::Jsonl)
+      appendJsonField(Line, Key, V);
+    else
+      appendLogfmtField(Line, Key, V);
+  };
+  for (const LogField &Fld : Fields)
+    AppendField(Fld.Key, Fld.Val);
+  if (const LogCtx *Ctx = TLCtx) {
+    AppendField("conn", LogVal(Ctx->Conn));
+    if (!Ctx->Method.empty())
+      AppendField("method", LogVal(Ctx->Method));
+    if (!Ctx->TraceId.empty())
+      AppendField("trace_id", LogVal(Ctx->TraceId));
+  }
+
+  uint64_t Cap = S.RatePerSecond.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  uint64_t Suppressed = 0;
+  if (Cap) {
+    auto It = S.Rates.find(Event);
+    if (It == S.Rates.end())
+      It = S.Rates.emplace(std::string(Event), RateEntry{}).first;
+    RateEntry &E = It->second;
+    if (TsUs - E.WindowStartUs >= 1000000) {
+      E.WindowStartUs = TsUs;
+      E.Emitted = 0;
+    }
+    if (E.Emitted >= Cap) {
+      ++E.Suppressed;
+      return;
+    }
+    ++E.Emitted;
+    Suppressed = E.Suppressed;
+    E.Suppressed = 0;
+  }
+  if (Suppressed)
+    AppendField("suppressed", LogVal(Suppressed));
+  if (F == LogFormat::Jsonl)
+    Line += '}';
+  Line += '\n';
+  std::FILE *Out = S.Sink ? S.Sink : stderr;
+  std::fwrite(Line.data(), 1, Line.size(), Out);
+  std::fflush(Out);
+}
+
+LogRequestScope::LogRequestScope(uint64_t ConnId, std::string_view Method,
+                                 std::string_view TraceId) {
+  auto *Ctx = new LogCtx();
+  // Conn 0 = "not my layer": the Service's scope inherits the conn id
+  // the transport's enclosing scope established.
+  Ctx->Conn = ConnId ? ConnId : (TLCtx ? TLCtx->Conn : 0);
+  Ctx->Method = std::string(Method);
+  Ctx->TraceId = std::string(TraceId);
+  Ctx->Prev = TLCtx;
+  Prev = Ctx->Prev;
+  TLCtx = Ctx;
+}
+
+LogRequestScope::~LogRequestScope() {
+  LogCtx *Ctx = TLCtx;
+  TLCtx = static_cast<LogCtx *>(Prev);
+  delete Ctx;
+}
+
+#endif // BEC_OBS_DISABLED

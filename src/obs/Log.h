@@ -1,0 +1,160 @@
+//===- obs/Log.h - Leveled structured logging (JSONL / logfmt) ------------===//
+///
+/// \file
+/// The logging third of the bec observability layer (obs/Metrics.h and
+/// obs/Trace.h are the other two; docs/observability.md is the catalog).
+/// A process-global, leveled, structured logger for the *notable-event*
+/// path: connection accepts and closes, typed 105/106 rejections,
+/// gateway health transitions and failovers, request errors. It is NOT
+/// a printf replacement for the analysis hot path — nothing in the
+/// per-run engine loop may log above Debug.
+///
+/// Shape: one complete line per event, machine-parseable.
+///
+///   JSONL  : {"ts_us":1723190400123456,"level":"warn","event":"net.overload",
+///             "conn":7,"in_flight":260}
+///   logfmt : ts_us=1723190400123456 level=warn event=net.overload conn=7
+///            in_flight=260
+///
+/// Every line carries `ts_us` (system clock, epoch microseconds),
+/// `level` and `event` (dotted lowercase, same naming rules as metric
+/// names); further fields are per-site key/value pairs. When the
+/// calling thread is inside a LogRequestScope, its request context
+/// (`conn`, `method`, and — when the request carried a trace context —
+/// `trace_id`) is appended automatically, which is what makes a log
+/// line joinable against a distributed trace.
+///
+/// Cost model: a disabled level is one relaxed atomic load and a
+/// branch. An emitted line renders into a reusable per-thread buffer
+/// and is written under a mutex in ONE write call, so concurrent
+/// writers never interleave partial lines (the CI log-grammar gate
+/// parses every line). Per-event-name rate limiting (default 200
+/// lines/event/second) keeps a flapping peer from turning the log
+/// into the bottleneck; suppressed lines are counted and reported on
+/// the next emitted line of that event as `suppressed=N`.
+///
+/// Under BEC_OBS_DISABLED the whole surface compiles to no-ops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_OBS_LOG_H
+#define BEC_OBS_LOG_H
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace bec {
+namespace obs {
+
+enum class LogLevel : uint8_t { Debug = 0, Info, Warn, Error, Off };
+enum class LogFormat : uint8_t { Jsonl, Logfmt };
+
+/// "debug" / "info" / "warn" / "error" / "off".
+const char *logLevelName(LogLevel L);
+
+/// Inverse of logLevelName (exact lowercase match); nullopt otherwise.
+std::optional<LogLevel> parseLogLevel(std::string_view S);
+
+/// "jsonl" / "logfmt"; nullopt otherwise.
+std::optional<LogFormat> parseLogFormat(std::string_view S);
+
+/// One typed field value. string_views must outlive the log() call
+/// (they are rendered immediately).
+struct LogVal {
+  enum class Kind : uint8_t { Str, U64, I64, F64, Bool } K;
+  std::string_view S;
+  uint64_t U = 0;
+  int64_t I = 0;
+  double F = 0;
+  bool B = false;
+
+  LogVal(std::string_view V) : K(Kind::Str), S(V) {}
+  LogVal(const char *V) : K(Kind::Str), S(V) {}
+  LogVal(const std::string &V) : K(Kind::Str), S(V) {}
+  LogVal(uint64_t V) : K(Kind::U64), U(V) {}
+  LogVal(unsigned V) : K(Kind::U64), U(V) {}
+  LogVal(int64_t V) : K(Kind::I64), I(V) {}
+  LogVal(int V) : K(Kind::I64), I(V) {}
+  LogVal(double V) : K(Kind::F64), F(V) {}
+  LogVal(bool V) : K(Kind::Bool), B(V) {}
+};
+
+/// One "key":value field. Keys are static identifiers ([a-z0-9_.]);
+/// they are rendered unescaped.
+struct LogField {
+  const char *Key;
+  LogVal Val;
+};
+
+#ifndef BEC_OBS_DISABLED
+
+/// True when \p L would be emitted at the current level. The cheap gate
+/// for sites that build dynamic field values.
+bool logEnabled(LogLevel L);
+
+LogLevel logLevel();
+void setLogLevel(LogLevel L);
+void setLogFormat(LogFormat F);
+LogFormat logFormat();
+
+/// Redirects output from stderr to \p Path (append). False with \p Err
+/// filled when the file cannot be opened; the previous sink is kept.
+bool openLogFile(const std::string &Path, std::string &Err);
+
+/// Restores the default stderr sink (tests).
+void closeLogFile();
+
+/// Emits one complete line: ts_us/level/event, \p Fields, then any
+/// ambient LogRequestScope context. Rate-limited per event name.
+void log(LogLevel L, std::string_view Event,
+         std::initializer_list<LogField> Fields = {});
+
+/// Caps per-event-name emission (lines per second); 0 = unlimited.
+/// Default 200. For tests and unusual deployments.
+void setLogRateLimit(uint64_t PerSecond);
+
+/// RAII ambient request context: while alive on this thread, emitted
+/// lines carry conn=<id> method=<m> and (when non-empty)
+/// trace_id=<id>. Scopes do not nest (the inner one wins, the outer is
+/// restored on destruction).
+class LogRequestScope {
+public:
+  LogRequestScope(uint64_t ConnId, std::string_view Method,
+                  std::string_view TraceId);
+  LogRequestScope(const LogRequestScope &) = delete;
+  LogRequestScope &operator=(const LogRequestScope &) = delete;
+  ~LogRequestScope();
+
+private:
+  void *Prev;
+};
+
+#else // BEC_OBS_DISABLED
+
+inline bool logEnabled(LogLevel) { return false; }
+inline LogLevel logLevel() { return LogLevel::Off; }
+inline void setLogLevel(LogLevel) {}
+inline void setLogFormat(LogFormat) {}
+inline LogFormat logFormat() { return LogFormat::Jsonl; }
+inline bool openLogFile(const std::string &, std::string &) { return true; }
+inline void closeLogFile() {}
+inline void log(LogLevel, std::string_view,
+                std::initializer_list<LogField> = {}) {}
+inline void setLogRateLimit(uint64_t) {}
+
+class LogRequestScope {
+public:
+  LogRequestScope(uint64_t, std::string_view, std::string_view) {}
+  LogRequestScope(const LogRequestScope &) = delete;
+  LogRequestScope &operator=(const LogRequestScope &) = delete;
+};
+
+#endif // BEC_OBS_DISABLED
+
+} // namespace obs
+} // namespace bec
+
+#endif // BEC_OBS_LOG_H

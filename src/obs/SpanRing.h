@@ -1,0 +1,109 @@
+//===- obs/SpanRing.h - Bounded ring of trace-context request spans -------===//
+///
+/// \file
+/// Cross-process half of bec tracing. obs/Trace.h records a process's
+/// *own* spans for `--trace-out`; this ring records spans a server
+/// handled *on behalf of a remote trace* so the originating client can
+/// later collect them with the `trace/dump` RPC and stitch one
+/// distributed timeline (client -> gateway -> backend).
+///
+/// A span lands in the ring only when its request carried a `trace`
+/// context in the JSON-RPC envelope (serve/Protocol.h), i.e. the cost
+/// is zero for untraced traffic. The ring is bounded (default 4096
+/// spans, oldest evicted first) so a daemon can keep it forever;
+/// `trace/dump` optionally filters by trace id, which is how a client
+/// picks its own spans out of a shared server.
+///
+/// Identity model (W3C-traceparent-shaped): a 128-bit trace id (32 hex
+/// chars) names the whole distributed request; every hop's span gets a
+/// fresh 64-bit span id (16 hex) and records its parent's span id, so
+/// the stitched timeline is a tree — client root -> gateway span ->
+/// backend span, with failover retries as siblings.
+///
+/// Timestamps are system-clock epoch microseconds (wall time): unlike
+/// the steady in-process tracer clock, wall time is the only base the
+/// stitching client can align across processes. Durations come from
+/// the steady clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef BEC_OBS_SPANRING_H
+#define BEC_OBS_SPANRING_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bec {
+namespace obs {
+
+/// One completed span held for trace/dump.
+struct RingSpan {
+  std::string TraceId;    ///< 32 lowercase hex chars.
+  std::string SpanId;     ///< 16 lowercase hex chars, unique per span.
+  std::string ParentSpan; ///< Parent's span id; empty at the trace root.
+  std::string Name;       ///< "serve.analyze", "gateway.forward", ...
+  std::string ArgsJson;   ///< Pre-rendered {"k":v,...}; empty = none.
+  uint64_t StartUs = 0;   ///< Wall clock, epoch microseconds.
+  uint64_t DurUs = 0;
+  uint64_t Tid = 0; ///< Handling thread (viewer lane), process-local.
+};
+
+/// Fresh random ids (thread-safe).
+std::string newTraceId128();
+std::string newSpanId64();
+
+/// Labels this process in dumped spans ("becd", "gateway"). The driver
+/// sets it once at serve/gateway startup.
+void setSpanRingProcess(std::string Name);
+std::string spanRingProcess();
+
+/// Appends one completed span, evicting the oldest past the capacity.
+void spanRingRecord(RingSpan S);
+
+/// Snapshot, oldest first; \p TraceIdFilter empty = everything.
+std::vector<RingSpan> spanRingSnapshot(std::string_view TraceIdFilter = {});
+
+/// Empties the ring (tests).
+void spanRingClear();
+
+/// Renders one span as the `trace/dump` wire object:
+///   {"name":..,"trace_id":..,"span_id":..,"parent_span":..,
+///    "start_us":N,"dur_us":N,"tid":N,"process":..[,"args":{..}]}
+/// Shared by the daemon's trace/dump method and the gateway's merge of
+/// backend dumps (which re-renders with the backend's process label).
+std::string renderRingSpanJson(const RingSpan &S, std::string_view Process);
+
+/// RAII recorder: construct with the request's trace context; on
+/// destruction the span (wall start, steady duration) lands in the
+/// ring. An empty \p TraceId makes it inert — the no-trace fast path.
+class RingSpanScope {
+public:
+  RingSpanScope(std::string_view TraceId, std::string_view ParentSpan,
+                std::string Name);
+  RingSpanScope(const RingSpanScope &) = delete;
+  RingSpanScope &operator=(const RingSpanScope &) = delete;
+  ~RingSpanScope();
+
+  bool active() const { return Active; }
+  /// This span's id — what a forwarding hop passes downstream as the
+  /// parent span id.
+  const std::string &spanId() const { return S.SpanId; }
+
+  /// Attaches a {"k":v} argument to the recorded span.
+  void arg(const char *Key, uint64_t V);
+  void arg(const char *Key, std::string_view V);
+
+private:
+  void appendArgKey(const char *Key);
+
+  bool Active = false;
+  RingSpan S;
+  uint64_t SteadyStartUs = 0;
+};
+
+} // namespace obs
+} // namespace bec
+
+#endif // BEC_OBS_SPANRING_H

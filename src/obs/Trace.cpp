@@ -250,6 +250,24 @@ void Span::arg(const char *Key, uint64_t V) {
   EndArgs += '}';
 }
 
+void Span::argStr(const char *Key, std::string_view V) {
+  if (!Live)
+    return;
+  if (EndArgs.empty())
+    EndArgs = "{";
+  else {
+    EndArgs.pop_back();
+    EndArgs += ',';
+  }
+  EndArgs += '"';
+  EndArgs += Key;
+  EndArgs += "\":";
+  JsonWriter W;
+  W.value(V);
+  EndArgs += W.take();
+  EndArgs += '}';
+}
+
 Span::~Span() {
   if (!Live)
     return;

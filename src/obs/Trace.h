@@ -83,6 +83,10 @@ public:
   /// viewer merges B and E args). For values only known at scope end.
   void arg(const char *Key, uint64_t V);
 
+  /// String variant (JSON-escaped); lets the driver stamp the trace id
+  /// onto its root span for distributed-trace stitching.
+  void argStr(const char *Key, std::string_view V);
+
 private:
   bool Live = false;
   uint64_t Gen = 0;
@@ -106,6 +110,7 @@ public:
   Span(const Span &) = delete;
   Span &operator=(const Span &) = delete;
   void arg(const char *, uint64_t) {}
+  void argStr(const char *, std::string_view) {}
 };
 
 #endif // BEC_OBS_DISABLED

@@ -148,7 +148,7 @@ Reply Client::forwardRaw(
     const std::function<void(std::string_view RawFrame)> &OnProgressFrame,
     std::string *FinalFrame) {
   Reply R;
-  std::string Frame = makeRequestFrame(Id, Method, ParamsJson);
+  std::string Frame = makeRequestFrame(Id, Method, ParamsJson, Trace);
   std::string Err, FrameErr;
   std::optional<Response> Resp;
   bool Transported = T->exchange(

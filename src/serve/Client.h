@@ -135,11 +135,19 @@ public:
 
   const Handshake &serverHandshake() const { return HS; }
 
+  /// Arms distributed tracing: every subsequent frame this client sends
+  /// carries \p Ctx in its `trace` envelope member (the driver sets it
+  /// under `--trace-out`; the gateway sets it per forwarded request with
+  /// its own span as the parent). A default-constructed context disarms.
+  void setTrace(TraceContext Ctx) { Trace = std::move(Ctx); }
+  const TraceContext &trace() const { return Trace; }
+
 private:
   Client() = default;
 
   std::unique_ptr<Transport> T;
   Handshake HS;
+  TraceContext Trace;
   uint64_t NextId = 1;
 };
 

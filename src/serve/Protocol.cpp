@@ -84,6 +84,17 @@ ParsedFrame bec::serve::parseRequestFrame(std::string_view Line) {
   R.Method = *Method;
   if (Params)
     R.Params = *Params;
+  // Optional distributed-tracing context. Tolerant by design: a missing
+  // or malformed `trace` member never fails the request — tracing is
+  // best-effort metadata, and an old client (or a non-object value from
+  // a future revision) must keep working untraced.
+  if (const JsonValue *Trace = Doc->member("trace"); Trace &&
+      Trace->isObject()) {
+    if (const std::string *TraceId = Trace->memberString("trace_id"))
+      R.Trace.TraceId = *TraceId;
+    if (const std::string *Parent = Trace->memberString("parent_span"))
+      R.Trace.ParentSpan = *Parent;
+  }
   Out.Req = std::move(R);
   return Out;
 }
@@ -157,7 +168,8 @@ bec::serve::parseProgressFrame(std::string_view Line) {
 //===----------------------------------------------------------------------===//
 
 std::string bec::serve::makeRequestFrame(uint64_t Id, std::string_view Method,
-                                         std::string_view ParamsJson) {
+                                         std::string_view ParamsJson,
+                                         const TraceContext &Trace) {
   JsonWriter W;
   W.beginObject();
   W.key("id").value(Id);
@@ -169,6 +181,18 @@ std::string bec::serve::makeRequestFrame(uint64_t Id, std::string_view Method,
     Out.pop_back();
     Out += ",\"params\":";
     Out += ParamsJson;
+    Out += '}';
+  }
+  if (Trace.valid()) {
+    JsonWriter TW;
+    TW.beginObject();
+    TW.key("trace_id").value(Trace.TraceId);
+    if (!Trace.ParentSpan.empty())
+      TW.key("parent_span").value(Trace.ParentSpan);
+    TW.endObject();
+    Out.pop_back();
+    Out += ",\"trace\":";
+    Out += TW.take();
     Out += '}';
   }
   Out += '\n';

@@ -9,9 +9,16 @@
 ///              — sent by the server immediately on connect, before any
 ///                request. Clients verify the protocol revision and the
 ///                API major version (both pinned to BEC_API_VERSION).
-///   request    {"id":7,"method":"analyze","params":{...}}
+///   request    {"id":7,"method":"analyze","params":{...},
+///               "trace":{"trace_id":"<32 hex>","parent_span":"<16 hex>"}}
 ///              — ids are client-chosen uint64s, echoed verbatim; params
-///                is an optional object.
+///                is an optional object. `trace` is an optional
+///                W3C-traceparent-shaped distributed-tracing context
+///                (additive in revision 1: parsers ignore unknown
+///                members, so old peers pass it through or drop it
+///                harmlessly); a server that understands it records its
+///                handling spans in the obs span ring for `trace/dump`
+///                and propagates the context on any forward.
 ///   response   {"id":7,"result":...}
 ///              {"id":7,"error":{"code":-32600,"name":"invalid_request",
 ///                               "message":"...","data":...}}
@@ -76,11 +83,21 @@ enum class ErrorCode : int {
 /// Stable snake_case name of \p C (part of the wire format).
 const char *errorCodeName(ErrorCode C);
 
+/// Optional distributed-tracing context of a request (W3C-traceparent
+/// shaped: 128-bit trace id + 64-bit parent span id, lowercase hex).
+struct TraceContext {
+  std::string TraceId;    ///< 32 hex chars; empty = no context.
+  std::string ParentSpan; ///< 16 hex chars; may be empty at the root.
+
+  bool valid() const { return !TraceId.empty(); }
+};
+
 /// One parsed request.
 struct Request {
   uint64_t Id = 0;
   std::string Method;
   JsonValue Params; ///< Object, or null when the request sent none.
+  TraceContext Trace; ///< Engaged (valid()) when the frame carried one.
 };
 
 /// Outcome of parsing one request frame: either a Request or a typed
@@ -122,7 +139,8 @@ std::optional<ProgressFrame> parseProgressFrame(std::string_view Line);
 // Frame builders. All return complete frames including the trailing
 // newline. *Json arguments must already be serialized JSON values.
 std::string makeRequestFrame(uint64_t Id, std::string_view Method,
-                             std::string_view ParamsJson);
+                             std::string_view ParamsJson,
+                             const TraceContext &Trace = {});
 std::string makeResultFrame(uint64_t Id, std::string_view ResultJson);
 std::string makeErrorFrame(std::optional<uint64_t> Id, ErrorCode C,
                            std::string_view Message,

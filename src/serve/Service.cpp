@@ -4,8 +4,10 @@
 
 #include "api/Api.h"
 #include "ir/AsmParser.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Prometheus.h"
+#include "obs/SpanRing.h"
 #include "obs/Trace.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
@@ -96,7 +98,7 @@ bool isKnownMethod(const std::string &M) {
                                       "intern",   "counts",  "analyze",
                                       "campaign", "campaign/run",
                                       "schedule", "harden",  "report",
-                                      "metrics"};
+                                      "metrics",  "trace/dump", "log/level"};
   for (const char *K : Known)
     if (M == K)
       return true;
@@ -148,6 +150,11 @@ std::string Service::handleFrameStreaming(std::string_view Line,
   if (!F.Req) {
     CtrErrors.add();
     GaugeInflight.add(-1);
+    if (obs::logEnabled(obs::LogLevel::Warn))
+      obs::log(obs::LogLevel::Warn, "serve.request.error",
+               {{"code", int64_t(F.Code)},
+                {"error", std::string_view(errorCodeName(F.Code))},
+                {"message", F.Message}});
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Errors;
     return makeErrorFrame(F.Id, F.Code, F.Message);
@@ -156,6 +163,12 @@ std::string Service::handleFrameStreaming(std::string_view Line,
   const Request &R = *F.Req;
   obs::Span SpanHandle(obs::traceActive() ? "serve." + StatName
                                           : std::string());
+  // Requests carrying a distributed-trace context get a ring span (for
+  // the client's later trace/dump) and trace-id-tagged log lines; both
+  // are inert for untraced traffic.
+  obs::RingSpanScope RingSpan(R.Trace.TraceId, R.Trace.ParentSpan,
+                              "serve." + StatName);
+  obs::LogRequestScope LogScope(0, StatName, R.Trace.TraceId);
   Outcome O;
   if (Shutdown.load()) {
     O = fail(ErrorCode::ShuttingDown, "server is shutting down");
@@ -172,6 +185,11 @@ std::string Service::handleFrameStreaming(std::string_view Line,
   }
   if (O.Failed) {
     CtrErrors.add();
+    if (obs::logEnabled(obs::LogLevel::Warn))
+      obs::log(obs::LogLevel::Warn, "serve.request.error",
+               {{"code", int64_t(O.Code)},
+                {"error", std::string_view(errorCodeName(O.Code))},
+                {"message", O.Message}});
     std::lock_guard<std::mutex> Lock(StatsMutex);
     ++Errors;
   }
@@ -188,6 +206,10 @@ Service::Outcome Service::dispatch(const Request &R, const FrameSink &Sink) {
     return methodStats();
   if (R.Method == "metrics")
     return methodMetrics();
+  if (R.Method == "trace/dump")
+    return methodTraceDump(P);
+  if (R.Method == "log/level")
+    return methodLogLevel(P);
   if (R.Method == "shutdown")
     return methodShutdown();
   if (R.Method == "intern")
@@ -426,6 +448,57 @@ Service::Outcome Service::methodMetrics() {
   W.beginObject();
   W.key("content_type").value("text/plain; version=0.0.4");
   W.key("text").value(obs::renderPrometheus(obs::snapshotMetrics()));
+  W.endObject();
+  Outcome O;
+  O.ResultJson = W.take();
+  return O;
+}
+
+Service::Outcome Service::methodTraceDump(const JsonValue &Params) {
+  std::string Filter;
+  if (const JsonValue *TV = Params.member("trace_id")) {
+    const std::string *Sp = TV->asString();
+    if (!Sp)
+      return fail(ErrorCode::InvalidParams,
+                  "'trace_id' must be a string when present");
+    Filter = *Sp;
+  }
+  std::string Process = obs::spanRingProcess();
+  std::vector<obs::RingSpan> Spans = obs::spanRingSnapshot(Filter);
+  std::string Out = "{\"process\":";
+  {
+    JsonWriter PW;
+    PW.value(Process);
+    Out += PW.take();
+  }
+  Out += ",\"spans\":[";
+  for (size_t I = 0; I < Spans.size(); ++I) {
+    if (I)
+      Out += ',';
+    Out += obs::renderRingSpanJson(Spans[I], Process);
+  }
+  Out += "]}";
+  Outcome O;
+  O.ResultJson = std::move(Out);
+  return O;
+}
+
+Service::Outcome Service::methodLogLevel(const JsonValue &Params) {
+  if (const JsonValue *LV = Params.member("level")) {
+    const std::string *Sp = LV->asString();
+    std::optional<obs::LogLevel> L =
+        Sp ? obs::parseLogLevel(*Sp) : std::nullopt;
+    if (!L)
+      return fail(ErrorCode::InvalidParams,
+                  "'level' must be one of debug | info | warn | error | off");
+    obs::setLogLevel(*L);
+    obs::log(obs::LogLevel::Info, "log.level.changed",
+             {{"level", std::string_view(obs::logLevelName(*L))}});
+  }
+  JsonWriter W;
+  W.beginObject();
+  W.key("ok").value(true);
+  W.key("level").value(obs::logLevelName(obs::logLevel()));
   W.endObject();
   Outcome O;
   O.ResultJson = W.take();

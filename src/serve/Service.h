@@ -38,6 +38,12 @@
 ///   metrics   every obs-registry metric in the Prometheus text
 ///             exposition format (counters, gauges, full histograms) —
 ///             the daemon's scrape endpoint
+///   trace/dump
+///             spans this daemon recorded for requests that carried a
+///             `trace` envelope context (obs/SpanRing.h), optionally
+///             filtered by trace id — the collection half of
+///             distributed tracing (`--trace-out` over `--remote`)
+///   log/level get or set the structured-log level at runtime
 ///   shutdown  begin graceful shutdown
 ///
 //===----------------------------------------------------------------------===//
@@ -139,6 +145,8 @@ private:
   Outcome methodVersion();
   Outcome methodStats();
   Outcome methodMetrics();
+  Outcome methodTraceDump(const JsonValue &Params);
+  Outcome methodLogLevel(const JsonValue &Params);
   Outcome methodShutdown();
   Outcome methodIntern(const JsonValue &Params);
   Outcome methodCounts(const JsonValue &Params);

@@ -22,6 +22,8 @@
 
 #include "net/EventLoop.h"
 #include "net/Gateway.h"
+#include "obs/Log.h"
+#include "obs/SpanRing.h"
 #include "serve/Client.h"
 #include "serve/Service.h"
 #include "serve/Socket.h"
@@ -35,6 +37,7 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <sys/socket.h>
 #include <thread>
 
@@ -607,6 +610,107 @@ TEST(Gateway, StatsAggregatesEveryBackend) {
   EXPECT_NE(R->Result.member("requests"), nullptr);
   EXPECT_NE(R->Result.member("session"), nullptr);
   EXPECT_NE(R->Result.member("latency"), nullptr);
+}
+
+TEST(Gateway, TracePropagatesToBackendsAndTraceDumpMergesTheTree) {
+  obs::spanRingClear();
+  GatewayFixture F;
+  std::string TraceId = obs::newTraceId128();
+  std::string RootSpan = obs::newSpanId64();
+  std::string R = F.call(serve::makeRequestFrame(
+      1, "counts", "{\"target\":\"bitcount\"}", {TraceId, RootSpan}));
+  ASSERT_NE(R.find("\"result\""), std::string::npos) << R;
+
+  std::string Dump = F.call(serve::makeRequestFrame(
+      2, "trace/dump", "{\"trace_id\":\"" + TraceId + "\"}"));
+  std::string Err;
+  std::optional<serve::Response> Resp = serve::parseResponseFrame(
+      std::string_view(Dump).substr(0, Dump.size() - 1), Err);
+  ASSERT_TRUE(Resp.has_value()) << Err;
+  ASSERT_FALSE(Resp->IsError) << Dump;
+  const std::vector<JsonValue> *Spans =
+      Resp->Result.member("spans")->asArray();
+  ASSERT_NE(Spans, nullptr);
+
+  // Everything in this process shares one ring and the gateway merge
+  // re-reads it over the wire, so spans can appear under more than one
+  // process label; match hops by span identity, not by count.
+  std::map<std::string, const JsonValue *> ByName;
+  for (const JsonValue &Sp : *Spans) {
+    EXPECT_EQ(*Sp.memberString("trace_id"), TraceId);
+    ByName[*Sp.memberString("name")] = &Sp;
+  }
+  ASSERT_TRUE(ByName.count("gateway.counts")) << Dump;
+  ASSERT_TRUE(ByName.count("gateway.attempt")) << Dump;
+  ASSERT_TRUE(ByName.count("serve.counts")) << Dump;
+  const JsonValue *Hop = ByName["gateway.counts"];
+  const JsonValue *Attempt = ByName["gateway.attempt"];
+  const JsonValue *Backend = ByName["serve.counts"];
+  // The tree: client root -> gateway hop -> attempt -> backend span.
+  EXPECT_EQ(*Hop->memberString("parent_span"), RootSpan);
+  EXPECT_EQ(*Attempt->memberString("parent_span"),
+            *Hop->memberString("span_id"));
+  EXPECT_EQ(*Backend->memberString("parent_span"),
+            *Attempt->memberString("span_id"));
+  // The attempt names its backend and outcome.
+  const JsonValue *Args = Attempt->member("args");
+  ASSERT_NE(Args, nullptr);
+  EXPECT_FALSE(Args->memberString("backend")->empty());
+  EXPECT_EQ(*Args->memberString("outcome"), "ok");
+
+  // An untraced request through the same gateway records nothing new.
+  obs::spanRingClear();
+  F.call(serve::makeRequestFrame(3, "counts", "{\"target\":\"bitcount\"}"));
+  EXPECT_TRUE(obs::spanRingSnapshot().empty());
+}
+
+TEST(Gateway, MetricsMethodServesItsOwnExposition) {
+  GatewayFixture F;
+  // One forwarded request so the gateway counters are live.
+  F.call(serve::makeRequestFrame(1, "version", ""));
+  std::string Met = F.call(serve::makeRequestFrame(2, "metrics", ""));
+  std::string Err;
+  std::optional<serve::Response> R = serve::parseResponseFrame(
+      std::string_view(Met).substr(0, Met.size() - 1), Err);
+  ASSERT_TRUE(R.has_value()) << Err;
+  ASSERT_FALSE(R->IsError) << Met;
+  EXPECT_EQ(*R->Result.memberString("content_type"),
+            "text/plain; version=0.0.4");
+  const std::string *Text = R->Result.memberString("text");
+  ASSERT_NE(Text, nullptr);
+  // The gateway answers from its own process registry (it does not
+  // forward): its request/forward counters and the event loop's
+  // families are both present.
+  EXPECT_NE(Text->find("# TYPE bec_gateway_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(Text->find("bec_gateway_forwarded_total"), std::string::npos);
+  EXPECT_NE(Text->find("bec_net_loop_requests_total"), std::string::npos);
+  // Same exposition grammar as becd: every line is a TYPE comment or
+  // "name[{labels}] value" under the bec_ prefix.
+  std::istringstream In(*Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    ASSERT_FALSE(Line.empty());
+    if (Line.rfind("# TYPE ", 0) == 0)
+      continue;
+    size_t Sp = Line.rfind(' ');
+    ASSERT_NE(Sp, std::string::npos) << Line;
+    EXPECT_EQ(Line.rfind("bec_", 0), 0u) << Line;
+  }
+}
+
+TEST(Gateway, LogLevelMethodIsHandledLocally) {
+  GatewayFixture F;
+  obs::setLogLevel(obs::LogLevel::Off);
+  std::string Set = F.call(
+      serve::makeRequestFrame(1, "log/level", "{\"level\":\"error\"}"));
+  EXPECT_NE(Set.find("\"level\":\"error\""), std::string::npos) << Set;
+  EXPECT_EQ(obs::logLevel(), obs::LogLevel::Error);
+  std::string Bad = F.call(
+      serve::makeRequestFrame(2, "log/level", "{\"level\":\"loud\"}"));
+  EXPECT_NE(Bad.find("invalid_params"), std::string::npos) << Bad;
+  EXPECT_EQ(obs::logLevel(), obs::LogLevel::Error);
+  obs::setLogLevel(obs::LogLevel::Off);
 }
 
 TEST(Gateway, ShutdownDrainsTheGatewayNotTheBackends) {

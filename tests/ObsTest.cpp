@@ -9,14 +9,19 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Prometheus.h"
+#include "obs/SpanRing.h"
 #include "obs/Trace.h"
 #include "support/JsonParse.h"
 
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
@@ -362,6 +367,256 @@ TEST(Trace, SpansFromABandonedTraceStayOutOfTheNext) {
   ASSERT_TRUE(V.has_value());
   for (const JsonValue &E : *V->member("traceEvents")->asArray())
     EXPECT_NE(*E.memberString("name"), "stale-span");
+}
+
+//===----------------------------------------------------------------------===//
+// Structured logging (obs/Log.h)
+//===----------------------------------------------------------------------===//
+
+/// Redirects the logger into a temp file for one test and reads complete
+/// lines back. Restores the stderr sink, the Off level, the jsonl format
+/// and the default rate limit on scope exit, so no later test inherits
+/// an armed logger.
+struct LogCapture {
+  std::string Path;
+
+  LogCapture() : Path(testing::TempDir() + "/obstest_log.txt") {
+    std::remove(Path.c_str());
+    std::string Err;
+    EXPECT_TRUE(obs::openLogFile(Path, Err)) << Err;
+  }
+  ~LogCapture() {
+    obs::closeLogFile();
+    obs::setLogLevel(obs::LogLevel::Off);
+    obs::setLogFormat(obs::LogFormat::Jsonl);
+    obs::setLogRateLimit(200);
+    std::remove(Path.c_str());
+  }
+
+  std::vector<std::string> lines() const {
+    std::ifstream In(Path);
+    std::vector<std::string> Out;
+    std::string Line;
+    while (std::getline(In, Line))
+      Out.push_back(Line);
+    return Out;
+  }
+};
+
+TEST(Log, LevelAndFormatParseRoundTrip) {
+  for (obs::LogLevel L : {obs::LogLevel::Debug, obs::LogLevel::Info,
+                          obs::LogLevel::Warn, obs::LogLevel::Error,
+                          obs::LogLevel::Off})
+    EXPECT_EQ(obs::parseLogLevel(obs::logLevelName(L)), L);
+  EXPECT_FALSE(obs::parseLogLevel("verbose").has_value());
+  EXPECT_FALSE(obs::parseLogLevel("INFO").has_value());
+  EXPECT_EQ(obs::parseLogFormat("jsonl"), obs::LogFormat::Jsonl);
+  EXPECT_EQ(obs::parseLogFormat("logfmt"), obs::LogFormat::Logfmt);
+  EXPECT_FALSE(obs::parseLogFormat("xml").has_value());
+}
+
+TEST(Log, JsonlLinesParseAndCarryTypedFields) {
+  LogCapture Cap;
+  obs::setLogLevel(obs::LogLevel::Info);
+  obs::log(obs::LogLevel::Warn, "obstest.jsonl",
+           {{"u", uint64_t(7)},
+            {"i", -2},
+            {"b", true},
+            {"s", "quote\" back\\slash"}});
+  obs::log(obs::LogLevel::Debug, "obstest.jsonl.hidden"); // Below level.
+  std::vector<std::string> Lines = Cap.lines();
+  ASSERT_EQ(Lines.size(), 1u);
+  std::optional<JsonValue> V = parseJson(Lines[0]);
+  ASSERT_TRUE(V.has_value()) << Lines[0];
+  EXPECT_GT(V->memberU64("ts_us").value_or(0), 0u);
+  EXPECT_EQ(*V->memberString("level"), "warn");
+  EXPECT_EQ(*V->memberString("event"), "obstest.jsonl");
+  EXPECT_EQ(V->memberU64("u"), 7u);
+  EXPECT_EQ(V->member("i")->asI64(), -2);
+  EXPECT_EQ(V->member("b")->asBool(), true);
+  EXPECT_EQ(*V->memberString("s"), "quote\" back\\slash");
+}
+
+TEST(Log, LogfmtLinesAreSpaceSeparatedPairs) {
+  LogCapture Cap;
+  obs::setLogFormat(obs::LogFormat::Logfmt);
+  obs::setLogLevel(obs::LogLevel::Debug);
+  obs::log(obs::LogLevel::Info, "obstest.logfmt",
+           {{"conn", uint64_t(4)}, {"msg", "two words"}});
+  std::vector<std::string> Lines = Cap.lines();
+  ASSERT_EQ(Lines.size(), 1u);
+  const std::string &L = Lines[0];
+  EXPECT_EQ(L.rfind("ts_us=", 0), 0u) << L;
+  EXPECT_NE(L.find(" level=info"), std::string::npos) << L;
+  EXPECT_NE(L.find(" event=obstest.logfmt"), std::string::npos) << L;
+  EXPECT_NE(L.find(" conn=4"), std::string::npos) << L;
+  // Values with spaces are quoted so the line splits unambiguously.
+  EXPECT_NE(L.find(" msg=\"two words\""), std::string::npos) << L;
+}
+
+TEST(Log, LevelGatesEmissionAndLogEnabledAgrees) {
+  LogCapture Cap;
+  obs::setLogLevel(obs::LogLevel::Warn);
+  EXPECT_FALSE(obs::logEnabled(obs::LogLevel::Debug));
+  EXPECT_FALSE(obs::logEnabled(obs::LogLevel::Info));
+  EXPECT_TRUE(obs::logEnabled(obs::LogLevel::Warn));
+  EXPECT_TRUE(obs::logEnabled(obs::LogLevel::Error));
+  obs::log(obs::LogLevel::Info, "obstest.gated.below");
+  obs::log(obs::LogLevel::Error, "obstest.gated.above");
+  obs::setLogLevel(obs::LogLevel::Off);
+  obs::log(obs::LogLevel::Error, "obstest.gated.off");
+  std::vector<std::string> Lines = Cap.lines();
+  ASSERT_EQ(Lines.size(), 1u);
+  EXPECT_NE(Lines[0].find("obstest.gated.above"), std::string::npos);
+}
+
+TEST(Log, RateLimitCapsPerEventAndReportsSuppressed) {
+  LogCapture Cap;
+  obs::setLogLevel(obs::LogLevel::Info);
+  obs::setLogRateLimit(3);
+  for (int I = 0; I < 10; ++I)
+    obs::log(obs::LogLevel::Info, "obstest.flood", {{"i", I}});
+  // The cap is per event name: a different event is not throttled by
+  // the flood.
+  obs::log(obs::LogLevel::Info, "obstest.calm");
+  std::vector<std::string> Lines = Cap.lines();
+  ASSERT_EQ(Lines.size(), 4u);
+  // The suppressed count surfaces on the event's next emitted line,
+  // which needs the one-second window to roll over.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  obs::log(obs::LogLevel::Info, "obstest.flood", {{"i", 10}});
+  Lines = Cap.lines();
+  ASSERT_EQ(Lines.size(), 5u);
+  std::optional<JsonValue> V = parseJson(Lines.back());
+  ASSERT_TRUE(V.has_value()) << Lines.back();
+  EXPECT_EQ(V->memberU64("suppressed"), 7u);
+}
+
+TEST(Log, RequestScopeTagsLinesAndInnerScopeInheritsConn) {
+  LogCapture Cap;
+  obs::setLogLevel(obs::LogLevel::Info);
+  {
+    // The transport's scope knows the connection but not the method...
+    obs::LogRequestScope Transport(7, "", "");
+    {
+      // ...the service's scope knows method and trace id but passes
+      // conn 0, inheriting the transport's connection id.
+      obs::LogRequestScope Service(0, "analyze",
+                                   "0123456789abcdef0123456789abcdef");
+      obs::log(obs::LogLevel::Info, "obstest.scope.inner");
+    }
+    obs::log(obs::LogLevel::Info, "obstest.scope.outer");
+  }
+  obs::log(obs::LogLevel::Info, "obstest.scope.bare");
+  std::vector<std::string> Lines = Cap.lines();
+  ASSERT_EQ(Lines.size(), 3u);
+  std::optional<JsonValue> Inner = parseJson(Lines[0]);
+  ASSERT_TRUE(Inner.has_value());
+  EXPECT_EQ(Inner->memberU64("conn"), 7u);
+  EXPECT_EQ(*Inner->memberString("method"), "analyze");
+  EXPECT_EQ(*Inner->memberString("trace_id"),
+            "0123456789abcdef0123456789abcdef");
+  std::optional<JsonValue> Outer = parseJson(Lines[1]);
+  ASSERT_TRUE(Outer.has_value());
+  EXPECT_EQ(Outer->memberU64("conn"), 7u);
+  EXPECT_EQ(Outer->member("method"), nullptr); // Empty = omitted.
+  EXPECT_EQ(Outer->member("trace_id"), nullptr);
+  std::optional<JsonValue> Bare = parseJson(Lines[2]);
+  ASSERT_TRUE(Bare.has_value());
+  EXPECT_EQ(Bare->member("conn"), nullptr); // No ambient scope.
+}
+
+//===----------------------------------------------------------------------===//
+// Span ring (obs/SpanRing.h)
+//===----------------------------------------------------------------------===//
+
+bool isLowerHex(const std::string &S) {
+  for (char C : S)
+    if (!std::isdigit(static_cast<unsigned char>(C)) && (C < 'a' || C > 'f'))
+      return false;
+  return !S.empty();
+}
+
+TEST(SpanRing, FreshIdsAreWellFormedAndDistinct) {
+  std::string T1 = obs::newTraceId128(), T2 = obs::newTraceId128();
+  EXPECT_EQ(T1.size(), 32u);
+  EXPECT_TRUE(isLowerHex(T1)) << T1;
+  EXPECT_NE(T1, T2);
+  std::string S1 = obs::newSpanId64(), S2 = obs::newSpanId64();
+  EXPECT_EQ(S1.size(), 16u);
+  EXPECT_TRUE(isLowerHex(S1)) << S1;
+  EXPECT_NE(S1, S2);
+}
+
+TEST(SpanRing, RecordSnapshotFilterAndClear) {
+  obs::spanRingClear();
+  obs::RingSpan A;
+  A.TraceId = obs::newTraceId128();
+  A.SpanId = obs::newSpanId64();
+  A.Name = "serve.analyze";
+  A.StartUs = 100;
+  A.DurUs = 5;
+  obs::RingSpan B = A;
+  B.TraceId = obs::newTraceId128();
+  B.SpanId = obs::newSpanId64();
+  B.Name = "serve.counts";
+  obs::spanRingRecord(A);
+  obs::spanRingRecord(B);
+  EXPECT_EQ(obs::spanRingSnapshot().size(), 2u);
+  std::vector<obs::RingSpan> Mine = obs::spanRingSnapshot(A.TraceId);
+  ASSERT_EQ(Mine.size(), 1u);
+  EXPECT_EQ(Mine[0].SpanId, A.SpanId);
+  EXPECT_EQ(Mine[0].Name, "serve.analyze");
+  EXPECT_TRUE(
+      obs::spanRingSnapshot("00000000000000000000000000000000").empty());
+  obs::spanRingClear();
+  EXPECT_TRUE(obs::spanRingSnapshot().empty());
+}
+
+TEST(SpanRing, ScopeRecordsOnDestructionAndStaysInertUntraced) {
+  obs::spanRingClear();
+  {
+    obs::RingSpanScope Inert("", "", "serve.untraced");
+    EXPECT_FALSE(Inert.active());
+  }
+  EXPECT_TRUE(obs::spanRingSnapshot().empty());
+
+  std::string TraceId = obs::newTraceId128();
+  std::string Parent = obs::newSpanId64();
+  std::string SpanId;
+  {
+    obs::RingSpanScope Scope(TraceId, Parent, "serve.traced");
+    EXPECT_TRUE(Scope.active());
+    SpanId = Scope.spanId();
+    EXPECT_EQ(SpanId.size(), 16u);
+    Scope.arg("runs", uint64_t(5));
+    Scope.arg("mode", std::string_view("say \"hi\""));
+    EXPECT_TRUE(obs::spanRingSnapshot(TraceId).empty())
+        << "span recorded before the scope closed";
+  }
+  std::vector<obs::RingSpan> Spans = obs::spanRingSnapshot(TraceId);
+  ASSERT_EQ(Spans.size(), 1u);
+  const obs::RingSpan &S = Spans[0];
+  EXPECT_EQ(S.SpanId, SpanId);
+  EXPECT_EQ(S.ParentSpan, Parent);
+  EXPECT_EQ(S.Name, "serve.traced");
+  EXPECT_GT(S.StartUs, 0u); // Wall clock, epoch microseconds.
+
+  // The rendered trace/dump wire object parses, carries the identity,
+  // and nests the args as a real JSON object (escaping included).
+  std::optional<JsonValue> V = parseJson(obs::renderRingSpanJson(S, "becd"));
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(*V->memberString("name"), "serve.traced");
+  EXPECT_EQ(*V->memberString("trace_id"), TraceId);
+  EXPECT_EQ(*V->memberString("span_id"), SpanId);
+  EXPECT_EQ(*V->memberString("parent_span"), Parent);
+  EXPECT_EQ(*V->memberString("process"), "becd");
+  EXPECT_EQ(V->memberU64("start_us"), S.StartUs);
+  const JsonValue *Args = V->member("args");
+  ASSERT_NE(Args, nullptr);
+  EXPECT_EQ(Args->memberU64("runs"), 5u);
+  EXPECT_EQ(*Args->memberString("mode"), "say \"hi\"");
+  obs::spanRingClear();
 }
 
 } // namespace

@@ -16,8 +16,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "api/Api.h"
+#include "obs/Log.h"
+#include "obs/SpanRing.h"
 #include "serve/Client.h"
 #include "serve/Service.h"
+#include "support/JsonParse.h"
 
 #include "Driver.h"
 #include "workloads/Workloads.h"
@@ -29,6 +32,7 @@
 #include <fstream>
 #include <map>
 #include <regex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
@@ -386,8 +390,9 @@ TEST(Loopback, MetricsMethodRendersPrometheusExposition) {
     uint64_t Count = std::stoull(Line.substr(Sp + 1));
     std::string Series = Name.substr(0, Le); // family + leading labels
     auto It = LastBucket.find(Series);
-    if (It != LastBucket.end())
+    if (It != LastBucket.end()) {
       EXPECT_GE(Count, It->second) << Line;
+    }
     LastBucket[Series] = Count;
   }
   EXPECT_FALSE(LastBucket.empty());
@@ -510,6 +515,162 @@ TEST(DriverServe, RemoteCampaignProgressStreamsOverTcp) {
   DriverRun Local = runLocal(
       {"campaign", "--workload", "bitcount", "--max-cycles", "300"});
   EXPECT_EQ(maskSeconds(R.Out), maskSeconds(Local.Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Distributed tracing and logging control
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, TraceContextRoundTripsAndMalformedIsTolerated) {
+  // A valid envelope `trace` member parses into the request...
+  ParsedFrame P = parseRequestFrame(
+      "{\"id\":5,\"method\":\"version\",\"trace\":"
+      "{\"trace_id\":\"a1\",\"parent_span\":\"b2\"}}");
+  ASSERT_TRUE(P.Req.has_value()) << P.Message;
+  EXPECT_EQ(P.Req->Trace.TraceId, "a1");
+  EXPECT_EQ(P.Req->Trace.ParentSpan, "b2");
+  EXPECT_TRUE(P.Req->Trace.valid());
+
+  // ...and the client-side builder emits the same shape.
+  std::string Frame = makeRequestFrame(6, "version", "", {"a1", "b2"});
+  EXPECT_NE(
+      Frame.find("\"trace\":{\"trace_id\":\"a1\",\"parent_span\":\"b2\"}"),
+      std::string::npos)
+      << Frame;
+
+  // Tracing is best-effort metadata: a malformed `trace` member never
+  // fails the request, it just runs untraced.
+  obs::spanRingClear();
+  Service Svc;
+  for (const char *Raw :
+       {"{\"id\":1,\"method\":\"version\",\"trace\":7}",
+        "{\"id\":2,\"method\":\"version\",\"trace\":\"abc\"}",
+        "{\"id\":3,\"method\":\"version\",\"trace\":{}}",
+        "{\"id\":4,\"method\":\"version\",\"trace\":{\"trace_id\":9}}"}) {
+    std::string Line = Svc.handleFrame(Raw);
+    std::string Err;
+    std::optional<Response> R = parseResponseFrame(Line, Err);
+    ASSERT_TRUE(R.has_value()) << Err;
+    EXPECT_FALSE(R->IsError) << Raw;
+  }
+  EXPECT_TRUE(obs::spanRingSnapshot().empty())
+      << "malformed contexts must not record ring spans";
+}
+
+TEST(Loopback, TracedRequestLandsInSpanRingAndTraceDump) {
+  obs::spanRingClear();
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  std::string TraceId = obs::newTraceId128();
+  C.setTrace({TraceId, "123456789abcdef0"});
+  ASSERT_TRUE(C.call("analyze", "{\"targets\":[\"bitcount\"]}").Ok);
+  C.setTrace({});
+  // Untraced traffic (this call included) stays out of the ring.
+  ASSERT_TRUE(C.call("version").Ok);
+
+  Reply Dump = C.call("trace/dump", "{\"trace_id\":\"" + TraceId + "\"}");
+  ASSERT_TRUE(Dump.Ok) << Dump.Message;
+  EXPECT_FALSE(Dump.Result.memberString("process")->empty());
+  const std::vector<JsonValue> *Spans =
+      Dump.Result.member("spans")->asArray();
+  ASSERT_NE(Spans, nullptr);
+  ASSERT_EQ(Spans->size(), 1u);
+  const JsonValue &Sp = (*Spans)[0];
+  EXPECT_EQ(*Sp.memberString("name"), "serve.analyze");
+  EXPECT_EQ(*Sp.memberString("trace_id"), TraceId);
+  EXPECT_EQ(*Sp.memberString("parent_span"), "123456789abcdef0");
+  EXPECT_EQ(Sp.memberString("span_id")->size(), 16u);
+  EXPECT_GT(Sp.memberU64("start_us").value_or(0), 0u);
+
+  // Filtering by a foreign trace id returns nothing; a non-string
+  // filter is a typed params error.
+  Reply Other = C.call("trace/dump",
+                       "{\"trace_id\":\"00000000000000000000000000000000\"}");
+  ASSERT_TRUE(Other.Ok);
+  EXPECT_TRUE(Other.Result.member("spans")->asArray()->empty());
+  EXPECT_EQ(C.call("trace/dump", "{\"trace_id\":7}").Code,
+            ErrorCode::InvalidParams);
+  obs::spanRingClear();
+}
+
+TEST(Loopback, LogLevelMethodGetsAndSetsTheRuntimeLevel) {
+  Service Svc;
+  Client C = Client::loopback(Svc);
+  // The rejected sets below log serve.request.error at warn; keep the
+  // test's own stderr clean.
+  std::string Sink = testing::TempDir() + "/serve_loglevel_log.txt";
+  std::string LogErr;
+  ASSERT_TRUE(obs::openLogFile(Sink, LogErr)) << LogErr;
+  obs::setLogLevel(obs::LogLevel::Off);
+  Reply Get = C.call("log/level");
+  ASSERT_TRUE(Get.Ok) << Get.Message;
+  EXPECT_EQ(*Get.Result.memberString("level"), "off");
+  Reply Set = C.call("log/level", "{\"level\":\"warn\"}");
+  ASSERT_TRUE(Set.Ok) << Set.Message;
+  EXPECT_EQ(*Set.Result.memberString("level"), "warn");
+  EXPECT_EQ(obs::logLevel(), obs::LogLevel::Warn);
+  EXPECT_EQ(C.call("log/level", "{\"level\":\"loud\"}").Code,
+            ErrorCode::InvalidParams);
+  EXPECT_EQ(C.call("log/level", "{\"level\":7}").Code,
+            ErrorCode::InvalidParams);
+  // The rejected sets left the level untouched.
+  EXPECT_EQ(obs::logLevel(), obs::LogLevel::Warn);
+  obs::setLogLevel(obs::LogLevel::Off);
+  obs::closeLogFile();
+  std::remove(Sink.c_str());
+}
+
+TEST(DriverServe, RemoteTraceOutStitchesOneDistributedTimeline) {
+  obs::spanRingClear();
+  ServerFixture F;
+  std::string Path = testing::TempDir() + "/serve_trace.json";
+  std::remove(Path.c_str());
+  DriverRun R = runLocal({"analyze", "--workload", "bitcount", "--remote",
+                          F.remoteFlag(), "--trace-out=" + Path});
+  EXPECT_EQ(R.Status, tool::ExitSuccess) << R.Err;
+
+  std::ifstream In(Path);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  std::optional<JsonValue> V = parseJson(Buf.str());
+  ASSERT_TRUE(V.has_value()) << Buf.str();
+  const std::vector<JsonValue> *Events = V->member("traceEvents")->asArray();
+  ASSERT_NE(Events, nullptr);
+
+  std::set<std::string> TraceIds;
+  std::set<uint64_t> SpanPids;
+  size_t Begins = 0, Ends = 0;
+  bool ServerProcessNamed = false;
+  for (const JsonValue &E : *Events) {
+    const std::string *Ph = E.memberString("ph");
+    ASSERT_NE(Ph, nullptr);
+    uint64_t Pid = E.memberU64("pid").value_or(1);
+    if (*Ph == "M" && Pid != 1)
+      ServerProcessNamed = true;
+    if (*Ph == "B")
+      ++Begins;
+    if (*Ph == "E")
+      ++Ends;
+    if (*Ph == "B" || *Ph == "E" || *Ph == "X")
+      SpanPids.insert(Pid);
+    if (const JsonValue *Args = E.member("args"))
+      if (const std::string *Tid = Args->memberString("trace_id"))
+        TraceIds.insert(*Tid);
+  }
+  // One trace id stitches every hop; the server's spans sit on their
+  // own synthetic process lane next to the client's pid 1.
+  EXPECT_EQ(TraceIds.size(), 1u);
+  EXPECT_EQ(Begins, Ends) << "unbalanced B/E pairs";
+  EXPECT_TRUE(SpanPids.count(1)) << "client-local events missing";
+  EXPECT_GE(SpanPids.size(), 2u) << "no remote spans were stitched";
+  EXPECT_TRUE(ServerProcessNamed) << "missing process_name metadata";
+
+  // Tracing never changes the report itself.
+  DriverRun Plain = runLocal({"analyze", "--workload", "bitcount", "--remote",
+                              F.remoteFlag()});
+  EXPECT_EQ(R.Out, Plain.Out);
+  std::remove(Path.c_str());
+  obs::spanRingClear();
 }
 
 TEST(Loopback, ShutdownRefusesFurtherRequests) {

@@ -19,8 +19,10 @@
 #include "fuzz/Fuzzer.h"
 #include "net/EventLoop.h"
 #include "net/Gateway.h"
+#include "obs/Log.h"
 #include "obs/Metrics.h"
 #include "obs/Prometheus.h"
+#include "obs/SpanRing.h"
 #include "obs/Trace.h"
 #include "serve/Client.h"
 #include "serve/Service.h"
@@ -87,7 +89,8 @@ Subcommands:
   client     Speak the becd method table directly:
                bec client [--remote H:P] <method> [targets...] [options]
              Methods: version stats metrics shutdown counts intern
-             analyze campaign campaign/run schedule harden report.
+             analyze campaign campaign/run schedule harden report,
+             trace/dump [trace-id], log/level [level].
              Against a gateway also: gateway/backends,
              gateway/drain H:P, gateway/undrain H:P.
   stats      Print this process's observability metrics, or — with
@@ -163,9 +166,24 @@ Options:
                     invocation (load in Perfetto or chrome://tracing):
                     session query evaluation, engine workers (runs,
                     steals, snapshot rebuilds, idle time), serve request
-                    handling, fuzz oracle stages. Valid with every
+                    handling, fuzz oracle stages. Combined with --remote
+                    (or `bec client`) the request carries a distributed
+                    trace context; the servers' spans are collected via
+                    trace/dump and stitched into the same file, so one
+                    timeline shows client -> gateway -> backend
+                    (failover retries included). Valid with every
                     subcommand; never changes the printed output.
+  --profile FILE    campaign: write the engine scaling profile to FILE
+                    as JSON — per-worker wall-time split into run /
+                    snapshot-rebuild / steal / idle phases, per-shard
+                    records, and a machine-readable bottleneck
+                    diagnosis. Requires exactly one selected target;
+                    local only (profiles this process's engine). Never
+                    changes the report.
   --watch SEC       stats: re-print every SEC seconds until interrupted.
+                    With --remote, iterations after the first print
+                    per-interval deltas (req/s, errors/s, window cache
+                    hit rate) instead of repeating cumulative totals.
   --metrics         stats: print the raw Prometheus text exposition
                     instead of the human table (the scrape format the
                     becd `metrics` method returns).
@@ -184,6 +202,15 @@ Options:
   --health-interval SEC
                     gateway: seconds between per-backend `version`
                     health probes (default 2).
+  --log-level LVL   serve/gateway: structured-log verbosity, one of
+                    debug | info | warn | error | off (default off —
+                    logging is disabled unless this is given). The
+                    running daemon's level can be changed later with
+                    the log/level method.
+  --log-file FILE   serve/gateway: append log lines to FILE instead of
+                    stderr.
+  --log-format KIND serve/gateway: log line shape, jsonl (default) or
+                    logfmt.
   -h, --help        Print this help and exit.
 
 Exit codes: 0 success, 1 usage error, 2 bad input, 3 unsound validation.
@@ -242,10 +269,18 @@ struct DriverOptions {
   std::vector<std::string> GatewayBackends;
   unsigned HealthIntervalMs = 2000;
   bool GatewayFlagsUsed = false;
+  /// serve/gateway structured logging (--log-level/--log-file/
+  /// --log-format). Level Off keeps the logger disabled.
+  obs::LogLevel LogLevel = obs::LogLevel::Off;
+  obs::LogFormat LogFmt = obs::LogFormat::Jsonl;
+  std::string LogFilePath;
+  bool LogFlagsUsed = false;
   /// client: method name followed by its positional arguments.
   std::vector<std::string> ClientArgs;
   /// --trace-out: write a Chrome trace of this invocation to FILE.
   std::string TraceOutPath;
+  /// campaign --profile: write the engine scaling profile to FILE.
+  std::string ProfilePath;
   /// stats options.
   uint64_t WatchSeconds = 0;
   bool StatsMetrics = false;
@@ -664,6 +699,41 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
       if (!V)
         return ExitUsage;
       Opts.TraceOutPath = *V;
+    } else if (Arg == "--profile") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.ProfilePath = *V;
+    } else if (Arg == "--log-level") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<obs::LogLevel> L = obs::parseLogLevel(*V);
+      if (!L) {
+        Err << "bec: --log-level wants debug | info | warn | error | off, "
+               "got '" << *V << "'\n";
+        return ExitUsage;
+      }
+      Opts.LogLevel = *L;
+      Opts.LogFlagsUsed = true;
+    } else if (Arg == "--log-file") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      Opts.LogFilePath = *V;
+      Opts.LogFlagsUsed = true;
+    } else if (Arg == "--log-format") {
+      auto V = Value(Arg);
+      if (!V)
+        return ExitUsage;
+      std::optional<obs::LogFormat> F = obs::parseLogFormat(*V);
+      if (!F) {
+        Err << "bec: --log-format wants jsonl or logfmt, got '" << *V
+            << "'\n";
+        return ExitUsage;
+      }
+      Opts.LogFmt = *F;
+      Opts.LogFlagsUsed = true;
     } else if (Arg == "--watch") {
       auto V = Value(Arg);
       if (!V)
@@ -778,6 +848,22 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
   }
   if (Opts.Cmd != Command::Gateway && Opts.GatewayFlagsUsed) {
     Err << "bec: --backends/--health-interval are only valid with gateway\n";
+    return ExitUsage;
+  }
+  if (Opts.LogFlagsUsed && Opts.Cmd != Command::Serve &&
+      Opts.Cmd != Command::Gateway) {
+    Err << "bec: --log-level/--log-file/--log-format are only valid with "
+           "serve or gateway\n";
+    return ExitUsage;
+  }
+  if (!Opts.ProfilePath.empty() && Opts.Cmd != Command::Campaign) {
+    Err << "bec: --profile is only valid with campaign\n";
+    return ExitUsage;
+  }
+  if (!Opts.ProfilePath.empty() && Opts.Remote) {
+    // The profile describes this process's engine workers; a remote
+    // campaign runs them in the server.
+    Err << "bec: --profile profiles the local engine; drop --remote\n";
     return ExitUsage;
   }
   if (Opts.Cmd == Command::Gateway && Opts.GatewayBackends.empty()) {
@@ -1288,8 +1374,184 @@ void printProgress(const JsonValue &P, std::ostream &Err) {
                       P.memberU64("snapshot_rebuilds").value_or(0));
 }
 
+//===----------------------------------------------------------------------===//
+// Distributed tracing (--trace-out with --remote / client)
+//===----------------------------------------------------------------------===//
+
+/// One span fetched from a server's trace/dump ring, tagged with the
+/// process label the dump gave it ("becd", "gateway", or a backend's
+/// host:port when the gateway merged its backends' rings).
+struct RemoteSpan {
+  std::string Process;
+  std::string Name;
+  std::string TraceId;
+  std::string SpanId;
+  std::string ParentSpan;
+  std::string ArgsJson; ///< Pre-rendered {"k":v,...}; empty = none.
+  uint64_t StartUs = 0; ///< Wall clock, epoch microseconds.
+  uint64_t DurUs = 0;
+  uint64_t Tid = 0;
+};
+
+/// Distributed-trace state of one invocation. Armed (non-empty TraceId)
+/// when --trace-out combines with a remote command: the remote runners
+/// inject the context into every request and collect the servers' spans
+/// afterwards; runDriver stitches them into the written trace file.
+struct DistTrace {
+  std::string TraceId;    ///< 32 hex chars; names the whole request tree.
+  std::string RootSpanId; ///< The local root span, parent of every hop.
+  uint64_t WallBaseUs = 0; ///< Wall clock at traceBegin (epoch us).
+  std::vector<RemoteSpan> Spans;
+
+  bool armed() const { return !TraceId.empty(); }
+};
+
+uint64_t wallNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Best-effort fetch of the server's spans of \p TraceId (a gateway
+/// merges its backends' rings into the same reply). Failures are
+/// swallowed: a server without trace/dump still served the command, it
+/// just contributes no spans to the stitched file.
+void collectRemoteSpans(serve::Client &C, const std::string &TraceId,
+                        std::vector<RemoteSpan> &Out) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("trace_id").value(TraceId);
+  W.endObject();
+  serve::Reply R = C.call("trace/dump", W.take());
+  if (!R.Ok)
+    return;
+  const JsonValue *Spans = R.Result.member("spans");
+  const std::vector<JsonValue> *Arr = Spans ? Spans->asArray() : nullptr;
+  if (!Arr)
+    return;
+  for (const JsonValue &V : *Arr) {
+    auto Str = [&](const char *Key) {
+      const std::string *M = V.memberString(Key);
+      return M ? *M : std::string();
+    };
+    RemoteSpan S;
+    S.Name = Str("name");
+    S.TraceId = Str("trace_id");
+    S.SpanId = Str("span_id");
+    S.ParentSpan = Str("parent_span");
+    S.Process = Str("process");
+    S.StartUs = V.memberU64("start_us").value_or(0);
+    S.DurUs = V.memberU64("dur_us").value_or(0);
+    S.Tid = V.memberU64("tid").value_or(0);
+    if (const JsonValue *A = V.member("args"))
+      S.ArgsJson = A->toJson();
+    if (S.Name.empty() || S.SpanId.empty())
+      continue;
+    if (S.Process.empty())
+      S.Process = "server";
+    Out.push_back(std::move(S));
+  }
+}
+
+/// Splices the collected remote spans into \p Doc (a rendered Chrome
+/// trace document, which always ends "]}\n") as B/E event pairs: one
+/// synthetic pid per remote process (the local process is pid 1),
+/// labeled with a process_name metadata event, timestamps re-based from
+/// wall clock onto the local trace clock via WallBaseUs. The result is
+/// one Perfetto-loadable timeline showing client -> gateway -> backend,
+/// with each event's args carrying its span identity for tree checks.
+void spliceRemoteSpans(std::string &Doc, const DistTrace &DT) {
+  if (DT.Spans.empty())
+    return;
+  size_t Close = Doc.rfind("]}");
+  if (Close == std::string::npos)
+    return;
+  bool NeedComma = Close > 0 && Doc[Close - 1] != '[';
+
+  std::string Ins;
+  auto Push = [&](const std::string &Obj) {
+    if (NeedComma)
+      Ins += ',';
+    NeedComma = true;
+    Ins += Obj;
+  };
+  // Process label -> synthetic pid (index + 2; the local tracer is 1).
+  std::vector<std::string> Pids;
+  auto PidOf = [&](const std::string &Process) {
+    for (size_t I = 0; I < Pids.size(); ++I)
+      if (Pids[I] == Process)
+        return static_cast<uint64_t>(I + 2);
+    Pids.push_back(Process);
+    uint64_t Pid = Pids.size() + 1;
+    JsonWriter MW;
+    MW.beginObject();
+    MW.key("name").value("process_name");
+    MW.key("ph").value("M");
+    MW.key("pid").value(Pid);
+    MW.key("tid").value(uint64_t(0));
+    MW.key("args").beginObject();
+    MW.key("name").value(Process);
+    MW.endObject();
+    MW.endObject();
+    Push(MW.take());
+    return Pid;
+  };
+
+  for (const RemoteSpan &S : DT.Spans) {
+    uint64_t Pid = PidOf(S.Process);
+    uint64_t Ts = S.StartUs >= DT.WallBaseUs ? S.StartUs - DT.WallBaseUs : 0;
+
+    // The span's identity rides on the B event's args, merged after any
+    // args the server recorded (same pre-rendered-splice idiom as the
+    // local tracer).
+    JsonWriter AW;
+    AW.beginObject();
+    AW.key("trace_id").value(S.TraceId);
+    AW.key("span_id").value(S.SpanId);
+    if (!S.ParentSpan.empty())
+      AW.key("parent_span").value(S.ParentSpan);
+    AW.endObject();
+    std::string Args = AW.take();
+    if (S.ArgsJson.size() > 2) {
+      std::string Merged = S.ArgsJson;
+      Merged.back() = ',';
+      Merged.append(Args, 1, std::string::npos);
+      Args = std::move(Merged);
+    }
+
+    JsonWriter BW;
+    BW.beginObject();
+    BW.key("name").value(S.Name);
+    BW.key("cat").value("bec");
+    BW.key("ph").value("B");
+    BW.key("ts").value(Ts);
+    BW.key("pid").value(Pid);
+    BW.key("tid").value(S.Tid);
+    BW.endObject();
+    std::string BObj = BW.take();
+    BObj.pop_back();
+    BObj += ",\"args\":";
+    BObj += Args;
+    BObj += '}';
+    Push(BObj);
+
+    JsonWriter EW;
+    EW.beginObject();
+    EW.key("name").value(S.Name);
+    EW.key("cat").value("bec");
+    EW.key("ph").value("E");
+    EW.key("ts").value(Ts + S.DurUs);
+    EW.key("pid").value(Pid);
+    EW.key("tid").value(S.Tid);
+    EW.endObject();
+    Push(EW.take());
+  }
+  Doc.insert(Close, Ins);
+}
+
 /// `bec <subcommand> --remote host:port`: transparent offload.
-int runRemote(const DriverOptions &Opts, std::ostream &Out,
+int runRemote(const DriverOptions &Opts, DistTrace *DT, std::ostream &Out,
               std::ostream &Err) {
   std::vector<std::string> Targets;
   if (int Status = remoteTargetList(Opts, Targets, Err))
@@ -1307,6 +1569,10 @@ int runRemote(const DriverOptions &Opts, std::ostream &Out,
     Err << "bec: " << ConnErr << "\n";
     return ExitBadInput;
   }
+  // Under --trace-out every frame of this exchange (interns included)
+  // carries the distributed trace context, parented at the root span.
+  if (DT && DT->armed())
+    C->setTrace({DT->TraceId, DT->RootSpanId});
   for (const std::string &Path : Opts.AsmFiles)
     if (int Status = internAsmFile(*C, Path, Err))
       return Status;
@@ -1321,6 +1587,13 @@ int runRemote(const DriverOptions &Opts, std::ostream &Out,
                          [&](const JsonValue &P) { printProgress(P, Err); });
   } else {
     R = C->call(commandMethod(Opts.Cmd), Params);
+  }
+  // Collect the servers' spans whether or not the command succeeded —
+  // a failed hop's spans are exactly what the trace is for. The dump
+  // request itself must not land in the ring as part of this trace.
+  if (DT && DT->armed()) {
+    C->setTrace({});
+    collectRemoteSpans(*C, DT->TraceId, DT->Spans);
   }
   if (!R.Ok) {
     Err << "bec: " << R.errorText() << "\n";
@@ -1347,12 +1620,32 @@ int writePortFile(const std::string &Path, uint16_t Port, std::ostream &Err) {
   return ExitSuccess;
 }
 
+/// Applies --log-level/--log-file/--log-format and labels this process's
+/// span ring before a daemon starts serving. The label is what the
+/// daemon's trace/dump spans carry as their "process" member.
+int applyDaemonObsOptions(const DriverOptions &Opts, const char *Process,
+                          std::ostream &Err) {
+  obs::setSpanRingProcess(Process);
+  obs::setLogFormat(Opts.LogFmt);
+  if (!Opts.LogFilePath.empty()) {
+    std::string LogErr;
+    if (!obs::openLogFile(Opts.LogFilePath, LogErr)) {
+      Err << "bec: " << LogErr << "\n";
+      return ExitBadInput;
+    }
+  }
+  obs::setLogLevel(Opts.LogLevel);
+  return ExitSuccess;
+}
+
 /// `bec serve`: run the becd server until a shutdown request. The
 /// default engine is the net/ event loop; --engine threads keeps the
 /// legacy thread-per-connection server. Both print the same listening
 /// line and answer byte-identically.
 int runServe(const DriverOptions &Opts, std::ostream &Out,
              std::ostream &Err) {
+  if (int Status = applyDaemonObsOptions(Opts, "becd", Err))
+    return Status;
   serve::Service Svc;
   if (Opts.Engine == ServeEngine::Threads) {
     serve::Server::Options SO;
@@ -1412,6 +1705,8 @@ int runServe(const DriverOptions &Opts, std::ostream &Out,
 /// endpoint on the event-loop core; see net/Gateway.h.
 int runGateway(const DriverOptions &Opts, std::ostream &Out,
                std::ostream &Err) {
+  if (int Status = applyDaemonObsOptions(Opts, "gateway", Err))
+    return Status;
   net::Gateway::Options GO;
   GO.Backends = Opts.GatewayBackends;
   GO.HealthIntervalMs = Opts.HealthIntervalMs;
@@ -1570,8 +1865,52 @@ std::string renderLocalStatsText(const obs::MetricsSnapshot &Snap) {
   return Tbl.render();
 }
 
+/// Counters sampled from one remote stats reply, kept across --watch
+/// iterations so later polls can print deltas instead of re-dumping the
+/// cumulative table.
+struct StatsSample {
+  bool Valid = false;
+  uint64_t Requests = 0;
+  uint64_t Errors = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+StatsSample sampleRemoteStats(const JsonValue &R) {
+  StatsSample S;
+  S.Valid = true;
+  S.Requests = R.memberU64("requests").value_or(0);
+  S.Errors = R.memberU64("errors").value_or(0);
+  if (const JsonValue *Sess = R.member("session")) {
+    S.Hits = Sess->memberU64("hits").value_or(0);
+    S.Misses = Sess->memberU64("misses").value_or(0);
+  }
+  return S;
+}
+
+/// One --watch interval as rates: what changed in the last \p Sec
+/// seconds. Counters are monotone, so plain differences are safe.
+std::string renderStatsDelta(const StatsSample &Prev, const StatsSample &Cur,
+                             uint64_t Sec) {
+  uint64_t DReq = Cur.Requests - Prev.Requests;
+  uint64_t DErr = Cur.Errors - Prev.Errors;
+  uint64_t DHits = Cur.Hits - Prev.Hits;
+  uint64_t DMiss = Cur.Misses - Prev.Misses;
+  char Rate[32];
+  std::snprintf(Rate, sizeof(Rate), "%.1f",
+                double(DReq) / double(Sec ? Sec : 1));
+  std::string Out = "+" + std::to_string(DReq) + " requests (" + Rate +
+                    "/s), +" + std::to_string(DErr) + " errors";
+  if (DHits + DMiss)
+    Out += ", window hit rate " +
+           Table::percent(double(DHits) / double(DHits + DMiss)) + " (" +
+           std::to_string(DHits) + " hits, " + std::to_string(DMiss) +
+           " misses)";
+  return Out + "\n";
+}
+
 /// One `bec stats` poll (one iteration of --watch).
-int statsOnce(const DriverOptions &Opts, std::ostream &Out,
+int statsOnce(const DriverOptions &Opts, StatsSample &Prev, std::ostream &Out,
               std::ostream &Err) {
   if (!Opts.Remote) {
     obs::MetricsSnapshot Snap = obs::snapshotMetrics();
@@ -1600,15 +1939,23 @@ int statsOnce(const DriverOptions &Opts, std::ostream &Out,
     Out << *Text;
     return ExitSuccess;
   }
-  Out << renderRemoteStatsText(R.Result);
+  // --watch: the first poll prints the full cumulative table (the
+  // baseline); every later poll prints one per-interval delta line.
+  StatsSample Cur = sampleRemoteStats(R.Result);
+  if (Opts.WatchSeconds && Prev.Valid)
+    Out << renderStatsDelta(Prev, Cur, Opts.WatchSeconds);
+  else
+    Out << renderRemoteStatsText(R.Result);
+  Prev = Cur;
   return ExitSuccess;
 }
 
 /// `bec stats [--remote H:P] [--metrics] [--watch SEC]`.
 int runStats(const DriverOptions &Opts, std::ostream &Out,
              std::ostream &Err) {
+  StatsSample Prev;
   for (;;) {
-    if (int Status = statsOnce(Opts, Out, Err))
+    if (int Status = statsOnce(Opts, Prev, Out, Err))
       return Status;
     if (!Opts.WatchSeconds)
       return ExitSuccess;
@@ -1618,7 +1965,7 @@ int runStats(const DriverOptions &Opts, std::ostream &Out,
 }
 
 /// `bec client <method> ...`: one raw method call.
-int runClient(const DriverOptions &Opts, std::ostream &Out,
+int runClient(const DriverOptions &Opts, DistTrace *DT, std::ostream &Out,
               std::ostream &Err) {
   const std::string &Method = Opts.ClientArgs[0];
   std::vector<std::string> Positional(Opts.ClientArgs.begin() + 1,
@@ -1648,6 +1995,31 @@ int runClient(const DriverOptions &Opts, std::ostream &Out,
     W.key("backend").value(Positional[0]);
     W.endObject();
     Params = W.take();
+  } else if (Method == "trace/dump") {
+    if (Positional.size() > 1) {
+      Err << "bec: client trace/dump takes at most one trace id\n";
+      return ExitUsage;
+    }
+    if (Positional.size() == 1) {
+      JsonWriter W;
+      W.beginObject();
+      W.key("trace_id").value(Positional[0]);
+      W.endObject();
+      Params = W.take();
+    }
+  } else if (Method == "log/level") {
+    if (Positional.size() > 1) {
+      Err << "bec: client log/level takes at most one level "
+             "(debug | info | warn | error | off)\n";
+      return ExitUsage;
+    }
+    if (Positional.size() == 1) {
+      JsonWriter W;
+      W.beginObject();
+      W.key("level").value(Positional[0]);
+      W.endObject();
+      Params = W.take();
+    }
   } else if (Method == "counts") {
     if (Positional.size() != 1) {
       Err << "bec: client counts needs exactly one target\n";
@@ -1681,11 +2053,17 @@ int runClient(const DriverOptions &Opts, std::ostream &Out,
     Err << "bec: " << ConnErr << "\n";
     return ExitBadInput;
   }
+  if (DT && DT->armed())
+    C->setTrace({DT->TraceId, DT->RootSpanId});
   serve::Reply R =
       Method == "campaign/run"
           ? C->callStreaming(Method, Params,
                              [&](const JsonValue &P) { printProgress(P, Err); })
           : C->call(Method, Params);
+  if (DT && DT->armed() && Method != "shutdown") {
+    C->setTrace({});
+    collectRemoteSpans(*C, DT->TraceId, DT->Spans);
+  }
   if (!R.Ok) {
     reportReplyError(R, AsmPath, Err);
     return ExitBadInput;
@@ -1725,14 +2103,14 @@ const char *commandName(Command C) {
 
 /// Everything after argument parsing: subcommand dispatch. Split out so
 /// runDriver can scope the root trace span around exactly this.
-int runParsed(const DriverOptions &Opts, std::ostream &Out,
+int runParsed(const DriverOptions &Opts, DistTrace *DT, std::ostream &Out,
               std::ostream &Err) {
   if (Opts.Cmd == Command::Serve)
     return runServe(Opts, Out, Err);
   if (Opts.Cmd == Command::Gateway)
     return runGateway(Opts, Out, Err);
   if (Opts.Cmd == Command::Client)
-    return runClient(Opts, Out, Err);
+    return runClient(Opts, DT, Out, Err);
   if (Opts.Cmd == Command::Fuzz)
     return runFuzzCommand(Opts, Out, Err);
   // stats handles --remote itself (it is the one subcommand whose remote
@@ -1740,7 +2118,7 @@ int runParsed(const DriverOptions &Opts, std::ostream &Out,
   if (Opts.Cmd == Command::Stats)
     return runStats(Opts, Out, Err);
   if (Opts.Remote)
-    return runRemote(Opts, Out, Err);
+    return runRemote(Opts, DT, Out, Err);
 
   AnalysisSession S;
   if (int Status = collectTargets(Opts, S, Err))
@@ -1752,6 +2130,11 @@ int runParsed(const DriverOptions &Opts, std::ostream &Out,
   if (!Opts.CheckpointPath.empty() && S.numTargets() != 1) {
     // One checkpoint file describes one campaign.
     Err << "bec: --checkpoint requires exactly one selected target\n";
+    return ExitUsage;
+  }
+  if (!Opts.ProfilePath.empty() && S.numTargets() != 1) {
+    // Likewise: one profile document describes one engine run.
+    Err << "bec: --profile requires exactly one selected target\n";
     return ExitUsage;
   }
 
@@ -1778,6 +2161,7 @@ int runParsed(const DriverOptions &Opts, std::ostream &Out,
     Base.Exec.ShardSize = Opts.ShardSize;
     Base.Exec.CheckpointPath = Opts.CheckpointPath;
     Base.Exec.Resume = Opts.Resume;
+    Base.Exec.CollectProfile = !Opts.ProfilePath.empty();
     // Per-target options (identical fingerprints, so the cache shape
     // matches evaluateAll): only the progress callback differs, needing
     // the target's name.
@@ -1810,6 +2194,16 @@ int runParsed(const DriverOptions &Opts, std::ostream &Out,
       Err << "bec: campaign: resumed " << Results[0]->Campaign.ResumedShards
           << " of " << Results[0]->Campaign.Shards << " shards from '"
           << Opts.CheckpointPath << "'\n";
+    if (Status == ExitSuccess && !Opts.ProfilePath.empty()) {
+      std::ofstream PF(Opts.ProfilePath, std::ios::binary);
+      if (PF)
+        PF << renderCampaignProfileJson(Results[0]->Campaign.Profile);
+      if (!PF) {
+        Err << "bec: cannot write profile file '" << Opts.ProfilePath
+            << "'\n";
+        Status = ExitBadInput;
+      }
+    }
     break;
   }
   case Command::Schedule: {
@@ -1882,19 +2276,44 @@ int bec::tool::runDriver(const std::vector<std::string> &Args,
   if (ParseStatus != ExitSuccess)
     return ParseStatus;
 
-  if (!Opts.TraceOutPath.empty())
+  // --trace-out against a server arms distributed tracing: a fresh
+  // 128-bit trace id plus the local root span's id travel in every
+  // request envelope, and the servers' spans come back via trace/dump.
+  DistTrace DT;
+  if (!Opts.TraceOutPath.empty() &&
+      (Opts.Remote || Opts.Cmd == Command::Client)) {
+    DT.TraceId = obs::newTraceId128();
+    DT.RootSpanId = obs::newSpanId64();
+  }
+  if (!Opts.TraceOutPath.empty()) {
     obs::traceBegin();
+    // Remote spans carry wall-clock starts; this is the base that maps
+    // them onto the local trace clock (which starts at 0 here).
+    DT.WallBaseUs = wallNowUs();
+  }
   int Status;
   {
     obs::Span Root(obs::traceActive()
                        ? std::string("bec:") + commandName(Opts.Cmd)
                        : std::string());
-    Status = runParsed(Opts, Out, Err);
+    if (DT.armed() && obs::traceActive()) {
+      Root.argStr("trace_id", DT.TraceId);
+      Root.argStr("span_id", DT.RootSpanId);
+    }
+    Status = runParsed(Opts, &DT, Out, Err);
   }
   if (!Opts.TraceOutPath.empty()) {
-    std::string TraceErr;
-    if (!obs::writeTrace(Opts.TraceOutPath, TraceErr)) {
-      Err << "bec: " << TraceErr << "\n";
+    std::string Doc = obs::traceEnd();
+    spliceRemoteSpans(Doc, DT);
+    std::ofstream TraceFile(Opts.TraceOutPath, std::ios::binary);
+    bool Wrote = static_cast<bool>(TraceFile);
+    if (Wrote) {
+      TraceFile << Doc;
+      TraceFile.flush();
+      Wrote = static_cast<bool>(TraceFile);
+    }
+    if (!Wrote) {
+      Err << "bec: cannot write trace file '" << Opts.TraceOutPath << "'\n";
       if (Status == ExitSuccess)
         Status = ExitBadInput;
     }
