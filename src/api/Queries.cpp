@@ -121,6 +121,14 @@ std::string CampaignQuery::fingerprint(const Options &O) {
                   fpNum(O.MaxCycles);
   if (O.SampleSize)
     F += ",s" + fpNum(O.SampleSize) + "," + fpNum(O.SampleSeed);
+  // Prefix checkpointing surfaces in the result's telemetry fields
+  // (CheckpointsCreated, SplicedRuns, SimulatedCycles), so a
+  // non-default mode keys its own entry. The default (on, auto) adds
+  // nothing: pre-existing cache keys stay valid.
+  if (!O.PrefixCheckpoint)
+    F += ",c-";
+  else if (O.CheckpointEveryK)
+    F += ",c" + fpNum(O.CheckpointEveryK);
   // Exec knobs that can change the cached *value* key separate entries:
   // the checkpoint path (I/O failures become the result's Error; resume
   // changes ResumedShards), an interruption limit (partial results),
@@ -150,6 +158,8 @@ CampaignQuery::Result CampaignQuery::compute(AnalysisSession &S,
   PO.MaxCycles = O.MaxCycles;
   PO.SampleSize = O.SampleSize;
   PO.SampleSeed = O.SampleSeed;
+  PO.PrefixCheckpoint = O.PrefixCheckpoint;
+  PO.CheckpointEveryK = O.CheckpointEveryK;
   CampaignPlan Plan = CampaignPlan::build(*A, *G, PO);
   return runCampaign(P->program(), *G, Plan, O.Exec);
 }

@@ -147,6 +147,13 @@ struct CampaignQuery {
     /// the result then carries per-effect Wilson confidence intervals.
     uint64_t SampleSize = 0;
     uint64_t SampleSeed = 1;
+    /// Prefix-checkpointed execution (PlanOptions::PrefixCheckpoint;
+    /// `--prefix-checkpoint[=K|=off]`). Fingerprinted only when it
+    /// departs from the default (on, auto period), so existing cache
+    /// keys are unchanged; it never changes a result byte either way —
+    /// only the telemetry fields reports omit.
+    bool PrefixCheckpoint = true;
+    uint64_t CheckpointEveryK = 0;
     /// Execution-side knobs (threads, sharding, checkpoint/resume,
     /// progress). Threads and the progress callback are NOT
     /// fingerprinted — they never change the result value, so any

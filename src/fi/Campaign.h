@@ -108,10 +108,15 @@ struct WorkerPhaseProfile {
   uint64_t RebuildUs = 0; ///< Snapshot rebuilds incl. prefix catch-up.
   uint64_t StealUs = 0;   ///< In the scheduler: lock wait + victim scan.
   uint64_t IdleUs = 0;    ///< Wall - Run - Rebuild - Steal (clamped).
+  /// Portion of RebuildUs spent restoring a golden prefix checkpoint
+  /// (the rest is the remaining catch-up replay to the shard's first
+  /// injection cycle).
+  uint64_t RestoreUs = 0;
   uint64_t Runs = 0;
   uint64_t Shards = 0;
   uint64_t Steals = 0;
   uint64_t Rebuilds = 0;
+  uint64_t Restores = 0; ///< Checkpoint restores (<= Rebuilds).
 };
 
 /// Where one shard's time went and who ran it.
@@ -122,6 +127,7 @@ struct ShardPhaseRecord {
   bool Stolen = false;
   uint64_t RebuildUs = 0;
   uint64_t RunUs = 0;
+  uint64_t RestoreUs = 0; ///< Portion of RebuildUs (see WorkerPhaseProfile).
 };
 
 /// The engine scaling profile: why N threads are (or are not) N times
@@ -162,6 +168,21 @@ struct CampaignResult {
   /// report bytes stay schedule-independent.
   uint64_t Steals = 0;
   uint64_t SnapshotRebuilds = 0;
+  /// Prefix-checkpoint telemetry (PlanOptions::PrefixCheckpoint): golden
+  /// snapshots taken and their serialized size, walker restores from the
+  /// table, and runs whose verdict was spliced from the golden
+  /// continuation after their state reconverged at a checkpoint
+  /// boundary. Like Steals, never rendered into reports.
+  uint64_t CheckpointsCreated = 0;
+  uint64_t CheckpointBytes = 0;
+  uint64_t CheckpointRestores = 0;
+  uint64_t SplicedRuns = 0;
+  /// Total interpreter instructions stepped by this invocation (golden
+  /// checkpoint pass + walker advances + injected forks): the
+  /// deterministic work metric behind the prefix-checkpoint speedup
+  /// asserts. Schedule-dependent across thread counts (rebuild replay
+  /// varies with stealing), deterministic at one thread.
+  uint64_t SimulatedCycles = 0;
   /// True when execution stopped before every shard completed (the
   /// StopAfterShards interruption hook); aggregate fields then cover the
   /// completed shards only and per-run slots of unfinished shards are

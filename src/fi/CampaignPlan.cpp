@@ -100,6 +100,7 @@ std::vector<uint64_t> stratifiedIndices(uint64_t N, uint64_t Want,
 }
 
 uint64_t fingerprintPlan(const PlanOptions &O, uint64_t Population,
+                         uint64_t CheckpointPeriod,
                          const std::vector<PlannedRun> &Runs) {
   TraceHasher H;
   H.absorb(0xbecca111u); // Format tag.
@@ -107,6 +108,13 @@ uint64_t fingerprintPlan(const PlanOptions &O, uint64_t Population,
   H.absorb(O.MaxCycles);
   H.absorb(O.SampleSize);
   H.absorb(O.SampleSize ? O.SampleSeed : 0);
+  // The *resolved* checkpoint period (0 = off), not the request: a
+  // checkpointed campaign resumed under different placement would
+  // otherwise silently keep the recorded shards. The placement cycles
+  // are a pure function of the period and the trace, so the period
+  // covers them.
+  H.absorb(0x70c0deu);
+  H.absorb(CheckpointPeriod);
   H.absorb(Population);
   H.absorb(Runs.size());
   for (const PlannedRun &R : Runs) {
@@ -118,6 +126,20 @@ uint64_t fingerprintPlan(const PlanOptions &O, uint64_t Population,
 }
 
 } // namespace
+
+uint64_t bec::autoCheckpointPeriod(uint64_t TraceCycles, uint64_t PlanRuns) {
+  if (TraceCycles == 0)
+    return 1;
+  // Dense plans (the common case): a snapshot per ~16 cycles keeps the
+  // post-injection walk to the next convergence test short. Sparse
+  // plans get no more checkpoints than runs; very long traces cap the
+  // table at 4096 snapshots of memory.
+  uint64_t K = 16;
+  if (PlanRuns && PlanRuns * K < TraceCycles)
+    K = (TraceCycles + PlanRuns - 1) / PlanRuns;
+  uint64_t MemFloor = (TraceCycles + 4095) / 4096;
+  return std::max<uint64_t>({uint64_t(1), K, MemFloor});
+}
 
 CampaignPlan CampaignPlan::build(const BECAnalysis &A, const Trace &Golden,
                                  const PlanOptions &O) {
@@ -134,7 +156,23 @@ CampaignPlan CampaignPlan::build(const BECAnalysis &A, const Trace &Golden,
       Sampled.push_back(P.Runs[I]);
     P.Runs = std::move(Sampled);
   }
-  P.Fingerprint = fingerprintPlan(P.Opts, P.Population, P.Runs);
+  if (O.PrefixCheckpoint && Golden.Cycles != 0 && !P.Runs.empty()) {
+    P.CheckpointPeriod = O.CheckpointEveryK
+                             ? O.CheckpointEveryK
+                             : autoCheckpointPeriod(Golden.Cycles,
+                                                    P.Runs.size());
+    // Placement stays strictly inside the golden run: a snapshot at the
+    // final cycle would capture a finished machine no fork can continue
+    // from.
+    for (uint64_t C = 0; C < Golden.Cycles; C += P.CheckpointPeriod)
+      P.CheckpointCycles.push_back(C);
+    const Liveness &L = A.liveness();
+    P.LiveIn.resize(A.program().size());
+    for (uint32_t PC = 0; PC < A.program().size(); ++PC)
+      P.LiveIn[PC] = L.liveInMask(PC);
+  }
+  P.Fingerprint =
+      fingerprintPlan(P.Opts, P.Population, P.CheckpointPeriod, P.Runs);
   return P;
 }
 

@@ -36,6 +36,19 @@ struct PlanOptions {
   uint64_t SampleSize = 0;
   /// PRNG seed of the sample; same plan + same seed = same sample.
   uint64_t SampleSeed = 1;
+  /// Prefix-checkpointed execution (`--prefix-checkpoint`): the engine
+  /// snapshots the golden run every checkpointPeriod() cycles, forks
+  /// each injected run from the nearest checkpoint and splices verdicts
+  /// of runs that reconverge with the golden state. Never changes a
+  /// report byte (the equivalence battery and the checkpoint fuzz
+  /// oracle hold the two paths identical); off replays every suffix in
+  /// full.
+  bool PrefixCheckpoint = true;
+  /// Cycles between golden checkpoints (`--prefix-checkpoint=K`);
+  /// 0 = auto-tune from the trace length and the plan density
+  /// (autoCheckpointPeriod). The resolved period is fingerprinted, so a
+  /// resumed campaign cannot silently change placement.
+  uint64_t CheckpointEveryK = 0;
 };
 
 /// The enumerated (and possibly sampled) fault space of one program.
@@ -58,16 +71,43 @@ public:
   /// population (SampleSize was requested).
   bool sampled() const { return Opts.SampleSize != 0; }
 
-  /// Content hash of the options and the complete run list. Checkpoints
-  /// record it; resuming under a different plan is rejected.
+  /// Content hash of the options and the complete run list (plus the
+  /// resolved checkpoint placement). Checkpoints record it; resuming
+  /// under a different plan is rejected.
   uint64_t fingerprint() const { return Fingerprint; }
+
+  /// True when the engine should execute this plan with prefix
+  /// checkpoints (PlanOptions::PrefixCheckpoint and a non-empty trace).
+  bool prefixCheckpoint() const { return CheckpointPeriod != 0; }
+  /// Resolved cycles between golden checkpoints (0 = checkpointing off).
+  uint64_t checkpointPeriod() const { return CheckpointPeriod; }
+  /// Golden-trace cycles at which the engine snapshots, ascending,
+  /// starting at 0; empty when checkpointing is off.
+  const std::vector<uint64_t> &checkpointCycles() const {
+    return CheckpointCycles;
+  }
+  /// Per-instruction live-in register masks (analysis/Liveness.h),
+  /// carried so the engine can ignore dead registers when it tests a
+  /// faulty state for reconvergence with the golden checkpoint: a
+  /// register no path reads before redefining cannot affect the
+  /// continuation. Empty when checkpointing is off.
+  const std::vector<uint32_t> &liveInMasks() const { return LiveIn; }
 
 private:
   PlanOptions Opts;
   uint64_t Population = 0;
   uint64_t Fingerprint = 0;
+  uint64_t CheckpointPeriod = 0;
+  std::vector<uint64_t> CheckpointCycles;
+  std::vector<uint32_t> LiveIn;
   std::vector<PlannedRun> Runs;
 };
+
+/// The auto-tuned checkpoint period (PlanOptions::CheckpointEveryK == 0):
+/// one snapshot per ~16 golden cycles, stretched so sparse plans never
+/// carry more checkpoints than runs and long traces never exceed 4096
+/// snapshots of memory.
+uint64_t autoCheckpointPeriod(uint64_t TraceCycles, uint64_t PlanRuns);
 
 /// 95% Wilson score interval for \p Successes out of \p Trials Bernoulli
 /// trials. {0, 0} when Trials is zero. The Wilson interval (unlike the

@@ -34,6 +34,65 @@ FaultEffect classifyRun(const Trace &T, const Trace &Golden) {
   return FaultEffect::SDC;
 }
 
+/// Everything a finished run contributes to the report: enough to
+/// classify (classifySuffix), dedup the trace archive, and size it.
+/// Memoized per reachable checkpoint state — see suffixStateKey.
+struct SettledSuffix {
+  uint64_t TraceHash = 0;
+  uint64_t ObsHash = 0;
+  Outcome End = Outcome::Finished;
+  uint64_t Bytes = 0; ///< The full run's approxByteSize().
+};
+
+FaultEffect classifySuffix(const SettledSuffix &S, const Trace &Golden) {
+  if (S.TraceHash == Golden.TraceHash)
+    return FaultEffect::Masked;
+  if (S.End == Outcome::Trap)
+    return FaultEffect::Trap;
+  if (S.End == Outcome::Hang)
+    return FaultEffect::Hang;
+  if (S.ObsHash == Golden.ObservableHash)
+    return FaultEffect::Benign;
+  return FaultEffect::SDC;
+}
+
+/// Identity of an in-flight run's continuation, taken at a checkpoint
+/// boundary. Two runs with equal keys finish identically, so the first
+/// one to complete settles every later one — the paper's fault-site
+/// equivalence classes, recovered dynamically:
+///
+///  * The full-trace hash cursor covers the PC of every executed step
+///    and the address and value of every store, so equal cursors mean
+///    identical paths and identical memory (the same hash-equality
+///    trust the Masked classification rests on). Memory therefore
+///    never needs hashing here.
+///  * Live registers pin down everything the continuation can still
+///    read. A register outside liveInMask(PC) is read on no path
+///    before being redefined, so a lingering flip there cannot
+///    influence any future instruction, side effect or outcome — which
+///    is also why a masked fault's state keys equal to the *golden*
+///    checkpoint at the same cycle and splices without replaying the
+///    suffix.
+uint64_t suffixStateKey(uint64_t Cycle, uint32_t PC, uint64_t FullHash,
+                        uint64_t ObsHash, const Machine &M,
+                        const std::vector<uint32_t> *LiveIn) {
+  TraceHasher H;
+  H.absorb(0x5faceca11u); // Format tag.
+  H.absorb(Cycle);
+  H.absorb(PC);
+  H.absorb(FullHash);
+  H.absorb(ObsHash);
+  // No live-in mask for this PC = key strictly (mask of all ones).
+  uint32_t Live = LiveIn && PC < LiveIn->size() ? (*LiveIn)[PC]
+                                                : ~uint32_t(0);
+  for (unsigned R = 1; R < NumRegs; ++R)
+    if ((Live >> R) & 1) {
+      H.absorb(R);
+      H.absorb(M.reg(static_cast<Reg>(R)));
+    }
+  return H.value();
+}
+
 /// Work-stealing shard scheduler: one deque per worker, seeded with a
 /// contiguous block of shard ids (contiguous = nondecreasing injection
 /// cycles, so the owner's interpreter snapshot advances monotonically).
@@ -106,12 +165,73 @@ struct EngineState {
   std::atomic<uint64_t> NewShardsDone{0};
   uint64_t StopAfterShards = 0;
 
+  /// Prefix-checkpoint table: golden MachineState snapshots in ascending
+  /// cycle order (built once before the workers start), the golden
+  /// replay they came from, and the plan's live-in masks for the
+  /// convergence test. Empty/false when the plan runs without prefix
+  /// checkpoints.
+  bool PrefixCk = false;
+  std::vector<MachineState> Ckpts;
+  const std::vector<uint32_t> *LiveIn = nullptr;
+  Trace GoldenFinal;
+  uint64_t CkBytes = 0;
+
+  /// Suffix memo: continuation identity (suffixStateKey) -> how that
+  /// continuation ends. Seeded with the golden checkpoints (so masked
+  /// faults splice into the golden verdict) and grown by workers as
+  /// runs complete; every value is a pure function of its key, so
+  /// sharing across threads cannot change a result byte.
+  std::mutex MemoMutex;
+  std::unordered_map<uint64_t, SettledSuffix> SuffixMemo;
+
+  std::optional<SettledSuffix> memoLookup(uint64_t Key) {
+    std::lock_guard<std::mutex> Lock(MemoMutex);
+    auto It = SuffixMemo.find(Key);
+    if (It == SuffixMemo.end())
+      return std::nullopt;
+    return It->second;
+  }
+  void memoInsert(const std::vector<uint64_t> &Keys,
+                  const SettledSuffix &S) {
+    if (Keys.empty())
+      return;
+    std::lock_guard<std::mutex> Lock(MemoMutex);
+    for (uint64_t K : Keys)
+      SuffixMemo.emplace(K, S);
+  }
+
+  /// Index of the first checkpoint with cycle >= \p Cycle (a checkpoint
+  /// exactly at the injection cycle is a valid convergence point: the
+  /// flip just happened, zero faulty instructions ran).
+  size_t firstCheckpointAtOrAfter(uint64_t Cycle) const {
+    size_t Lo = 0, Hi = Ckpts.size();
+    while (Lo < Hi) {
+      size_t Mid = (Lo + Hi) / 2;
+      if (Ckpts[Mid].CycleCount < Cycle)
+        Lo = Mid + 1;
+      else
+        Hi = Mid;
+    }
+    return Lo;
+  }
+  /// The last checkpoint with cycle <= \p Cycle, or null when none is
+  /// (there is none only when the table is empty: placement starts at 0).
+  const MachineState *nearestCheckpointAtOrBefore(uint64_t Cycle) const {
+    size_t At = firstCheckpointAtOrAfter(Cycle);
+    if (At < Ckpts.size() && Ckpts[At].CycleCount == Cycle)
+      return &Ckpts[At];
+    return At == 0 ? nullptr : &Ckpts[At - 1];
+  }
+
   /// Scheduler telemetry for this invocation, written by workers with
   /// relaxed adds and folded into progress reports and the result.
   std::chrono::steady_clock::time_point StartTime;
   std::atomic<uint64_t> ExecutedRuns{0};
   std::atomic<uint64_t> Steals{0};
   std::atomic<uint64_t> SnapshotRebuilds{0};
+  std::atomic<uint64_t> CkRestores{0};
+  std::atomic<uint64_t> SplicedRuns{0};
+  std::atomic<uint64_t> SimCycles{0};
 
   std::mutex ProgressMutex;
   CampaignProgress Progress;
@@ -146,9 +266,13 @@ struct WorkerStats {
   uint64_t Shards = 0;
   uint64_t Steals = 0;
   uint64_t Rebuilds = 0;
+  uint64_t Restores = 0;  ///< Walker restores from a golden checkpoint.
+  uint64_t Spliced = 0;   ///< Runs settled by convergence splicing.
+  uint64_t SimCycles = 0; ///< Interpreter instructions stepped.
   uint64_t SchedUs = 0;   ///< In Sched.next: lock wait + victim scan.
   uint64_t RunUs = 0;     ///< Shard execution minus rebuilds.
   uint64_t RebuildUs = 0; ///< Snapshot rebuilds incl. prefix catch-up.
+  uint64_t RestoreUs = 0; ///< Portion of RebuildUs inside restore().
 };
 
 uint64_t elapsedUs(std::chrono::steady_clock::time_point Since) {
@@ -164,9 +288,12 @@ void executeShard(EngineState &St, uint64_t Shard, unsigned Me,
                   std::optional<Interpreter> &Walker, bool Stolen,
                   WorkerStats &WS) {
   static const obs::Histogram ShardUs("engine.shard.us");
+  static const obs::Counter CtrRestored("fi.checkpoints.restored");
+  static const obs::Histogram RestoreUsHist("fi.checkpoint.restore.us");
   obs::ScopedTimerUs Timer(ShardUs);
   auto ShardStart = std::chrono::steady_clock::now();
-  uint64_t RebuildUs = 0;
+  uint64_t RebuildUs = 0, RestoreUs = 0;
+  uint64_t ShardSimCycles = 0;
 
   auto [Lo, Hi] = St.shardRange(Shard);
   uint64_t FirstCycle = (*St.Runs)[St.Order[Lo]].AfterCycle;
@@ -174,34 +301,88 @@ void executeShard(EngineState &St, uint64_t Shard, unsigned Me,
                                    {"runs", Hi - Lo},
                                    {"stolen", uint64_t(Stolen)}});
   // A stolen out-of-order shard may sit before this worker's snapshot;
-  // only then does it pay a prefix re-simulation.
+  // only then does it pay a rebuild — and with a checkpoint table the
+  // rebuild restores the nearest golden snapshot at or below the
+  // shard's first injection cycle instead of re-simulating from zero.
   if (!Walker || FirstCycle < Walker->cycle()) {
     auto RebuildStart = std::chrono::steady_clock::now();
     obs::Span SpanRebuild("fi.snapshot.rebuild",
                           {{"first_cycle", FirstCycle}});
     Walker.emplace(*St.Prog, St.RunOpts);
-    // The prefix catch-up to the shard's first injection cycle is the
-    // expensive half of a rebuild; running it here (instead of letting
-    // the first run's runToCycle below absorb it) attributes it to the
-    // rebuild phase. Same simulation either way — results can't change.
+    if (const MachineState *CS = St.nearestCheckpointAtOrBefore(FirstCycle)) {
+      auto RestoreStart = std::chrono::steady_clock::now();
+      Walker->restore(*CS);
+      RestoreUs = elapsedUs(RestoreStart);
+      WS.RestoreUs += RestoreUs;
+      ++WS.Restores;
+      St.CkRestores.fetch_add(1, std::memory_order_relaxed);
+      CtrRestored.add();
+      RestoreUsHist.observeUs(RestoreUs);
+    }
+    // The remaining catch-up to the shard's first injection cycle is
+    // the expensive half of a rebuild; running it here (instead of
+    // letting the first run's runToCycle below absorb it) attributes it
+    // to the rebuild phase. Same simulation either way — results can't
+    // change.
+    ShardSimCycles += FirstCycle - Walker->cycle();
     Walker->runToCycle(FirstCycle);
     ++WS.Rebuilds;
     St.SnapshotRebuilds.fetch_add(1, std::memory_order_relaxed);
     RebuildUs = elapsedUs(RebuildStart);
     WS.RebuildUs += RebuildUs;
   }
+  uint64_t WalkerFrom = Walker->cycle();
+  std::vector<uint64_t> Visited; // Keys passed on the way to completion.
   for (uint64_t K = Lo; K < Hi; ++K) {
     uint32_t Idx = St.Order[K];
     const PlannedRun &Run = (*St.Runs)[Idx];
     Walker->runToCycle(Run.AfterCycle);
     Interpreter Forked = *Walker;
     Forked.machine().flipRegBit(Run.R, Run.Bit);
-    Forked.run();
-    Trace T = Forked.takeTrace();
-    St.Effects[Idx] = classifyRun(T, *St.Golden);
-    St.Hashes[Idx] = T.TraceHash;
-    St.Bytes[Idx] = T.approxByteSize();
+    // Convergence splicing: pause the faulty run at each checkpoint
+    // cycle and key its continuation (suffixStateKey). A memo hit —
+    // the golden continuation for reconverged masked faults, or an
+    // earlier run of the same dynamic fault class otherwise — settles
+    // the run without executing its suffix. A run that completes for
+    // real settles every key it passed, so each distinct continuation
+    // executes once per campaign.
+    std::optional<SettledSuffix> Hit;
+    Visited.clear();
+    for (size_t Ck = St.firstCheckpointAtOrAfter(Run.AfterCycle);
+         Ck < St.Ckpts.size(); ++Ck) {
+      Forked.runToCycle(St.Ckpts[Ck].CycleCount);
+      if (Forked.done())
+        break;
+      uint64_t Key = suffixStateKey(Forked.cycle(), Forked.pc(),
+                                    Forked.fullHashState(),
+                                    Forked.obsHashState(),
+                                    Forked.machine(), St.LiveIn);
+      Hit = St.memoLookup(Key);
+      if (Hit)
+        break;
+      Visited.push_back(Key);
+    }
+    if (Hit) {
+      // The memoized continuation reproduces this run's trace byte for
+      // byte, so the slots take exactly what a full replay would have
+      // produced: its final hash and its (recording-off) archive size.
+      St.Effects[Idx] = classifySuffix(*Hit, *St.Golden);
+      St.Hashes[Idx] = Hit->TraceHash;
+      St.Bytes[Idx] = Hit->Bytes;
+      ++WS.Spliced;
+    } else {
+      Forked.run();
+      Trace T = Forked.takeTrace();
+      St.Effects[Idx] = classifyRun(T, *St.Golden);
+      St.Hashes[Idx] = T.TraceHash;
+      St.Bytes[Idx] = T.approxByteSize();
+      St.memoInsert(Visited, {T.TraceHash, T.ObservableHash, T.End,
+                              T.approxByteSize()});
+    }
+    ShardSimCycles += Forked.cycle() - Run.AfterCycle;
   }
+  ShardSimCycles += Walker->cycle() - WalkerFrom;
+  WS.SimCycles += ShardSimCycles;
   St.Done[Shard] = 2;
 
   if (St.Writer.isOpen()) {
@@ -228,7 +409,7 @@ void executeShard(EngineState &St, uint64_t Shard, unsigned Me,
   if (St.CollectProfile) {
     std::lock_guard<std::mutex> Lock(St.ProfileMutex);
     St.Profile.Shards.push_back(
-        {Shard, Me, Hi - Lo, Stolen, RebuildUs, RunUs});
+        {Shard, Me, Hi - Lo, Stolen, RebuildUs, RunUs, RestoreUs});
   }
   if (obs::logEnabled(obs::LogLevel::Debug))
     obs::log(obs::LogLevel::Debug, "engine.shard.done",
@@ -236,7 +417,8 @@ void executeShard(EngineState &St, uint64_t Shard, unsigned Me,
               {"runs", Hi - Lo},
               {"stolen", Stolen},
               {"rebuild_us", RebuildUs},
-              {"run_us", RunUs}});
+              {"run_us", RunUs},
+              {"restore_us", RestoreUs}});
 
   {
     std::lock_guard<std::mutex> Lock(St.ProgressMutex);
@@ -296,10 +478,14 @@ void workerLoop(EngineState &St, StealScheduler &Sched, unsigned Me) {
   CtrSteals.add(WS.Steals);
   CtrRebuilds.add(WS.Rebuilds);
   CtrIdleUs.add(WS.SchedUs);
+  St.SplicedRuns.fetch_add(WS.Spliced, std::memory_order_relaxed);
+  St.SimCycles.fetch_add(WS.SimCycles, std::memory_order_relaxed);
   SpanWorker.arg("runs", WS.Runs);
   SpanWorker.arg("shards", WS.Shards);
   SpanWorker.arg("steals", WS.Steals);
   SpanWorker.arg("snapshot_rebuilds", WS.Rebuilds);
+  SpanWorker.arg("restores", WS.Restores);
+  SpanWorker.arg("spliced_runs", WS.Spliced);
   SpanWorker.arg("idle_us", WS.SchedUs);
 
   if (St.CollectProfile) {
@@ -311,10 +497,12 @@ void workerLoop(EngineState &St, StealScheduler &Sched, unsigned Me) {
     WP.StealUs = WS.SchedUs;
     uint64_t Busy = WS.RunUs + WS.RebuildUs + WS.SchedUs;
     WP.IdleUs = WP.WallUs > Busy ? WP.WallUs - Busy : 0;
+    WP.RestoreUs = WS.RestoreUs;
     WP.Runs = WS.Runs;
     WP.Shards = WS.Shards;
     WP.Steals = WS.Steals;
     WP.Rebuilds = WS.Rebuilds;
+    WP.Restores = WS.Restores;
     std::lock_guard<std::mutex> Lock(St.ProfileMutex);
     St.Profile.Workers.push_back(WP);
   }
@@ -359,6 +547,56 @@ CampaignResult runShardedImpl(const Program &Prog, const Trace &Golden,
                    [&](uint32_t X, uint32_t Y) {
                      return Runs[X].AfterCycle < Runs[Y].AfterCycle;
                    });
+
+  // Prefix-checkpoint table: one fault-free replay snapshots the golden
+  // machine at every placement cycle and runs on to completion, giving
+  // (a) restore targets for out-of-order shards and (b) the golden
+  // continuation runs splice into once they reconverge. Built before
+  // the workers start and read-only afterwards.
+  if (Plan && Plan->prefixCheckpoint() && N != 0) {
+    static const obs::Counter CtrCreated("fi.checkpoints.created");
+    static const obs::Counter CtrCkBytes("fi.checkpoints.bytes");
+    obs::Span SpanTable("fi.checkpoint.table",
+                        {{"period", Plan->checkpointPeriod()}});
+    Interpreter GoldenWalk(Prog, St.RunOpts);
+    for (uint64_t C : Plan->checkpointCycles()) {
+      GoldenWalk.runToCycle(C);
+      if (GoldenWalk.done() || GoldenWalk.cycle() != C)
+        break;
+      St.Ckpts.push_back(GoldenWalk.snapshot());
+      St.CkBytes += St.Ckpts.back().byteSize();
+    }
+    GoldenWalk.run();
+    St.SimCycles.fetch_add(GoldenWalk.cycle(), std::memory_order_relaxed);
+    St.GoldenFinal = GoldenWalk.takeTrace();
+    if (St.GoldenFinal.TraceHash != Golden.TraceHash) {
+      // The caller's golden trace disagrees with a fresh replay (a
+      // hand-built trace, or a MaxCycles mismatch). Splicing against it
+      // would be unsound, so fall back to full suffix execution.
+      St.Ckpts.clear();
+      St.CkBytes = 0;
+    } else {
+      St.PrefixCk = true;
+      St.LiveIn = &Plan->liveInMasks();
+      // The golden continuation is the first memo entry at every
+      // checkpoint: a masked fault whose live state reconverges with
+      // the golden run keys equal to it and splices immediately.
+      SettledSuffix GoldenEnd{St.GoldenFinal.TraceHash,
+                              St.GoldenFinal.ObservableHash,
+                              St.GoldenFinal.End,
+                              St.GoldenFinal.approxByteSize()};
+      for (const MachineState &CS : St.Ckpts)
+        St.SuffixMemo.emplace(suffixStateKey(CS.CycleCount, CS.PC,
+                                             CS.FullHashState,
+                                             CS.ObsHashState, CS.M,
+                                             St.LiveIn),
+                              GoldenEnd);
+      CtrCreated.add(St.Ckpts.size());
+      CtrCkBytes.add(St.CkBytes);
+    }
+    SpanTable.arg("checkpoints", St.Ckpts.size());
+    SpanTable.arg("bytes", St.CkBytes);
+  }
 
   CheckpointHeader Header;
   Header.PlanFingerprint = PlanFingerprint;
@@ -448,6 +686,11 @@ CampaignResult runShardedImpl(const Program &Prog, const Trace &Golden,
   Result.ResumedShards = ResumedShards;
   Result.Steals = St.Steals.load(std::memory_order_relaxed);
   Result.SnapshotRebuilds = St.SnapshotRebuilds.load(std::memory_order_relaxed);
+  Result.CheckpointsCreated = St.Ckpts.size();
+  Result.CheckpointBytes = St.CkBytes;
+  Result.CheckpointRestores = St.CkRestores.load(std::memory_order_relaxed);
+  Result.SplicedRuns = St.SplicedRuns.load(std::memory_order_relaxed);
+  Result.SimulatedCycles = St.SimCycles.load(std::memory_order_relaxed);
 
   if (Exec.CollectProfile) {
     // Deterministic row order (workers finish in any order).
@@ -530,12 +773,13 @@ uint64_t bec::campaignShardSize(uint64_t PlanRuns, uint64_t Requested) {
 CampaignScalingDiagnosis
 bec::diagnoseCampaignScaling(const CampaignPhaseProfile &P) {
   CampaignScalingDiagnosis D;
-  uint64_t Wall = 0, Run = 0, Rebuild = 0, Steal = 0, Idle = 0;
+  uint64_t Wall = 0, Run = 0, Rebuild = 0, Restore = 0, Steal = 0, Idle = 0;
   double MaxBusy = 0, SumBusy = 0;
   for (const WorkerPhaseProfile &W : P.Workers) {
     Wall += W.WallUs;
     Run += W.RunUs;
     Rebuild += W.RebuildUs;
+    Restore += W.RestoreUs;
     Steal += W.StealUs;
     Idle += W.IdleUs;
     double Busy = double(W.RunUs) + double(W.RebuildUs);
@@ -549,6 +793,7 @@ bec::diagnoseCampaignScaling(const CampaignPhaseProfile &P) {
   }
   D.RunFraction = double(Run) / double(Wall);
   D.RebuildFraction = double(Rebuild) / double(Wall);
+  D.RestoreFraction = double(Restore) / double(Wall);
   D.StealFraction = double(Steal) / double(Wall);
   D.IdleFraction = double(Idle) / double(Wall);
   double MeanBusy = SumBusy / double(P.Workers.size());
@@ -599,12 +844,14 @@ std::string bec::renderCampaignProfileJson(const CampaignPhaseProfile &P) {
     W.key("wall_us").value(WP.WallUs);
     W.key("run_us").value(WP.RunUs);
     W.key("rebuild_us").value(WP.RebuildUs);
+    W.key("restore_us").value(WP.RestoreUs);
     W.key("steal_us").value(WP.StealUs);
     W.key("idle_us").value(WP.IdleUs);
     W.key("runs").value(WP.Runs);
     W.key("shards").value(WP.Shards);
     W.key("steals").value(WP.Steals);
     W.key("rebuilds").value(WP.Rebuilds);
+    W.key("restores").value(WP.Restores);
     W.endObject();
   }
   W.endArray();
@@ -617,12 +864,14 @@ std::string bec::renderCampaignProfileJson(const CampaignPhaseProfile &P) {
     W.key("stolen").value(SR.Stolen);
     W.key("rebuild_us").value(SR.RebuildUs);
     W.key("run_us").value(SR.RunUs);
+    W.key("restore_us").value(SR.RestoreUs);
     W.endObject();
   }
   W.endArray();
   W.key("diagnosis").beginObject();
   W.key("run_fraction").value(D.RunFraction);
   W.key("rebuild_fraction").value(D.RebuildFraction);
+  W.key("restore_fraction").value(D.RestoreFraction);
   W.key("steal_fraction").value(D.StealFraction);
   W.key("idle_fraction").value(D.IdleFraction);
   W.key("busy_imbalance").value(D.BusyImbalance);

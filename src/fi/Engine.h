@@ -82,6 +82,10 @@ struct CampaignExecOptions {
 struct CampaignScalingDiagnosis {
   double RunFraction = 0;
   double RebuildFraction = 0;
+  /// Portion of wall time restoring prefix checkpoints — informational
+  /// (already counted inside RebuildFraction, so the four phase
+  /// fractions above still partition the wall time).
+  double RestoreFraction = 0;
   double StealFraction = 0;
   double IdleFraction = 0;
   /// Largest per-worker busy time (run+rebuild) over the mean: 1.0 =

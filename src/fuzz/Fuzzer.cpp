@@ -61,9 +61,10 @@ uint64_t optionsFingerprint(const FuzzOptions &O) {
   for (unsigned W : O.Gen.Widths)
     H.absorb(W);
   H.absorb(O.Oracle.MaxCycles);
-  H.absorb((uint64_t(O.Oracle.CheckRoundTrip) << 4) |
-           (uint64_t(O.Oracle.CheckFates) << 3) |
-           (uint64_t(O.Oracle.CheckEngine) << 2) |
+  H.absorb((uint64_t(O.Oracle.CheckRoundTrip) << 5) |
+           (uint64_t(O.Oracle.CheckFates) << 4) |
+           (uint64_t(O.Oracle.CheckEngine) << 3) |
+           (uint64_t(O.Oracle.CheckCheckpoint) << 2) |
            (uint64_t(O.Oracle.CheckHarden) << 1) |
            uint64_t(O.Oracle.CheckSession));
   H.absorb(static_cast<uint64_t>(O.Oracle.HardenBudget * 1000.0));

@@ -175,6 +175,36 @@ OracleReport bec::fuzz::runOracles(const Program &Prog,
                "sharded engine result differs from the serial executor");
   }
 
+  // Checkpoint oracle: prefix-checkpointed execution (dense explicit
+  // placement, so short fuzz windows still get several snapshots) vs
+  // the same plan with checkpointing off. Fork-from-snapshot and
+  // suffix splicing must be invisible in every result byte, including
+  // the archive accounting a spliced run fabricates from the memoized
+  // suffix.
+  if (O.CheckCheckpoint && Limit > 1) {
+    obs::Span Span("fuzz.oracle.checkpoint");
+    PlanOptions On;
+    On.Kind = PlanKind::BitLevel;
+    On.MaxCycles = Limit - 1;
+    On.CheckpointEveryK = 3;
+    PlanOptions Off = On;
+    Off.PrefixCheckpoint = false;
+    CampaignResult COn =
+        runCampaign(Prog, Golden, CampaignPlan::build(A, Golden, On), {});
+    CampaignResult COff =
+        runCampaign(Prog, Golden, CampaignPlan::build(A, Golden, Off), {});
+    if (!COn.Error.empty() || !COff.Error.empty())
+      mismatch(Report.Mismatches, "checkpoint",
+               "engine error: " + COn.Error + COff.Error);
+    else if (COn.Effects != COff.Effects ||
+             COn.TraceHashes != COff.TraceHashes ||
+             COn.EffectCounts != COff.EffectCounts ||
+             COn.DistinctTraces != COff.DistinctTraces ||
+             COn.ArchiveBytes != COff.ArchiveBytes)
+      mismatch(Report.Mismatches, "checkpoint",
+               "prefix-checkpointed result differs from from-zero replay");
+  }
+
   // Harden oracle: the closed loop must hold on every program whose
   // golden run finishes — hardened output identical, vulnerability not
   // increased, every detection probe caught.

@@ -9,7 +9,8 @@
 /// planned site, and masked sites must reproduce the golden trace. The
 /// secondary oracles are cheap cross-checks of the surrounding machinery:
 /// print/parse round trip, fate-taxonomy validation, engine-vs-serial
-/// equality, harden closed loop, and session cold==warm byte equality.
+/// equality, prefix-checkpointed vs from-zero engine equality, harden
+/// closed loop, and session cold==warm byte equality.
 ///
 /// Every oracle is a pure function of the program; a mismatch therefore
 /// reproduces from the banked assembly alone (see docs/fuzzing.md).
@@ -39,6 +40,10 @@ struct OracleOptions {
   bool CheckRoundTrip = true;
   bool CheckFates = true;
   bool CheckEngine = true;
+  /// Prefix-checkpointed execution vs from-zero suffix replay on the
+  /// same plan: snapshot forking and suffix splicing must never change
+  /// a verdict, a trace hash, or the archive accounting.
+  bool CheckCheckpoint = true;
   bool CheckHarden = true;
   bool CheckSession = true;
   /// Budget of the harden closed-loop check.
@@ -48,8 +53,9 @@ struct OracleOptions {
 };
 
 /// One oracle disagreement. \c Oracle is a stable short tag ("verdict",
-/// "masked-fate", "round-trip", "fates", "engine", "harden", "session",
-/// "golden", "generator"); \c Detail is human-readable.
+/// "masked-fate", "round-trip", "fates", "engine", "checkpoint",
+/// "harden", "session", "golden", "generator"); \c Detail is
+/// human-readable.
 struct OracleMismatch {
   std::string Oracle;
   std::string Detail;

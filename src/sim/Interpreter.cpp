@@ -23,6 +23,113 @@ Interpreter::Interpreter(const Program &Prog, RunOptions Opts)
   M.reset(Prog);
 }
 
+namespace {
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (unsigned I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+uint64_t getU64(const uint8_t *Data) {
+  uint64_t V = 0;
+  for (unsigned I = 0; I < 8; ++I)
+    V |= uint64_t(Data[I]) << (8 * I);
+  return V;
+}
+
+/// Format tag of the MachineState encoding; bump on layout changes.
+constexpr uint64_t MachineStateTag = 0xbec0057a7e000001ull;
+
+} // namespace
+
+uint64_t MachineState::byteSize() const {
+  // Tag, width, PC, cycle, flags, return value, two hash cursors, the
+  // register file, the memory length, then the memory image.
+  return 8 * 8 + NumRegs * 8 + 8 + M.memory().size();
+}
+
+std::vector<uint8_t> MachineState::serialize() const {
+  std::vector<uint8_t> Out;
+  Out.reserve(byteSize());
+  putU64(Out, MachineStateTag);
+  putU64(Out, M.width());
+  putU64(Out, PC);
+  putU64(Out, CycleCount);
+  putU64(Out, (uint64_t(Done) << 0) | (uint64_t(HasReturnValue) << 1) |
+                  (static_cast<uint64_t>(End) << 8));
+  putU64(Out, ReturnValue);
+  putU64(Out, FullHashState);
+  putU64(Out, ObsHashState);
+  for (uint64_t R : M.regs())
+    putU64(Out, R);
+  putU64(Out, M.memory().size());
+  Out.insert(Out.end(), M.memory().begin(), M.memory().end());
+  return Out;
+}
+
+std::optional<MachineState> MachineState::deserialize(const uint8_t *Data,
+                                                      size_t Size) {
+  constexpr size_t FixedBytes = 8 * 8 + NumRegs * 8 + 8;
+  if (Size < FixedBytes || getU64(Data) != MachineStateTag)
+    return std::nullopt;
+  MachineState S;
+  uint64_t Width = getU64(Data + 8);
+  if (Width == 0 || Width > 64)
+    return std::nullopt;
+  S.PC = static_cast<uint32_t>(getU64(Data + 16));
+  S.CycleCount = getU64(Data + 24);
+  uint64_t Flags = getU64(Data + 32);
+  S.Done = Flags & 1;
+  S.HasReturnValue = (Flags >> 1) & 1;
+  uint64_t EndByte = (Flags >> 8) & 0xff;
+  if (EndByte > static_cast<uint64_t>(Outcome::Hang))
+    return std::nullopt;
+  S.End = static_cast<Outcome>(EndByte);
+  S.ReturnValue = getU64(Data + 40);
+  S.FullHashState = getU64(Data + 48);
+  S.ObsHashState = getU64(Data + 56);
+  std::array<uint64_t, NumRegs> Regs;
+  for (unsigned R = 0; R < NumRegs; ++R)
+    Regs[R] = getU64(Data + 64 + 8 * R);
+  uint64_t MemSize = getU64(Data + 64 + 8 * NumRegs);
+  if (Size != FixedBytes + MemSize)
+    return std::nullopt;
+  std::vector<uint8_t> Mem(Data + FixedBytes, Data + FixedBytes + MemSize);
+  S.M.restoreParts(static_cast<unsigned>(Width), Regs, std::move(Mem));
+  return S;
+}
+
+MachineState Interpreter::snapshot() const {
+  assert(!Opts.Record && "snapshots cover hash-only runs; recorded "
+                         "Executed/Events vectors are not part of the state");
+  MachineState S;
+  S.M = M;
+  S.PC = PC;
+  S.CycleCount = CycleCount;
+  S.Done = Done;
+  S.FullHashState = FullHash.value();
+  S.ObsHashState = ObsHash.value();
+  S.End = Result.End;
+  S.ReturnValue = Result.ReturnValue;
+  S.HasReturnValue = Result.HasReturnValue;
+  return S;
+}
+
+void Interpreter::restore(const MachineState &S) {
+  assert(!Opts.Record && "snapshots cover hash-only runs; recorded "
+                         "Executed/Events vectors are not part of the state");
+  M = S.M;
+  PC = S.PC;
+  CycleCount = S.CycleCount;
+  Done = S.Done;
+  Result = Trace{};
+  Result.End = S.End;
+  Result.ReturnValue = S.ReturnValue;
+  Result.HasReturnValue = S.HasReturnValue;
+  FullHash.restore(S.FullHashState);
+  ObsHash.restore(S.ObsHashState);
+}
+
 void Interpreter::finish(Outcome End) {
   Done = true;
   Result.End = End;

@@ -16,6 +16,7 @@
 #include "sim/Trace.h"
 
 #include <limits>
+#include <optional>
 
 namespace bec {
 
@@ -33,6 +34,46 @@ struct Injection {
   uint64_t AfterCycle = 0;
   Reg R = 0;
   unsigned Bit = 0;
+};
+
+/// A serializable architectural checkpoint of a run in flight: registers,
+/// memory, PC, cycle and the trace cursor (the incremental full/observable
+/// hash states plus the end-of-run fields). Restoring a state into a fresh
+/// interpreter of the same program and options continues the run exactly
+/// where the snapshot was taken — the campaign engine's prefix checkpoints
+/// are a table of these, taken along the golden trace.
+///
+/// Recorded Executed/Events vectors are NOT part of the state; snapshots
+/// are taken from hash-only runs (RunOptions::Record == false).
+struct MachineState {
+  Machine M;
+  uint32_t PC = 0;
+  uint64_t CycleCount = 0;
+  bool Done = false;
+  uint64_t FullHashState = 0;
+  uint64_t ObsHashState = 0;
+  /// End-of-run trace fields; meaningful only when Done.
+  Outcome End = Outcome::Finished;
+  uint64_t ReturnValue = 0;
+  bool HasReturnValue = false;
+
+  /// Byte-exact binary encoding (little-endian), and its inverse.
+  /// deserialize returns nullopt on a malformed or truncated buffer.
+  std::vector<uint8_t> serialize() const;
+  static std::optional<MachineState> deserialize(const uint8_t *Data,
+                                                 size_t Size);
+
+  /// Size of serialize()'s encoding, without building it (the engine's
+  /// fi.checkpoints.bytes accounting).
+  uint64_t byteSize() const;
+
+  bool operator==(const MachineState &O) const {
+    return PC == O.PC && CycleCount == O.CycleCount && Done == O.Done &&
+           FullHashState == O.FullHashState && ObsHashState == O.ObsHashState &&
+           End == O.End && ReturnValue == O.ReturnValue &&
+           HasReturnValue == O.HasReturnValue && M == O.M;
+  }
+  bool operator!=(const MachineState &O) const { return !(*this == O); }
 };
 
 /// Stepping interpreter over one program.
@@ -57,6 +98,24 @@ public:
   uint32_t pc() const { return PC; }
   Machine &machine() { return M; }
   const Machine &machine() const { return M; }
+
+  /// Incremental hash cursors of the run so far. Two runs of the same
+  /// program whose cursors are equal at the same cycle have absorbed
+  /// identical prefixes (modulo hash collision, the same approximation
+  /// the campaign engine's trace comparison already makes).
+  uint64_t fullHashState() const { return FullHash.value(); }
+  uint64_t obsHashState() const { return ObsHash.value(); }
+
+  /// Captures the complete architectural state of the run in flight.
+  /// Only valid on hash-only runs (RunOptions::Record == false): recorded
+  /// Executed/Events vectors are not part of the checkpoint.
+  MachineState snapshot() const;
+
+  /// Resumes from \p S as if this interpreter had executed the prefix
+  /// that produced it. The program and options keep their constructed
+  /// values and must match the snapshotting run's for the continuation
+  /// to be meaningful.
+  void restore(const MachineState &S);
 
   /// Finalizes and returns the trace (valid once done()).
   Trace takeTrace();

@@ -63,6 +63,25 @@ public:
   unsigned width() const { return Width; }
   uint64_t mask() const { return Mask; }
 
+  /// Raw state views, for checkpoint serialization and state comparison.
+  const std::array<uint64_t, NumRegs> &regs() const { return Regs; }
+  const std::vector<uint8_t> &memory() const { return Mem; }
+
+  /// Rebuilds the machine from serialized checkpoint parts (the inverse
+  /// of regs()/memory(); Mask is derived from the width).
+  void restoreParts(unsigned W, const std::array<uint64_t, NumRegs> &R,
+                    std::vector<uint8_t> M) {
+    Width = W;
+    Mask = lowBitMask(W);
+    Regs = R;
+    Mem = std::move(M);
+  }
+
+  bool operator==(const Machine &O) const {
+    return Width == O.Width && Regs == O.Regs && Mem == O.Mem;
+  }
+  bool operator!=(const Machine &O) const { return !(*this == O); }
+
 private:
   unsigned Width = 32;
   uint64_t Mask = 0xffffffff;

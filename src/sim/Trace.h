@@ -49,6 +49,14 @@ public:
   }
   uint64_t value() const { return Hash; }
 
+  /// Resets the hasher to a previously observed value() — the "trace
+  /// cursor" piece of an interpreter checkpoint. Each absorbed byte maps
+  /// the state injectively (xor, then multiply by an odd constant), so
+  /// two runs that absorb the same suffix from restored-equal states end
+  /// with equal hashes, and runs whose states ever differ never
+  /// re-equalize under a common suffix.
+  void restore(uint64_t State) { Hash = State; }
+
 private:
   uint64_t Hash = 0xcbf29ce484222325ull;
 };

@@ -283,6 +283,9 @@ TEST(CampaignEngine, InterruptAndResumeIsBitIdentical) {
   PO.Kind = PlanKind::BitLevel;
   PO.MaxCycles = 120;
   CampaignPlan Plan = CampaignPlan::build(A, Golden, PO);
+  // The default plan executes with prefix checkpointing: the resume
+  // battery below exercises restore-from-snapshot across interrupts.
+  ASSERT_TRUE(Plan.prefixCheckpoint());
   uint64_t Shards = (Plan.runs().size() + 15) / 16;
   ASSERT_GT(Shards, 4u);
 
@@ -290,11 +293,54 @@ TEST(CampaignEngine, InterruptAndResumeIsBitIdentical) {
   Full.ShardSize = 16;
   CampaignResult Baseline = runCampaign(Prog, Golden, Plan, Full);
   ASSERT_TRUE(Baseline.Error.empty()) << Baseline.Error;
+  EXPECT_GT(Baseline.CheckpointsCreated, 0u);
 
   // Kill after the first shard, around the middle, and one short of the
   // end: resume must reconstruct the identical report every time.
   for (uint64_t StopAfter : {uint64_t(1), Shards / 2, Shards - 1})
     checkInterruptResume(Prog, Golden, Plan, StopAfter, Baseline);
+
+  // Same battery with checkpointing off: resume correctness must not
+  // depend on the execution strategy (and both strategies must agree).
+  PlanOptions OffPO = PO;
+  OffPO.PrefixCheckpoint = false;
+  CampaignPlan OffPlan = CampaignPlan::build(A, Golden, OffPO);
+  ASSERT_FALSE(OffPlan.prefixCheckpoint());
+  CampaignResult OffBaseline = runCampaign(Prog, Golden, OffPlan, Full);
+  ASSERT_TRUE(OffBaseline.Error.empty()) << OffBaseline.Error;
+  expectSameResult(Baseline, OffBaseline);
+  for (uint64_t StopAfter : {uint64_t(1), Shards / 2, Shards - 1})
+    checkInterruptResume(Prog, Golden, OffPlan, StopAfter, OffBaseline);
+}
+
+TEST(CampaignEngine, ResumeRejectsCheckpointOfDifferentPlacementPeriod) {
+  // The resolved checkpoint period is part of the plan fingerprint: a
+  // shard file written under K=7 placement must not resume a K=64
+  // campaign (the shard stream is the same, but silently switching
+  // placement would defeat the fingerprint's plan-identity promise).
+  Program Prog = parseAsmOrDie(SmallLoop, "loop");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  std::string Path = testing::TempDir() + "/campaign_placement.jsonl";
+  std::remove(Path.c_str());
+
+  PlanOptions Dense;
+  Dense.Kind = PlanKind::ValueLevel;
+  Dense.CheckpointEveryK = 7;
+  CampaignPlan DensePlan = CampaignPlan::build(A, Golden, Dense);
+  CampaignExecOptions Exec;
+  Exec.CheckpointPath = Path;
+  ASSERT_TRUE(runCampaign(Prog, Golden, DensePlan, Exec).Error.empty());
+
+  PlanOptions Sparse = Dense;
+  Sparse.CheckpointEveryK = 64;
+  CampaignPlan SparsePlan = CampaignPlan::build(A, Golden, Sparse);
+  EXPECT_NE(DensePlan.fingerprint(), SparsePlan.fingerprint());
+  Exec.Resume = true;
+  CampaignResult R = runCampaign(Prog, Golden, SparsePlan, Exec);
+  EXPECT_NE(R.Error.find("different campaign plan"), std::string::npos)
+      << R.Error;
+  std::remove(Path.c_str());
 }
 
 TEST(CampaignEngine, ResumeRejectsCheckpointOfDifferentPlan) {
@@ -395,6 +441,56 @@ TEST(CampaignPlan, FingerprintSeparatesKindWindowAndSeed) {
   PlanOptions Window = Base;
   Window.MaxCycles = 5;
   EXPECT_NE(FP, CampaignPlan::build(A, Golden, Window).fingerprint());
+  // Checkpoint placement is fingerprint-covered too: off, the auto
+  // period, and an explicit period all key differently (unless the
+  // explicit period happens to equal the resolved auto one).
+  PlanOptions NoCk = Base;
+  NoCk.PrefixCheckpoint = false;
+  EXPECT_NE(FP, CampaignPlan::build(A, Golden, NoCk).fingerprint());
+  PlanOptions Every3 = Base;
+  Every3.CheckpointEveryK = 3;
+  EXPECT_NE(FP, CampaignPlan::build(A, Golden, Every3).fingerprint());
+}
+
+TEST(CampaignPlan, CheckpointPlacementCoversTheTraceAndAutoTunes) {
+  Program Prog = parseAsmOrDie(SmallLoop, "loop");
+  BECAnalysis A = BECAnalysis::run(Prog);
+  Trace Golden = simulate(Prog);
+  PlanOptions PO;
+  PO.Kind = PlanKind::ValueLevel;
+  PO.CheckpointEveryK = 4;
+  CampaignPlan Plan = CampaignPlan::build(A, Golden, PO);
+  ASSERT_TRUE(Plan.prefixCheckpoint());
+  EXPECT_EQ(Plan.checkpointPeriod(), 4u);
+  // Snapshots start at cycle 0, stride by the period, and stay strictly
+  // inside the golden run (a snapshot at the final cycle would capture
+  // a finished machine no fork can continue from).
+  ASSERT_FALSE(Plan.checkpointCycles().empty());
+  EXPECT_EQ(Plan.checkpointCycles().front(), 0u);
+  for (size_t I = 0; I < Plan.checkpointCycles().size(); ++I) {
+    EXPECT_EQ(Plan.checkpointCycles()[I], I * 4);
+    EXPECT_LT(Plan.checkpointCycles()[I], Golden.Cycles);
+  }
+  // Liveness masks ride along for the engine's reconvergence test.
+  EXPECT_EQ(Plan.liveInMasks().size(), Prog.size());
+
+  // The auto-tuned period: ~16 cycles for dense plans, stretched so
+  // sparse plans never carry more checkpoints than runs, floored so
+  // long traces stay under 4096 snapshots, and never zero.
+  EXPECT_EQ(autoCheckpointPeriod(1000, 1000), 16u);
+  EXPECT_EQ(autoCheckpointPeriod(32000, 10), 3200u);
+  EXPECT_EQ(autoCheckpointPeriod(uint64_t(1) << 20, uint64_t(1) << 20),
+            256u);
+  EXPECT_EQ(autoCheckpointPeriod(0, 0), 1u);
+
+  // Off means off: no period, no placement, no masks.
+  PlanOptions Off = PO;
+  Off.PrefixCheckpoint = false;
+  CampaignPlan OffPlan = CampaignPlan::build(A, Golden, Off);
+  EXPECT_FALSE(OffPlan.prefixCheckpoint());
+  EXPECT_EQ(OffPlan.checkpointPeriod(), 0u);
+  EXPECT_TRUE(OffPlan.checkpointCycles().empty());
+  EXPECT_TRUE(OffPlan.liveInMasks().empty());
 }
 
 TEST(CampaignPlan, WilsonIntervalBehavesAtBoundaries) {

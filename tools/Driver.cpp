@@ -122,6 +122,11 @@ Options:
                     fuzz: oracle workers, same guarantee.
   --shard-size N    campaign: runs per engine shard (default: picked
                     from the plan size). Checkpoints record it.
+  --prefix-checkpoint[=K|=off]
+                    campaign: fork runs from periodic golden snapshots
+                    and splice reconverged suffixes (default: on, period
+                    auto-tuned; =K snapshots every K cycles; =off
+                    replays every suffix). Never changes the report.
   --checkpoint FILE campaign: stream per-shard result batches to FILE
                     (JSONL) so an interrupted campaign can be resumed.
                     Requires exactly one selected target; local only.
@@ -235,6 +240,9 @@ struct DriverOptions {
   unsigned CampaignThreads = 1;
   bool CampaignThreadsExplicit = false;
   uint64_t ShardSize = 0;
+  bool PrefixCheckpoint = true;
+  uint64_t CheckpointEveryK = 0;
+  bool PrefixCheckpointExplicit = false;
   std::string CheckpointPath;
   bool Resume = false;
   bool Progress = false;
@@ -493,6 +501,26 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
         return ExitUsage;
       }
       Opts.ShardSize = *N;
+    } else if (Arg == "--prefix-checkpoint") {
+      // Value is optional: bare = on with the auto-tuned period.
+      Opts.PrefixCheckpoint = true;
+      Opts.CheckpointEveryK = 0;
+      Opts.PrefixCheckpointExplicit = true;
+      if (InlineValue) {
+        auto V = Value(Arg);
+        std::string K = toLowerAscii(*V);
+        if (K == "off") {
+          Opts.PrefixCheckpoint = false;
+        } else {
+          std::optional<uint64_t> N = parseUnsigned(*V);
+          if (!N || *N == 0) {
+            Err << "bec: --prefix-checkpoint wants 'off' or a positive "
+                   "cycle period, got '" << *V << "'\n";
+            return ExitUsage;
+          }
+          Opts.CheckpointEveryK = *N;
+        }
+      }
     } else if (Arg == "--checkpoint") {
       auto V = Value(Arg);
       if (!V)
@@ -781,6 +809,10 @@ int parseArgs(const std::vector<std::string> &Args, DriverOptions &Opts,
       Opts.Cmd != Command::Campaign && !ClientCampaign) {
     Err << "bec: --sample/--shard-size are only valid with campaign "
            "(or client campaign methods)\n";
+    return ExitUsage;
+  }
+  if (Opts.PrefixCheckpointExplicit && Opts.Cmd != Command::Campaign) {
+    Err << "bec: --prefix-checkpoint is only valid with campaign\n";
     return ExitUsage;
   }
   if ((Opts.SeedExplicit || Opts.CampaignThreadsExplicit || Opts.Progress) &&
@@ -1214,6 +1246,11 @@ std::string subcommandParams(Command Which, const DriverOptions &Opts,
       W.key("threads").value(uint64_t(Opts.CampaignThreads));
     if (Opts.ShardSize)
       W.key("shard_size").value(Opts.ShardSize);
+    if (Opts.PrefixCheckpointExplicit) {
+      W.key("prefix_checkpoint").value(Opts.PrefixCheckpoint);
+      if (Opts.CheckpointEveryK)
+        W.key("checkpoint_every_k").value(Opts.CheckpointEveryK);
+    }
     if (Opts.Progress)
       W.key("progress").value(true);
     break;
@@ -2157,6 +2194,8 @@ int runParsed(const DriverOptions &Opts, DistTrace *DT, std::ostream &Out,
     Base.MaxCycles = Opts.MaxCycles;
     Base.SampleSize = Opts.SampleSize;
     Base.SampleSeed = Opts.SampleSeed;
+    Base.PrefixCheckpoint = Opts.PrefixCheckpoint;
+    Base.CheckpointEveryK = Opts.CheckpointEveryK;
     Base.Exec.Threads = ThreadPool::clampJobs(Opts.CampaignThreads);
     Base.Exec.ShardSize = Opts.ShardSize;
     Base.Exec.CheckpointPath = Opts.CheckpointPath;
